@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples lint clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/msgnet/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# The full paper-reproduction report; non-zero exit if any experiment fails.
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/barrier
+	$(GO) run ./examples/idserver
+	$(GO) run ./examples/inconsistency
+	$(GO) run ./examples/linearizable
+
+lint:
+	$(GO) vet ./...
+	gofmt -l .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,348 @@
+package countingnet
+
+// The benchmark harness regenerates every table and figure of the paper
+// (see DESIGN.md's experiment index): each Benchmark below re-runs the
+// corresponding reproduction and reports its headline quantity through
+// b.ReportMetric, so `go test -bench . -benchmem` prints the same
+// rows/series the paper reports. Absolute times are machine-dependent;
+// the reported metrics are the paper's own quantities (fractions, depths,
+// thresholds) and must match it exactly.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Schedules = 10
+	return cfg
+}
+
+func runExperiment(b *testing.B, run func(core.Config) (core.Experiment, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	var exp core.Experiment
+	var err error
+	for i := 0; i < b.N; i++ {
+		exp, err = run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !exp.Pass() {
+		b.Fatalf("experiment failed:\n%s", exp.Format())
+	}
+	b.ReportMetric(float64(len(exp.Rows)), "rows")
+}
+
+// BenchmarkFigure1Balancer — Figure 1: (3,3)-balancer round-robin.
+func BenchmarkFigure1Balancer(b *testing.B) {
+	spec, _, err := construct.SingleBalancer(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		st := network.NewState(spec)
+		for k := 0; k < 9; k++ {
+			if v := st.Traverse(k % 3); v != int64(k) {
+				b.Fatalf("token %d got %d", k, v)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2Network — Figure 2: the (6,6) mixed-balancer network.
+func BenchmarkFigure2Network(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec, _, err := construct.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if spec.FanIn() != 6 || spec.FanOut() != 6 {
+			b.Fatal("wrong fan")
+		}
+	}
+}
+
+// BenchmarkFigure4Bitonic — Figures 3/4: construct and count-check B(w).
+func BenchmarkFigure4Bitonic(b *testing.B) {
+	for _, w := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := construct.MustBitonic(w)
+				if spec.Depth() != construct.BitonicDepth(w) {
+					b.Fatal("depth mismatch")
+				}
+			}
+			b.ReportMetric(float64(construct.BitonicDepth(w)), "depth")
+		})
+	}
+}
+
+// BenchmarkFigure5Block — Figure 5: both block constructions ≅ merger.
+func BenchmarkFigure5Block(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		oe, _, err := construct.Block(8, construct.BlockOddEven)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb, _, err := construct.Block(8, construct.BlockTopBottom)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _, err := construct.Merger(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !construct.Isomorphic(oe, tb) || !construct.Isomorphic(tb, m) {
+			b.Fatal("isomorphism failed")
+		}
+	}
+}
+
+// BenchmarkFigure6Periodic — Figure 6: construct P(w).
+func BenchmarkFigure6Periodic(b *testing.B) {
+	for _, w := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := construct.MustPeriodic(w)
+				if spec.Depth() != construct.PeriodicDepth(w) {
+					b.Fatal("depth mismatch")
+				}
+			}
+			b.ReportMetric(float64(construct.PeriodicDepth(w)), "depth")
+		})
+	}
+}
+
+// BenchmarkFigure7SplitSequence — Figure 7: the split-sequence structure.
+func BenchmarkFigure7SplitSequence(b *testing.B) {
+	spec := construct.MustBitonic(16)
+	var seq *topology.SplitSequence
+	var err error
+	for i := 0; i < b.N; i++ {
+		seq, err = topology.ComputeSplitSequence(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(seq.SplitNumber()), "sp")
+}
+
+// BenchmarkTable1Conditions — Table 1: sweep + witness every row.
+func BenchmarkTable1Conditions(b *testing.B) {
+	runExperiment(b, core.RunTable1)
+}
+
+// BenchmarkLemma31Modular — Lemma 3.1: escort-wave insertion.
+func BenchmarkLemma31Modular(b *testing.B) {
+	runExperiment(b, core.RunLemma31)
+}
+
+// BenchmarkTheorem32Transform — Theorem 3.2: non-lin → non-SC.
+func BenchmarkTheorem32Transform(b *testing.B) {
+	runExperiment(b, core.RunTheorem32)
+}
+
+// BenchmarkTheorem41SeqConsistency — Theorem 4.1: C_L sweeps.
+func BenchmarkTheorem41SeqConsistency(b *testing.B) {
+	runExperiment(b, core.RunTheorem41)
+}
+
+// BenchmarkCorollary45Distinguish — Corollary 4.5.
+func BenchmarkCorollary45Distinguish(b *testing.B) {
+	runExperiment(b, core.RunCorollary45)
+}
+
+// BenchmarkProposition53Waves — Propositions 5.2/5.3: the 1/3 bounds.
+func BenchmarkProposition53Waves(b *testing.B) {
+	spec := construct.MustBitonic(16)
+	seq, err := topology.ComputeSplitSequence(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *core.WaveResult
+	for i := 0; i < b.N; i++ {
+		res, err = core.Proposition53Waves(spec, seq, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Fractions.NonLinFraction(), "F_nl")
+	b.ReportMetric(res.Fractions.NonSCFraction(), "F_nsc")
+}
+
+// BenchmarkTheorem54UpperBound — Theorem 5.4 probes.
+func BenchmarkTheorem54UpperBound(b *testing.B) {
+	runExperiment(b, core.RunTheorem54)
+}
+
+// BenchmarkProposition56SplitDepth — Propositions 5.6/5.8 formulas.
+func BenchmarkProposition56SplitDepth(b *testing.B) {
+	for _, w := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			specB := construct.MustBitonic(w)
+			specP := construct.MustPeriodic(w)
+			for i := 0; i < b.N; i++ {
+				if sd, _ := topology.Analyze(specB).SplitDepth(); sd != core.SplitDepthBitonic(w) {
+					b.Fatal("bitonic split depth mismatch")
+				}
+				if sd, _ := topology.Analyze(specP).SplitDepth(); sd != core.SplitDepthPeriodic(w) {
+					b.Fatal("periodic split depth mismatch")
+				}
+			}
+			b.ReportMetric(float64(core.SplitDepthBitonic(w)), "sd_B")
+			b.ReportMetric(float64(core.SplitDepthPeriodic(w)), "sd_P")
+		})
+	}
+}
+
+// BenchmarkProposition59SplitNumber — Propositions 5.9/5.10.
+func BenchmarkProposition59SplitNumber(b *testing.B) {
+	runExperiment(b, core.RunSplitStructure)
+}
+
+// BenchmarkTheorem511Waves — Theorem 5.11 per level, the paper's main
+// lower-bound series: F_nl and F_nsc per ℓ.
+func BenchmarkTheorem511Waves(b *testing.B) {
+	spec := construct.MustBitonic(16)
+	seq, err := topology.ComputeSplitSequence(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for l := 1; l <= seq.SplitNumber(); l++ {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			var res *core.WaveResult
+			for i := 0; i < b.N; i++ {
+				res, err = core.Theorem511Waves(spec, seq, l, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Fractions.NonLinFraction(), "F_nl")
+			b.ReportMetric(res.Fractions.NonSCFraction(), "F_nsc")
+			b.ReportMetric(res.Timing.Ratio(), "ratio")
+		})
+	}
+}
+
+// BenchmarkCorollary512513 — the ℓ = lg w instantiation.
+func BenchmarkCorollary512513(b *testing.B) {
+	runExperiment(b, core.RunCorollary512513)
+}
+
+// BenchmarkBarrierApplication — Section 1.1: barrier rounds on a
+// counting-network counter.
+func BenchmarkBarrierApplication(b *testing.B) {
+	const procs = 8
+	ctr := runtime.MustCompile(construct.MustBitonic(procs))
+	w := runtime.Workload{Workers: procs, OpsPerWorker: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops := w.Run(ctr)
+		max := int64(-1)
+		for _, op := range ops {
+			if op.Value > max {
+				max = op.Value
+			}
+		}
+		if want := int64((i+1)*procs - 1); max != want {
+			b.Fatalf("round %d: max value %d, want %d", i, max, want)
+		}
+	}
+}
+
+// BenchmarkThroughput — the AHS94-motivation comparison: counting networks
+// vs centralized counters under concurrency (b.RunParallel scales with
+// GOMAXPROCS; on a single-CPU host the centralized counters dominate, as
+// expected — see EXPERIMENTS.md).
+func BenchmarkThroughput(b *testing.B) {
+	counters := []struct {
+		name string
+		mk   func() runtime.Counter
+	}{
+		{"atomic", func() runtime.Counter { return new(runtime.AtomicCounter) }},
+		{"mutex", func() runtime.Counter { return new(runtime.MutexCounter) }},
+		{"queuelock", func() runtime.Counter { return new(runtime.QueueLockCounter) }},
+		{"combining-8", func() runtime.Counter { return runtime.NewCombiningTree(8) }},
+		{"bitonic-16", func() runtime.Counter { return runtime.MustCompile(construct.MustBitonic(16)) }},
+		{"periodic-16", func() runtime.Counter { return runtime.MustCompile(construct.MustPeriodic(16)) }},
+		{"tree-16", func() runtime.Counter { return runtime.MustCompile(construct.MustTree(16)) }},
+	}
+	for _, tc := range counters {
+		b.Run(tc.name, func(b *testing.B) {
+			c := tc.mk()
+			var wires int64
+			b.RunParallel(func(pb *testing.PB) {
+				wire := int(wires) // racy wire assignment is fine: any wire works
+				wires++
+				for pb.Next() {
+					c.Inc(wire)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkContentionModel — extension X2: the queueing-model series
+// behind cmd/perfsim (throughput of B(16) vs the central counter at P=64).
+func BenchmarkContentionModel(b *testing.B) {
+	runExperiment(b, core.RunContentionModel)
+}
+
+// BenchmarkSmoothingPrefixes — extension X1.
+func BenchmarkSmoothingPrefixes(b *testing.B) {
+	runExperiment(b, core.RunSmoothingExtension)
+}
+
+// BenchmarkSimulator — cost of the timed-execution engine itself.
+func BenchmarkSimulator(b *testing.B) {
+	spec := construct.MustBitonic(16)
+	cfg := sim.GenConfig{
+		Processes: 8, TokensPerProcess: 16,
+		CMin: 1, CMax: 4, CL: 2, CLJitter: 2, StartSpread: 30, Seed: 1,
+	}
+	specs, err := sim.Generate(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.Run(spec, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = consistency.Measure(tr.Ops())
+	}
+}
+
+// BenchmarkConsistencyCheckers — cost of the O(n log n) checkers.
+func BenchmarkConsistencyCheckers(b *testing.B) {
+	spec := construct.MustBitonic(8)
+	cfg := sim.GenConfig{
+		Processes: 16, TokensPerProcess: 64,
+		CMin: 1, CMax: 8, StartSpread: 100, Seed: 7,
+	}
+	specs, err := sim.Generate(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sim.Run(spec, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := tr.Ops()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = consistency.Measure(ops)
+	}
+}

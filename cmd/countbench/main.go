@@ -1,0 +1,137 @@
+// Command countbench compares concurrent counter throughput: counting
+// networks (bitonic, periodic, tree — fetch-and-add and CAS balancer
+// variants) against the centralized baselines (atomic fetch-and-increment,
+// mutex, CLH queue lock, software combining tree), across goroutine
+// counts. This regenerates the motivating comparison of the counting-
+// network literature (AHS94): centralized counters win uncontended,
+// networks win under contention.
+//
+// Usage:
+//
+//	countbench -w 16 -ops 200000 -workers 1,2,4,8,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	countingnet "repro"
+)
+
+func main() {
+	var (
+		width   = flag.Int("w", 16, "counting-network fan (power of two)")
+		ops     = flag.Int("ops", 200_000, "total increments per measurement")
+		workers = flag.String("workers", "1,2,4,8,16", "comma-separated goroutine counts")
+		verify  = flag.Bool("verify", true, "verify the counting property after each run")
+	)
+	flag.Parse()
+
+	var workerCounts []int
+	for _, part := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "countbench: bad worker count %q\n", part)
+			os.Exit(2)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+
+	counters := []struct {
+		name string
+		mk   func() countingnet.Counter
+	}{
+		{"atomic", func() countingnet.Counter { return new(countingnet.AtomicCounter) }},
+		{"mutex", func() countingnet.Counter { return new(countingnet.MutexCounter) }},
+		{"queuelock", func() countingnet.Counter { return new(countingnet.QueueLockCounter) }},
+		{"combining", func() countingnet.Counter { return countingnet.NewCombiningTree(*width / 2) }},
+		{fmt.Sprintf("bitonic-%d", *width), func() countingnet.Counter {
+			return countingnet.MustCompile(countingnet.MustBitonic(*width))
+		}},
+		{fmt.Sprintf("bitonic-%d-cas", *width), func() countingnet.Counter {
+			return casNetwork{countingnet.MustCompile(countingnet.MustBitonic(*width))}
+		}},
+		{fmt.Sprintf("periodic-%d", *width), func() countingnet.Counter {
+			return countingnet.MustCompile(countingnet.MustPeriodic(*width))
+		}},
+		{fmt.Sprintf("tree-%d", *width), func() countingnet.Counter {
+			return countingnet.MustCompile(countingnet.MustTree(*width))
+		}},
+		{fmt.Sprintf("diffract-%d", *width), func() countingnet.Counter {
+			t, err := countingnet.NewDiffractingTree(*width)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}},
+	}
+
+	fmt.Printf("%d increments per cell; million increments/second (higher is better)\n\n", *ops)
+	fmt.Printf("%-16s", "counter \\ procs")
+	for _, wc := range workerCounts {
+		fmt.Printf(" %8d", wc)
+	}
+	fmt.Println()
+	for _, c := range counters {
+		fmt.Printf("%-16s", c.name)
+		for _, wc := range workerCounts {
+			rate, err := measure(c.mk(), wc, *ops, *verify)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\ncountbench: %s/%d: %v\n", c.name, wc, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %8.2f", rate/1e6)
+		}
+		fmt.Println()
+	}
+}
+
+// casNetwork adapts the CAS-toggle ablation to the Counter interface.
+type casNetwork struct {
+	n *countingnet.ConcurrentNetwork
+}
+
+func (c casNetwork) Inc(wire int) int64 { return c.n.IncCAS(wire) }
+
+// measure returns increments per second for the given concurrency.
+func measure(c countingnet.Counter, workers, total int, verify bool) (float64, error) {
+	perWorker := total / workers
+	values := make([][]int64, workers)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	for id := 0; id < workers; id++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			buf := make([]int64, 0, perWorker)
+			ready.Done()
+			<-start
+			for k := 0; k < perWorker; k++ {
+				buf = append(buf, c.Inc(id))
+			}
+			values[id] = buf
+		}(id)
+	}
+	ready.Wait()
+	t0 := time.Now()
+	close(start)
+	done.Wait()
+	elapsed := time.Since(t0)
+
+	if verify {
+		var all []int64
+		for _, vs := range values {
+			all = append(all, vs...)
+		}
+		if err := countingnet.VerifyValues(all); err != nil {
+			return 0, err
+		}
+	}
+	return float64(workers*perWorker) / elapsed.Seconds(), nil
+}

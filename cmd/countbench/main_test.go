@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	countingnet "repro"
+)
+
+func TestMeasureCounts(t *testing.T) {
+	rate, err := measure(new(countingnet.AtomicCounter), 4, 4000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Errorf("rate = %v", rate)
+	}
+}
+
+func TestMeasureNetwork(t *testing.T) {
+	c := countingnet.MustCompile(countingnet.MustBitonic(8))
+	if _, err := measure(c, 8, 2000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASAdapter(t *testing.T) {
+	c := casNetwork{countingnet.MustCompile(countingnet.MustBitonic(4))}
+	seen := map[int64]bool{}
+	for k := 0; k < 12; k++ {
+		v := c.Inc(k)
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,66 @@
+// Command experiments runs the full paper-reproduction suite — every
+// table, figure, lemma, theorem and corollary of "Sequentially Consistent
+// versus Linearizable Counting Networks" that has an executable content —
+// and prints a paper-versus-measured report. It exits non-zero if any
+// experiment fails, so it doubles as a regression gate.
+//
+// Usage:
+//
+//	experiments                       # everything at the default sizes
+//	experiments -run T1               # only experiments whose id contains "T1"
+//	experiments -widths 4,8,16,32     # larger networks
+//	experiments -schedules 100        # deeper random sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	countingnet "repro"
+)
+
+func main() {
+	var (
+		runFilter = flag.String("run", "", "only run experiments whose id contains this substring")
+		widths    = flag.String("widths", "4,8,16", "comma-separated network fans (powers of two)")
+		schedules = flag.Int("schedules", 25, "random schedules per sweep")
+		procs     = flag.Int("procs", 6, "processes per random schedule")
+		tokens    = flag.Int("tokens", 4, "tokens per process per random schedule")
+	)
+	flag.Parse()
+
+	cfg := countingnet.DefaultExperimentConfig()
+	cfg.Schedules = *schedules
+	cfg.Processes = *procs
+	cfg.TokensPerProcess = *tokens
+	cfg.Widths = cfg.Widths[:0]
+	for _, part := range strings.Split(*widths, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bad width %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		cfg.Widths = append(cfg.Widths, w)
+	}
+
+	exps, err := countingnet.RunAllExperiments(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	kept := exps[:0]
+	for _, e := range exps {
+		if *runFilter == "" || strings.Contains(strings.ToLower(e.ID), strings.ToLower(*runFilter)) {
+			kept = append(kept, e)
+		}
+	}
+	fmt.Print(countingnet.FormatReport(kept))
+	for _, e := range kept {
+		if !e.Pass() {
+			os.Exit(1)
+		}
+	}
+}

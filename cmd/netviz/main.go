@@ -1,0 +1,98 @@
+// Command netviz renders the paper's network constructions as ASCII
+// diagrams and prints their structural parameters (depth, shallowness,
+// split depth, split sequence, influence radius).
+//
+// Usage:
+//
+//	netviz -net bitonic -w 8 -split     # Figure 4 + Figure 7 annotations
+//	netviz -net periodic -w 8
+//	netviz -net block -w 8 -variant odd-even
+//	netviz -net merger -w 8
+//	netviz -net tree -w 8               # Section 2.6.3
+//	netviz -net balancer -fan 3         # Figure 1
+//	netviz -net fig2                    # Figure 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	countingnet "repro"
+)
+
+func main() {
+	var (
+		kind    = flag.String("net", "bitonic", "network: bitonic, periodic, block, merger, tree, balancer, fig2")
+		w       = flag.Int("w", 8, "network fan (power of two)")
+		fan     = flag.Int("fan", 3, "balancer fan for -net balancer")
+		variant = flag.String("variant", "top-bottom", "block construction: odd-even or top-bottom")
+		split   = flag.Bool("split", false, "annotate split layers (Figure 7)")
+	)
+	flag.Parse()
+	if err := run(*kind, *w, *fan, *variant, *split); err != nil {
+		fmt.Fprintln(os.Stderr, "netviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, w, fan int, variant string, split bool) error {
+	var bv = countingnet.BlockTopBottom
+	if variant == "odd-even" {
+		bv = countingnet.BlockOddEven
+	}
+
+	var (
+		net    *countingnet.Network
+		layout *countingnet.Layout
+		name   string
+		err    error
+	)
+	switch kind {
+	case "bitonic":
+		net, layout, err = countingnet.Bitonic(w)
+		name = fmt.Sprintf("bitonic B(%d)", w)
+	case "periodic":
+		net, layout, err = countingnet.Periodic(w, bv)
+		name = fmt.Sprintf("periodic P(%d), %s blocks", w, variant)
+	case "block":
+		net, layout, err = countingnet.Block(w, bv)
+		name = fmt.Sprintf("block L(%d), %s construction", w, variant)
+	case "merger":
+		net, layout, err = countingnet.Merger(w)
+		name = fmt.Sprintf("merger M(%d)", w)
+	case "balancer":
+		net, layout, err = countingnet.SingleBalancer(fan)
+		name = fmt.Sprintf("(%d,%d)-balancer", fan, fan)
+	case "fig2":
+		net, layout, err = countingnet.Figure2()
+		name = "Figure 2 (6,6)-balancing network"
+	case "tree":
+		tree, terr := countingnet.Tree(w)
+		if terr != nil {
+			return terr
+		}
+		fmt.Print(countingnet.Describe(fmt.Sprintf("counting tree Tree(%d)", w), tree))
+		fmt.Println()
+		fmt.Print(countingnet.RenderTree(tree))
+		return nil
+	default:
+		return fmt.Errorf("unknown network %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(countingnet.Describe(name, net))
+	fmt.Println()
+	if split {
+		seq, err := countingnet.ComputeSplitSequence(net)
+		if err != nil {
+			return fmt.Errorf("split sequence: %w", err)
+		}
+		fmt.Print(countingnet.RenderSplit(net, layout, seq))
+	} else {
+		fmt.Print(countingnet.Render(net, layout))
+	}
+	return nil
+}

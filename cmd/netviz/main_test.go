@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+// TestRunAllKinds drives every renderer through the CLI entry point.
+func TestRunAllKinds(t *testing.T) {
+	cases := []struct {
+		kind    string
+		w, fan  int
+		variant string
+		split   bool
+	}{
+		{"bitonic", 8, 0, "top-bottom", false},
+		{"bitonic", 8, 0, "top-bottom", true},
+		{"periodic", 8, 0, "top-bottom", false},
+		{"periodic", 8, 0, "odd-even", false},
+		{"block", 8, 0, "odd-even", false},
+		{"merger", 8, 0, "top-bottom", true},
+		{"tree", 8, 0, "top-bottom", false},
+		{"balancer", 0, 3, "top-bottom", false},
+		{"fig2", 0, 0, "top-bottom", false},
+	}
+	for _, tc := range cases {
+		if err := run(tc.kind, tc.w, tc.fan, tc.variant, tc.split); err != nil {
+			t.Errorf("run(%q, w=%d, split=%v): %v", tc.kind, tc.w, tc.split, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nosuch", 8, 3, "top-bottom", false); err == nil {
+		t.Error("unknown network should fail")
+	}
+	if err := run("bitonic", 7, 3, "top-bottom", false); err == nil {
+		t.Error("non-power-of-two fan should fail")
+	}
+	if err := run("tree", 3, 3, "top-bottom", false); err == nil {
+		t.Error("bad tree fan should fail")
+	}
+	if err := run("balancer", 8, 0, "top-bottom", false); err == nil {
+		t.Error("zero-fan balancer should fail")
+	}
+}

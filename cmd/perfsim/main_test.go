@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	countingnet "repro"
+	"repro/internal/perfsim"
+)
+
+// TestCrossoverShape re-checks the headline numbers the CLI prints: the
+// central counter is pinned at 1.0 at P=64 while the fan-16 bitonic
+// network exceeds it severalfold.
+func TestCrossoverShape(t *testing.T) {
+	mk := func(obj perfsim.Object, p int) perfsim.Result {
+		return perfsim.Simulate(obj, perfsim.Config{
+			Processes:   p,
+			Ops:         2000,
+			Warmup:      400,
+			ServiceTime: 1,
+			WireDelay:   0.2,
+			Seed:        int64(p) + 1,
+		})
+	}
+	central := mk(perfsim.CentralObject{}, 64)
+	if central.Throughput > 1.01 {
+		t.Errorf("central throughput %v above capacity", central.Throughput)
+	}
+	bitonic := mk(perfsim.NewNetworkObject(countingnet.MustBitonic(16)), 64)
+	if bitonic.Throughput < 2*central.Throughput {
+		t.Errorf("network %v should clearly exceed central %v at P=64",
+			bitonic.Throughput, central.Throughput)
+	}
+}

@@ -1,0 +1,84 @@
+// Command barrier runs the paper's Section 1.1 motivating application: a
+// counter-based barrier synchronization for n concurrent processes. Each
+// process increments a shared counter when it reaches the barrier and
+// busy-waits; the process that reads value n-1 (the n-th increment)
+// releases everyone.
+//
+// As the paper observes, a linearizable counter is not needed: a
+// sequentially consistent counter suffices, because exactly one process
+// obtains the value n-1 once all n increments have started. The program
+// runs many rounds over a counting-network counter and asserts, per round,
+// that exactly one process saw the releasing value and that no process
+// passed the barrier before every process had arrived.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	countingnet "repro"
+)
+
+// barrier is the Section 1.1 construction: one counter per round plus a
+// release flag the last arriver raises.
+type barrier struct {
+	n       int64
+	ctr     countingnet.Counter
+	base    int64 // counter values [base, base+n) belong to this round
+	release atomic.Bool
+}
+
+// await blocks until all n processes have arrived; returns whether this
+// process was the releasing one.
+func (b *barrier) await(wire int) bool {
+	v := b.ctr.Inc(wire)
+	last := v == b.base+b.n-1
+	if last {
+		b.release.Store(true)
+	}
+	for !b.release.Load() {
+	}
+	return last
+}
+
+func main() {
+	const (
+		procs  = 8
+		rounds = 200
+	)
+	spec := countingnet.MustBitonic(procs)
+	ctr := countingnet.MustCompile(spec)
+
+	var arrived atomic.Int64
+	for round := 0; round < rounds; round++ {
+		b := &barrier{n: procs, ctr: ctr, base: int64(round * procs)}
+		var releasers atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				arrived.Add(1)
+				if b.await(p) {
+					// Safety: the releaser must observe every process's
+					// arrival already recorded.
+					if got := arrived.Load(); got < int64((round+1)*procs) {
+						fmt.Fprintf(os.Stderr, "round %d released after only %d arrivals\n", round, got)
+						os.Exit(1)
+					}
+					releasers.Add(1)
+				}
+			}(p)
+		}
+		wg.Wait()
+		if releasers.Load() != 1 {
+			fmt.Fprintf(os.Stderr, "round %d had %d releasers, want exactly 1\n", round, releasers.Load())
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%d barrier rounds × %d processes on a B(%d) counting-network counter:\n", rounds, procs, procs)
+	fmt.Println("exactly one releaser per round, and never an early release —")
+	fmt.Println("the sequentially consistent counter of Section 1.1 suffices; linearizability was not needed.")
+}

@@ -1,0 +1,62 @@
+// Command idserver sketches the paper's motivating use of counting: a
+// concurrent unique-id allocator (think memory addresses or routing-
+// destination ids). A pool of producer goroutines draws ids from three
+// different counters — a single atomic fetch-and-increment, a mutex
+// counter and a B(16) counting network — under identical load, then the
+// run is audited: the counting property (no duplicate or missing ids),
+// wall-clock linearizability, and per-producer sequential consistency.
+//
+// The audit shows what the paper is about: all three allocators count
+// correctly, the centralized ones are linearizable, and the counting
+// network trades real-time ordering (which an id allocator rarely needs)
+// for distributed, low-contention operation.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	countingnet "repro"
+)
+
+func main() {
+	const (
+		producers = 16
+		idsEach   = 2_000
+	)
+	counters := []struct {
+		name string
+		c    countingnet.Counter
+	}{
+		{"atomic fetch&inc", new(countingnet.AtomicCounter)},
+		{"mutex counter", new(countingnet.MutexCounter)},
+		{"bitonic B(16)", countingnet.MustCompile(countingnet.MustBitonic(16))},
+	}
+
+	fmt.Printf("%d producers × %d ids each (%d total)\n\n", producers, idsEach, producers*idsEach)
+	fmt.Printf("%-18s %12s %10s %8s %8s\n", "allocator", "throughput", "elapsed", "lin?", "SC?")
+	for _, tc := range counters {
+		w := countingnet.Workload{Workers: producers, OpsPerWorker: idsEach}
+		start := time.Now()
+		ops := w.Run(tc.c)
+		elapsed := time.Since(start)
+
+		vals := make([]int64, len(ops))
+		for i, op := range ops {
+			vals[i] = op.Value
+		}
+		if err := countingnet.VerifyValues(vals); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: id allocation broken: %v\n", tc.name, err)
+			os.Exit(1)
+		}
+		audit := countingnet.AuditOps(ops)
+		fmt.Printf("%-18s %9.2f M/s %10v %8v %8v\n",
+			tc.name,
+			float64(len(ops))/elapsed.Seconds()/1e6,
+			elapsed.Round(time.Millisecond),
+			countingnet.Linearizable(audit),
+			countingnet.SequentiallyConsistent(audit))
+	}
+	fmt.Println("\nEvery allocator hands out each id exactly once; the network does it without a single hot spot.")
+}

@@ -1,0 +1,163 @@
+package consistency
+
+import "sort"
+
+// This file holds exponential-time reference implementations used by the
+// test suite to cross-validate the efficient checkers and the paper's
+// Lemma 5.1. They are exported so the experiment harness can also run them
+// on small executions, but they must only be called with a handful of
+// operations.
+
+// BruteLinearizable decides linearizability by enumerating serializations:
+// total orders of the operations that respect per-process issue order and
+// extend complete precedence, in which values strictly increase. It is the
+// literal Section 2.4 definition.
+func BruteLinearizable(ops []Op) bool {
+	n := len(ops)
+	used := make([]bool, n)
+	var rec func(k int, lastVal int64) bool
+	rec = func(k int, lastVal int64) bool {
+		if k == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] || ops[i].Value <= lastVal {
+				continue
+			}
+			ok := true
+			for j := 0; j < n; j++ {
+				if used[j] || j == i {
+					continue
+				}
+				// j must not be forced before i.
+				if ops[j].CompletelyPrecedes(ops[i]) {
+					ok = false
+					break
+				}
+				if ops[j].Process == ops[i].Process && ops[j].Index < ops[i].Index {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			if rec(k+1, ops[i].Value) {
+				used[i] = false
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0, -1<<62)
+}
+
+// BruteMinRemovalsLinearizable returns the least number of
+// *non-linearizable* operations whose removal yields a linearizable
+// execution, by exhaustive subset search in increasing removal size — the
+// paper's absolute non-linearizability fraction numerator (Section 5.1
+// restricts removal to non-linearizable tokens; removing linearizable
+// tokens is not allowed). Exponential; small inputs only.
+func BruteMinRemovalsLinearizable(ops []Op) int {
+	bad := NonLinearizable(ops)
+	var candidates []int
+	for i, b := range bad {
+		if b {
+			candidates = append(candidates, i)
+		}
+	}
+	for k := 0; k <= len(candidates); k++ {
+		if existsSubsetOf(ops, candidates, k, BruteLinearizable) {
+			return k
+		}
+	}
+	return len(candidates)
+}
+
+// existsSubsetOf reports whether removing some k operations drawn from
+// candidates makes pred hold.
+func existsSubsetOf(ops []Op, candidates []int, k int, pred func([]Op) bool) bool {
+	n := len(candidates)
+	removed := make(map[int]bool, k)
+	var rec func(start, left int) bool
+	rec = func(start, left int) bool {
+		if left == 0 {
+			kept := make([]Op, 0, len(ops)-k)
+			for i, op := range ops {
+				if !removed[i] {
+					kept = append(kept, op)
+				}
+			}
+			return pred(reindex(kept))
+		}
+		for i := start; i <= n-left; i++ {
+			removed[candidates[i]] = true
+			if rec(i+1, left-1) {
+				delete(removed, candidates[i])
+				return true
+			}
+			delete(removed, candidates[i])
+		}
+		return false
+	}
+	return rec(0, k)
+}
+
+// BruteMinRemovalsSC is the analogous exhaustive search for sequential
+// consistency.
+func BruteMinRemovalsSC(ops []Op) int {
+	n := len(ops)
+	for k := 0; k <= n; k++ {
+		if existsSubset(ops, k, SequentiallyConsistent) {
+			return k
+		}
+	}
+	return n
+}
+
+// existsSubset reports whether removing some k operations makes pred hold.
+func existsSubset(ops []Op, k int, pred func([]Op) bool) bool {
+	n := len(ops)
+	removed := make([]bool, n)
+	var rec func(start, left int) bool
+	rec = func(start, left int) bool {
+		if left == 0 {
+			kept := make([]Op, 0, n-k)
+			for i, op := range ops {
+				if !removed[i] {
+					kept = append(kept, op)
+				}
+			}
+			return pred(reindex(kept))
+		}
+		for i := start; i <= n-left; i++ {
+			removed[i] = true
+			if rec(i+1, left-1) {
+				removed[i] = false
+				return true
+			}
+			removed[i] = false
+		}
+		return false
+	}
+	return rec(0, k)
+}
+
+// reindex renumbers per-process indices after removals so that Index again
+// reflects consecutive issue order.
+func reindex(ops []Op) []Op {
+	out := append([]Op(nil), ops...)
+	byProc := make(map[int][]int)
+	for i, op := range out {
+		byProc[op.Process] = append(byProc[op.Process], i)
+	}
+	for _, idxs := range byProc {
+		sort.Slice(idxs, func(a, b int) bool { return out[idxs[a]].Index < out[idxs[b]].Index })
+		for k, i := range idxs {
+			out[i].Index = k
+		}
+	}
+	return out
+}

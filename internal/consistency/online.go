@@ -1,0 +1,112 @@
+package consistency
+
+import (
+	"sort"
+	"sync"
+)
+
+// Online is a streaming consistency monitor: operations are reported as
+// they complete, and violations are detected incrementally — no transcript
+// replay. It implements exactly the token definitions of Section 5.1:
+//
+//   - an operation is non-linearizable if some operation that completed
+//     strictly before it began returned a larger value;
+//   - an operation is non-sequentially-consistent if an earlier operation
+//     of the same process returned a larger value.
+//
+// Callers report each operation once, after it completes, with its
+// real-time start and end; reports must arrive in non-decreasing end order
+// (workers reporting their own completions under a monotonic clock do this
+// up to scheduling skew; out-of-order reports are counted in
+// TotalReordered and handled conservatively — they can only under-report
+// violations, never invent them).
+//
+// State is O(P + M) where P is the number of processes and M the number of
+// times the running maximum value of completed operations increased —
+// typically far below the operation count.
+type Online struct {
+	mu sync.Mutex
+	// maxByEnd is a compressed prefix-max index: entries have strictly
+	// increasing end times and strictly increasing running-max values; the
+	// largest completed value before time t is the value of the last entry
+	// with end < t.
+	maxByEnd []onlineEntry
+	// perProc tracks each process's running maximum value.
+	perProc   map[int]int64
+	watermark int64 // largest end time seen
+
+	// Counters.
+	Total          int
+	NonLin         int
+	NonSC          int
+	TotalReordered int
+}
+
+type onlineEntry struct {
+	end   int64
+	value int64 // running max of values with end ≤ this entry's end
+}
+
+// NewOnline returns an empty monitor.
+func NewOnline() *Online {
+	return &Online{perProc: make(map[int]int64)}
+}
+
+// Report folds one completed operation into the monitor and returns
+// whether it was non-linearizable and/or non-sequentially-consistent.
+func (o *Online) Report(process int, value, start, end int64) (nonLin, nonSC bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.Total++
+	if end < o.watermark {
+		o.TotalReordered++
+	} else {
+		o.watermark = end
+	}
+
+	// Largest value among operations completed strictly before this start.
+	idx := sort.Search(len(o.maxByEnd), func(i int) bool { return o.maxByEnd[i].end >= start })
+	if idx > 0 && o.maxByEnd[idx-1].value > value {
+		nonLin = true
+		o.NonLin++
+	}
+
+	if prev, ok := o.perProc[process]; ok && prev > value {
+		nonSC = true
+		o.NonSC++
+	}
+	if prev, ok := o.perProc[process]; !ok || value > prev {
+		o.perProc[process] = value
+	}
+
+	// Insert (end, value) into the compressed index. A reordered report
+	// (end below the last entry) is inserted at the watermark instead —
+	// conservative: it can only fail to precede some later starts.
+	at := end
+	if n := len(o.maxByEnd); n > 0 && at < o.maxByEnd[n-1].end {
+		at = o.maxByEnd[n-1].end
+	}
+	if n := len(o.maxByEnd); n == 0 || value > o.maxByEnd[n-1].value {
+		if n > 0 && o.maxByEnd[n-1].end == at {
+			o.maxByEnd[n-1].value = value
+		} else {
+			o.maxByEnd = append(o.maxByEnd, onlineEntry{end: at, value: value})
+		}
+	}
+	return nonLin, nonSC
+}
+
+// Fractions snapshots the monitor's counters as inconsistency fractions
+// (absolute fractions are not tracked online; they are set to the marking
+// counts, the Lemma 5.1 value for linearizability).
+func (o *Online) Fractions() Fractions {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Fractions{
+		Total:     o.Total,
+		NonLin:    o.NonLin,
+		NonSC:     o.NonSC,
+		AbsNonLin: o.NonLin,
+		AbsNonSC:  o.NonSC,
+	}
+}

@@ -1,0 +1,79 @@
+package consistency
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineBasic(t *testing.T) {
+	o := NewOnline()
+	if nl, nsc := o.Report(0, 5, 0, 1); nl || nsc {
+		t.Error("first op cannot violate")
+	}
+	// Completely preceded by value 5, returns 3: non-linearizable; same
+	// process: also non-SC.
+	if nl, nsc := o.Report(0, 3, 2, 3); !nl || !nsc {
+		t.Errorf("expected both violations, got nl=%v nsc=%v", nl, nsc)
+	}
+	// Different process, value above everything folded so far: clean.
+	// The op ending at 3 shares a boundary with this start and must not
+	// count as preceding (strictness), but op1 (value 5) does precede —
+	// value 6 clears it.
+	if nl, _ := o.Report(1, 6, 3, 6); nl {
+		t.Error("value above all completed predecessors must be clean")
+	}
+	f := o.Fractions()
+	if f.Total != 3 || f.NonLin != 1 || f.NonSC != 1 {
+		t.Errorf("fractions = %+v", f)
+	}
+}
+
+func TestOnlineReorderCounter(t *testing.T) {
+	o := NewOnline()
+	o.Report(0, 0, 0, 10)
+	o.Report(1, 1, 0, 5) // ends before the previous report's end
+	if o.TotalReordered != 1 {
+		t.Errorf("TotalReordered = %d, want 1", o.TotalReordered)
+	}
+}
+
+// TestQuickOnlineMatchesOffline: reported in completion order, the online
+// monitor marks exactly the operations the offline checkers mark (using
+// real-time precedence on both sides).
+func TestQuickOnlineMatchesOffline(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomOps(rng, 3+rng.Intn(8), 1+rng.Intn(3))
+		// Report in end order.
+		order := make([]int, len(ops))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return ops[order[a]].ExitSeq < ops[order[b]].ExitSeq })
+		// The online monitor needs per-process issue order to match report
+		// order; within a process, ExitSeq order IS Index order for the
+		// disjoint intervals randomOps generates.
+		o := NewOnline()
+		for _, i := range order {
+			o.Report(ops[i].Process, ops[i].Value, ops[i].EnterSeq, ops[i].ExitSeq)
+		}
+		offNL, offNSC := 0, 0
+		for _, bad := range NonLinearizable(ops) {
+			if bad {
+				offNL++
+			}
+		}
+		for _, bad := range NonSequentiallyConsistent(ops) {
+			if bad {
+				offNSC++
+			}
+		}
+		f := o.Fractions()
+		return f.NonLin == offNL && f.NonSC == offNSC && f.Total == len(ops)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package construct builds the counting-network families described in the
+// paper (Section 2.6): the bitonic network B(w) and its merging network
+// M(w), the periodic network P(w) with the block network L(w) in both of
+// Figure 5's constructions, the counting (diffracting) tree Tree(w), and
+// the Figure 2 example of a (6,6)-balancing network with mixed balancer
+// sizes.
+//
+// All constructions return immutable network.Network values; the w-line
+// constructions also return a drawing Layout so the figures can be
+// re-rendered (package viz).
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// IsPow2 reports whether w is a positive power of two.
+func IsPow2(w int) bool { return w > 0 && w&(w-1) == 0 }
+
+// Lg returns log2(w) for a positive power of two w.
+func Lg(w int) int {
+	n := 0
+	for v := w; v > 1; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+func checkFan(name string, w int) error {
+	if !IsPow2(w) || w < 2 {
+		return fmt.Errorf("construct: %s fan %d must be a power of two ≥ 2", name, w)
+	}
+	return nil
+}
+
+// lines returns [0, 1, ..., w-1].
+func lines(w int) []int {
+	ls := make([]int, w)
+	for i := range ls {
+		ls[i] = i
+	}
+	return ls
+}
+
+// Bitonic builds the bitonic counting network B(w) of Section 2.6.1:
+// two B(w/2) in parallel feeding the merging network M(w). Its depth is
+// lg w · (lg w + 1) / 2.
+func Bitonic(w int) (*network.Network, *network.Layout, error) {
+	if err := checkFan("bitonic B(w)", w); err != nil {
+		return nil, nil, err
+	}
+	lb := network.NewLineBuilder(w)
+	bitonicOn(lb, lines(w))
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("construct: B(%d): %w", w, err)
+	}
+	return n, layout, nil
+}
+
+func bitonicOn(lb *network.LineBuilder, ls []int) {
+	if len(ls) == 2 {
+		lb.Balancer(ls[0], ls[1]) // B(2) is a single (2,2)-balancer
+		return
+	}
+	half := len(ls) / 2
+	bitonicOn(lb, ls[:half])
+	bitonicOn(lb, ls[half:])
+	mergerOn(lb, ls[:half], ls[half:])
+}
+
+// mergerOn lays down the merging network M(w) of the paper's inductive
+// description: a first column of (2,2)-balancers, each taking one wire
+// from B1's outputs and one from B2's, whose top outputs feed M1 over the
+// top lines and bottom outputs feed M2 over the bottom lines.
+//
+// The first column folds the two halves bitonically — the i-th top line
+// against the (k-1-i)-th bottom line — which is what makes the merge of
+// two step sequences again a step sequence; the recursive mergers M1 and
+// M2 then operate on streams that are already "bitonic", so they halve
+// without re-folding (Batcher's bitonic merger, the token form of AHS94's
+// merging network).
+func mergerOn(lb *network.LineBuilder, top, bottom []int) {
+	k := len(top)
+	for i := 0; i < k; i++ {
+		lb.Balancer(top[i], bottom[k-1-i])
+	}
+	if k == 1 {
+		return
+	}
+	halveOn(lb, top)
+	halveOn(lb, bottom)
+}
+
+// halveOn recursively merges a bitonic token stream across the given
+// lines: a column pairing line i with line i+k/2, then each half.
+func halveOn(lb *network.LineBuilder, ls []int) {
+	k := len(ls)
+	if k < 2 {
+		return
+	}
+	for i := 0; i < k/2; i++ {
+		lb.Balancer(ls[i], ls[i+k/2])
+	}
+	halveOn(lb, ls[:k/2])
+	halveOn(lb, ls[k/2:])
+}
+
+// Merger builds the merging network M(w) standalone on w lines; its two
+// input halves are lines 0..w/2-1 (from B1) and w/2..w-1 (from B2). Its
+// depth is lg w.
+func Merger(w int) (*network.Network, *network.Layout, error) {
+	if err := checkFan("merger M(w)", w); err != nil {
+		return nil, nil, err
+	}
+	lb := network.NewLineBuilder(w)
+	mergerOn(lb, lines(w)[:w/2], lines(w)[w/2:])
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("construct: M(%d): %w", w, err)
+	}
+	return n, layout, nil
+}
+
+// BlockVariant selects which of Figure 5's two constructions of the block
+// network L(w) to build.
+type BlockVariant int
+
+// Block construction variants (Figure 5).
+const (
+	// BlockOddEven is the first construction: two interleaved L(w/2)
+	// (odd-indexed and even-indexed lines) feeding the odd-even network
+	// OE(w), a final column pairing lines (2i, 2i+1).
+	BlockOddEven BlockVariant = iota + 1
+	// BlockTopBottom is the second construction: the top-bottom network
+	// TB(w), a first column pairing lines symmetric about the middle
+	// (i, w-1-i), feeding L1(w/2) on the top half and the renamed
+	// extension L̂2(w/2) on the bottom half.
+	BlockTopBottom
+)
+
+// String implements fmt.Stringer.
+func (v BlockVariant) String() string {
+	switch v {
+	case BlockOddEven:
+		return "odd-even"
+	case BlockTopBottom:
+		return "top-bottom"
+	default:
+		return fmt.Sprintf("BlockVariant(%d)", int(v))
+	}
+}
+
+// Block builds the block network L(w) (Section 2.6.2) in the requested
+// variant. Its depth is lg w.
+func Block(w int, v BlockVariant) (*network.Network, *network.Layout, error) {
+	if err := checkFan("block L(w)", w); err != nil {
+		return nil, nil, err
+	}
+	lb := network.NewLineBuilder(w)
+	if err := blockOn(lb, lines(w), v); err != nil {
+		return nil, nil, err
+	}
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("construct: L(%d) %v: %w", w, v, err)
+	}
+	return n, layout, nil
+}
+
+func blockOn(lb *network.LineBuilder, ls []int, v BlockVariant) error {
+	k := len(ls)
+	if k == 2 {
+		lb.Balancer(ls[0], ls[1])
+		return nil
+	}
+	switch v {
+	case BlockOddEven:
+		// The two interleaved sub-blocks of Figure 5 (solid vs dotted)
+		// partition the lines by position in a mirrored pattern: positions
+		// p with p mod 4 ∈ {0, 3} form one sub-block, the rest the other.
+		// The odd-even network OE(w) then pairs adjacent outputs — one
+		// from each sub-block. (This yields the same network as the
+		// top-bottom construction, which is why the paper can present
+		// Figure 5 as two constructions of the one block network.)
+		var a, b []int
+		for p, l := range ls {
+			if p%4 == 0 || p%4 == 3 {
+				a = append(a, l)
+			} else {
+				b = append(b, l)
+			}
+		}
+		if err := blockOn(lb, a, v); err != nil {
+			return err
+		}
+		if err := blockOn(lb, b, v); err != nil {
+			return err
+		}
+		for i := 0; i < k/2; i++ { // OE(w): pair the interleaved outputs
+			lb.Balancer(ls[2*i], ls[2*i+1])
+		}
+	case BlockTopBottom:
+		for i := 0; i < k/2; i++ { // TB(w): symmetric about the middle
+			lb.Balancer(ls[i], ls[k-1-i])
+		}
+		if err := blockOn(lb, ls[:k/2], v); err != nil {
+			return err
+		}
+		if err := blockOn(lb, ls[k/2:], v); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("construct: unknown block variant %v", v)
+	}
+	return nil
+}
+
+// Periodic builds the periodic counting network P(w) (Section 2.6.2): the
+// cascade of lg w block networks L(w). Its depth is lg² w. The variant
+// selects the block construction; both yield isomorphic blocks (Figure 5)
+// and identical counting behaviour.
+func Periodic(w int, v BlockVariant) (*network.Network, *network.Layout, error) {
+	if err := checkFan("periodic P(w)", w); err != nil {
+		return nil, nil, err
+	}
+	lb := network.NewLineBuilder(w)
+	for i := 0; i < Lg(w); i++ {
+		if err := blockOn(lb, lines(w), v); err != nil {
+			return nil, nil, err
+		}
+		lb.Barrier()
+	}
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("construct: P(%d) %v: %w", w, v, err)
+	}
+	return n, layout, nil
+}
+
+// PeriodicPrefix builds the cascade of only the first `blocks` block
+// networks of P(w) (1 ≤ blocks ≤ lg w gives the full periodic network).
+// Prefixes are balancing networks but not counting networks; they are
+// progressively better smoothers, which the extension experiment X1
+// measures (cf. the smoothing-network literature cited in Section 1.3).
+func PeriodicPrefix(w, blocks int, v BlockVariant) (*network.Network, *network.Layout, error) {
+	if err := checkFan("periodic prefix", w); err != nil {
+		return nil, nil, err
+	}
+	if blocks < 1 || blocks > Lg(w) {
+		return nil, nil, fmt.Errorf("construct: prefix of %d blocks outside 1..lg w = %d", blocks, Lg(w))
+	}
+	lb := network.NewLineBuilder(w)
+	for i := 0; i < blocks; i++ {
+		if err := blockOn(lb, lines(w), v); err != nil {
+			return nil, nil, err
+		}
+		lb.Barrier()
+	}
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, layout, nil
+}
+
+// OddEven builds the single-column odd-even network OE(w) standalone.
+func OddEven(w int) (*network.Network, *network.Layout, error) {
+	if err := checkFan("odd-even OE(w)", w); err != nil {
+		return nil, nil, err
+	}
+	lb := network.NewLineBuilder(w)
+	for i := 0; i < w/2; i++ {
+		lb.Balancer(2*i, 2*i+1)
+	}
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, layout, nil
+}
+
+// TopBottom builds the single-column top-bottom network TB(w) standalone.
+func TopBottom(w int) (*network.Network, *network.Layout, error) {
+	if err := checkFan("top-bottom TB(w)", w); err != nil {
+		return nil, nil, err
+	}
+	lb := network.NewLineBuilder(w)
+	for i := 0; i < w/2; i++ {
+		lb.Balancer(i, w-1-i)
+	}
+	n, layout, err := lb.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, layout, nil
+}
+
+// SingleBalancer builds the (f,f)-balancer as a one-node network (Figure 1
+// shows the (3,3) case). Any f ≥ 1 is allowed.
+func SingleBalancer(f int) (*network.Network, *network.Layout, error) {
+	if f < 1 {
+		return nil, nil, fmt.Errorf("construct: balancer fan %d must be ≥ 1", f)
+	}
+	lb := network.NewLineBuilder(f)
+	lb.Balancer(lines(f)...)
+	return lb.Finish()
+}
+
+// Tree builds the (1, w)-counting tree of Section 2.6.3 (the diffracting
+// tree of Shavit and Zemach): a balanced binary tree of (1,2) toggle
+// balancers of depth lg w, with a single input wire and w output counters.
+// The counter at the leaf reached by path bits b1 b2 ... (0 = top output)
+// is sink b1 + 2·b2 + 4·b3 + ..., so that the k-th token through the root
+// obtains value k.
+func Tree(w int) (*network.Network, error) {
+	if err := checkFan("counting tree", w); err != nil {
+		return nil, err
+	}
+	b := network.NewBuilder(1, w)
+	var grow func(c, m int) network.Endpoint
+	grow = func(c, m int) network.Endpoint {
+		if m == w {
+			return network.Endpoint{Kind: network.KindSink, Index: c}
+		}
+		bi := b.AddBalancer(1, 2)
+		b.Connect(bi, 0, grow(c, 2*m))
+		b.Connect(bi, 1, grow(c+m, 2*m))
+		return network.Endpoint{Kind: network.KindBalancer, Index: bi, Port: 0}
+	}
+	b.ConnectInput(0, grow(0, 1))
+	n, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("construct: Tree(%d): %w", w, err)
+	}
+	return n, nil
+}
+
+// Figure2 builds a (6,6)-balancing network of (2,2)- and (3,3)-balancers in
+// the spirit of the paper's Figure 2. The exact wire geometry of the figure
+// is not recoverable from the text, so this is a representative network
+// with the figure's ingredients: two layers of (3,3)-balancers bracketing a
+// layer of (2,2)-balancers that crosses the halves. It is a balancing
+// network (not necessarily a counting network).
+func Figure2() (*network.Network, *network.Layout, error) {
+	lb := network.NewLineBuilder(6)
+	lb.Balancer(0, 1, 2)
+	lb.Balancer(3, 4, 5)
+	lb.Balancer(0, 3)
+	lb.Balancer(1, 4)
+	lb.Balancer(2, 5)
+	lb.Balancer(0, 1, 2)
+	lb.Balancer(3, 4, 5)
+	return lb.Finish()
+}
+
+// MustBitonic builds B(w) or panics; for tests and examples.
+func MustBitonic(w int) *network.Network {
+	n, _, err := Bitonic(w)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustPeriodic builds P(w) (top-bottom blocks) or panics; for tests and
+// examples.
+func MustPeriodic(w int) *network.Network {
+	n, _, err := Periodic(w, BlockTopBottom)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustTree builds Tree(w) or panics; for tests and examples.
+func MustTree(w int) *network.Network {
+	n, err := Tree(w)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// BitonicDepth returns the closed-form depth of B(w): lg w (lg w + 1) / 2.
+func BitonicDepth(w int) int { lg := Lg(w); return lg * (lg + 1) / 2 }
+
+// PeriodicDepth returns the closed-form depth of P(w): lg² w.
+func PeriodicDepth(w int) int { lg := Lg(w); return lg * lg }
+
+// TreeDepth returns the closed-form depth of Tree(w): lg w.
+func TreeDepth(w int) int { return Lg(w) }

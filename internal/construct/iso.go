@@ -1,0 +1,241 @@
+package construct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Isomorphic reports whether two balancing networks are isomorphic as
+// graphs: a bijection between their balancers that preserves balancer
+// shapes and inter-balancer wire multiplicities, the number of wires each
+// balancer receives from source nodes, and the number it sends to sinks
+// (source and sink nodes may be permuted freely, as in Herlihy and
+// Tirthapura's proof that the block network L(w) and the merging network
+// M(w) are isomorphic, cited in Section 2.6.2).
+//
+// The search is exact backtracking with signature pruning; it is intended
+// for the small structured networks of the paper's figures, not for
+// adversarially large graphs.
+func Isomorphic(a, b *network.Network) bool {
+	if a.FanIn() != b.FanIn() || a.FanOut() != b.FanOut() || a.Size() != b.Size() || a.Depth() != b.Depth() {
+		return false
+	}
+	ga, gb := innerGraph(a), innerGraph(b)
+
+	// Signature pruning: candidates must share (depth, shape, src/sink
+	// degrees, sorted successor/predecessor shape lists).
+	for i := range ga.sig {
+		if countSigs(ga.sig)[ga.sig[i]] != countSigs(gb.sig)[ga.sig[i]] {
+			return false
+		}
+	}
+
+	n := a.Size()
+	// Search order: BFS over the inner graph so that (after the first
+	// vertex of each component) every vertex being assigned has at least
+	// one already-mapped neighbor, letting candidates be drawn from that
+	// neighbor's image's adjacency instead of the whole graph. This keeps
+	// the search polynomial in practice on the paper's highly regular
+	// (and highly symmetric) networks, where a layer-by-layer order
+	// branches factorially at the first layer.
+	order := connectivityOrder(ga, n)
+
+	mapAB := make([]int, n) // a-balancer -> b-balancer, -1 if unassigned
+	usedB := make([]bool, n)
+	for i := range mapAB {
+		mapAB[i] = -1
+	}
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n {
+			return true
+		}
+		av := order[k]
+		for _, bv := range candidates(ga, gb, mapAB, usedB, av, n) {
+			if ga.sig[av] != gb.sig[bv] {
+				continue
+			}
+			if !edgesConsistent(ga, gb, mapAB, av, bv) {
+				continue
+			}
+			mapAB[av], usedB[bv] = bv, true
+			if try(k + 1) {
+				return true
+			}
+			mapAB[av], usedB[bv] = -1, false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// connectivityOrder returns the balancers of ga in BFS order over the
+// undirected inner graph, starting new components at the lowest unvisited
+// index.
+func connectivityOrder(ga inner, n int) []int {
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			neighbors := make([]int, 0, len(ga.succ[v])+len(ga.pred[v]))
+			for u := range ga.succ[v] {
+				neighbors = append(neighbors, u)
+			}
+			for u := range ga.pred[v] {
+				neighbors = append(neighbors, u)
+			}
+			sort.Ints(neighbors)
+			for _, u := range neighbors {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// candidates returns the plausible images for av: if av has a mapped
+// neighbor, only the corresponding adjacency of that neighbor's image
+// qualifies; otherwise every unused vertex does.
+func candidates(ga, gb inner, mapAB []int, usedB []bool, av, n int) []int {
+	var pool map[int]int
+	for an := range ga.succ[av] {
+		if bn := mapAB[an]; bn >= 0 {
+			pool = gb.pred[bn] // images of av must feed bn
+			break
+		}
+	}
+	if pool == nil {
+		for an := range ga.pred[av] {
+			if bn := mapAB[an]; bn >= 0 {
+				pool = gb.succ[bn]
+				break
+			}
+		}
+	}
+	var out []int
+	if pool != nil {
+		out = make([]int, 0, len(pool))
+		for bv := range pool {
+			if !usedB[bv] {
+				out = append(out, bv)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	out = make([]int, 0, n)
+	for bv := 0; bv < n; bv++ {
+		if !usedB[bv] {
+			out = append(out, bv)
+		}
+	}
+	return out
+}
+
+// inner is the balancer-to-balancer multigraph of a network with degree
+// signatures.
+type inner struct {
+	succ []map[int]int // succ[b][c] = #wires b→c between balancers
+	pred []map[int]int
+	sig  []string // per-balancer pruning signature
+}
+
+func innerGraph(n *network.Network) inner {
+	size := n.Size()
+	g := inner{
+		succ: make([]map[int]int, size),
+		pred: make([]map[int]int, size),
+		sig:  make([]string, size),
+	}
+	srcDeg := make([]int, size)
+	sinkDeg := make([]int, size)
+	for b := 0; b < size; b++ {
+		g.succ[b] = make(map[int]int)
+		g.pred[b] = make(map[int]int)
+	}
+	for i := 0; i < n.FanIn(); i++ {
+		if to := n.InputTarget(i); to.Kind == network.KindBalancer {
+			srcDeg[to.Index]++
+		}
+	}
+	for b := 0; b < size; b++ {
+		for p := 0; p < n.Balancer(b).FanOut; p++ {
+			to := n.OutputTarget(b, p)
+			switch to.Kind {
+			case network.KindBalancer:
+				g.succ[b][to.Index]++
+				g.pred[to.Index][b]++
+			case network.KindSink:
+				sinkDeg[b]++
+			}
+		}
+	}
+	for b := 0; b < size; b++ {
+		spec := n.Balancer(b)
+		g.sig[b] = fmt.Sprintf("d%d:f%dx%d:s%d:t%d:o%v:i%v",
+			n.BalancerDepth(b), spec.FanIn, spec.FanOut, srcDeg[b], sinkDeg[b],
+			sortedCounts(g.succ[b]), sortedCounts(g.pred[b]))
+	}
+	return g
+}
+
+// sortedCounts flattens a neighbor-multiplicity map to a sorted multiset of
+// multiplicities (neighbor identities are resolved by the search itself).
+func sortedCounts(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func countSigs(sigs []string) map[string]int {
+	m := make(map[string]int, len(sigs))
+	for _, s := range sigs {
+		m[s]++
+	}
+	return m
+}
+
+// edgesConsistent checks that mapping av→bv preserves wire multiplicities
+// to and from every already-mapped neighbor.
+func edgesConsistent(ga, gb inner, mapAB []int, av, bv int) bool {
+	for an, c := range ga.succ[av] {
+		if bn := mapAB[an]; bn >= 0 && gb.succ[bv][bn] != c {
+			return false
+		}
+	}
+	for an, c := range ga.pred[av] {
+		if bn := mapAB[an]; bn >= 0 && gb.pred[bv][bn] != c {
+			return false
+		}
+	}
+	// And symmetrically: any mapped b-neighbor of bv must correspond to an
+	// a-neighbor of av with the same multiplicity. Walk mapped a-vertices'
+	// images via the reverse check above is not enough when bv has an edge
+	// to a mapped vertex that av lacks; verify explicitly.
+	for an, bn := range mapAB {
+		if bn < 0 {
+			continue
+		}
+		if gb.succ[bv][bn] != ga.succ[av][an] || gb.pred[bv][bn] != ga.pred[av][an] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package construct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// worstSmoothness drives many random executions through net and returns
+// the largest quiescent output smoothness observed (max − min sink count).
+func worstSmoothness(t *testing.T, net *network.Network, tokensList []int, seeds int) int64 {
+	t.Helper()
+	worst := int64(0)
+	for _, tokens := range tokensList {
+		for seed := 0; seed < seeds; seed++ {
+			rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(tokens)))
+			s := network.NewState(net)
+			inputs := make([]int, tokens)
+			for i := range inputs {
+				inputs[i] = rng.Intn(net.FanIn())
+			}
+			network.RunInterleaved(s, inputs, rng)
+			if err := s.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if sm := network.Smoothness(s.SinkCounts()); sm > worst {
+				worst = sm
+			}
+		}
+	}
+	return worst
+}
+
+// TestPeriodicPrefixSmoothing — extension experiment X1: each block of the
+// periodic network is a smoother; cascading blocks drives the quiescent
+// output smoothness down until, after lg w blocks, the outputs are 1-smooth
+// and in fact step-shaped (the full counting network). This connects the
+// paper's periodic construction to the smoothing-network literature it
+// cites.
+func TestPeriodicPrefixSmoothing(t *testing.T) {
+	const w = 8
+	tokens := []int{5, 11, 17, 24}
+	prev := int64(1 << 30)
+	for blocks := 1; blocks <= Lg(w); blocks++ {
+		n, _, err := PeriodicPrefix(w, blocks, BlockTopBottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := worstSmoothness(t, n, tokens, 10)
+		t.Logf("%d block(s): worst smoothness %d", blocks, worst)
+		if worst > prev {
+			t.Errorf("smoothness regressed: %d blocks gave %d, %d blocks gave %d",
+				blocks-1, prev, blocks, worst)
+		}
+		prev = worst
+		if blocks == Lg(w) && worst > 1 {
+			t.Errorf("full periodic network must be 1-smooth, got %d", worst)
+		}
+	}
+}
+
+// TestPeriodicPrefixIsFullPeriodic: the lg w-block prefix IS P(w).
+func TestPeriodicPrefixIsFullPeriodic(t *testing.T) {
+	for _, w := range []int{4, 8} {
+		pfx, _, err := PeriodicPrefix(w, Lg(w), BlockTopBottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := MustPeriodic(w)
+		if pfx.Size() != full.Size() || pfx.Depth() != full.Depth() {
+			t.Errorf("w=%d: prefix shape (%d,%d) differs from P(w) (%d,%d)",
+				w, pfx.Size(), pfx.Depth(), full.Size(), full.Depth())
+		}
+		// Behavioural identity on a token stream.
+		sa, sb := network.NewState(pfx), network.NewState(full)
+		for k := 0; k < 3*w; k++ {
+			if va, vb := sa.Traverse(k%w), sb.Traverse(k%w); va != vb {
+				t.Fatalf("w=%d token %d: %d vs %d", w, k, va, vb)
+			}
+		}
+	}
+}
+
+func TestPeriodicPrefixErrors(t *testing.T) {
+	if _, _, err := PeriodicPrefix(8, 0, BlockTopBottom); err == nil {
+		t.Error("0 blocks should fail")
+	}
+	if _, _, err := PeriodicPrefix(8, 4, BlockTopBottom); err == nil {
+		t.Error("more than lg w blocks should fail")
+	}
+	if _, _, err := PeriodicPrefix(6, 1, BlockTopBottom); err == nil {
+		t.Error("non-power-of-two fan should fail")
+	}
+}
+
+// TestSingleBlockNotCounting: one block alone is not a counting network
+// (it is only a smoother); there are executions violating the step
+// property, found by exhaustive exploration.
+func TestSingleBlockNotCounting(t *testing.T) {
+	n, _, err := PeriodicPrefix(8, 1, BlockTopBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for a := 0; a < 8 && !violated; a++ {
+		for b := a; b < 8 && !violated; b++ {
+			if network.VerifyCountingExhaustive(n, []int{a, b}) != nil {
+				violated = true
+			}
+		}
+	}
+	if !violated {
+		t.Error("a single block should not satisfy the counting property for all pairs")
+	}
+}
+
+func ExamplePeriodicPrefix() {
+	n, _, _ := PeriodicPrefix(8, 1, BlockTopBottom)
+	fmt.Println(n.Depth())
+	// Output: 3
+}

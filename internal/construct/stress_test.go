@@ -1,0 +1,98 @@
+package construct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// TestLargeNetworks builds the families at w = 32 and 64 and verifies the
+// closed-form shapes, the counting property under random load, and the
+// Section 5 structural formulas at scale. Guarded by -short.
+func TestLargeNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-network stress")
+	}
+	for _, w := range []int{32, 64} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			lg := Lg(w)
+			b := MustBitonic(w)
+			if b.Depth() != lg*(lg+1)/2 || b.Size() != w/2*b.Depth() {
+				t.Fatalf("B(%d) shape: depth %d size %d", w, b.Depth(), b.Size())
+			}
+			p := MustPeriodic(w)
+			if p.Depth() != lg*lg {
+				t.Fatalf("P(%d) depth %d", w, p.Depth())
+			}
+			tr := MustTree(w)
+			if tr.Depth() != lg || tr.Size() != w-1 {
+				t.Fatalf("Tree(%d) shape: depth %d size %d", w, tr.Depth(), tr.Size())
+			}
+
+			wires := make([]int, w)
+			for i := range wires {
+				wires[i] = i
+			}
+			rng := rand.New(rand.NewSource(int64(w)))
+			for name, net := range map[string]*network.Network{"B": b, "P": p} {
+				if err := network.VerifyCounting(net, 3*w+5, wires, rng); err != nil {
+					t.Fatalf("%s(%d) counting: %v", name, w, err)
+				}
+			}
+			if err := network.VerifyCounting(tr, 3*w+5, []int{0}, rng); err != nil {
+				t.Fatalf("Tree(%d) counting: %v", w, err)
+			}
+
+			// Section 5 structure at scale.
+			for name, tc := range map[string]struct {
+				net *network.Network
+				sd  int
+			}{
+				"B": {b, (lg*lg - lg + 2) / 2},
+				"P": {p, lg*lg - lg + 1},
+			} {
+				an := topology.Analyze(tc.net)
+				if sd, ok := an.SplitDepth(); !ok || sd != tc.sd {
+					t.Errorf("sd(%s(%d)) = %d, want %d", name, w, sd, tc.sd)
+				}
+				seq, err := topology.ComputeSplitSequence(tc.net)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq.SplitNumber() != lg {
+					t.Errorf("sp(%s(%d)) = %d, want %d", name, w, seq.SplitNumber(), lg)
+				}
+				if !seq.ContinuouslyComplete || !seq.ContinuouslyUniformlySplittable {
+					t.Errorf("%s(%d) continuity predicates failed", name, w)
+				}
+			}
+			if got, want := topology.Analyze(b).InfluenceRadius(), lg; got != want {
+				t.Errorf("irad(B(%d)) = %d, want %d", w, got, want)
+			}
+		})
+	}
+}
+
+// TestLargeIsomorphism checks L(w) ≅ M(w) at w = 16 and 32 (larger graphs
+// exercise the pruning paths of the isomorphism search).
+func TestLargeIsomorphism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large isomorphism")
+	}
+	for _, w := range []int{16, 32} {
+		l, _, err := Block(w, BlockTopBottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := Merger(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Isomorphic(l, m) {
+			t.Errorf("L(%d) ≇ M(%d)", w, w)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution as executable theory:
+// the timing conditions of Table 1 and Theorem 4.1 as exact predicates,
+// the modular-counting insertion of Lemma 3.1, the Theorem 3.2
+// transformation of non-linearizable executions into non-sequentially-
+// consistent ones, the adversarial wave schedules of Propositions 5.2/5.3
+// and Theorem 5.11, the Theorem 5.4 upper-bound sweeps, and an experiment
+// harness that reports paper-versus-measured for every table and figure.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Timing is a timing condition: bounds on wire delays plus optional lower
+// bounds on local and global inter-operation delays. All values are
+// simulated-time ticks; zero CL/CG mean "unconstrained".
+type Timing struct {
+	CMin, CMax sim.Time
+	CL         sim.Time // lower bound on local inter-operation delay
+	CG         sim.Time // lower bound on global inter-operation delay
+}
+
+// Ratio returns c_max/c_min as a float for reporting.
+func (t Timing) Ratio() float64 { return float64(t.CMax) / float64(t.CMin) }
+
+// String implements fmt.Stringer.
+func (t Timing) String() string {
+	return fmt.Sprintf("c∈[%d,%d] C_L≥%d C_g≥%d", t.CMin, t.CMax, t.CL, t.CG)
+}
+
+// The predicates below are the exact (integer-arithmetic) forms of the
+// conditions collected in Table 1 and proved in Sections 3–4. Each returns
+// whether the condition HOLDS for the given network and timing condition.
+
+// SufficientLinGlobal is LSST99 Corollary 3.7: d(G)·(c_max − 2·c_min) < C_g
+// implies every execution of a uniform counting network G is linearizable.
+// By Theorem 3.2 the same condition is sufficient for sequential
+// consistency (Corollary 3.3 direction).
+func SufficientLinGlobal(net *network.Network, t Timing) bool {
+	return int64(net.Depth())*(t.CMax-2*t.CMin) < t.CG
+}
+
+// SufficientLinRatio is LSST99 Corollary 3.10: c_max/c_min ≤ 2 implies
+// linearizability for uniform counting networks — the local criterion
+// stressed in Section 2.8.
+func SufficientLinRatio(t Timing) bool {
+	return t.CMax <= 2*t.CMin
+}
+
+// SufficientLinShallow is MPT97 Theorem 4.1 (Table 1, arbitrary networks):
+// c_max/c_min ≤ 2·s(G)/d(G) implies linearizability.
+func SufficientLinShallow(net *network.Network, t Timing) bool {
+	return t.CMax*int64(net.Depth()) <= 2*int64(net.Shallowness())*t.CMin
+}
+
+// NecessaryLinInfluence is MPT97 Theorem 3.1 (Table 1, uniform networks):
+// linearizability under (c_min, c_max) forces
+// c_max/c_min ≤ d(G)/irad(G) + 1. The caller passes irad (computed once by
+// topology.Analysis.InfluenceRadius). By Theorem 3.2 the same bound is
+// necessary for sequential consistency (Corollary 3.3).
+func NecessaryLinInfluence(net *network.Network, irad int, t Timing) bool {
+	return t.CMax*int64(irad) <= int64(net.Depth()+irad)*t.CMin
+}
+
+// NecessaryLinBitonicTree is LSST99 Theorems 4.1 and 4.3 (Table 1, bitonic
+// network and counting tree): linearizability forces c_max/c_min ≤ 2, which
+// together with Corollary 3.10 makes ratio ≤ 2 tight for those families.
+func NecessaryLinBitonicTree(t Timing) bool {
+	return t.CMax <= 2*t.CMin
+}
+
+// SufficientSCLocal is this paper's Theorem 4.1:
+// d(G)·(c_max − 2·c_min) < C_L implies every execution of a uniform
+// counting network is sequentially consistent. Unlike the C_g condition it
+// is local — each process can enforce it with its own timer.
+func SufficientSCLocal(net *network.Network, t Timing) bool {
+	return int64(net.Depth())*(t.CMax-2*t.CMin) < t.CL
+}
+
+// SufficientSCLocalPerProcess is Lemma 4.4's per-process refinement:
+// d(G)·(c_max − 2·c_min^P) < C_L^P implies G is sequentially consistent
+// with respect to process P.
+func SufficientSCLocalPerProcess(net *network.Network, cMax, cMinP, cLP sim.Time) bool {
+	return int64(net.Depth())*(cMax-2*cMinP) < cLP
+}
+
+// MinLocalDelaySC returns the smallest local inter-operation delay C_L that
+// Theorem 4.1 accepts for the given wire-delay bounds: the paper's timer
+// value d(G)·(c_max − 2·c_min), plus one tick to make the inequality
+// strict. Never negative.
+func MinLocalDelaySC(net *network.Network, cMin, cMax sim.Time) sim.Time {
+	v := int64(net.Depth())*(cMax-2*cMin) + 1
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// DistinguishingTiming returns, per Corollary 4.5, a timing condition under
+// which the uniform counting network G is sequentially consistent but not
+// linearizable: (i) c_max/c_min > d(G)/irad(G) + 1 and
+// (ii) C_L > d(G)·(c_max − 2·c_min). The returned condition uses c_min = 1
+// and the smallest integer c_max satisfying (i).
+func DistinguishingTiming(net *network.Network, an *topology.Analysis) Timing {
+	irad := an.InfluenceRadius()
+	cMin := sim.Time(1)
+	// smallest integer cMax with cMax·irad > (d+irad)·cMin
+	cMax := (int64(net.Depth()+irad) + int64(irad)) / int64(irad) // ceil((d+irad+1)/irad) for cMin=1
+	for cMax*int64(irad) <= int64(net.Depth()+irad)*cMin {
+		cMax++
+	}
+	return Timing{
+		CMin: cMin,
+		CMax: cMax,
+		CL:   MinLocalDelaySC(net, cMin, cMax),
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/consistency"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// ExactThresholdResult reports a bounded-exhaustive search for the
+// smallest asynchrony at which a small token population can violate
+// linearizability on a network.
+type ExactThresholdResult struct {
+	Tokens int
+	// CMax is the smallest integer c_max (with c_min = 1) at which some
+	// enumerated schedule violated linearizability; 0 when none did up to
+	// the search limit.
+	CMax sim.Time
+	// Found reports whether a violation was found at all.
+	Found bool
+	// Schedules counts executions evaluated.
+	Schedules int
+}
+
+// MinimalViolationCMax enumerates, for each integer c_max = 2..limit, every
+// schedule of `tokens` tokens (one process per token, pinned to wires
+// round-robin) whose wire delays are drawn from the extremes {1, c_max}
+// and whose entry times range over 0..(d+1)·c_max relative to the first
+// token, and returns the smallest c_max at which any of them violates
+// linearizability.
+//
+// Extreme delays are where the adversarial schedules live (every published
+// construction uses only c_min and c_max), so this is a tight upper bound
+// on the true threshold for this token count; because entry times are
+// enumerated exhaustively on the integer grid, a "no violation found"
+// verdict at a given c_max is exact for extreme-delay schedules. The
+// search cost is (2^d · span)^tokens per ratio — keep tokens ≤ 3 and the
+// network small.
+func MinimalViolationCMax(net *network.Network, tokens int, limit sim.Time) (*ExactThresholdResult, error) {
+	if !net.Uniform() {
+		return nil, fmt.Errorf("core: exact search needs a uniform network")
+	}
+	if tokens < 2 || tokens > 4 {
+		return nil, fmt.Errorf("core: exact search supports 2..4 tokens, got %d", tokens)
+	}
+	d := net.Depth()
+	res := &ExactThresholdResult{Tokens: tokens}
+
+	for cMax := sim.Time(2); cMax <= limit; cMax++ {
+		span := (sim.Time(d) + 1) * cMax
+		// Per-token choices: entry (token 0 fixed at 0) × delay mask.
+		nMasks := 1 << uint(d)
+		delaysFor := func(mask int) sim.DelayFunc {
+			return func(fromLayer int) sim.Time {
+				if mask&(1<<uint(fromLayer-1)) != 0 {
+					return cMax
+				}
+				return 1
+			}
+		}
+		// Enumerate via mixed-radix counters.
+		entries := make([]sim.Time, tokens) // entries[0] stays 0
+		masks := make([]int, tokens)
+		var rec func(k int) (bool, error)
+		rec = func(k int) (bool, error) {
+			if k == tokens {
+				specs := make([]sim.TokenSpec, tokens)
+				for i := 0; i < tokens; i++ {
+					specs[i] = sim.TokenSpec{
+						Process: i,
+						Input:   i % net.FanIn(),
+						Enter:   entries[i],
+						Delay:   delaysFor(masks[i]),
+					}
+				}
+				tr, err := sim.Run(net, specs)
+				if err != nil {
+					return false, err
+				}
+				res.Schedules++
+				return !consistency.Linearizable(tr.Ops()), nil
+			}
+			loEntry := sim.Time(0)
+			hiEntry := span
+			if k == 0 {
+				hiEntry = 0 // anchor the first token
+			}
+			for e := loEntry; e <= hiEntry; e++ {
+				entries[k] = e
+				for m := 0; m < nMasks; m++ {
+					masks[k] = m
+					bad, err := rec(k + 1)
+					if err != nil || bad {
+						return bad, err
+					}
+				}
+			}
+			return false, nil
+		}
+		bad, err := rec(0)
+		if err != nil {
+			return nil, err
+		}
+		if bad {
+			res.CMax = cMax
+			res.Found = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,18 @@
+package core
+
+import "testing"
+
+func TestRunAllExperiments(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Schedules = 8
+	exps, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		if !e.Pass() {
+			t.Errorf("experiment %s failed:\n%s", e.ID, e.Format())
+		}
+	}
+	t.Log("\n" + FormatReport(exps))
+}

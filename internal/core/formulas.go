@@ -1,0 +1,70 @@
+package core
+
+import "repro/internal/construct"
+
+// Closed-form quantities from the paper, used to check measured values.
+
+// Theorem54Bound returns the Theorem 5.4 upper bound (ℓ−2)/(ℓ−1) on the
+// non-sequential-consistency fraction of a uniform counting network under
+// c_max/c_min < ℓ, for an integer ℓ > 1.
+func Theorem54Bound(l int) float64 {
+	return float64(l-2) / float64(l-1)
+}
+
+// Theorem511NonLinBound returns the Theorem 5.11 lower bound
+// 1 − 1/(2 − (1/2)^ℓ) on the non-linearizability fraction.
+func Theorem511NonLinBound(l int) float64 {
+	p := pow2inv(l)
+	return 1 - 1/(2-p)
+}
+
+// Theorem511NonSCBound returns the Theorem 5.11 lower bound
+// (1/2)^ℓ / (2 − (1/2)^ℓ) on the non-sequential-consistency fraction.
+func Theorem511NonSCBound(l int) float64 {
+	p := pow2inv(l)
+	return p / (2 - p)
+}
+
+func pow2inv(l int) float64 {
+	return 1 / float64(int64(1)<<uint(l))
+}
+
+// Corollary512NonLin returns (w−1)/(2w−1), the Corollary 5.12/5.13
+// instantiation of the non-linearizability bound at ℓ = lg w.
+func Corollary512NonLin(w int) float64 {
+	return float64(w-1) / float64(2*w-1)
+}
+
+// Corollary512NonSC returns 1/(2w−1), the Corollary 5.12/5.13
+// instantiation of the non-sequential-consistency bound at ℓ = lg w.
+func Corollary512NonSC(w int) float64 {
+	return 1 / float64(2*w-1)
+}
+
+// Theorem511WaveCounts returns the exact token counts of the Theorem 5.11
+// construction on fan w at level ℓ: the sizes of the first/third waves and
+// of the second wave, and the predicted numbers of non-linearizable and
+// non-sequentially-consistent tokens.
+func Theorem511WaveCounts(w, l int) (firstThird, second, nonLin, nonSC int) {
+	second = w >> uint(l)   // w / 2^ℓ
+	firstThird = w - second // w·(1 − (1/2)^ℓ)
+	return firstThird, second, firstThird, second
+}
+
+// SplitDepthBitonic returns the Proposition 5.6 closed form
+// sd(B(w)) = (lg²w − lg w + 2)/2.
+func SplitDepthBitonic(w int) int {
+	lg := construct.Lg(w)
+	return (lg*lg - lg + 2) / 2
+}
+
+// SplitDepthPeriodic returns the Proposition 5.8 closed form
+// sd(P(w)) = lg²w − lg w + 1.
+func SplitDepthPeriodic(w int) int {
+	lg := construct.Lg(w)
+	return lg*lg - lg + 1
+}
+
+// SplitNumber returns the Propositions 5.9/5.10 closed form
+// sp(B(w)) = sp(P(w)) = lg w.
+func SplitNumber(w int) int { return construct.Lg(w) }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/construct"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// FrontierRow is one ratio step of the timing-frontier scan.
+type FrontierRow struct {
+	CMax  sim.Time
+	Ratio float64
+	// SufficientRatio: LSST99 Cor 3.10 guarantees linearizability here.
+	SufficientRatio bool
+	// NecessaryOK: the MPT97 necessary bound ratio ≤ d/irad+1 still holds;
+	// beyond it violations provably exist.
+	NecessaryOK bool
+	// WaveViolates: the Theorem 5.11 ℓ=1 wave adversary succeeds at this
+	// ratio.
+	WaveViolates bool
+	// RandomNonLin/RandomNonSC: worst fractions found by a random sweep.
+	RandomNonLin, RandomNonSC float64
+}
+
+// FrontierScan walks c_max from 2·c_min upward and records, at each ratio,
+// what the paper's conditions predict and what adversaries actually
+// achieve — an empirical map of Table 1's landscape for one network. The
+// invariants every row must satisfy:
+//
+//   - at ratio ≤ 2 (the sufficient condition) nothing violates;
+//   - the wave adversary succeeds exactly from its threshold onward, and
+//     that threshold always lies beyond the necessary bound.
+func FrontierScan(net *network.Network, seq *topology.SplitSequence, an *topology.Analysis, maxRatio int, processes, tokensPerProcess, schedules int) ([]FrontierRow, error) {
+	sd1, err := seq.AbsSplitDepth(1)
+	if err != nil {
+		return nil, err
+	}
+	waveNeed := MinWaveCMax(net.Depth(), sd1)
+	irad := an.InfluenceRadius()
+
+	var rows []FrontierRow
+	for cMax := sim.Time(2); cMax <= sim.Time(maxRatio); cMax++ {
+		tm := Timing{CMin: 1, CMax: cMax}
+		row := FrontierRow{
+			CMax:            cMax,
+			Ratio:           tm.Ratio(),
+			SufficientRatio: SufficientLinRatio(tm),
+			NecessaryOK:     NecessaryLinInfluence(net, irad, tm),
+		}
+		wave, err := Theorem511Waves(net, seq, 1, cMax)
+		if err != nil {
+			return nil, err
+		}
+		row.WaveViolates = wave.Fractions.NonLin > 0
+		if row.WaveViolates != (cMax >= waveNeed) {
+			return nil, fmt.Errorf("core: wave adversary at ratio %d contradicts its threshold %d", cMax, waveNeed)
+		}
+
+		sw, err := Sweep(net, sim.GenConfig{
+			Processes:        processes,
+			TokensPerProcess: tokensPerProcess,
+			CMin:             1,
+			CMax:             cMax,
+			StartSpread:      sim.Time(net.Depth()) * cMax,
+		}, schedules)
+		if err != nil {
+			return nil, err
+		}
+		row.RandomNonLin = sw.MaxNonLin
+		row.RandomNonSC = sw.MaxNonSC
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFrontier renders the scan as an aligned table.
+func FormatFrontier(rows []FrontierRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %10s %10s %6s %12s %12s\n",
+		"ratio", "Cor3.10 ok", "MPT97 ok", "wave", "rand F_nl", "rand F_nsc")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.1f %10v %10v %6v %12.4f %12.4f\n",
+			r.Ratio, r.SufficientRatio, r.NecessaryOK, r.WaveViolates, r.RandomNonLin, r.RandomNonSC)
+	}
+	return b.String()
+}
+
+// RunFrontier is the experiment wrapper (reported as X9).
+func RunFrontier(cfg Config) (Experiment, error) {
+	e := Experiment{ID: "X9", Title: "Extension: empirical timing frontier for B(8) (Table 1 landscape)"}
+	net := construct.MustBitonic(8)
+	seq, err := topology.ComputeSplitSequence(net)
+	if err != nil {
+		return e, err
+	}
+	an := topology.Analyze(net)
+	rows, err := FrontierScan(net, seq, an, 6, cfg.Processes, cfg.TokensPerProcess, cfg.Schedules)
+	if err != nil {
+		return e, err
+	}
+	for _, r := range rows {
+		violated := r.WaveViolates || r.RandomNonLin > 0
+		pass := true
+		claim := "no guarantee either way; violations may exist"
+		if r.SufficientRatio {
+			claim = "linearizable (Cor 3.10)"
+			pass = !violated
+		} else if !r.NecessaryOK {
+			claim = "violations provably exist (MPT97)"
+			// Our adversaries need not succeed at every such ratio, but at
+			// the wave threshold they must.
+		}
+		e.Rows = append(e.Rows, Row{
+			Label:    fmt.Sprintf("ratio %.0f", r.Ratio),
+			Paper:    claim,
+			Measured: fmt.Sprintf("wave violates: %v, random max F_nl %.3f", r.WaveViolates, r.RandomNonLin),
+			Pass:     pass,
+		})
+	}
+	return e, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+)
+
+// Lemma31Result records one executable check of the modular-counting
+// lemma: inserting a full escort wave mid-execution leaves every balancer
+// toggle unchanged and shifts every later value by exactly the wave size.
+type Lemma31Result struct {
+	// PrefixTokens ran before the wave; WaveTokens is the wave's size
+	// (fan-in × per-wire multiplicity); SuffixTokens ran after.
+	PrefixTokens, WaveTokens, SuffixTokens int
+	// PerWire is the wave multiplicity per input wire (1 for regular
+	// networks, the fan-out LCM product for irregular ones).
+	PerWire int
+	// StatesPreserved: after the wave, every balancer toggle equals its
+	// pre-wave state.
+	StatesPreserved bool
+	// SuffixShifted: every suffix token reached the same sink as in a
+	// wave-free control run and obtained its control value plus the wave's
+	// per-counter contribution × fan-out.
+	SuffixShifted bool
+}
+
+// WaveMultiplicity returns how many tokens per input wire a full escort
+// wave needs so that every balancer receives a multiple of its fan-out:
+// 1 when the network is regular with equal network fan-in and fan-out
+// (each layer boundary then carries exactly one token per wire), and
+// otherwise the product over layers of the LCM of the layer's fan-outs,
+// as in the irregular extension of Theorem 3.2's proof.
+func WaveMultiplicity(net *network.Network) (int, error) {
+	regular := net.FanIn() == net.FanOut()
+	for b := 0; b < net.Size(); b++ {
+		if !net.Balancer(b).Regular() {
+			regular = false
+			break
+		}
+	}
+	if regular {
+		return 1, nil
+	}
+	if !net.Uniform() {
+		return 0, fmt.Errorf("core: escort waves need a uniform network")
+	}
+	mult := 1
+	for l := 1; l <= net.Depth(); l++ {
+		layerLCM := 1
+		for _, b := range net.Layer(l) {
+			layerLCM = lcm(layerLCM, net.Balancer(b).FanOut)
+		}
+		mult *= layerLCM
+		if mult > 1<<20 {
+			return 0, fmt.Errorf("core: escort wave multiplicity overflow (%d)", mult)
+		}
+	}
+	return mult, nil
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Lemma31Insertion executes the modular-counting lemma on a uniform
+// counting network: run a random prefix, snapshot the balancer states,
+// push a full escort wave through in lockstep, and compare both the
+// post-wave states and the values obtained by a random suffix against a
+// wave-free control run.
+func Lemma31Insertion(net *network.Network, prefixTokens, suffixTokens int, seed int64) (*Lemma31Result, error) {
+	if !net.Uniform() {
+		return nil, fmt.Errorf("core: Lemma 3.1 check needs a uniform network")
+	}
+	perWire, err := WaveMultiplicity(net)
+	if err != nil {
+		return nil, err
+	}
+	res := &Lemma31Result{
+		PrefixTokens: prefixTokens,
+		SuffixTokens: suffixTokens,
+		PerWire:      perWire,
+		WaveTokens:   perWire * net.FanIn(),
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Prefix.
+	s := network.NewState(net)
+	prefix := make([]int, prefixTokens)
+	for i := range prefix {
+		prefix[i] = rng.Intn(net.FanIn())
+	}
+	network.RunInterleaved(s, prefix, rand.New(rand.NewSource(seed+1)))
+
+	// Control: continue without the wave.
+	control := s.Clone()
+
+	// Snapshot balancer states, then push the wave through in lockstep:
+	// every wave token advances one layer per round.
+	before := make([]int, net.Size())
+	for b := range before {
+		before[b] = s.BalancerState(b)
+	}
+	wave := make([]*network.Cursor, 0, res.WaveTokens)
+	for i := 0; i < net.FanIn(); i++ {
+		for k := 0; k < perWire; k++ {
+			wave = append(wave, s.Start(i))
+		}
+	}
+	for round := 0; round <= net.Depth(); round++ {
+		for _, c := range wave {
+			if !c.Done {
+				s.Step(c)
+			}
+		}
+	}
+	res.StatesPreserved = true
+	for b := range before {
+		if s.BalancerState(b) != before[b] {
+			res.StatesPreserved = false
+			break
+		}
+	}
+	// The wave contributes the same number of tokens to every counter.
+	perSink := int64(res.WaveTokens / net.FanOut())
+
+	// Suffix: identical token sequence and interleaving on both states.
+	suffix := make([]int, suffixTokens)
+	for i := range suffix {
+		suffix[i] = rng.Intn(net.FanIn())
+	}
+	withWave := network.RunInterleaved(s, suffix, rand.New(rand.NewSource(seed+2)))
+	without := network.RunInterleaved(control, suffix, rand.New(rand.NewSource(seed+2)))
+	res.SuffixShifted = true
+	for i := range suffix {
+		if withWave[i] != without[i]+perSink*int64(net.FanOut()) {
+			res.SuffixShifted = false
+			break
+		}
+	}
+	return res, nil
+}

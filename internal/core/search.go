@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/consistency"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// SearchConfig parameterises the adversarial schedule search: a randomized
+// hill climb over per-token entry times and per-segment delays, maximising
+// an inconsistency fraction subject to a hard c_max/c_min cap. This is the
+// "how bad can it actually get" ablation: the paper's lower bounds come
+// from hand-built schedules; the search probes whether blind optimisation
+// finds comparable (or worse) executions under the same timing condition.
+type SearchConfig struct {
+	// Tokens and Processes shape the candidate schedules; each process
+	// issues Tokens/Processes tokens.
+	Tokens, Processes int
+	// CMin and CMax bound every wire delay (the timing condition).
+	CMin, CMax sim.Time
+	// Restarts and StepsPerRestart bound the search effort.
+	Restarts, StepsPerRestart int
+	// MaximiseNonSC selects the objective: the non-SC fraction when true,
+	// the non-linearizability fraction otherwise.
+	MaximiseNonSC bool
+	Seed          int64
+}
+
+// SearchResult is the best schedule found.
+type SearchResult struct {
+	// BestFraction is the highest objective value reached.
+	BestFraction float64
+	// Fractions are the full measurements of the best schedule.
+	Fractions consistency.Fractions
+	// Evaluations counts schedule executions performed.
+	Evaluations int
+}
+
+// candidate is a mutable schedule genome: entry times and delay matrices.
+type candidate struct {
+	enter  []sim.Time
+	delays [][]sim.Time // [token][segment]
+}
+
+// SearchWorstSchedule runs the hill climb and returns the worst (most
+// inconsistent) schedule it finds for the network under the delay cap.
+func SearchWorstSchedule(net *network.Network, cfg SearchConfig) (*SearchResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := net.Depth()
+	res := &SearchResult{}
+
+	objective := func(f consistency.Fractions) float64 {
+		if cfg.MaximiseNonSC {
+			return f.NonSCFraction()
+		}
+		return f.NonLinFraction()
+	}
+
+	evaluate := func(c *candidate) (float64, consistency.Fractions, bool) {
+		specs := make([]sim.TokenSpec, cfg.Tokens)
+		perProc := cfg.Tokens / cfg.Processes
+		if perProc == 0 {
+			perProc = 1
+		}
+		for i := range specs {
+			proc := i / perProc
+			specs[i] = sim.TokenSpec{
+				Process: proc,
+				Input:   proc % net.FanIn(), // pinned per process
+				Enter:   c.enter[i],
+				Delay:   sim.SliceDelay(c.delays[i]),
+			}
+		}
+		// Same-process tokens must not overlap; repair entry times by
+		// pushing each token after its predecessor's exit.
+		lastExit := map[int]sim.Time{}
+		for i := range specs {
+			total := sim.Time(0)
+			for _, dl := range c.delays[i] {
+				total += dl
+			}
+			if exit, ok := lastExit[specs[i].Process]; ok && specs[i].Enter < exit {
+				specs[i].Enter = exit + 1
+			}
+			lastExit[specs[i].Process] = specs[i].Enter + total
+		}
+		tr, err := sim.Run(net, specs)
+		if err != nil {
+			return 0, consistency.Fractions{}, false
+		}
+		res.Evaluations++
+		f := consistency.Measure(tr.Ops())
+		return objective(f), f, true
+	}
+
+	randomCandidate := func() *candidate {
+		c := &candidate{
+			enter:  make([]sim.Time, cfg.Tokens),
+			delays: make([][]sim.Time, cfg.Tokens),
+		}
+		span := sim.Time(d) * cfg.CMax * 2
+		for i := range c.enter {
+			c.enter[i] = rng.Int63n(span + 1)
+			c.delays[i] = make([]sim.Time, d)
+			for l := range c.delays[i] {
+				c.delays[i][l] = cfg.CMin + rng.Int63n(cfg.CMax-cfg.CMin+1)
+			}
+		}
+		return c
+	}
+
+	mutate := func(c *candidate) *candidate {
+		m := &candidate{
+			enter:  append([]sim.Time(nil), c.enter...),
+			delays: make([][]sim.Time, len(c.delays)),
+		}
+		for i := range c.delays {
+			m.delays[i] = append([]sim.Time(nil), c.delays[i]...)
+		}
+		// A few point mutations: nudge an entry time or flip a delay to an
+		// extreme (extremes are where adversarial schedules live).
+		for n := rng.Intn(3) + 1; n > 0; n-- {
+			i := rng.Intn(len(m.enter))
+			switch rng.Intn(3) {
+			case 0:
+				m.enter[i] = maxT(0, m.enter[i]+rng.Int63n(2*cfg.CMax+1)-cfg.CMax)
+			case 1:
+				m.delays[i][rng.Intn(d)] = cfg.CMin
+			default:
+				m.delays[i][rng.Intn(d)] = cfg.CMax
+			}
+		}
+		return m
+	}
+
+	for r := 0; r < cfg.Restarts; r++ {
+		cur := randomCandidate()
+		curScore, curFrac, ok := evaluate(cur)
+		if !ok {
+			continue
+		}
+		for s := 0; s < cfg.StepsPerRestart; s++ {
+			next := mutate(cur)
+			score, frac, ok := evaluate(next)
+			if !ok {
+				continue
+			}
+			if score >= curScore { // allow sideways moves across plateaus
+				cur, curScore, curFrac = next, score, frac
+			}
+		}
+		if curScore > res.BestFraction {
+			res.BestFraction = curScore
+			res.Fractions = curFrac
+		}
+	}
+	return res, nil
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

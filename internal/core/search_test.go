@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/topology"
+)
+
+// TestSearchRespectsTheorem54: whatever the hill climb finds under a
+// ratio cap, the non-SC fraction never beats the Theorem 5.4 bound.
+func TestSearchRespectsTheorem54(t *testing.T) {
+	net := construct.MustBitonic(8)
+	for _, l := range []int{3, 5} {
+		cfg := SearchConfig{
+			Tokens:          18,
+			Processes:       6,
+			CMin:            1,
+			CMax:            int64(l) - 1,
+			Restarts:        4,
+			StepsPerRestart: 60,
+			MaximiseNonSC:   true,
+			Seed:            int64(l),
+		}
+		res, err := SearchWorstSchedule(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound := Theorem54Bound(l); res.BestFraction > bound+1e-12 {
+			t.Errorf("ℓ=%d: search found F_nsc = %.4f above the bound %.4f",
+				l, res.BestFraction, bound)
+		}
+		if res.Evaluations == 0 {
+			t.Error("search evaluated nothing")
+		}
+	}
+}
+
+// TestSearchFindsViolationsAtHighRatio: with a generous ratio the climb
+// finds non-linearizable schedules on its own (sanity: the space does
+// contain them; the wave constructions prove it, the search should
+// stumble into some too).
+func TestSearchFindsViolationsAtHighRatio(t *testing.T) {
+	net := construct.MustBitonic(4)
+	cfg := SearchConfig{
+		Tokens:          16,
+		Processes:       16, // all distinct: maximise scheduling freedom
+		CMin:            1,
+		CMax:            12,
+		Restarts:        6,
+		StepsPerRestart: 120,
+		MaximiseNonSC:   false,
+		Seed:            7,
+	}
+	res, err := SearchWorstSchedule(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFraction == 0 {
+		t.Error("search failed to find any non-linearizable schedule at ratio 12 on B(4)")
+	}
+}
+
+// TestSearchVsWaveConstruction: the hand-built wave achieves F_nsc = 1/3;
+// report how close blind search gets under the same ratio cap (it needn't
+// match, but it must not exceed any proven upper bound and the comparison
+// is the ablation of interest).
+func TestSearchVsWaveConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search ablation")
+	}
+	net := construct.MustBitonic(8)
+	seq, err := topology.ComputeSplitSequence(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := Theorem511Waves(net, seq, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SearchConfig{
+		Tokens:          12,
+		Processes:       4,
+		CMin:            wave.Timing.CMin,
+		CMax:            wave.Timing.CMax,
+		Restarts:        5,
+		StepsPerRestart: 100,
+		MaximiseNonSC:   true,
+		Seed:            11,
+	}
+	res, err := SearchWorstSchedule(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wave F_nsc = %.4f; search best = %.4f over %d evaluations",
+		wave.Fractions.NonSCFraction(), res.BestFraction, res.Evaluations)
+}
+
+// TestMinimalViolationThresholds — bounded-exhaustive search over extreme-
+// delay schedules: finds the smallest integer ratio at which 2 or 3 tokens
+// can produce a non-linearizable execution on the smallest networks, and
+// confirms no ratio-2 schedule can (the tight LSST99 sufficient side).
+func TestMinimalViolationThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive threshold search")
+	}
+	b4 := construct.MustBitonic(4)
+	tree4 := construct.MustTree(4)
+
+	res, err := MinimalViolationCMax(b4, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("B(4), 2 tokens: found=%v at c_max=%d over %d schedules", res.Found, res.CMax, res.Schedules)
+	if res.Found && res.CMax <= 2 {
+		t.Errorf("violation at ratio ≤ 2 contradicts Cor 3.10")
+	}
+
+	res3, err := MinimalViolationCMax(b4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("B(4), 3 tokens: found=%v at c_max=%d over %d schedules", res3.Found, res3.CMax, res3.Schedules)
+	if res3.Found && res3.CMax <= 2 {
+		t.Errorf("violation at ratio ≤ 2 contradicts Cor 3.10")
+	}
+	if res.Found && res3.Found && res3.CMax > res.CMax {
+		t.Errorf("more tokens should not need more asynchrony: 2 tokens at %d, 3 at %d", res.CMax, res3.CMax)
+	}
+
+	resT, err := MinimalViolationCMax(tree4, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Tree(4), 3 tokens: found=%v at c_max=%d over %d schedules", resT.Found, resT.CMax, resT.Schedules)
+	if resT.Found && resT.CMax <= 2 {
+		t.Errorf("tree violation at ratio ≤ 2 contradicts LSST99 Thm 4.1 sufficiency")
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/consistency"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Errors from the Theorem 3.2 transformation.
+var (
+	ErrLinearizable = errors.New("core: execution is linearizable; nothing to transform")
+	ErrTiedWitness  = errors.New("core: every witness pair is tied at the entry/exit boundary")
+)
+
+// Theorem32Result reports the mechanical transformation of Theorem 3.2:
+// from a non-linearizable timed execution to a non-sequentially-consistent
+// one satisfying the same c_min, c_max, C_g timing condition.
+type Theorem32Result struct {
+	// AlreadyNonSC is set when the witness pair shares a process, in which
+	// case the original execution is itself non-sequentially consistent
+	// (the proof's first case) and no transformation is needed.
+	AlreadyNonSC bool
+	// Scale is the factor by which all original times were multiplied to
+	// make room for the escort wave one tick ahead of T'.
+	Scale sim.Time
+	// TValue and DesignatedValue are the values of the relabelled token T
+	// and of the escort token that replays T''s traversal; the
+	// transformation succeeds when DesignatedValue < TValue on the same
+	// process.
+	TValue, DesignatedValue int64
+	// NonSC reports that the transformed execution indeed violates
+	// sequential consistency.
+	NonSC bool
+	// WaveTokens is the escort wave size.
+	WaveTokens int
+	// OriginalParams and TransformedParams are the measured timing
+	// parameters (original parameters are pre-scaling; multiply by Scale
+	// to compare).
+	OriginalParams, TransformedParams sim.Params
+	// Ops is the transformed execution's operation set.
+	Ops []consistency.Op
+}
+
+// t32Token is one token of the transformed execution being built.
+type t32Token struct {
+	process int
+	input   int
+	times   []sim.Time // layer-passing times (already scaled)
+	rank    int
+	isWave  bool
+	cursor  *network.Cursor
+	// results
+	enterSeq, exitSeq int64
+	value             int64
+	sink              int
+}
+
+// Theorem32Transform executes the proof of Theorem 3.2 on a concrete
+// non-linearizable timed execution of a uniform counting network:
+//
+//  1. find a witness pair T, T' (T completely precedes T', returns a
+//     larger value);
+//  2. scale all times by 4 and insert a full escort wave of fresh-process
+//     tokens one tick ahead of T' at every layer, ordered inside each
+//     balancer so that the escort entering on T's input wire follows a
+//     fixed path to T”s counter (Lemma 3.1 keeps every balancer state,
+//     and hence every other token's route, unchanged);
+//  3. relabel T to the escort's fresh process.
+//
+// The designated escort then obtains exactly the value T' obtained in the
+// original execution, which is smaller than T's — a sequential-consistency
+// violation between two tokens of one process pinned to one input wire.
+func Theorem32Transform(net *network.Network, specs []sim.TokenSpec) (*Theorem32Result, error) {
+	if !net.Uniform() {
+		return nil, fmt.Errorf("core: Theorem 3.2 transformation needs a uniform network")
+	}
+	orig, err := sim.Run(net, specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Theorem32Result{Scale: 4, OriginalParams: sim.Measure(orig)}
+
+	// Witness selection: prefer a same-process pair (trivial case), then
+	// the strict-time-gap pair with the largest gap.
+	tIdx, tpIdx := -1, -1
+	var bestGap sim.Time
+	for a := range orig.Tokens {
+		for b := range orig.Tokens {
+			ta, tb := &orig.Tokens[a], &orig.Tokens[b]
+			if ta.ExitSeq >= tb.EnterSeq || ta.Value <= tb.Value {
+				continue
+			}
+			if ta.Process == tb.Process {
+				res.AlreadyNonSC = true
+				res.TValue, res.DesignatedValue = ta.Value, tb.Value
+				res.NonSC = true
+				res.TransformedParams = res.OriginalParams
+				res.Ops = orig.Ops()
+				return res, nil
+			}
+			if gap := tb.In() - ta.Out(); gap > 0 && (tIdx < 0 || gap > bestGap) {
+				tIdx, tpIdx, bestGap = a, b, gap
+			}
+		}
+	}
+	if tIdx < 0 {
+		// No witness at all, or only boundary-tied cross-process pairs.
+		for a := range orig.Tokens {
+			for b := range orig.Tokens {
+				ta, tb := &orig.Tokens[a], &orig.Tokens[b]
+				if ta.ExitSeq < tb.EnterSeq && ta.Value > tb.Value {
+					return nil, ErrTiedWitness
+				}
+			}
+		}
+		return nil, ErrLinearizable
+	}
+	T, Tp := &orig.Tokens[tIdx], &orig.Tokens[tpIdx]
+
+	perWire, err := WaveMultiplicity(net)
+	if err != nil {
+		return nil, err
+	}
+	res.WaveTokens = perWire * net.FanIn()
+
+	// Path π from T's input wire to T''s sink: (balancer, out-port) per
+	// layer.
+	path, err := findPath(net, T.Input, Tp.Sink)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the transformed token set: originals at scaled times, the
+	// wave one tick ahead of T' at every layer.
+	S := res.Scale
+	tokens := make([]*t32Token, 0, len(orig.Tokens)+res.WaveTokens)
+	for i := range orig.Tokens {
+		ot := &orig.Tokens[i]
+		times := make([]sim.Time, len(ot.LayerTimes))
+		for l, tm := range ot.LayerTimes {
+			times[l] = S * tm
+		}
+		tokens = append(tokens, &t32Token{
+			process: ot.Process,
+			input:   ot.Input,
+			times:   times,
+			rank:    specs[i].Rank,
+		})
+	}
+	waveTimes := make([]sim.Time, len(Tp.LayerTimes))
+	for l, tm := range Tp.LayerTimes {
+		waveTimes[l] = S*tm - 1
+	}
+	freshProc := 0
+	for i := range orig.Tokens {
+		if p := orig.Tokens[i].Process; p >= freshProc {
+			freshProc = p + 1
+		}
+	}
+	designated := -1
+	for wire := 0; wire < net.FanIn(); wire++ {
+		for k := 0; k < perWire; k++ {
+			tok := &t32Token{
+				process: freshProc,
+				input:   wire,
+				times:   waveTimes,
+				isWave:  true,
+			}
+			freshProc++
+			if wire == T.Input && k == 0 {
+				designated = len(tokens)
+			}
+			tokens = append(tokens, tok)
+		}
+	}
+
+	if err := runTransformed(net, tokens, designated, path); err != nil {
+		return nil, err
+	}
+
+	// Relabel: T joins the designated escort's process (both pinned to T's
+	// input wire; T completely precedes the escort by the strict gap).
+	desig := tokens[designated]
+	tokens[tIdx].process = desig.process
+
+	// Build the consistency view with per-process indices by entry order.
+	res.Ops = opsFromTokens(tokens)
+	res.TValue = tokens[tIdx].value
+	res.DesignatedValue = desig.value
+	res.NonSC = !consistency.SequentiallyConsistent(res.Ops)
+	res.TransformedParams = measureTokens(tokens)
+	return res, nil
+}
+
+// findPath returns, per layer, the (balancer, outPort) choices leading
+// from input wire `in` to sink `sink`.
+func findPath(net *network.Network, in, sink int) ([]network.Endpoint, error) {
+	var path []network.Endpoint
+	var dfs func(e network.Endpoint) bool
+	dfs = func(e network.Endpoint) bool {
+		var to network.Endpoint
+		switch e.Kind {
+		case network.KindSource:
+			to = net.InputTarget(e.Index)
+		case network.KindBalancer:
+			to = net.OutputTarget(e.Index, e.Port)
+		}
+		switch to.Kind {
+		case network.KindSink:
+			return to.Index == sink
+		case network.KindBalancer:
+			for p := 0; p < net.Balancer(to.Index).FanOut; p++ {
+				step := network.Endpoint{Kind: network.KindBalancer, Index: to.Index, Port: p}
+				path = append(path, step)
+				if dfs(step) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+		}
+		return false
+	}
+	if !dfs(network.Endpoint{Kind: network.KindSource, Index: in}) {
+		return nil, fmt.Errorf("core: no path from input %d to sink %d", in, sink)
+	}
+	return path, nil
+}
+
+// runTransformed executes the merged schedule: original single steps in
+// scaled-time order, wave layers as atomic batches at their (unique, odd)
+// times, ordering each batch inside every balancer so the designated token
+// follows path.
+func runTransformed(net *network.Network, tokens []*t32Token, designated int, path []network.Endpoint) error {
+	type ev struct {
+		time  sim.Time
+		rank  int
+		tok   int // -1 for a wave batch
+		layer int
+	}
+	var events []ev
+	for i, tok := range tokens {
+		if tok.isWave {
+			continue
+		}
+		for l := 1; l <= len(tok.times); l++ {
+			events = append(events, ev{time: tok.times[l-1], rank: tok.rank, tok: i, layer: l})
+		}
+	}
+	waveTimes := (*[]sim.Time)(nil)
+	for i := range tokens {
+		if tokens[i].isWave {
+			waveTimes = &tokens[i].times
+			break
+		}
+	}
+	if waveTimes != nil {
+		for l := 1; l <= len(*waveTimes); l++ {
+			events = append(events, ev{time: (*waveTimes)[l-1], tok: -1, layer: l})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.time != eb.time {
+			return ea.time < eb.time
+		}
+		if ea.rank != eb.rank {
+			return ea.rank < eb.rank
+		}
+		if ea.tok != eb.tok {
+			return ea.tok < eb.tok
+		}
+		return ea.layer < eb.layer
+	})
+
+	st := network.NewState(net)
+	for _, tok := range tokens {
+		tok.cursor = st.Start(tok.input)
+		tok.enterSeq = -1
+	}
+	seq := int64(0)
+	stepToken := func(i int) {
+		tok := tokens[i]
+		step := st.Step(tok.cursor)
+		if tok.enterSeq < 0 {
+			tok.enterSeq = seq
+		}
+		tok.exitSeq = seq
+		seq++
+		if step.Kind == network.StepCounter {
+			tok.value = step.Value
+			tok.sink = step.Sink
+		}
+	}
+	for _, e := range events {
+		if e.tok >= 0 {
+			stepToken(e.tok)
+			continue
+		}
+		// Wave batch for layer e.layer: group wave tokens by target node.
+		byBal := make(map[int][]int)
+		var atSinks []int
+		for i, tok := range tokens {
+			if !tok.isWave || tok.cursor.Done {
+				continue
+			}
+			var to network.Endpoint
+			if tok.cursor.At.Kind == network.KindSource {
+				to = net.InputTarget(tok.cursor.At.Index)
+			} else {
+				to = net.OutputTarget(tok.cursor.At.Index, tok.cursor.At.Port)
+			}
+			if to.Kind == network.KindSink {
+				atSinks = append(atSinks, i)
+			} else {
+				byBal[to.Index] = append(byBal[to.Index], i)
+			}
+		}
+		bals := make([]int, 0, len(byBal))
+		for b := range byBal {
+			bals = append(bals, b)
+		}
+		sort.Ints(bals)
+		for _, b := range bals {
+			group := byBal[b]
+			di := -1
+			for gi, i := range group {
+				if i == designated {
+					di = gi
+					break
+				}
+			}
+			if di >= 0 {
+				// Position the designated token so it exits on the path's
+				// out-port for this layer.
+				want := path[e.layer-1]
+				if want.Index != b {
+					return fmt.Errorf("core: designated token at balancer %d, path expects %d (layer %d)", b, want.Index, e.layer)
+				}
+				f := net.Balancer(b).FanOut
+				r := ((want.Port-st.BalancerState(b))%f + f) % f
+				if r >= len(group) {
+					return fmt.Errorf("core: wave group at balancer %d too small (%d) for slot %d", b, len(group), r)
+				}
+				group[di], group[r] = group[r], group[di]
+			}
+			for _, i := range group {
+				stepToken(i)
+			}
+		}
+		for _, i := range atSinks {
+			stepToken(i)
+		}
+	}
+	for _, tok := range tokens {
+		if !tok.cursor.Done {
+			return fmt.Errorf("core: transformed execution left a token in flight")
+		}
+	}
+	// Sanity: the designated escort reached the intended counter.
+	want := path[len(path)-1]
+	to := net.OutputTarget(want.Index, want.Port)
+	if tokens[designated].sink != to.Index {
+		return fmt.Errorf("core: designated escort exited sink %d, path leads to %d", tokens[designated].sink, to.Index)
+	}
+	return nil
+}
+
+// opsFromTokens derives the consistency view, assigning per-process
+// indices by entry order.
+func opsFromTokens(tokens []*t32Token) []consistency.Op {
+	order := make([]int, len(tokens))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tokens[order[a]].enterSeq < tokens[order[b]].enterSeq
+	})
+	idx := make(map[int]int)
+	ops := make([]consistency.Op, len(tokens))
+	for _, i := range order {
+		tok := tokens[i]
+		ops[i] = consistency.Op{
+			Process:  tok.process,
+			Index:    idx[tok.process],
+			Value:    tok.value,
+			EnterSeq: tok.enterSeq,
+			ExitSeq:  tok.exitSeq,
+		}
+		idx[tok.process]++
+	}
+	return ops
+}
+
+// measureTokens computes the timing parameters of the transformed
+// execution from the per-token layer times.
+func measureTokens(tokens []*t32Token) sim.Params {
+	records := make([]sim.TokenRecord, len(tokens))
+	perProcIdx := make(map[int]int)
+	order := make([]int, len(tokens))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tokens[order[a]].enterSeq < tokens[order[b]].enterSeq
+	})
+	for n, i := range order {
+		tok := tokens[i]
+		records[n] = sim.TokenRecord{
+			Process:    tok.process,
+			Index:      perProcIdx[tok.process],
+			Input:      tok.input,
+			Sink:       tok.sink,
+			Value:      tok.value,
+			LayerTimes: tok.times,
+			EnterSeq:   tok.enterSeq,
+			ExitSeq:    tok.exitSeq,
+		}
+		perProcIdx[tok.process]++
+	}
+	return sim.Measure(&sim.Trace{Tokens: records})
+}

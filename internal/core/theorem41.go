@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/consistency"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// SweepResult summarises a randomized schedule sweep under a timing
+// condition.
+type SweepResult struct {
+	Schedules     int
+	Tokens        int // per schedule
+	SCViolations  int // schedules with a non-SC token
+	LinViolations int // schedules with a non-linearizable token
+	// MaxNonSC and MaxNonLin are the largest fractions observed across the
+	// sweep (plain token-marking fractions).
+	MaxNonSC, MaxNonLin float64
+	// MaxAbsNonSC is the largest minimal-removal SC fraction observed.
+	MaxAbsNonSC float64
+}
+
+// String implements fmt.Stringer.
+func (r SweepResult) String() string {
+	return fmt.Sprintf("%d schedules × %d tokens: SC violations %d, Lin violations %d, max F_nsc %.4f, max F_nl %.4f",
+		r.Schedules, r.Tokens, r.SCViolations, r.LinViolations, r.MaxNonSC, r.MaxNonLin)
+}
+
+// Sweep runs `schedules` random schedules drawn from cfg (varying its
+// seed), measures consistency on each, and accumulates the worst cases.
+func Sweep(net *network.Network, cfg sim.GenConfig, schedules int) (SweepResult, error) {
+	res := SweepResult{Schedules: schedules, Tokens: cfg.Processes * cfg.TokensPerProcess}
+	for s := 0; s < schedules; s++ {
+		cfg.Seed = int64(s) + 1
+		specs, err := sim.Generate(net, cfg)
+		if err != nil {
+			return res, err
+		}
+		tr, err := sim.Run(net, specs)
+		if err != nil {
+			return res, err
+		}
+		f := consistency.Measure(tr.Ops())
+		if f.NonSC > 0 {
+			res.SCViolations++
+		}
+		if f.NonLin > 0 {
+			res.LinViolations++
+		}
+		if v := f.NonSCFraction(); v > res.MaxNonSC {
+			res.MaxNonSC = v
+		}
+		if v := f.NonLinFraction(); v > res.MaxNonLin {
+			res.MaxNonLin = v
+		}
+		if v := f.AbsNonSCFraction(); v > res.MaxAbsNonSC {
+			res.MaxAbsNonSC = v
+		}
+	}
+	return res, nil
+}
+
+// Theorem41Sweep exercises this paper's Theorem 4.1: random schedules
+// whose local inter-operation delay satisfies
+// d(G)·(c_max − 2·c_min) < C_L must all be sequentially consistent.
+// The returned sweep should show zero SC violations; linearizability
+// violations are permitted (and expected at large ratios) — that gap is
+// Corollary 4.5.
+func Theorem41Sweep(net *network.Network, cMin, cMax sim.Time, processes, tokensPerProcess, schedules int) (SweepResult, error) {
+	cl := MinLocalDelaySC(net, cMin, cMax)
+	cfg := sim.GenConfig{
+		Processes:        processes,
+		TokensPerProcess: tokensPerProcess,
+		CMin:             cMin,
+		CMax:             cMax,
+		CL:               cl,
+		CLJitter:         cl / 2,
+		StartSpread:      sim.Time(net.Depth()) * cMax,
+	}
+	return Sweep(net, cfg, schedules)
+}
+
+// RelabelDistinct reissues every operation under a fresh process id, the
+// renaming step in Corollary 4.5's proof: the execution's precedence and
+// values are untouched, but every local (same-process) constraint becomes
+// vacuous.
+func RelabelDistinct(ops []consistency.Op) []consistency.Op {
+	out := make([]consistency.Op, len(ops))
+	for i, op := range ops {
+		op.Process = i
+		op.Index = 0
+		out[i] = op
+	}
+	return out
+}
+
+// DistinguishResult is the outcome of reproducing Corollary 4.5 on one
+// network: a single timing condition under which sequential consistency
+// provably holds (and holds across a randomized sweep) while a concrete
+// execution violates linearizability.
+type DistinguishResult struct {
+	Timing Timing
+	// TheoremApplies records that the condition satisfies Theorem 4.1's
+	// hypothesis, so SC is guaranteed, and violates the MPT97 necessary
+	// condition, so linearizability cannot be guaranteed.
+	TheoremApplies bool
+	// SweepSC is a randomized sweep under the condition (must show zero SC
+	// violations).
+	SweepSC SweepResult
+	// Witness is a wave execution, relabelled to distinct processes, that
+	// satisfies the condition vacuously and is not linearizable.
+	WitnessNonLin bool
+	WitnessNonSC  bool
+	WitnessTiming sim.Params
+}
+
+// Corollary45Distinguish reproduces Corollary 4.5 on a uniform counting
+// network: it derives the distinguishing timing condition, sweeps random
+// C_L-respecting schedules for sequential consistency, and constructs the
+// renamed wave execution witnessing non-linearizability.
+func Corollary45Distinguish(net *network.Network, seq *topology.SplitSequence, an *topology.Analysis, processes, tokensPerProcess, schedules int) (*DistinguishResult, error) {
+	timing := DistinguishingTiming(net, an)
+	// The wave construction may need a larger ratio than the bare
+	// necessary-condition violation; use the larger of the two so the
+	// witness actually materialises.
+	sd1, err := seq.AbsSplitDepth(1)
+	if err != nil {
+		return nil, err
+	}
+	if need := MinWaveCMax(net.Depth(), sd1); timing.CMax < need {
+		timing.CMax = need
+		timing.CL = MinLocalDelaySC(net, timing.CMin, timing.CMax)
+	}
+	res := &DistinguishResult{Timing: timing}
+	res.TheoremApplies = SufficientSCLocal(net, timing) &&
+		!NecessaryLinInfluence(net, an.InfluenceRadius(), timing)
+
+	cfg := sim.GenConfig{
+		Processes:        processes,
+		TokensPerProcess: tokensPerProcess,
+		CMin:             timing.CMin,
+		CMax:             timing.CMax,
+		CL:               timing.CL,
+		CLJitter:         timing.CL / 2,
+		StartSpread:      sim.Time(net.Depth()) * timing.CMax,
+	}
+	res.SweepSC, err = Sweep(net, cfg, schedules)
+	if err != nil {
+		return nil, err
+	}
+
+	wave, err := Theorem511Waves(net, seq, 1, timing.CMax)
+	if err != nil {
+		return nil, err
+	}
+	relabelled := RelabelDistinct(wave.Trace.Ops())
+	res.WitnessNonLin = !consistency.Linearizable(relabelled)
+	res.WitnessNonSC = !consistency.SequentiallyConsistent(relabelled)
+	res.WitnessTiming = wave.Measured
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Theorem54Result records one reproduction of Theorem 5.4's upper bound on
+// the non-sequential-consistency fraction under bounded asynchrony
+// c_max/c_min < ℓ.
+type Theorem54Result struct {
+	L     int     // the asynchrony bound parameter
+	Bound float64 // (ℓ−2)/(ℓ−1)
+	// Random is a randomized sweep at the largest integer ratio below ℓ.
+	Random SweepResult
+	// WaveNonSC is the non-SC fraction achieved by the strongest wave
+	// construction whose required ratio fits under ℓ (0 when none fits) —
+	// the adversarial probe of the bound.
+	WaveNonSC float64
+	// Respected reports that neither probe exceeded the bound.
+	Respected bool
+}
+
+// String implements fmt.Stringer.
+func (r *Theorem54Result) String() string {
+	return fmt.Sprintf("ℓ=%d bound=%.4f random max=%.4f wave=%.4f respected=%v",
+		r.L, r.Bound, r.Random.MaxNonSC, r.WaveNonSC, r.Respected)
+}
+
+// Theorem54Probe checks Theorem 5.4 empirically for one integer ℓ > 1:
+// both random schedules and the paper's own wave adversaries, constrained
+// to c_max/c_min < ℓ, must keep the non-SC fraction at or below
+// (ℓ−2)/(ℓ−1).
+func Theorem54Probe(net *network.Network, seq *topology.SplitSequence, l, processes, tokensPerProcess, schedules int) (*Theorem54Result, error) {
+	if l <= 1 {
+		return nil, fmt.Errorf("core: Theorem 5.4 needs ℓ > 1, got %d", l)
+	}
+	res := &Theorem54Result{L: l, Bound: Theorem54Bound(l)}
+
+	cMin := sim.Time(1)
+	cMax := sim.Time(l) - 1 // largest integer ratio strictly below ℓ
+	if cMax < cMin {
+		cMax = cMin
+	}
+	cfg := sim.GenConfig{
+		Processes:        processes,
+		TokensPerProcess: tokensPerProcess,
+		CMin:             cMin,
+		CMax:             cMax,
+		CL:               0, // tokens may re-enter immediately: worst case
+		CLJitter:         2,
+		StartSpread:      sim.Time(net.Depth()) * cMax,
+	}
+	var err error
+	res.Random, err = Sweep(net, cfg, schedules)
+	if err != nil {
+		return nil, err
+	}
+
+	// Adversarial probe: the strongest Theorem 5.11 wave whose required
+	// c_max fits strictly below ℓ. Deeper levels need larger ratios, so
+	// scan from the deepest level down.
+	for lvl := seq.SplitNumber(); lvl >= 1; lvl-- {
+		sd, err := seq.AbsSplitDepth(lvl)
+		if err != nil {
+			return nil, err
+		}
+		need := MinWaveCMax(net.Depth(), sd)
+		if need > cMax {
+			continue
+		}
+		wave, err := Theorem511Waves(net, seq, lvl, need)
+		if err != nil {
+			return nil, err
+		}
+		if f := wave.Fractions.NonSCFraction(); f > res.WaveNonSC {
+			res.WaveNonSC = f
+		}
+	}
+
+	res.Respected = res.Random.MaxNonSC <= res.Bound+1e-12 &&
+		res.Random.MaxAbsNonSC <= res.Bound+1e-12 &&
+		res.WaveNonSC <= res.Bound+1e-12
+	return res, nil
+}

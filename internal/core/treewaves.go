@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/consistency"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// TreeWaves adapts the three-wave adversary to the counting tree Tree(w),
+// whose toggles route the k-th root entrant to counter k mod w:
+//
+//   - wave 1: the first w/2 entrants, slow (c_max) on every wire — they
+//     head to counters 0..w/2−1 but dawdle;
+//   - wave 2: the next w/2 entrants (processes p_i), slow through every
+//     toggle (a token may never overtake its predecessors at a toggle
+//     without rerouting the tree) but fast on the final counter wire, so
+//     they exit with values w/2..w−1 while wave 1 is still inside;
+//   - wave 3: w/2 tokens by the same processes p_i entering one tick after
+//     wave 2 exits, fast everywhere; the toggles route them to counters
+//     0..w/2−1, which wave 1 has still not reached.
+//
+// Wave 3 then obtains values 0..w/2−1 < every wave-2 value: w/2
+// non-linearizable and non-sequentially-consistent tokens among 3w/2 —
+// the tree-side analogue of Proposition 5.3. The required asynchrony here
+// is c_max/c_min > d+1 (set cMax ≤ 0 for the minimal integer choice);
+// LSST99's Theorem 4.1 shows violations already exist at any ratio above
+// 2 via a more intricate construction, so this witness is sound but not
+// tight — see EXPERIMENTS.md.
+func TreeWaves(net *network.Network, cMax sim.Time) (*WaveResult, error) {
+	if net.FanIn() != 1 {
+		return nil, fmt.Errorf("core: TreeWaves needs a single-input tree, got fan-in %d", net.FanIn())
+	}
+	w := net.FanOut()
+	d := net.Depth()
+	cMin := sim.Time(1)
+	if cMax <= 0 {
+		cMax = sim.Time(d+1)*cMin + 2
+	}
+
+	var specs []sim.TokenSpec
+	for i := 0; i < w/2; i++ {
+		specs = append(specs, sim.TokenSpec{
+			Process: 1_000 + i,
+			Input:   0,
+			Enter:   0,
+			Rank:    1 + i, // root order fixes each token's counter
+			Delay:   sim.ConstantDelay(cMax),
+		})
+	}
+	for i := 0; i < w/2; i++ {
+		specs = append(specs, sim.TokenSpec{
+			Process: i,
+			Input:   0,
+			Enter:   0,
+			Rank:    1 + w/2 + i,
+			Delay:   sim.PiecewiseDelay(d, cMax, cMin), // fast only into the counter
+		})
+	}
+	wave2Exit := sim.Time(d-1)*cMax + cMin
+	for i := 0; i < w/2; i++ {
+		specs = append(specs, sim.TokenSpec{
+			Process: i,
+			Input:   0,
+			Enter:   wave2Exit + 1,
+			Rank:    1 + i,
+			Delay:   sim.ConstantDelay(cMin),
+		})
+	}
+	tr, err := sim.Run(net, specs)
+	if err != nil {
+		return nil, fmt.Errorf("core: tree wave schedule: %w", err)
+	}
+	res := &WaveResult{
+		Level:      1,
+		Timing:     Timing{CMin: cMin, CMax: cMax},
+		Measured:   sim.Measure(tr),
+		Fractions:  consistency.Measure(tr.Ops()),
+		PredNonLin: w / 2,
+		PredNonSC:  w / 2,
+		Trace:      tr,
+	}
+	res.Overtook = wave2Exit+1+sim.Time(d)*cMin < sim.Time(d)*cMax
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/construct"
+)
+
+// TestTreeWaves: the tree-side three-wave adversary realises the 1/3
+// inconsistency fractions exactly, at ratio d+1+ε.
+func TestTreeWaves(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			net := construct.MustTree(w)
+			res, err := TreeWaves(net, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Overtook {
+				t.Fatal("wave 3 should overtake wave 1")
+			}
+			if res.Fractions.Total != 3*w/2 {
+				t.Errorf("total = %d, want %d", res.Fractions.Total, 3*w/2)
+			}
+			if res.Fractions.NonLin != w/2 || res.Fractions.NonSC != w/2 {
+				t.Errorf("fractions %v, want %d each", res.Fractions, w/2)
+			}
+			// The wave-2 tokens (trace indices w/2..w-1) carry the upper
+			// half of the first counting round.
+			for _, tok := range res.Trace.Tokens[w/2 : w] {
+				if tok.Value < int64(w/2) || tok.Value >= int64(w) {
+					t.Errorf("wave-2 token value %d outside [%d,%d)", tok.Value, w/2, w)
+				}
+			}
+			// The wave-3 tokens (last w/2) carry 0..w/2-1.
+			for _, tok := range res.Trace.Tokens[w:] {
+				if tok.Value >= int64(w/2) {
+					t.Errorf("wave-3 token value %d, want < %d", tok.Value, w/2)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeWavesNegativeControl: at ratio 2 the same schedule shape is
+// linearizable (LSST99 sufficient side holds for the tree).
+func TestTreeWavesNegativeControl(t *testing.T) {
+	net := construct.MustTree(8)
+	res, err := TreeWaves(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overtook {
+		t.Fatal("waves must not overtake at ratio 2")
+	}
+	if res.Fractions.NonLin != 0 || res.Fractions.NonSC != 0 {
+		t.Errorf("fractions %v, want zeros", res.Fractions)
+	}
+	if !consistency.Linearizable(res.Trace.Ops()) {
+		t.Error("ratio-2 tree schedule must be linearizable")
+	}
+}
+
+func TestTreeWavesRejectsWideInput(t *testing.T) {
+	if _, err := TreeWaves(construct.MustBitonic(8), 0); err == nil {
+		t.Error("TreeWaves should reject multi-input networks")
+	}
+}

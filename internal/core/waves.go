@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/consistency"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// WaveResult is the outcome of executing one of the paper's wave
+// constructions.
+type WaveResult struct {
+	// Level is the ℓ parameter of Theorem 5.11 (1 for Proposition 5.3).
+	Level int
+	// Timing holds the wire-delay bounds used; Measured the realised
+	// parameters of the trace.
+	Timing   Timing
+	Measured sim.Params
+	// Fractions are the realised inconsistency fractions.
+	Fractions consistency.Fractions
+	// PredNonLin and PredNonSC are the token counts the construction is
+	// proved to make non-linearizable / non-sequentially-consistent.
+	PredNonLin, PredNonSC int
+	// Overtook reports whether the third wave actually bypassed the first,
+	// i.e. whether the construction's timing inequality was realised.
+	Overtook bool
+	Trace    *sim.Trace
+}
+
+// String implements fmt.Stringer.
+func (r *WaveResult) String() string {
+	return fmt.Sprintf("ℓ=%d %v: %v (predicted F_nl=%d F_nsc=%d, overtook=%v)",
+		r.Level, r.Timing, r.Fractions, r.PredNonLin, r.PredNonSC, r.Overtook)
+}
+
+// MinWaveCMax returns the smallest integer c_max (with c_min = 1) that
+// makes the Theorem 5.11 three-wave schedule's third wave exit before the
+// first wave, in this package's exact schedule arithmetic:
+// the third wave exits at (sd−1)·c_max + m + 1 + d(G) and the first at
+// d(G)·c_max, where m = d(G) − sd + 1 counts the wire segments from the
+// split layer to the counters. (The paper's corresponding condition is
+// c_max/c_min > 1 + d(G)/d(S^ℓ), Theorem 5.11; the constants differ by the
+// wire into the split network and the one-tick entry separation, the shape
+// — threshold growing as d(G)/d(S^ℓ) — is the same.)
+func MinWaveCMax(depth, absSplitDepth int) sim.Time {
+	m := int64(depth - absSplitDepth + 1)
+	return (m+int64(depth)+1)/m + 1
+}
+
+// Theorem511Waves executes the Theorem 5.11 construction at level ℓ on a
+// uniform, continuously complete, continuously uniformly splittable
+// counting network with fan w:
+//
+//   - wave 1: w·(1−2^−ℓ) tokens, one per input wire 0.., entering at time
+//     0 at the slowest speed c_max throughout;
+//   - wave 2: w/2^ℓ tokens on input wires 0.., entering at time 0 just
+//     behind wave 1, slow until past the cumulative split layer sd_ℓ, then
+//     fastest speed c_min;
+//   - wave 3: the wave-1 pattern again, entering one tick after wave 2
+//     exits, at c_min throughout; its first w/2^ℓ tokens are issued by the
+//     same processes as wave 2.
+//
+// With c_max at least MinWaveCMax, wave 3 bypasses wave 1 and returns
+// values below every wave-2 value, realising the predicted
+// non-linearizability and non-sequential-consistency fractions exactly.
+func Theorem511Waves(net *network.Network, seq *topology.SplitSequence, l int, cMax sim.Time) (*WaveResult, error) {
+	w := net.FanOut()
+	if net.FanIn() != w {
+		return nil, fmt.Errorf("core: wave construction needs fan-in = fan-out, got (%d,%d)", net.FanIn(), w)
+	}
+	if l < 1 || l > seq.SplitNumber() {
+		return nil, fmt.Errorf("core: level ℓ=%d outside 1..sp=%d", l, seq.SplitNumber())
+	}
+	firstThird, second, predNL, predNSC := Theorem511WaveCounts(w, l)
+	sd, err := seq.AbsSplitDepth(l)
+	if err != nil {
+		return nil, err
+	}
+	d := net.Depth()
+	cMin := sim.Time(1)
+	if cMax <= 0 {
+		cMax = MinWaveCMax(d, sd)
+	}
+
+	var specs []sim.TokenSpec
+	// Wave 1: fresh processes, slowest throughout.
+	for i := 0; i < firstThird; i++ {
+		specs = append(specs, sim.TokenSpec{
+			Process: 1_000 + i,
+			Input:   i,
+			Enter:   0,
+			Rank:    1,
+			Delay:   sim.ConstantDelay(cMax),
+		})
+	}
+	// Wave 2: processes p_0..p_{second-1}, just behind wave 1; slow until
+	// past the split layer, then fastest.
+	for i := 0; i < second; i++ {
+		specs = append(specs, sim.TokenSpec{
+			Process: i,
+			Input:   i,
+			Enter:   0,
+			Rank:    2,
+			Delay:   sim.PiecewiseDelay(sd, cMax, cMin),
+		})
+	}
+	// Wave 2 exits at (sd−1)·cMax + m·cMin with m = d − sd + 1.
+	wave2Exit := sim.Time(sd-1)*cMax + sim.Time(d-sd+1)*cMin
+	// Wave 3: wave-1 pattern, fastest, entering one tick after wave 2; the
+	// first `second` tokens reuse wave 2's processes.
+	for i := 0; i < firstThird; i++ {
+		proc := 2_000 + i
+		if i < second {
+			proc = i
+		}
+		specs = append(specs, sim.TokenSpec{
+			Process: proc,
+			Input:   i,
+			Enter:   wave2Exit + 1,
+			Rank:    1,
+			Delay:   sim.ConstantDelay(cMin),
+		})
+	}
+
+	tr, err := sim.Run(net, specs)
+	if err != nil {
+		return nil, fmt.Errorf("core: wave schedule: %w", err)
+	}
+	res := &WaveResult{
+		Level:      l,
+		Timing:     Timing{CMin: cMin, CMax: cMax},
+		Measured:   sim.Measure(tr),
+		Fractions:  consistency.Measure(tr.Ops()),
+		PredNonLin: predNL,
+		PredNonSC:  predNSC,
+		Trace:      tr,
+	}
+	wave3Exit := wave2Exit + 1 + sim.Time(d)*cMin
+	wave1Exit := sim.Time(d) * cMax
+	res.Overtook = wave3Exit < wave1Exit
+	return res, nil
+}
+
+// Proposition53Waves executes the Proposition 5.2/5.3 three-wave schedule
+// on the bitonic network B(w): the Theorem 5.11 construction at ℓ = 1,
+// whose speed change happens at the entry of the merging network M(w). It
+// realises F_nl ≥ 1/3 (Proposition 5.2) and F_nsc ≥ 1/3 (Proposition 5.3)
+// with exactly w/2 inconsistent tokens among 3w/2.
+func Proposition53Waves(net *network.Network, seq *topology.SplitSequence, cMax sim.Time) (*WaveResult, error) {
+	return Theorem511Waves(net, seq, 1, cMax)
+}

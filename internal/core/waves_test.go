@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/construct"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func splitSeq(t *testing.T, net *network.Network) *topology.SplitSequence {
+	t.Helper()
+	seq, err := topology.ComputeSplitSequence(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// TestProposition53 reproduces Propositions 5.2/5.3 on B(w): the
+// three-wave schedule yields exactly w/2 non-linearizable and w/2
+// non-sequentially-consistent tokens among 3w/2, so both fractions equal
+// 1/3.
+func TestProposition53(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			net := construct.MustBitonic(w)
+			res, err := Proposition53Waves(net, splitSeq(t, net), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Overtook {
+				t.Fatal("third wave should overtake the first")
+			}
+			if res.Fractions.Total != 3*w/2 {
+				t.Errorf("total = %d, want %d", res.Fractions.Total, 3*w/2)
+			}
+			if res.Fractions.NonLin != w/2 {
+				t.Errorf("non-linearizable = %d, want %d", res.Fractions.NonLin, w/2)
+			}
+			if res.Fractions.NonSC != w/2 {
+				t.Errorf("non-SC = %d, want %d", res.Fractions.NonSC, w/2)
+			}
+			if got := res.Fractions.NonLinFraction(); math.Abs(got-1.0/3) > 1e-12 {
+				t.Errorf("F_nl = %v, want 1/3", got)
+			}
+			if got := res.Fractions.NonSCFraction(); math.Abs(got-1.0/3) > 1e-12 {
+				t.Errorf("F_nsc = %v, want 1/3", got)
+			}
+			// The realised wire delays really are within the claimed bounds.
+			if res.Measured.CMin < res.Timing.CMin || res.Measured.CMax > res.Timing.CMax {
+				t.Errorf("measured delays [%d,%d] outside [%d,%d]",
+					res.Measured.CMin, res.Measured.CMax, res.Timing.CMin, res.Timing.CMax)
+			}
+		})
+	}
+}
+
+// TestTheorem511 reproduces Theorem 5.11 on B(w) and P(w) for every level
+// 1 ≤ ℓ ≤ sp: the measured fractions match the predicted counts exactly
+// and therefore meet the paper's lower-bound formulas.
+func TestTheorem511(t *testing.T) {
+	for _, w := range []int{8, 16} {
+		nets := map[string]*network.Network{
+			fmt.Sprintf("bitonic-%d", w):  construct.MustBitonic(w),
+			fmt.Sprintf("periodic-%d", w): construct.MustPeriodic(w),
+		}
+		for name, net := range nets {
+			seq := splitSeq(t, net)
+			for l := 1; l <= seq.SplitNumber(); l++ {
+				t.Run(fmt.Sprintf("%s/l=%d", name, l), func(t *testing.T) {
+					res, err := Theorem511Waves(net, seq, l, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Overtook {
+						t.Fatal("third wave should overtake the first")
+					}
+					ft, sec, predNL, predNSC := Theorem511WaveCounts(w, l)
+					if res.Fractions.Total != 2*ft+sec {
+						t.Errorf("total = %d, want %d", res.Fractions.Total, 2*ft+sec)
+					}
+					if res.Fractions.NonLin != predNL {
+						t.Errorf("non-lin = %d, want %d", res.Fractions.NonLin, predNL)
+					}
+					if res.Fractions.NonSC != predNSC {
+						t.Errorf("non-SC = %d, want %d", res.Fractions.NonSC, predNSC)
+					}
+					// Meets the closed-form lower bounds exactly.
+					if got, want := res.Fractions.NonLinFraction(), Theorem511NonLinBound(l); math.Abs(got-want) > 1e-12 {
+						t.Errorf("F_nl = %v, want %v", got, want)
+					}
+					if got, want := res.Fractions.NonSCFraction(), Theorem511NonSCBound(l); math.Abs(got-want) > 1e-12 {
+						t.Errorf("F_nsc = %v, want %v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCorollary512513: at ℓ = sp = lg w the fractions are (w−1)/(2w−1)
+// and 1/(2w−1) on both the bitonic and periodic networks.
+func TestCorollary512513(t *testing.T) {
+	for _, w := range []int{8, 16} {
+		for name, net := range map[string]*network.Network{
+			"bitonic":  construct.MustBitonic(w),
+			"periodic": construct.MustPeriodic(w),
+		} {
+			t.Run(fmt.Sprintf("%s-%d", name, w), func(t *testing.T) {
+				seq := splitSeq(t, net)
+				res, err := Theorem511Waves(net, seq, construct.Lg(w), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := res.Fractions.NonLinFraction(), Corollary512NonLin(w); math.Abs(got-want) > 1e-12 {
+					t.Errorf("F_nl = %v, want %v", got, want)
+				}
+				if got, want := res.Fractions.NonSCFraction(), Corollary512NonSC(w); math.Abs(got-want) > 1e-12 {
+					t.Errorf("F_nsc = %v, want %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestWaveNegativeControl: with c_max below the overtaking threshold the
+// same construction is harmless — the execution is linearizable and the
+// fractions are zero. This is the ablation DESIGN.md calls out.
+func TestWaveNegativeControl(t *testing.T) {
+	net := construct.MustBitonic(8)
+	seq := splitSeq(t, net)
+	res, err := Theorem511Waves(net, seq, 1, 2) // ratio 2: within Cor 3.10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overtook {
+		t.Fatal("waves should not overtake at ratio 2")
+	}
+	if res.Fractions.NonLin != 0 || res.Fractions.NonSC != 0 {
+		t.Errorf("fractions = %v, want zeros", res.Fractions)
+	}
+	if !consistency.Linearizable(res.Trace.Ops()) {
+		t.Error("ratio-2 wave schedule must be linearizable (Cor 3.10)")
+	}
+}
+
+// TestWaveErrors covers parameter validation.
+func TestWaveErrors(t *testing.T) {
+	net := construct.MustBitonic(8)
+	seq := splitSeq(t, net)
+	if _, err := Theorem511Waves(net, seq, 0, 0); err == nil {
+		t.Error("ℓ=0 should fail")
+	}
+	if _, err := Theorem511Waves(net, seq, seq.SplitNumber()+1, 0); err == nil {
+		t.Error("ℓ>sp should fail")
+	}
+	tree := construct.MustTree(8)
+	treeSeq := splitSeq(t, tree)
+	if _, err := Theorem511Waves(tree, treeSeq, 1, 0); err == nil {
+		t.Error("fan-in 1 network should be rejected by the wave construction")
+	}
+}
+
+// TestMinWaveCMaxMatchesNecessaryShape: the threshold our schedule needs is
+// at least the MPT97 necessary bound d/irad + 1 — the construction cannot
+// beat a proven necessary condition — and within a small additive constant
+// of it for the bitonic family (where irad = d − sd + 1).
+func TestMinWaveCMaxMatchesNecessaryShape(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		net := construct.MustBitonic(w)
+		seq := splitSeq(t, net)
+		an := topology.Analyze(net)
+		irad := an.InfluenceRadius()
+		sd1, err := seq.AbsSplitDepth(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		need := MinWaveCMax(net.Depth(), sd1)
+		necessary := float64(net.Depth())/float64(irad) + 1
+		if float64(need) <= necessary {
+			t.Errorf("w=%d: wave threshold %d does not exceed necessary bound %.3f", w, need, necessary)
+		}
+		if float64(need) > necessary+3 {
+			t.Errorf("w=%d: wave threshold %d is far above necessary bound %.3f", w, need, necessary)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package msgnet is the message-passing implementation of balancing
+// networks. Section 2.3 of the paper notes its timing model "is
+// sufficiently general to capture both shared memory and message passing
+// implementations of balancers"; package runtime is the shared-memory
+// implementation, and this package is the message-passing one:
+//
+//   - every balancer is a goroutine (an actor) owning its round-robin
+//     toggle — no atomics, no locks; state is confined to the actor;
+//   - wires are channels: a balancer forwards a token by sending it into
+//     the next node's inbox;
+//   - every sink counter is a goroutine owning its value sequence and
+//     answering each token on the token's reply channel.
+//
+// The actor-per-balancer design makes each balancer transition trivially
+// atomic (one goroutine serializes it), which is exactly the
+// instantaneous-step semantics of the formal model; the channel hops play
+// the role of wire delays.
+package msgnet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// token is one increment request flowing through the channels.
+type token struct {
+	reply chan int64
+}
+
+// Network is a running message-passing counting network. Create with
+// Start, use Inc concurrently, then Close once no Inc is in flight.
+type Network struct {
+	spec   *network.Network
+	inputs []chan token
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+	mu     sync.Mutex
+}
+
+// Start spins up the balancer and counter actors for spec. buffer sizes
+// every wire channel; 0 gives fully synchronous hand-offs (a send *is* the
+// wire traversal), larger values let wires hold pending tokens, matching
+// the paper's "wires provide no ordering of pending tokens" only loosely —
+// channel wires are FIFO, a legal special case of the model.
+func Start(spec *network.Network, buffer int) (*Network, error) {
+	if buffer < 0 {
+		return nil, fmt.Errorf("msgnet: negative buffer %d", buffer)
+	}
+	n := &Network{spec: spec, done: make(chan struct{})}
+
+	// One inbox per balancer, one per sink.
+	balIn := make([]chan token, spec.Size())
+	for b := range balIn {
+		balIn[b] = make(chan token, buffer)
+	}
+	sinkIn := make([]chan token, spec.FanOut())
+	for j := range sinkIn {
+		sinkIn[j] = make(chan token, buffer)
+	}
+	chanFor := func(e network.Endpoint) (chan token, error) {
+		switch e.Kind {
+		case network.KindBalancer:
+			return balIn[e.Index], nil
+		case network.KindSink:
+			return sinkIn[e.Index], nil
+		default:
+			return nil, fmt.Errorf("msgnet: wire into %v", e)
+		}
+	}
+
+	// Balancer actors.
+	for b := 0; b < spec.Size(); b++ {
+		outs := make([]chan token, spec.Balancer(b).FanOut)
+		for p := range outs {
+			ch, err := chanFor(spec.OutputTarget(b, p))
+			if err != nil {
+				return nil, err
+			}
+			outs[p] = ch
+		}
+		inbox := balIn[b]
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			next := 0 // the toggle, owned by this goroutine
+			for {
+				select {
+				case tok := <-inbox:
+					out := outs[next]
+					next = (next + 1) % len(outs)
+					select {
+					case out <- tok:
+					case <-n.done:
+						return
+					}
+				case <-n.done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Counter actors: sink j owns the sequence j, j+w, j+2w, ...
+	w := int64(spec.FanOut())
+	for j := 0; j < spec.FanOut(); j++ {
+		inbox := sinkIn[j]
+		value := int64(j)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case tok := <-inbox:
+					tok.reply <- value
+					value += w
+				case <-n.done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Input wires.
+	n.inputs = make([]chan token, spec.FanIn())
+	for i := 0; i < spec.FanIn(); i++ {
+		ch, err := chanFor(spec.InputTarget(i))
+		if err != nil {
+			return nil, err
+		}
+		n.inputs[i] = ch
+	}
+	return n, nil
+}
+
+// Inc shepherds one token from the given input wire (reduced modulo the
+// fan-in) to its counter and returns the value. Safe for concurrent use.
+// Inc after Close returns -1.
+func (n *Network) Inc(wire int) int64 {
+	tok := token{reply: make(chan int64, 1)}
+	select {
+	case n.inputs[wire%len(n.inputs)] <- tok:
+	case <-n.done:
+		return -1
+	}
+	select {
+	case v := <-tok.reply:
+		return v
+	case <-n.done:
+		return -1
+	}
+}
+
+// Close stops every actor and waits for them to exit. Callers must ensure
+// no Inc is in flight (quiescence); in-flight tokens are abandoned with
+// their Inc returning -1. Close is idempotent.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if !n.closed {
+		n.closed = true
+		close(n.done)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}

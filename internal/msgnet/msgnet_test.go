@@ -1,0 +1,124 @@
+package msgnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/runtime"
+)
+
+func TestSequentialValues(t *testing.T) {
+	n, err := Start(construct.MustBitonic(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for k := int64(0); k < 40; k++ {
+		if v := n.Inc(int(k) % 8); v != k {
+			t.Fatalf("token %d got %d", k, v)
+		}
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		spec   func() (*Network, error)
+		wires  int
+		buffer int
+	}{
+		{"bitonic-8/sync", func() (*Network, error) { return Start(construct.MustBitonic(8), 0) }, 8, 0},
+		{"bitonic-8/buffered", func() (*Network, error) { return Start(construct.MustBitonic(8), 4) }, 8, 4},
+		{"periodic-4", func() (*Network, error) { return Start(construct.MustPeriodic(4), 1) }, 4, 1},
+		{"tree-8", func() (*Network, error) { return Start(construct.MustTree(8), 1) }, 1, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := tc.spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			const workers, per = 8, 150
+			values := make([][]int64, workers)
+			var wg sync.WaitGroup
+			for id := 0; id < workers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for k := 0; k < per; k++ {
+						values[id] = append(values[id], n.Inc(id%tc.wires))
+					}
+				}(id)
+			}
+			wg.Wait()
+			var all []int64
+			for _, vs := range values {
+				all = append(all, vs...)
+			}
+			if err := runtime.Verify(all); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAgreesWithSharedMemory: both substrates hand out identical value
+// sets; sequential streams even match token-for-token, because a lone
+// token sees the same toggles in both worlds.
+func TestAgreesWithSharedMemory(t *testing.T) {
+	spec := construct.MustBitonic(4)
+	mp, err := Start(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	sm := runtime.MustCompile(spec)
+	for k := 0; k < 30; k++ {
+		wire := (k * 3) % 4
+		if got, want := mp.Inc(wire), sm.Inc(wire); got != want {
+			t.Fatalf("token %d on wire %d: message-passing %d vs shared-memory %d", k, wire, got, want)
+		}
+	}
+}
+
+func TestCloseIdempotentAndIncAfterClose(t *testing.T) {
+	n, err := Start(construct.MustBitonic(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := n.Inc(0); v != 0 {
+		t.Fatalf("first value %d", v)
+	}
+	n.Close()
+	n.Close() // idempotent
+	if v := n.Inc(0); v != -1 {
+		t.Errorf("Inc after Close = %d, want -1", v)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	if _, err := Start(construct.MustBitonic(4), -1); err == nil {
+		t.Error("negative buffer should fail")
+	}
+}
+
+func BenchmarkMsgNetInc(b *testing.B) {
+	n, err := Start(construct.MustBitonic(8), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Inc(i % 8)
+	}
+}
+
+func ExampleStart() {
+	n, _ := Start(construct.MustBitonic(4), 1)
+	defer n.Close()
+	fmt.Println(n.Inc(0), n.Inc(1), n.Inc(2))
+	// Output: 0 1 2
+}

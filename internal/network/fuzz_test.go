@@ -1,0 +1,146 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLayeredNetwork builds a random layered regular network on w lines:
+// a few columns of randomly chosen disjoint balancers. Such networks are
+// valid balancing networks but rarely counting networks — exactly the
+// population the per-balancer invariants must still cover.
+func randomLayeredNetwork(rng *rand.Rand, w, columns int) *Network {
+	lb := NewLineBuilder(w)
+	for c := 0; c < columns; c++ {
+		perm := rng.Perm(w)
+		// Pair up a random prefix of the permutation.
+		pairs := rng.Intn(w/2) + 1
+		for p := 0; p < pairs; p++ {
+			lb.Balancer(perm[2*p], perm[2*p+1])
+		}
+		lb.Barrier()
+	}
+	n, _, err := lb.Finish()
+	if err != nil {
+		panic(err) // generator bug, not test input
+	}
+	return n
+}
+
+// TestQuickRandomNetworksInvariants: on arbitrary random balancing
+// networks, any interleaving preserves (a) per-balancer conservation and
+// step shape at quiescence, (b) the total count of values handed out, and
+// (c) determinism for a fixed interleaving seed.
+func TestQuickRandomNetworksInvariants(t *testing.T) {
+	prop := func(seed int64, wRaw, colRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 2 * (int(wRaw)%4 + 1) // 2..8 lines
+		columns := int(colRaw)%4 + 1
+		tokens := int(nRaw)%20 + 1
+		n := randomLayeredNetwork(rng, w, columns)
+		inputs := make([]int, tokens)
+		for i := range inputs {
+			inputs[i] = rng.Intn(w)
+		}
+		s := NewState(n)
+		v1 := RunInterleaved(s, inputs, rand.New(rand.NewSource(seed+1)))
+		if s.VerifyQuiescent() != nil {
+			return false
+		}
+		// Values are distinct (each counter's sequence never repeats).
+		seen := map[int64]bool{}
+		for _, v := range v1 {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		// Determinism.
+		s2 := NewState(n)
+		v2 := RunInterleaved(s2, inputs, rand.New(rand.NewSource(seed+1)))
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBuilderNeverPanics: arbitrary (mostly invalid) wiring attempts
+// must produce errors, never panics, and valid ones must produce networks
+// that traverse safely.
+func TestQuickBuilderNeverPanics(t *testing.T) {
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		wIn := rng.Intn(5)
+		wOut := rng.Intn(5)
+		b := NewBuilder(wIn, wOut)
+		nBal := rng.Intn(4)
+		for i := 0; i < nBal; i++ {
+			b.AddBalancer(rng.Intn(4), rng.Intn(4))
+		}
+		// Random connections, many of them invalid.
+		for k := rng.Intn(10); k > 0; k-- {
+			to := Endpoint{
+				Kind:  NodeKind(rng.Intn(4)),
+				Index: rng.Intn(5) - 1,
+				Port:  rng.Intn(4) - 1,
+			}
+			if rng.Intn(2) == 0 && wIn > 0 {
+				b.ConnectInput(rng.Intn(wIn+1)-1, to)
+			} else {
+				b.Connect(rng.Intn(nBal+2)-1, rng.Intn(4)-1, to)
+			}
+		}
+		n, err := b.Build()
+		if err != nil {
+			return true // rejected cleanly
+		}
+		// A validated network must traverse without panicking.
+		s := NewState(n)
+		for k := 0; k < 3 && n.FanIn() > 0; k++ {
+			s.Traverse(rng.Intn(n.FanIn()))
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUniformityDetection: every layered LineBuilder network whose
+// columns each touch all lines is uniform; dropping a line from one column
+// generally breaks uniformity. Here we check the positive direction on
+// full columns.
+func TestQuickUniformityDetection(t *testing.T) {
+	prop := func(seed int64, wRaw, colRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 2 * (int(wRaw)%4 + 1)
+		columns := int(colRaw)%4 + 1
+		lb := NewLineBuilder(w)
+		for c := 0; c < columns; c++ {
+			perm := rng.Perm(w)
+			for p := 0; p < w/2; p++ { // full column: every line covered
+				lb.Balancer(perm[2*p], perm[2*p+1])
+			}
+		}
+		n, _, err := lb.Finish()
+		if err != nil {
+			return false
+		}
+		return n.Uniform() && n.Depth() == columns && n.Shallowness() == columns
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild on invalid wiring should panic")
+		}
+	}()
+	b := NewBuilder(2, 2)
+	b.AddBalancer(2, 2) // nothing wired
+	b.MustBuild()
+}
+
+func TestMustFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish on invalid builder should panic")
+		}
+	}()
+	lb := NewLineBuilder(4)
+	lb.Balancer(0, 9) // out-of-range line
+	lb.MustFinish()
+}
+
+func TestLineBuilderColumn(t *testing.T) {
+	lb := NewLineBuilder(4)
+	ids := lb.Column([][2]int{{0, 1}, {2, 3}})
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Fatalf("Column ids = %v", ids)
+	}
+	n, layout, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 2 || n.Depth() != 1 {
+		t.Errorf("shape = size %d depth %d", n.Size(), n.Depth())
+	}
+	// Both balancers share column 0.
+	for _, pl := range layout.Placements {
+		if pl.Column != 0 {
+			t.Errorf("placement column = %d, want 0", pl.Column)
+		}
+	}
+}
+
+func TestLineBuilderBarrier(t *testing.T) {
+	lb := NewLineBuilder(4)
+	lb.Balancer(0, 1)
+	lb.Barrier()
+	lb.Balancer(2, 3) // would be column 0 without the barrier
+	_, layout, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := map[int]int{}
+	for _, pl := range layout.Placements {
+		cols[pl.Lines[0]] = pl.Column
+	}
+	if cols[2] != 1 {
+		t.Errorf("post-barrier balancer at column %d, want 1", cols[2])
+	}
+}
+
+func TestLineBuilderDuplicateLines(t *testing.T) {
+	lb := NewLineBuilder(4)
+	if id := lb.Balancer(1, 1); id != -1 {
+		t.Error("duplicate lines should be rejected")
+	}
+	if _, _, err := lb.Finish(); err == nil {
+		t.Error("Finish should surface the earlier error")
+	}
+}
+
+func TestReachableSinksAndHasPath(t *testing.T) {
+	lb := NewLineBuilder(4)
+	lb.Balancer(0, 1)
+	lb.Balancer(2, 3)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.ReachableSinks(Endpoint{Kind: KindSource, Index: 0})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ReachableSinks(in0) = %v, want [0 1]", got)
+	}
+	if n.HasPath(0, 2) {
+		t.Error("no path from wire 0 to sink 2 in two disjoint balancers")
+	}
+	if !n.HasPath(2, 3) {
+		t.Error("path from wire 2 to sink 3 should exist")
+	}
+	if n.FullyConnected() {
+		t.Error("two disjoint balancers are not fully connected")
+	}
+}
+
+func TestBalancerSpecRegular(t *testing.T) {
+	if !(BalancerSpec{FanIn: 2, FanOut: 2}).Regular() {
+		t.Error("(2,2) is regular")
+	}
+	if (BalancerSpec{FanIn: 1, FanOut: 2}).Regular() {
+		t.Error("(1,2) is not regular")
+	}
+}
+
+func TestBalancersCopy(t *testing.T) {
+	lb := NewLineBuilder(2)
+	lb.Balancer(0, 1)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := n.Balancers()
+	specs[0].FanIn = 99
+	if n.Balancer(0).FanIn == 99 {
+		t.Error("Balancers must return a copy")
+	}
+}
+
+func TestSinkAndInputSources(t *testing.T) {
+	lb := NewLineBuilder(2)
+	bal := lb.Balancer(0, 1)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := n.SinkSource(0); src.Kind != KindBalancer || src.Index != bal {
+		t.Errorf("SinkSource(0) = %v", src)
+	}
+	if src := n.InputSource(bal, 0); src.Kind != KindSource || src.Index != 0 {
+		t.Errorf("InputSource = %v", src)
+	}
+	if got := n.InputTarget(1); got.Kind != KindBalancer || got.Port != 1 {
+		t.Errorf("InputTarget(1) = %v", got)
+	}
+	if got := n.OutputTarget(bal, 1); got.Kind != KindSink || got.Index != 1 {
+		t.Errorf("OutputTarget = %v", got)
+	}
+	if d := n.SinkDepth(0); d != 2 {
+		t.Errorf("SinkDepth = %d, want 2", d)
+	}
+	if layers := n.Layers(); len(layers) != 1 || len(layers[0]) != 1 {
+		t.Errorf("Layers = %v", layers)
+	}
+}
+
+func TestTraversePathSteps(t *testing.T) {
+	lb := NewLineBuilder(2)
+	lb.Balancer(0, 1)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(n)
+	v, steps := s.TraversePath(1)
+	if v != 0 || len(steps) != 2 {
+		t.Fatalf("TraversePath = %d, %v", v, steps)
+	}
+	if steps[0].Kind != StepBalancer || steps[0].InPort != 1 || steps[0].OutPort != 0 {
+		t.Errorf("balancer step = %+v", steps[0])
+	}
+	if steps[1].Kind != StepCounter || steps[1].Sink != 0 {
+		t.Errorf("counter step = %+v", steps[1])
+	}
+	if !strings.Contains(steps[0].String(), "BAL") || !strings.Contains(steps[1].String(), "COUNT") {
+		t.Error("step strings wrong")
+	}
+}
+
+func TestRunSequentialHelper(t *testing.T) {
+	lb := NewLineBuilder(2)
+	lb.Balancer(0, 1)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := RunSequential(NewState(n), []int{0, 1, 0})
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Errorf("vals[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestVerifyCountingNoWires(t *testing.T) {
+	lb := NewLineBuilder(2)
+	lb.Balancer(0, 1)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCounting(n, 3, nil, nil); err == nil {
+		t.Error("empty wire set should fail")
+	}
+}

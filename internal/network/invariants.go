@@ -1,0 +1,75 @@
+package network
+
+import "fmt"
+
+// CheckSafetyBound verifies the mid-flight safety invariant of counting
+// networks (AHS94): in EVERY reachable state — quiescent or not — output
+// wire j (0-based) has emitted at most ⌈(x − j)/w⌉ tokens, where x is the
+// number of tokens that have entered. Equivalently, value j + k·w can only
+// be handed out once at least k·w + j + 1 tokens have entered the network.
+//
+// This is the invariant that makes counter-based barriers safe (Section
+// 1.1 of the paper): a process that obtains value n−1 from an n-process
+// round knows all n processes have begun their increments.
+func (s *State) CheckSafetyBound() error {
+	var entered int64
+	for _, x := range s.inCount {
+		entered += x
+	}
+	w := int64(s.net.FanOut())
+	for j, y := range s.sinkIn {
+		// ⌈(entered − j)/w⌉, clamped at 0.
+		num := entered - int64(j)
+		var bound int64
+		if num > 0 {
+			bound = (num + w - 1) / w
+		}
+		if y > bound {
+			return fmt.Errorf("safety bound violated: sink %d emitted %d tokens with only %d entered (bound %d)",
+				j, y, entered, bound)
+		}
+	}
+	return nil
+}
+
+// CheckSmooth verifies k-smoothness of a count vector: any two entries
+// differ by at most k. A counting network's quiescent outputs are 1-smooth
+// and step-shaped; balancing networks that are not counting networks may
+// still guarantee k-smoothness for some k (the smoothing networks of the
+// related-work section).
+func CheckSmooth(counts []int64, k int64) error {
+	if len(counts) == 0 {
+		return nil
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > k {
+		return fmt.Errorf("not %d-smooth: counts range over [%d, %d]", k, min, max)
+	}
+	return nil
+}
+
+// Smoothness returns the smallest k for which the counts are k-smooth
+// (max − min).
+func Smoothness(counts []int64) int64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max - min
+}

@@ -1,0 +1,196 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckSmooth(t *testing.T) {
+	tests := []struct {
+		counts []int64
+		k      int64
+		ok     bool
+	}{
+		{nil, 0, true},
+		{[]int64{3, 3, 3}, 0, true},
+		{[]int64{3, 2, 3}, 1, true},
+		{[]int64{3, 1, 3}, 1, false},
+		{[]int64{5, 2}, 3, true},
+		{[]int64{5, 1}, 3, false},
+	}
+	for _, tt := range tests {
+		err := CheckSmooth(tt.counts, tt.k)
+		if (err == nil) != tt.ok {
+			t.Errorf("CheckSmooth(%v, %d) = %v, want ok=%v", tt.counts, tt.k, err, tt.ok)
+		}
+	}
+}
+
+func TestSmoothness(t *testing.T) {
+	if got := Smoothness(nil); got != 0 {
+		t.Errorf("Smoothness(nil) = %d", got)
+	}
+	if got := Smoothness([]int64{4, 1, 3}); got != 3 {
+		t.Errorf("Smoothness = %d, want 3", got)
+	}
+}
+
+// stepStateB4 builds a B(4)-shaped network locally to avoid an import
+// cycle with package construct: two layers of two balancers and the final
+// column, wired exactly as construct.Bitonic(4).
+func bitonic4(t testing.TB) *Network {
+	t.Helper()
+	lb := NewLineBuilder(4)
+	lb.Balancer(0, 1)
+	lb.Balancer(2, 3)
+	lb.Balancer(0, 3)
+	lb.Balancer(1, 2)
+	lb.Balancer(0, 1)
+	lb.Balancer(2, 3)
+	n, _, err := lb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestSafetyBoundEveryStep: the AHS94 safety bound holds after EVERY step
+// of random interleavings, not just at quiescence.
+func TestSafetyBoundEveryStep(t *testing.T) {
+	n := bitonic4(t)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(n)
+		var cursors []*Cursor
+		for k := 0; k < 12; k++ {
+			cursors = append(cursors, s.Start(rng.Intn(4)))
+		}
+		active := len(cursors)
+		for active > 0 {
+			i := rng.Intn(len(cursors))
+			if cursors[i].Done {
+				continue
+			}
+			s.Step(cursors[i])
+			if cursors[i].Done {
+				active--
+			}
+			if err := s.CheckSafetyBound(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestSafetyBoundExhaustive: the bound holds in every reachable final
+// configuration of small token sets (intermediate configurations are
+// covered by the step-by-step test above; final ones here confirm the
+// explorer's view agrees).
+func TestSafetyBoundExhaustive(t *testing.T) {
+	n := bitonic4(t)
+	_, err := ExploreInterleavings(n, []int{0, 1, 2}, func(s *State, _ []int64) error {
+		return s.CheckSafetyBound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSafetyBound is the property-based form over token counts,
+// input distributions and interleavings.
+func TestQuickSafetyBound(t *testing.T) {
+	n := bitonic4(t)
+	prop := func(seed int64, nRaw uint8) bool {
+		tokens := int(nRaw)%24 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(n)
+		var cursors []*Cursor
+		for k := 0; k < tokens; k++ {
+			cursors = append(cursors, s.Start(rng.Intn(4)))
+		}
+		remaining := tokens
+		for remaining > 0 {
+			i := rng.Intn(len(cursors))
+			if cursors[i].Done {
+				continue
+			}
+			s.Step(cursors[i])
+			if cursors[i].Done {
+				remaining--
+			}
+			if s.CheckSafetyBound() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStalledTokensFailureInjection: tokens parked forever inside the
+// network never break the completed tokens' values — no duplicates — and
+// the step property resumes once the stalled tokens are released
+// (the liveness property's conditional form).
+func TestStalledTokensFailureInjection(t *testing.T) {
+	n := bitonic4(t)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(n)
+		var all []*Cursor
+		for k := 0; k < 16; k++ {
+			all = append(all, s.Start(k%4))
+		}
+		// Stall 5 random tokens mid-flight; drive the rest to completion.
+		stalled := map[int]bool{}
+		for len(stalled) < 5 {
+			stalled[rng.Intn(len(all))] = true
+		}
+		for i, c := range all {
+			if stalled[i] {
+				// Take only a partial walk.
+				for steps := rng.Intn(n.Depth()); steps > 0 && !c.Done; steps-- {
+					s.Step(c)
+				}
+				if c.Done { // walked all the way: not stalled after all
+					delete(stalled, i)
+				}
+				continue
+			}
+			for !c.Done {
+				s.Step(c)
+			}
+		}
+		// Completed values are distinct and the safety bound holds.
+		seen := map[int64]bool{}
+		for i, c := range all {
+			if stalled[i] {
+				continue
+			}
+			if seen[c.Value] {
+				t.Fatalf("seed %d: duplicate value %d with stalled tokens", seed, c.Value)
+			}
+			seen[c.Value] = true
+		}
+		if err := s.CheckSafetyBound(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Quiescent() != (len(stalled) == 0) {
+			t.Fatalf("seed %d: quiescence should track stalled tokens", seed)
+		}
+		// Release the stalled tokens: full quiescent correctness returns.
+		for i := range stalled {
+			for !all[i].Done {
+				s.Step(all[i])
+			}
+		}
+		if err := s.VerifyQuiescent(); err != nil {
+			t.Fatalf("seed %d after release: %v", seed, err)
+		}
+		if err := s.VerifyStepProperty(); err != nil {
+			t.Fatalf("seed %d after release: %v", seed, err)
+		}
+	}
+}

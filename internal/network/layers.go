@@ -1,0 +1,224 @@
+package network
+
+import "fmt"
+
+// computeStructure derives the topological caches (depths, layers,
+// uniformity, shallowness) and rejects cyclic wiring. Called once by Build.
+func (n *Network) computeStructure() error {
+	nb := len(n.balancers)
+
+	// Topological sort of balancers using forward wiring and in-degrees
+	// counted over balancer-to-balancer wires only.
+	indeg := make([]int, nb)
+	for bi, ports := range n.inFrom {
+		for _, from := range ports {
+			if from.Kind == KindBalancer {
+				indeg[bi]++
+			}
+		}
+	}
+	queue := make([]int, 0, nb)
+	for bi, d := range indeg {
+		if d == 0 {
+			queue = append(queue, bi)
+		}
+	}
+	topo := make([]int, 0, nb)
+	for len(queue) > 0 {
+		bi := queue[0]
+		queue = queue[1:]
+		topo = append(topo, bi)
+		for _, to := range n.outTo[bi] {
+			if to.Kind == KindBalancer {
+				indeg[to.Index]--
+				if indeg[to.Index] == 0 {
+					queue = append(queue, to.Index)
+				}
+			}
+		}
+	}
+	if len(topo) != nb {
+		return ErrCycle
+	}
+
+	// Longest- and shortest-path depths per balancer, measured in balancers
+	// traversed: a balancer all of whose inputs are network input wires has
+	// depth 1. maxIn/minIn track the depth of the deepest/shallowest
+	// incoming wire (wire depth = depth of the balancer it leaves, 0 for
+	// network input wires).
+	n.balDepth = make([]int, nb)
+	minDepth := make([]int, nb)
+	wireDepth := func(e Endpoint, depths []int) int {
+		if e.Kind == KindSource {
+			return 0
+		}
+		return depths[e.Index]
+	}
+	for _, bi := range topo {
+		maxIn, minIn := 0, -1
+		for _, from := range n.inFrom[bi] {
+			d := wireDepth(from, n.balDepth)
+			if d > maxIn {
+				maxIn = d
+			}
+			sd := wireDepth(from, minDepth)
+			if minIn < 0 || sd < minIn {
+				minIn = sd
+			}
+		}
+		n.balDepth[bi] = maxIn + 1
+		minDepth[bi] = minIn + 1
+	}
+
+	// Depth of the network and sink depths.
+	n.depth = 0
+	for _, d := range n.balDepth {
+		if d > n.depth {
+			n.depth = d
+		}
+	}
+	n.sinkDepth = make([]int, n.wOut)
+	minSink := make([]int, n.wOut)
+	for j, from := range n.sinkFrom {
+		n.sinkDepth[j] = wireDepth(from, n.balDepth) + 1
+		minSink[j] = wireDepth(from, minDepth) + 1
+	}
+
+	// Shallowness s(G): shortest path from an input wire to an output wire,
+	// counted in balancers traversed.
+	n.shallow = -1
+	for j := range minSink {
+		// minSink already counts the sink transition; a path through k
+		// balancers to sink j has minSink[j] = k+1, so subtract 1.
+		if s := minSink[j] - 1; n.shallow < 0 || s < n.shallow {
+			n.shallow = s
+		}
+	}
+
+	// Uniformity (LSST99, Definition 2.1): every node lies on a
+	// source-to-sink path (guaranteed by full wiring + acyclicity) and all
+	// source-to-sink paths have the same length. The latter holds iff the
+	// longest and shortest path lengths agree at every balancer and sink.
+	n.uniform = true
+	for bi := range n.balancers {
+		if n.balDepth[bi] != minDepth[bi] {
+			n.uniform = false
+			break
+		}
+	}
+	if n.uniform {
+		for j := range n.sinkDepth {
+			if n.sinkDepth[j] != minSink[j] || n.sinkDepth[j] != n.depth+1 {
+				n.uniform = false
+				break
+			}
+		}
+	}
+
+	// Layer decomposition over balancers: layers[ℓ-1] holds the balancers of
+	// depth ℓ, each sorted by index for determinism.
+	n.layers = make([][]int, n.depth)
+	for bi, d := range n.balDepth {
+		n.layers[d-1] = append(n.layers[d-1], bi)
+	}
+	for _, layer := range n.layers {
+		if len(layer) == 0 {
+			return fmt.Errorf("%w: empty balancer layer", ErrBadShape)
+		}
+	}
+	return nil
+}
+
+// Depth returns d(G), the maximum balancer depth. Tokens traverse layers
+// 1..d(G) of balancers and then layer d(G)+1 of counters.
+func (n *Network) Depth() int { return n.depth }
+
+// Shallowness returns s(G), the number of balancers on the shortest path
+// from an input wire to an output wire. s(G) = d(G) iff G is uniform.
+func (n *Network) Shallowness() int { return n.shallow }
+
+// Uniform reports whether all source-to-sink paths have the same length
+// (LSST99, Definition 2.1). All classic counting networks are uniform.
+func (n *Network) Uniform() bool { return n.uniform }
+
+// BalancerDepth returns the depth (layer index, 1-based) of balancer b.
+func (n *Network) BalancerDepth(b int) int { return n.balDepth[b] }
+
+// SinkDepth returns the depth of sink j; for a uniform network this is
+// d(G)+1 for every sink.
+func (n *Network) SinkDepth(j int) int { return n.sinkDepth[j] }
+
+// Layer returns the balancer indices at depth ℓ (1-based, 1 ≤ ℓ ≤ d(G)).
+// The returned slice is shared; callers must not modify it.
+func (n *Network) Layer(l int) []int { return n.layers[l-1] }
+
+// Layers returns the balancer layer decomposition; Layers()[ℓ-1] are the
+// balancers at depth ℓ. The returned slices are shared; do not modify.
+func (n *Network) Layers() [][]int { return n.layers }
+
+// ReachableSinks returns, for the wire leaving endpoint e (a source node or
+// a balancer output port), the set of sinks reachable from it, as a sorted
+// slice of sink indices. This is the "valency" of the wire in the paper's
+// Section 5.3 terminology; package topology builds on it.
+func (n *Network) ReachableSinks(e Endpoint) []int {
+	seen := make([]bool, n.wOut)
+	n.reach(e, seen, make([]bool, len(n.balancers)))
+	out := make([]int, 0, n.wOut)
+	for j, ok := range seen {
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// reach marks all sinks reachable from the wire leaving endpoint e.
+// visited guards against revisiting balancers.
+func (n *Network) reach(e Endpoint, seen []bool, visited []bool) {
+	var to Endpoint
+	switch e.Kind {
+	case KindSource:
+		to = n.inputTo[e.Index]
+	case KindBalancer:
+		to = n.outTo[e.Index][e.Port]
+	case KindSink:
+		seen[e.Index] = true
+		return
+	}
+	switch to.Kind {
+	case KindSink:
+		seen[to.Index] = true
+	case KindBalancer:
+		if visited[to.Index] {
+			return
+		}
+		visited[to.Index] = true
+		for p := range n.outTo[to.Index] {
+			n.reach(Endpoint{Kind: KindBalancer, Index: to.Index, Port: p}, seen, visited)
+		}
+	}
+}
+
+// HasPath reports whether some path leads from network input wire i to
+// output wire (sink) j. In any counting network this must hold for every
+// pair (i, j); see Section 2.5 of the paper.
+func (n *Network) HasPath(i, j int) bool {
+	seen := make([]bool, n.wOut)
+	n.reach(Endpoint{Kind: KindSource, Index: i}, seen, make([]bool, len(n.balancers)))
+	return seen[j]
+}
+
+// FullyConnected reports whether every input wire has a path to every
+// output wire, a necessary property of counting networks.
+func (n *Network) FullyConnected() bool {
+	for i := 0; i < n.wIn; i++ {
+		seen := make([]bool, n.wOut)
+		n.reach(Endpoint{Kind: KindSource, Index: i}, seen, make([]bool, len(n.balancers)))
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement records where a balancer sits in the classic "horizontal lines"
+// depiction of a balancing network (Figures 2 and 4 of the paper): which
+// column it occupies and which lines its ports touch, top to bottom.
+type Placement struct {
+	Balancer int   // balancer index in the built Network
+	Column   int   // 0-based drawing column
+	Lines    []int // 0-based line per port, in port order
+}
+
+// Layout is rendering metadata produced by LineBuilder: enough to draw the
+// network as wires-with-vertical-balancers ASCII art (package viz).
+type Layout struct {
+	Lines      int // number of horizontal lines (the network fan)
+	Columns    int // number of drawing columns used
+	Placements []Placement
+}
+
+// LineBuilder assembles regular-balancer networks drawn on w horizontal
+// lines: every balancer spans a set of lines, consuming the token stream on
+// each line and producing a new stream on the same lines. Network input
+// wire i starts line i; at Finish, line i is wired into sink i.
+//
+// This captures every classic counting-network construction with regular
+// balancers (bitonic, periodic, odd-even, top-bottom, mergers). Networks
+// that change wire counts, such as the counting tree's (1,2)-balancers, use
+// the raw Builder instead.
+type LineBuilder struct {
+	b        *Builder
+	frontier []Endpoint // endpoint whose outgoing wire currently occupies each line
+	nextCol  []int      // first free drawing column per line
+	layout   Layout
+	// colSpans[c] holds the inclusive line ranges already drawn in column
+	// c; a new balancer whose vertical stroke would overlap an existing
+	// one is pushed to a later column, as the paper's figures draw nested
+	// same-layer balancers.
+	colSpans map[int][][2]int
+}
+
+// NewLineBuilder returns a LineBuilder over w horizontal lines.
+func NewLineBuilder(w int) *LineBuilder {
+	lb := &LineBuilder{
+		b:        NewBuilder(w, w),
+		frontier: make([]Endpoint, w),
+		nextCol:  make([]int, w),
+		layout:   Layout{Lines: w},
+		colSpans: make(map[int][][2]int),
+	}
+	for i := 0; i < w; i++ {
+		lb.frontier[i] = Endpoint{Kind: KindSource, Index: i}
+	}
+	return lb
+}
+
+// Width returns the number of lines.
+func (lb *LineBuilder) Width() int { return len(lb.frontier) }
+
+// Balancer places a regular (k,k)-balancer across the given 0-based lines,
+// where k = len(lines): input port p consumes the current stream on
+// lines[p] and output port p continues it. Lines need not be sorted but
+// must be distinct. Returns the balancer's index.
+//
+// Port order follows the order of lines as given, so a balancer's "top"
+// output (port 0, the first to receive a token) is lines[0]; constructions
+// exploit this to route top outputs into one subnetwork and bottom outputs
+// into another.
+func (lb *LineBuilder) Balancer(lines ...int) int {
+	k := len(lines)
+	seen := make(map[int]bool, k)
+	for _, l := range lines {
+		if l < 0 || l >= len(lb.frontier) || seen[l] {
+			lb.b.err = fmt.Errorf("%w: balancer lines %v on %d-line builder", ErrBadEndpoint, lines, len(lb.frontier))
+			return -1
+		}
+		seen[l] = true
+	}
+	bi := lb.b.AddBalancer(k, k)
+	col := 0
+	for _, l := range lines {
+		if lb.nextCol[l] > col {
+			col = lb.nextCol[l]
+		}
+	}
+	// The balancer's vertical stroke spans its min..max line; advance past
+	// columns where that span would overlap an existing stroke.
+	lo, hi := lines[0], lines[0]
+	for _, l := range lines {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	for overlaps(lb.colSpans[col], lo, hi) {
+		col++
+	}
+	lb.colSpans[col] = append(lb.colSpans[col], [2]int{lo, hi})
+	for p, l := range lines {
+		from := lb.frontier[l]
+		to := Endpoint{Kind: KindBalancer, Index: bi, Port: p}
+		if from.Kind == KindSource {
+			lb.b.ConnectInput(from.Index, to)
+		} else {
+			lb.b.Connect(from.Index, from.Port, to)
+		}
+		lb.frontier[l] = Endpoint{Kind: KindBalancer, Index: bi, Port: p}
+		lb.nextCol[l] = col + 1
+	}
+	if col+1 > lb.layout.Columns {
+		lb.layout.Columns = col + 1
+	}
+	lb.layout.Placements = append(lb.layout.Placements, Placement{
+		Balancer: bi,
+		Column:   col,
+		Lines:    append([]int(nil), lines...),
+	})
+	return bi
+}
+
+// overlaps reports whether [lo, hi] intersects any recorded span.
+func overlaps(spans [][2]int, lo, hi int) bool {
+	for _, sp := range spans {
+		if lo <= sp[1] && sp[0] <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Column places a full column of (2,2)-balancers described by line pairs.
+func (lb *LineBuilder) Column(pairs [][2]int) []int {
+	ids := make([]int, len(pairs))
+	for i, pr := range pairs {
+		ids[i] = lb.Balancer(pr[0], pr[1])
+	}
+	return ids
+}
+
+// Barrier advances every line's next drawing column to a common value, so
+// subsequent balancers start a fresh visual stage. It has no effect on the
+// wiring and is purely cosmetic.
+func (lb *LineBuilder) Barrier() {
+	max := 0
+	for _, c := range lb.nextCol {
+		if c > max {
+			max = c
+		}
+	}
+	for i := range lb.nextCol {
+		lb.nextCol[i] = max
+	}
+}
+
+// Finish wires each line into its same-indexed sink, validates, and returns
+// the Network together with its drawing Layout.
+func (lb *LineBuilder) Finish() (*Network, *Layout, error) {
+	for l, from := range lb.frontier {
+		to := Endpoint{Kind: KindSink, Index: l}
+		if from.Kind == KindSource {
+			lb.b.ConnectInput(from.Index, to)
+		} else {
+			lb.b.Connect(from.Index, from.Port, to)
+		}
+	}
+	n, err := lb.b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	layout := lb.layout
+	sort.Slice(layout.Placements, func(i, j int) bool {
+		a, b := layout.Placements[i], layout.Placements[j]
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Lines[0] < b.Lines[0]
+	})
+	return n, &layout, nil
+}
+
+// MustFinish is Finish for statically valid constructions; panics on error.
+func (lb *LineBuilder) MustFinish() (*Network, *Layout) {
+	n, layout, err := lb.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return n, layout
+}

@@ -1,0 +1,360 @@
+// Package network models balancing networks: directed acyclic graphs of
+// balancers and wires that route tokens from input wires to output counters,
+// as defined by Aspnes, Herlihy and Shavit ("Counting Networks", JACM 1994)
+// and used by Mavronicolas, Merritt and Taubenfeld ("Sequentially Consistent
+// versus Linearizable Counting Networks", PODC 1999).
+//
+// A Network is an immutable wiring specification. Mutable traversal state
+// (balancer toggles and counter values) lives in a State, so a single
+// Network can back many concurrent or sequential executions.
+//
+// Terminology follows the paper:
+//
+//   - A (fIn, fOut)-balancer receives tokens on fIn input wires and forwards
+//     them to its fOut output wires in round-robin order, top to bottom.
+//   - Source nodes are the network's input wires; sink nodes are output
+//     wires, each fitted with an atomic counter. Sink j (0-based) hands out
+//     the values j, j+wOut, j+2·wOut, ... .
+//   - The depth of a wire is 0 for input wires and the length of the longest
+//     path from a source node otherwise; the depth of a balancer is the
+//     maximum depth of its output wires; layer ℓ is the set of nodes of
+//     depth ℓ.
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeKind identifies the kind of node an Endpoint refers to.
+type NodeKind int
+
+// Node kinds. Enums start at 1 so the zero Endpoint is invalid and cannot be
+// mistaken for a wired connection.
+const (
+	KindSource NodeKind = iota + 1 // network input wire
+	KindBalancer
+	KindSink // output wire with its resident counter
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindBalancer:
+		return "balancer"
+	case KindSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Endpoint identifies one side of a wire: a port on a node.
+//
+// For KindSource, Index is the input-wire index and Port is always 0.
+// For KindSink, Index is the output-wire index and Port is always 0.
+// For KindBalancer, Index is the balancer index and Port is the input or
+// output port on that balancer (which one depends on context).
+type Endpoint struct {
+	Kind  NodeKind
+	Index int
+	Port  int
+}
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string {
+	switch e.Kind {
+	case KindSource:
+		return fmt.Sprintf("in[%d]", e.Index)
+	case KindSink:
+		return fmt.Sprintf("out[%d]", e.Index)
+	case KindBalancer:
+		return fmt.Sprintf("bal[%d].%d", e.Index, e.Port)
+	default:
+		return fmt.Sprintf("endpoint{%v,%d,%d}", e.Kind, e.Index, e.Port)
+	}
+}
+
+// BalancerSpec describes a single balancer's shape within a network.
+type BalancerSpec struct {
+	FanIn  int
+	FanOut int
+}
+
+// Regular reports whether the balancer's fan-in equals its fan-out.
+func (b BalancerSpec) Regular() bool { return b.FanIn == b.FanOut }
+
+// Network is an immutable (wIn, wOut)-balancing network wiring.
+//
+// Wiring is stored in the forward direction: every source node and every
+// balancer output port is connected to exactly one balancer input port or
+// sink. The reverse maps are derived during Build and kept for structural
+// analysis.
+type Network struct {
+	wIn, wOut int
+	balancers []BalancerSpec
+
+	// inputTo[i] is the endpoint fed by network input wire i
+	// (a balancer input port or, degenerately, a sink).
+	inputTo []Endpoint
+	// outTo[b][p] is the endpoint fed by output port p of balancer b.
+	outTo [][]Endpoint
+
+	// inFrom[b][p] is the endpoint feeding input port p of balancer b
+	// (a source or a balancer output port). Derived.
+	inFrom [][]Endpoint
+	// sinkFrom[j] is the endpoint feeding sink j. Derived.
+	sinkFrom []Endpoint
+
+	// Structural caches, computed once in Build.
+	balDepth  []int   // depth of each balancer
+	layers    [][]int // layers[ℓ-1] = balancer indices at depth ℓ
+	depth     int     // d(G): maximum balancer depth
+	shallow   int     // s(G): shortest source→sink path length (in wires)... see layers.go
+	uniform   bool    // all source→sink paths have equal length
+	sinkDepth []int   // depth of each sink node
+}
+
+// FanIn returns w_in, the number of network input wires.
+func (n *Network) FanIn() int { return n.wIn }
+
+// FanOut returns w_out, the number of network output wires (counters).
+func (n *Network) FanOut() int { return n.wOut }
+
+// Size returns the number of inner nodes (balancers) in the network.
+func (n *Network) Size() int { return len(n.balancers) }
+
+// Balancer returns the spec of balancer b.
+func (n *Network) Balancer(b int) BalancerSpec { return n.balancers[b] }
+
+// Balancers returns a copy of all balancer specs, indexed by balancer id.
+func (n *Network) Balancers() []BalancerSpec {
+	out := make([]BalancerSpec, len(n.balancers))
+	copy(out, n.balancers)
+	return out
+}
+
+// InputTarget returns the endpoint fed by network input wire i.
+func (n *Network) InputTarget(i int) Endpoint { return n.inputTo[i] }
+
+// OutputTarget returns the endpoint fed by output port p of balancer b.
+func (n *Network) OutputTarget(b, p int) Endpoint { return n.outTo[b][p] }
+
+// InputSource returns the endpoint feeding input port p of balancer b.
+func (n *Network) InputSource(b, p int) Endpoint { return n.inFrom[b][p] }
+
+// SinkSource returns the endpoint feeding sink j.
+func (n *Network) SinkSource(j int) Endpoint { return n.sinkFrom[j] }
+
+// Validation errors returned by Builder.Build.
+var (
+	ErrPortUnwired    = errors.New("network: port not wired")
+	ErrPortRewired    = errors.New("network: port wired twice")
+	ErrCycle          = errors.New("network: wiring contains a cycle")
+	ErrBadShape       = errors.New("network: invalid shape")
+	ErrBadEndpoint    = errors.New("network: endpoint out of range")
+	ErrNotOnPath      = errors.New("network: node not on any source-to-sink path")
+	ErrNotQuiescent   = errors.New("network: execution not quiescent")
+	ErrTokenambiguous = errors.New("network: token routing ambiguous")
+)
+
+// Builder incrementally assembles a Network. The zero value is not usable;
+// create one with NewBuilder.
+type Builder struct {
+	wIn, wOut int
+	balancers []BalancerSpec
+	inputTo   []Endpoint
+	outTo     [][]Endpoint
+	err       error
+}
+
+// NewBuilder returns a Builder for a (wIn, wOut)-balancing network.
+func NewBuilder(wIn, wOut int) *Builder {
+	b := &Builder{wIn: wIn, wOut: wOut}
+	if wIn < 1 || wOut < 1 {
+		b.err = fmt.Errorf("%w: fan-in %d, fan-out %d", ErrBadShape, wIn, wOut)
+		return b
+	}
+	b.inputTo = make([]Endpoint, wIn)
+	return b
+}
+
+// AddBalancer appends an (fanIn, fanOut)-balancer and returns its index.
+func (b *Builder) AddBalancer(fanIn, fanOut int) int {
+	if b.err == nil && (fanIn < 1 || fanOut < 1) {
+		b.err = fmt.Errorf("%w: balancer fan-in %d, fan-out %d", ErrBadShape, fanIn, fanOut)
+	}
+	b.balancers = append(b.balancers, BalancerSpec{FanIn: fanIn, FanOut: fanOut})
+	b.outTo = append(b.outTo, make([]Endpoint, fanOut))
+	return len(b.balancers) - 1
+}
+
+// ConnectInput wires network input wire i to input port of a balancer or to
+// a sink. to.Kind must be KindBalancer or KindSink.
+func (b *Builder) ConnectInput(i int, to Endpoint) {
+	if b.err != nil {
+		return
+	}
+	if i < 0 || i >= b.wIn {
+		b.err = fmt.Errorf("%w: input wire %d of %d", ErrBadEndpoint, i, b.wIn)
+		return
+	}
+	if b.inputTo[i] != (Endpoint{}) {
+		b.err = fmt.Errorf("%w: input wire %d", ErrPortRewired, i)
+		return
+	}
+	b.inputTo[i] = to
+}
+
+// Connect wires output port p of balancer from to the endpoint to
+// (a balancer input port or a sink).
+func (b *Builder) Connect(from, p int, to Endpoint) {
+	if b.err != nil {
+		return
+	}
+	if from < 0 || from >= len(b.balancers) {
+		b.err = fmt.Errorf("%w: balancer %d of %d", ErrBadEndpoint, from, len(b.balancers))
+		return
+	}
+	if p < 0 || p >= b.balancers[from].FanOut {
+		b.err = fmt.Errorf("%w: output port %d on balancer %d", ErrBadEndpoint, p, from)
+		return
+	}
+	if b.outTo[from][p] != (Endpoint{}) {
+		b.err = fmt.Errorf("%w: balancer %d output port %d", ErrPortRewired, from, p)
+		return
+	}
+	b.outTo[from][p] = to
+}
+
+// checkTarget validates a wire destination endpoint.
+func (b *Builder) checkTarget(to Endpoint) error {
+	switch to.Kind {
+	case KindBalancer:
+		if to.Index < 0 || to.Index >= len(b.balancers) {
+			return fmt.Errorf("%w: %v", ErrBadEndpoint, to)
+		}
+		if to.Port < 0 || to.Port >= b.balancers[to.Index].FanIn {
+			return fmt.Errorf("%w: %v (fan-in %d)", ErrBadEndpoint, to, b.balancers[to.Index].FanIn)
+		}
+	case KindSink:
+		if to.Index < 0 || to.Index >= b.wOut {
+			return fmt.Errorf("%w: %v", ErrBadEndpoint, to)
+		}
+		if to.Port != 0 {
+			return fmt.Errorf("%w: %v (sinks have a single port)", ErrBadEndpoint, to)
+		}
+	default:
+		return fmt.Errorf("%w: %v (destination must be balancer or sink)", ErrBadEndpoint, to)
+	}
+	return nil
+}
+
+// Build validates the wiring and returns the immutable Network.
+//
+// Validation enforces that every source, every balancer port and every sink
+// is wired exactly once, that the graph is acyclic, and that every balancer
+// lies on some path from a source node to a sink node (a structural
+// requirement of balancing networks; see Section 2.5 of the paper).
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := &Network{
+		wIn:       b.wIn,
+		wOut:      b.wOut,
+		balancers: append([]BalancerSpec(nil), b.balancers...),
+		inputTo:   append([]Endpoint(nil), b.inputTo...),
+		outTo:     make([][]Endpoint, len(b.outTo)),
+	}
+	for i, row := range b.outTo {
+		n.outTo[i] = append([]Endpoint(nil), row...)
+	}
+
+	// Every forward wire present and well-formed.
+	for i, to := range n.inputTo {
+		if to == (Endpoint{}) {
+			return nil, fmt.Errorf("%w: input wire %d", ErrPortUnwired, i)
+		}
+		if err := b.checkTarget(to); err != nil {
+			return nil, fmt.Errorf("input wire %d: %w", i, err)
+		}
+	}
+	for bi, row := range n.outTo {
+		for p, to := range row {
+			if to == (Endpoint{}) {
+				return nil, fmt.Errorf("%w: balancer %d output port %d", ErrPortUnwired, bi, p)
+			}
+			if err := b.checkTarget(to); err != nil {
+				return nil, fmt.Errorf("balancer %d port %d: %w", bi, p, err)
+			}
+		}
+	}
+
+	// Derive reverse wiring; every balancer input port and sink must be fed
+	// exactly once.
+	n.inFrom = make([][]Endpoint, len(n.balancers))
+	for i, spec := range n.balancers {
+		n.inFrom[i] = make([]Endpoint, spec.FanIn)
+	}
+	n.sinkFrom = make([]Endpoint, n.wOut)
+	feed := func(from, to Endpoint) error {
+		switch to.Kind {
+		case KindBalancer:
+			if n.inFrom[to.Index][to.Port] != (Endpoint{}) {
+				return fmt.Errorf("%w: %v fed by both %v and %v",
+					ErrPortRewired, to, n.inFrom[to.Index][to.Port], from)
+			}
+			n.inFrom[to.Index][to.Port] = from
+		case KindSink:
+			if n.sinkFrom[to.Index] != (Endpoint{}) {
+				return fmt.Errorf("%w: %v fed by both %v and %v",
+					ErrPortRewired, to, n.sinkFrom[to.Index], from)
+			}
+			n.sinkFrom[to.Index] = from
+		}
+		return nil
+	}
+	for i, to := range n.inputTo {
+		if err := feed(Endpoint{Kind: KindSource, Index: i}, to); err != nil {
+			return nil, err
+		}
+	}
+	for bi, row := range n.outTo {
+		for p, to := range row {
+			if err := feed(Endpoint{Kind: KindBalancer, Index: bi, Port: p}, to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for bi, ports := range n.inFrom {
+		for p, from := range ports {
+			if from == (Endpoint{}) {
+				return nil, fmt.Errorf("%w: balancer %d input port %d", ErrPortUnwired, bi, p)
+			}
+		}
+	}
+	for j, from := range n.sinkFrom {
+		if from == (Endpoint{}) {
+			return nil, fmt.Errorf("%w: sink %d", ErrPortUnwired, j)
+		}
+	}
+
+	if err := n.computeStructure(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustBuild is Build for construction code with statically valid wiring;
+// it panics on error. Intended for use in tests and the construct package,
+// where a failure indicates a bug in the generator rather than bad input.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildFan builds a single (f,f)-balancer network for property tests.
+func buildFan(f int) *Network {
+	b := NewBuilder(f, f)
+	bal := b.AddBalancer(f, f)
+	for i := 0; i < f; i++ {
+		b.ConnectInput(i, Endpoint{Kind: KindBalancer, Index: bal, Port: i})
+		b.Connect(bal, i, Endpoint{Kind: KindSink, Index: i})
+	}
+	return b.MustBuild()
+}
+
+// TestQuickBalancerModular: after k tokens a balancer's toggle equals
+// k mod f and its output counts are maximally balanced — the modular
+// counting behaviour Lemma 3.1 builds on.
+func TestQuickBalancerModular(t *testing.T) {
+	prop := func(fanRaw uint8, nRaw uint16, seed int64) bool {
+		f := int(fanRaw)%6 + 1
+		k := int(nRaw) % 200
+		n := buildFan(f)
+		s := NewState(n)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < k; i++ {
+			s.Traverse(rng.Intn(f))
+		}
+		if s.BalancerState(0) != k%f {
+			return false
+		}
+		for j := 0; j < f; j++ {
+			want := int64(k / f)
+			if j < k%f {
+				want++
+			}
+			if s.SinkCount(j) != want {
+				return false
+			}
+		}
+		return s.VerifyStepProperty() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStepSequenceBrute cross-checks CheckStepSequence against a
+// direct transcription of the definition.
+func TestQuickStepSequenceBrute(t *testing.T) {
+	brute := func(counts []int64) bool {
+		for j := 0; j < len(counts); j++ {
+			for k := j + 1; k < len(counts); k++ {
+				if d := counts[j] - counts[k]; d < 0 || d > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	prop := func(raw []uint8) bool {
+		counts := make([]int64, len(raw))
+		for i, r := range raw {
+			counts[i] = int64(r % 4)
+		}
+		return (CheckStepSequence(counts) == nil) == brute(counts)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSingleBalancerCounts: a single (f,f)-balancer is a counting
+// network — any interleaving hands out exactly 0..N-1.
+func TestQuickSingleBalancerCounts(t *testing.T) {
+	prop := func(fanRaw uint8, nRaw uint8, seed int64) bool {
+		f := int(fanRaw)%5 + 1
+		tokens := int(nRaw)%64 + 1
+		n := buildFan(f)
+		wires := make([]int, f)
+		for i := range wires {
+			wires[i] = i
+		}
+		return VerifyCounting(n, tokens, wires, rand.New(rand.NewSource(seed))) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInterleavingDeterminism: the same seed yields the same values.
+func TestQuickInterleavingDeterminism(t *testing.T) {
+	n := buildFan(4)
+	prop := func(seed int64, nRaw uint8) bool {
+		tokens := int(nRaw)%32 + 1
+		inputs := make([]int, tokens)
+		for i := range inputs {
+			inputs[i] = i % 4
+		}
+		v1 := RunInterleaved(NewState(n), inputs, rand.New(rand.NewSource(seed)))
+		v2 := RunInterleaved(NewState(n), inputs, rand.New(rand.NewSource(seed)))
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConservation: at quiescence, token counts are conserved at every
+// balancer and across the network (safety + liveness fixed point), for
+// arbitrary input multisets and interleavings.
+func TestQuickConservation(t *testing.T) {
+	n := buildFan(3)
+	prop := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		inputs := make([]int, len(raw))
+		for i, r := range raw {
+			inputs[i] = int(r) % 3
+		}
+		s := NewState(n)
+		RunInterleaved(s, inputs, rand.New(rand.NewSource(seed)))
+		return s.VerifyQuiescent() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package perfsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/construct"
+)
+
+func baseConfig(p int) Config {
+	return Config{
+		Processes:   p,
+		Ops:         4000,
+		Warmup:      800,
+		ServiceTime: 1,
+		WireDelay:   0.2,
+		ThinkMean:   0,
+		Seed:        1,
+	}
+}
+
+// TestCentralSaturates: the central counter's throughput approaches
+// 1/ServiceTime and stops scaling with processes; its bottleneck
+// utilization pins at ~1.
+func TestCentralSaturates(t *testing.T) {
+	r4 := Simulate(CentralObject{}, baseConfig(4))
+	r32 := Simulate(CentralObject{}, baseConfig(32))
+	if r4.Throughput > 1.01 || r32.Throughput > 1.01 {
+		t.Errorf("central counter above service capacity: %v / %v", r4, r32)
+	}
+	if r32.Throughput > r4.Throughput*1.1 {
+		t.Errorf("central counter should not scale: P=4 %.3f, P=32 %.3f", r4.Throughput, r32.Throughput)
+	}
+	if r32.BusiestUtilization < 0.95 {
+		t.Errorf("saturated central counter should be ~fully utilized: %v", r32)
+	}
+	// Latency grows roughly linearly with queue length.
+	if r32.AvgLatency < 3*r4.AvgLatency {
+		t.Errorf("latency should blow up at saturation: P=4 %.2f, P=32 %.2f", r4.AvgLatency, r32.AvgLatency)
+	}
+}
+
+// TestNetworkScalesPastCentral: under heavy concurrency the counting
+// network's throughput exceeds the central counter's — the AHS94
+// motivation, reproduced in the queueing model.
+func TestNetworkScalesPastCentral(t *testing.T) {
+	const p = 32
+	central := Simulate(CentralObject{}, baseConfig(p))
+	bitonic := Simulate(NewNetworkObject(construct.MustBitonic(8)), baseConfig(p))
+	if bitonic.Throughput <= central.Throughput {
+		t.Errorf("at P=%d the network should beat the central counter: network %.3f vs central %.3f",
+			p, bitonic.Throughput, central.Throughput)
+	}
+}
+
+// TestCentralWinsUncontended: with a single process the central counter's
+// latency is far lower (one hop vs d+1 hops) — the crossover's other side.
+func TestCentralWinsUncontended(t *testing.T) {
+	central := Simulate(CentralObject{}, baseConfig(1))
+	bitonic := Simulate(NewNetworkObject(construct.MustBitonic(8)), baseConfig(1))
+	if central.AvgLatency >= bitonic.AvgLatency {
+		t.Errorf("uncontended central counter should have lower latency: %.2f vs %.2f",
+			central.AvgLatency, bitonic.AvgLatency)
+	}
+	if central.Throughput <= bitonic.Throughput {
+		t.Errorf("uncontended central counter should have higher throughput: %.3f vs %.3f",
+			central.Throughput, bitonic.Throughput)
+	}
+}
+
+// TestDepthOrdersLatency: at low load, latency orders by network depth:
+// tree (lg w) < bitonic (lg w (lg w+1)/2) < periodic (lg² w).
+func TestDepthOrdersLatency(t *testing.T) {
+	cfg := baseConfig(2)
+	tree := Simulate(NewNetworkObject(construct.MustTree(16)), cfg)
+	bit := Simulate(NewNetworkObject(construct.MustBitonic(16)), cfg)
+	per := Simulate(NewNetworkObject(construct.MustPeriodic(16)), cfg)
+	if !(tree.AvgLatency < bit.AvgLatency && bit.AvgLatency < per.AvgLatency) {
+		t.Errorf("latency should order by depth: tree %.2f, bitonic %.2f, periodic %.2f",
+			tree.AvgLatency, bit.AvgLatency, per.AvgLatency)
+	}
+}
+
+// TestTreeRootIsBottleneck: the tree funnels every token through its root
+// toggle, so its bottleneck utilization reaches 1 under load while a
+// width-w network spreads arrivals across w/2 first-layer balancers.
+func TestTreeRootIsBottleneck(t *testing.T) {
+	cfg := baseConfig(32)
+	tree := Simulate(NewNetworkObject(construct.MustTree(8)), cfg)
+	if tree.BusiestUtilization < 0.95 {
+		t.Errorf("tree root should saturate: %v", tree)
+	}
+	if tree.Throughput > 1.01 {
+		t.Errorf("tree throughput cannot exceed root capacity: %v", tree)
+	}
+	bit := Simulate(NewNetworkObject(construct.MustBitonic(8)), cfg)
+	if bit.Throughput <= tree.Throughput {
+		t.Errorf("bitonic should outscale the single-input tree: %.3f vs %.3f",
+			bit.Throughput, tree.Throughput)
+	}
+}
+
+// TestThroughputMonotoneInWidth: wider networks sustain more load.
+func TestThroughputMonotoneInWidth(t *testing.T) {
+	cfg := baseConfig(64)
+	var prev float64
+	for _, w := range []int{2, 4, 8, 16} {
+		r := Simulate(NewNetworkObject(construct.MustBitonic(w)), cfg)
+		t.Logf("B(%d): %v", w, r)
+		if r.Throughput < prev*0.9 {
+			t.Errorf("B(%d) throughput %.3f fell below B(%d)'s %.3f", w, r.Throughput, w/2, prev)
+		}
+		prev = r.Throughput
+	}
+}
+
+// TestThinkTimeReducesContention: with long think times every structure
+// behaves like its uncontended self.
+func TestThinkTimeReducesContention(t *testing.T) {
+	cfg := baseConfig(16)
+	cfg.ThinkMean = 100
+	r := Simulate(CentralObject{}, cfg)
+	if r.BusiestUtilization > 0.5 {
+		t.Errorf("long think times should leave the counter mostly idle: %v", r)
+	}
+	if r.MaxQueue > 8 {
+		t.Errorf("long think times should keep queues short: %v", r)
+	}
+}
+
+// TestDeterminism: same seed, same result.
+func TestDeterminism(t *testing.T) {
+	a := Simulate(NewNetworkObject(construct.MustBitonic(8)), baseConfig(8))
+	b := Simulate(NewNetworkObject(construct.MustBitonic(8)), baseConfig(8))
+	if math.Abs(a.Throughput-b.Throughput) > 1e-12 || math.Abs(a.AvgLatency-b.AvgLatency) > 1e-12 {
+		t.Errorf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func ExampleSimulate() {
+	r := Simulate(CentralObject{}, Config{
+		Processes: 1, Ops: 100, Warmup: 10, ServiceTime: 1, Seed: 1,
+	})
+	fmt.Printf("%.0f\n", r.Throughput)
+	// Output: 1
+}

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/construct"
+)
+
+// DiffractingTree is the Shavit–Zemach diffracting tree (SZ96, the paper's
+// counting-tree citation) with its signature optimisation: a "prism" in
+// front of every toggle where two concurrent tokens can collide and
+// *diffract* — one goes to each output — without touching the toggle at
+// all. Pairs are invisible to the toggle for exactly the modular-counting
+// reason of the paper's Lemma 3.1: two tokens through a fan-out-2 balancer
+// leave its state unchanged, so routing them one-left-one-right directly
+// preserves the counting property while removing the hot spot.
+//
+// Tokens that fail to pair within a short spin budget fall back to the
+// atomic toggle, so the structure is correct at every contention level.
+type DiffractingTree struct {
+	root     *diffNode
+	counters []paddedCounter
+	fanOut   int
+	// diffractions counts tokens routed by pairing rather than by a
+	// toggle, across all nodes (two per pair). Exposed for tests and
+	// benchmarks via Diffractions.
+	diffractions atomic.Int64
+}
+
+// Diffractions returns how many token-routings were resolved by pairing.
+func (t *DiffractingTree) Diffractions() int64 { return t.diffractions.Load() }
+
+// diffNode is one tree node: a one-slot exchanger (the prism, kept minimal
+// and allocation-free) plus the fallback toggle.
+type diffNode struct {
+	prism  atomic.Pointer[diffOffer]
+	toggle atomic.Int64
+	left   *diffNode // nil at leaves
+	right  *diffNode
+	// leafBase is the counter index when left == nil: the node's top
+	// output counts leafBase, its bottom output leafBase + stride.
+	leafBase, stride int
+}
+
+// diffOffer is a waiting token's rendezvous cell.
+type diffOffer struct {
+	// state: 0 waiting, 1 taken (partner claimed it), 2 withdrawn.
+	state atomic.Int32
+}
+
+// diffSpin bounds how long a token waits in a prism before toggling. Small
+// values favour low latency; larger values favour pairing under load.
+const diffSpin = 64
+
+// NewDiffractingTree builds a diffracting tree with w counters (a power of
+// two ≥ 2).
+func NewDiffractingTree(w int) (*DiffractingTree, error) {
+	if !construct.IsPow2(w) || w < 2 {
+		return nil, fmt.Errorf("runtime: diffracting tree fan %d must be a power of two ≥ 2", w)
+	}
+	t := &DiffractingTree{counters: make([]paddedCounter, w), fanOut: w}
+	var grow func(base, stride int) *diffNode
+	grow = func(base, stride int) *diffNode {
+		n := &diffNode{leafBase: base, stride: stride}
+		if 2*stride < w {
+			n.left = grow(base, 2*stride)
+			n.right = grow(base+stride, 2*stride)
+		}
+		return n
+	}
+	t.root = grow(0, 1)
+	for j := range t.counters {
+		t.counters[j].v.Store(int64(j))
+	}
+	return t, nil
+}
+
+// Inc implements Counter. The wire argument is ignored (the tree has one
+// logical input).
+func (t *DiffractingTree) Inc(int) int64 {
+	node := t.root
+	for {
+		goRight, paired := node.route()
+		if paired {
+			t.diffractions.Add(1)
+		}
+		var next *diffNode
+		if goRight {
+			next = node.right
+		} else {
+			next = node.left
+		}
+		if next == nil {
+			idx := node.leafBase
+			if goRight {
+				idx += node.stride
+			}
+			return t.counters[idx].v.Add(int64(t.fanOut)) - int64(t.fanOut)
+		}
+		node = next
+	}
+}
+
+// route decides this token's direction at the node: try to diffract with a
+// partner in the prism, else toggle. Returns (goRight, pairedAsPartner).
+func (n *diffNode) route() (bool, bool) {
+	// 1. Try to take a waiting offer: we become the partner and go right
+	//    (the offerer goes left).
+	if off := n.prism.Load(); off != nil {
+		if off.state.CompareAndSwap(0, 1) {
+			n.prism.CompareAndSwap(off, nil)
+			return true, true
+		}
+		// Stale cell: help clear it.
+		n.prism.CompareAndSwap(off, nil)
+	}
+	// 2. Publish our own offer and wait briefly for a partner.
+	mine := &diffOffer{}
+	if n.prism.CompareAndSwap(nil, mine) {
+		for spin := 0; spin < diffSpin; spin++ {
+			if mine.state.Load() == 1 {
+				return false, true // diffracted: partner went right, we go left
+			}
+		}
+		// Withdraw; if a partner claimed the offer in the meantime, honour
+		// the pairing.
+		if !mine.state.CompareAndSwap(0, 2) {
+			return false, true
+		}
+		n.prism.CompareAndSwap(mine, nil)
+	}
+	// 3. Fall back to the toggle.
+	v := n.toggle.Add(1) - 1
+	return v%2 == 1, false
+}

@@ -1,0 +1,204 @@
+// Package runtime is the shared-memory implementation of counting networks
+// sketched in Section 2.7 of the paper: balancers are records updated
+// atomically, wires are pointers, and each process repeatedly shepherds
+// tokens from its input pointer to a counter. Unlike package network
+// (which models executions one instantaneous step at a time), this package
+// is genuinely concurrent: any number of goroutines may traverse one
+// Counter simultaneously.
+//
+// The package also provides the baselines counting networks are compared
+// against in the literature (AHS94, MS91, GVW89): a single
+// fetch-and-increment counter, a mutex-protected counter, a CLH-style
+// queue-lock counter and a software combining tree.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/network"
+)
+
+// Counter is anything that hands out successive values. Implementations
+// must be safe for concurrent use. The counting-network implementations
+// are "quiescently consistent": values handed out never have duplicates or
+// gaps, and the step property holds whenever the network is quiescent, but
+// real-time order across processes is only as strong as the timing
+// conditions studied in the paper.
+type Counter interface {
+	// Inc obtains the next value. wire selects the caller's network input
+	// wire; implementations without wires ignore it.
+	Inc(wire int) int64
+}
+
+// node is a compiled wiring target in flat form.
+type node struct {
+	// sink is ≥ 0 when the target is a counter; otherwise bal is the
+	// balancer index.
+	sink int
+	bal  int
+}
+
+// compiledBalancer is a lock-free balancer: a fetch-and-add toggle modulo
+// its fan-out.
+type compiledBalancer struct {
+	state  atomic.Int64
+	fanOut int64
+	// next[p] is the node fed by output port p.
+	next []node
+}
+
+// Network is a compiled, concurrently traversable counting network.
+type Network struct {
+	wIn, wOut int
+	balancers []compiledBalancer
+	inputs    []node
+	counters  []paddedCounter
+	depth     int
+}
+
+// paddedCounter keeps sink counters on separate cache lines; the whole
+// point of a counting network is that counters are not contended, and
+// false sharing would reintroduce the contention.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Compile flattens a network.Network into its concurrent form.
+func Compile(spec *network.Network) (*Network, error) {
+	n := &Network{
+		wIn:       spec.FanIn(),
+		wOut:      spec.FanOut(),
+		balancers: make([]compiledBalancer, spec.Size()),
+		inputs:    make([]node, spec.FanIn()),
+		counters:  make([]paddedCounter, spec.FanOut()),
+		depth:     spec.Depth(),
+	}
+	conv := func(e network.Endpoint) (node, error) {
+		switch e.Kind {
+		case network.KindSink:
+			return node{sink: e.Index, bal: -1}, nil
+		case network.KindBalancer:
+			return node{sink: -1, bal: e.Index}, nil
+		default:
+			return node{}, fmt.Errorf("runtime: cannot compile wire into %v", e)
+		}
+	}
+	var err error
+	for i := 0; i < spec.FanIn(); i++ {
+		if n.inputs[i], err = conv(spec.InputTarget(i)); err != nil {
+			return nil, err
+		}
+	}
+	for b := 0; b < spec.Size(); b++ {
+		bs := spec.Balancer(b)
+		cb := &n.balancers[b]
+		cb.fanOut = int64(bs.FanOut)
+		cb.next = make([]node, bs.FanOut)
+		for p := 0; p < bs.FanOut; p++ {
+			if cb.next[p], err = conv(spec.OutputTarget(b, p)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for j := range n.counters {
+		n.counters[j].v.Store(int64(j))
+	}
+	return n, nil
+}
+
+// MustCompile compiles or panics; for statically valid constructions.
+func MustCompile(spec *network.Network) *Network {
+	n, err := Compile(spec)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// FanIn returns the number of input wires.
+func (n *Network) FanIn() int { return n.wIn }
+
+// FanOut returns the number of output counters.
+func (n *Network) FanOut() int { return n.wOut }
+
+// Depth returns the network depth d(G).
+func (n *Network) Depth() int { return n.depth }
+
+// Inc traverses the network from the given input wire (reduced modulo the
+// fan-in, so callers may pass a worker id directly) and returns the
+// counter value obtained. Balancer steps use a single fetch-and-add each,
+// so every balancer transition is atomic, exactly matching the
+// instantaneous-step semantics of the model.
+func (n *Network) Inc(wire int) int64 {
+	at := n.inputs[wire%n.wIn]
+	for at.sink < 0 {
+		b := &n.balancers[at.bal]
+		port := (b.state.Add(1) - 1) % b.fanOut
+		at = b.next[port]
+	}
+	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+}
+
+// IncCAS is Inc with compare-and-swap balancer toggles instead of
+// fetch-and-add — the ablation DESIGN.md calls out. Under contention CAS
+// retries make balancers slower but the traversal is otherwise identical.
+func (n *Network) IncCAS(wire int) int64 {
+	at := n.inputs[wire%n.wIn]
+	for at.sink < 0 {
+		b := &n.balancers[at.bal]
+		var port int64
+		for {
+			s := b.state.Load()
+			if b.state.CompareAndSwap(s, s+1) {
+				port = s % b.fanOut
+				break
+			}
+		}
+		at = b.next[port]
+	}
+	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+}
+
+// Verify checks the values handed out by a quiesced run: together with the
+// values' multiset being exactly 0..N-1 this is the counting property.
+// It is a test helper surfaced here so examples can audit themselves.
+func Verify(values []int64) error {
+	seen := make([]bool, len(values))
+	for _, v := range values {
+		if v < 0 || v >= int64(len(values)) {
+			return fmt.Errorf("runtime: value %d outside 0..%d", v, len(values)-1)
+		}
+		if seen[v] {
+			return fmt.Errorf("runtime: duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// AtomicCounter is the single fetch-and-increment baseline: correct and
+// linearizable, but every increment contends on one cache line.
+type AtomicCounter struct {
+	v atomic.Int64
+}
+
+// Inc implements Counter.
+func (c *AtomicCounter) Inc(int) int64 { return c.v.Add(1) - 1 }
+
+// MutexCounter is the lock-based baseline.
+type MutexCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc implements Counter.
+func (c *MutexCounter) Inc(int) int64 {
+	c.mu.Lock()
+	v := c.v
+	c.v++
+	c.mu.Unlock()
+	return v
+}

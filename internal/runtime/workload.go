@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/consistency"
+)
+
+// Op is one timed increment observed by a workload worker.
+type Op struct {
+	Worker     int
+	Value      int64
+	Start, End int64 // wall-clock nanoseconds
+}
+
+// Workload drives a Counter from concurrent workers and records every
+// operation with wall-clock timestamps, so executions of the real
+// concurrent object can be audited with the same consistency checkers the
+// simulator uses.
+type Workload struct {
+	// Workers and OpsPerWorker shape the load.
+	Workers, OpsPerWorker int
+	// Pace, when positive, is a local inter-operation delay each worker
+	// observes between completing one increment and issuing the next — the
+	// paper's Theorem 4.1 timer, implemented exactly as suggested: "upon
+	// completion of an operation the process sets a timer ... it may then
+	// issue another operation".
+	Pace time.Duration
+	// WireFor maps a worker to its pinned input wire; nil pins worker i to
+	// wire i mod fan-in (the Counter may ignore wires entirely).
+	WireFor func(worker int) int
+	// Monitor, when non-nil, receives every completed operation as it
+	// happens (worker id, value, wall-clock start/end) — live consistency
+	// auditing, the way a deployment would watch its counter.
+	Monitor *consistency.Online
+}
+
+// Run executes the workload and returns all operations, sorted by start
+// time.
+func (w Workload) Run(c Counter) []Op {
+	results := make([][]Op, w.Workers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for id := 0; id < w.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wire := id
+			if w.WireFor != nil {
+				wire = w.WireFor(id)
+			}
+			ops := make([]Op, 0, w.OpsPerWorker)
+			start.Wait()
+			next := time.Now()
+			for k := 0; k < w.OpsPerWorker; k++ {
+				if w.Pace > 0 {
+					for time.Now().Before(next) {
+					}
+				}
+				s := time.Now().UnixNano()
+				v := c.Inc(wire)
+				e := time.Now().UnixNano()
+				ops = append(ops, Op{Worker: id, Value: v, Start: s, End: e})
+				if w.Monitor != nil {
+					w.Monitor.Report(id, v, s, e)
+				}
+				if w.Pace > 0 {
+					next = time.Now().Add(w.Pace)
+				}
+			}
+			results[id] = ops
+		}(id)
+	}
+	start.Done()
+	wg.Wait()
+	var all []Op
+	for _, ops := range results {
+		all = append(all, ops...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Start < all[b].Start })
+	return all
+}
+
+// Audit converts recorded operations into the consistency checker's form,
+// using wall-clock order for precedence: operation A completely precedes B
+// when A finished before B started. This is exactly the real-time order
+// that linearizability constrains; sequential consistency only constrains
+// each worker's own order.
+func Audit(ops []Op) []consistency.Op {
+	out := make([]consistency.Op, len(ops))
+	perWorker := make(map[int]int)
+	for i, op := range ops {
+		out[i] = consistency.Op{
+			Process:  op.Worker,
+			Index:    perWorker[op.Worker],
+			Value:    op.Value,
+			EnterSeq: op.Start,
+			ExitSeq:  op.End,
+		}
+		perWorker[op.Worker]++
+	}
+	return out
+}
+
+// Values extracts the raw values, for counting-property verification.
+func Values(ops []Op) []int64 {
+	vals := make([]int64, len(ops))
+	for i, op := range ops {
+		vals[i] = op.Value
+	}
+	return vals
+}

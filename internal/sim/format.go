@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatTrace renders a trace as a per-token table ordered by entry time:
+// process, issue index, input wire, [t_in, t_out], sink and value. It is
+// the debugging view used by cmd tools when dissecting adversarial
+// schedules.
+func FormatTrace(tr *Trace) string {
+	idx := make([]int, len(tr.Tokens))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := &tr.Tokens[idx[a]], &tr.Tokens[idx[b]]
+		if ta.In() != tb.In() {
+			return ta.In() < tb.In()
+		}
+		return ta.EnterSeq < tb.EnterSeq
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %4s %5s %10s %10s %5s %6s\n", "proc", "op#", "wire", "t_in", "t_out", "sink", "value")
+	for _, i := range idx {
+		t := &tr.Tokens[i]
+		fmt.Fprintf(&b, "%6d %4d %5d %10d %10d %5d %6d\n",
+			t.Process, t.Index, t.Input, t.In(), t.Out(), t.Sink, t.Value)
+	}
+	return b.String()
+}
+
+// FormatParams renders measured timing parameters compactly.
+func FormatParams(p Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c_min=%d c_max=%d (ratio %.2f)", p.CMin, p.CMax, p.Ratio())
+	if p.CL.Defined {
+		fmt.Fprintf(&b, " C_L=%d", p.CL.Value)
+	} else {
+		b.WriteString(" C_L=∞")
+	}
+	if p.CG.Defined {
+		fmt.Fprintf(&b, " C_g=%d", p.CG.Value)
+	} else {
+		b.WriteString(" C_g=∞")
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+)
+
+// GenConfig describes a family of random schedules honouring a timing
+// condition: every wire delay is drawn uniformly from [CMin, CMax], and
+// each process waits at least CL (plus up to CLJitter extra) between
+// completing one token and issuing the next.
+type GenConfig struct {
+	Processes        int
+	TokensPerProcess int
+	CMin, CMax       Time
+	// CL is the enforced local inter-operation delay. Zero means tokens
+	// may re-enter immediately.
+	CL Time
+	// CLJitter adds a uniform random extra in [0, CLJitter] to each local
+	// gap, so the bound CL is tight but not constant.
+	CLJitter Time
+	// StartSpread staggers each process's first entry uniformly in
+	// [0, StartSpread].
+	StartSpread Time
+	// InputFor maps a process to its assigned input wire; nil defaults to
+	// process mod fan-in (the paper pins each process to one wire).
+	InputFor func(proc int) int
+	Seed     int64
+}
+
+// Generate builds the token specs of one random schedule drawn from the
+// configured family. The result is deterministic in cfg.Seed.
+func Generate(net *network.Network, cfg GenConfig) ([]TokenSpec, error) {
+	if cfg.Processes <= 0 || cfg.TokensPerProcess <= 0 {
+		return nil, fmt.Errorf("sim: generate needs processes and tokens, got %d × %d", cfg.Processes, cfg.TokensPerProcess)
+	}
+	if cfg.CMin <= 0 || cfg.CMax < cfg.CMin {
+		return nil, fmt.Errorf("sim: generate needs 0 < CMin ≤ CMax, got [%d, %d]", cfg.CMin, cfg.CMax)
+	}
+	inputFor := cfg.InputFor
+	if inputFor == nil {
+		inputFor = func(proc int) int { return proc % net.FanIn() }
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := net.Depth()
+	specs := make([]TokenSpec, 0, cfg.Processes*cfg.TokensPerProcess)
+	for proc := 0; proc < cfg.Processes; proc++ {
+		enter := Time(0)
+		if cfg.StartSpread > 0 {
+			enter = rng.Int63n(cfg.StartSpread + 1)
+		}
+		for k := 0; k < cfg.TokensPerProcess; k++ {
+			delays := make([]Time, d)
+			total := Time(0)
+			for l := range delays {
+				delays[l] = cfg.CMin + rng.Int63n(cfg.CMax-cfg.CMin+1)
+				total += delays[l]
+			}
+			specs = append(specs, TokenSpec{
+				Process: proc,
+				Input:   inputFor(proc),
+				Enter:   enter,
+				Delay:   SliceDelay(delays),
+			})
+			gap := cfg.CL
+			if cfg.CLJitter > 0 {
+				gap += rng.Int63n(cfg.CLJitter + 1)
+			}
+			enter += total + gap
+		}
+	}
+	return specs, nil
+}
+
+// SliceDelay wraps pre-drawn per-segment delays as a DelayFunc;
+// delays[ℓ-1] is the delay out of layer ℓ.
+func SliceDelay(delays []Time) DelayFunc {
+	return func(fromLayer int) Time { return delays[fromLayer-1] }
+}
+
+// DriftDelay scales a base delay function by a per-process clock-drift
+// factor num/den ≥ 1 (rounding up), modelling the drifting-clocks setting
+// of Eleftheriou & Mavronicolas (cited in Section 1.3): a process whose
+// clock runs slow experiences proportionally longer effective wire delays.
+// Every scaled delay stays positive, and a schedule whose nominal delays
+// honour [CMin, CMax] honours [CMin, ⌈CMax·num/den⌉] after drift.
+func DriftDelay(base DelayFunc, num, den Time) DelayFunc {
+	return func(fromLayer int) Time {
+		d := base(fromLayer)
+		return (d*num + den - 1) / den
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Params holds the timing parameters of Section 2.3, measured from a
+// realised trace. Bounds that are vacuous (no witnessing pair exists) are
+// reported with Defined=false in the corresponding Bound.
+type Params struct {
+	// CMin and CMax are the extreme wire delays over all tokens and
+	// segments.
+	CMin, CMax Time
+	// CMinPerProcess is c_min^P per process.
+	CMinPerProcess map[int]Time
+	// CL is the least local inter-operation delay over all processes
+	// (C_L); CLPerProcess holds C_L^P. Undefined when no process issued
+	// two tokens.
+	CL Bound
+	// CLPerProcess is C_L^P for every process with at least two tokens.
+	CLPerProcess map[int]Time
+	// CG is the least global delay between non-overlapping tokens (C_g).
+	// Undefined when every pair of tokens overlaps.
+	CG Bound
+}
+
+// Bound is a timing parameter that may be vacuously undefined.
+type Bound struct {
+	Value   Time
+	Defined bool
+}
+
+// Ratio returns c_max / c_min as a float for reporting.
+func (p Params) Ratio() float64 {
+	if p.CMin == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.CMax) / float64(p.CMin)
+}
+
+// Measure computes the trace's realised timing parameters.
+func Measure(tr *Trace) Params {
+	p := Params{
+		CMin:           math.MaxInt64,
+		CMax:           math.MinInt64,
+		CMinPerProcess: make(map[int]Time),
+		CLPerProcess:   make(map[int]Time),
+	}
+	// Wire delays.
+	for i := range tr.Tokens {
+		t := &tr.Tokens[i]
+		procMin, ok := p.CMinPerProcess[t.Process]
+		if !ok {
+			procMin = math.MaxInt64
+		}
+		for l := 1; l < len(t.LayerTimes); l++ {
+			d := t.LayerTimes[l] - t.LayerTimes[l-1]
+			if d < p.CMin {
+				p.CMin = d
+			}
+			if d > p.CMax {
+				p.CMax = d
+			}
+			if d < procMin {
+				procMin = d
+			}
+		}
+		p.CMinPerProcess[t.Process] = procMin
+	}
+	if len(tr.Tokens) == 0 {
+		p.CMin, p.CMax = 0, 0
+	}
+
+	// Local inter-operation delays: per process, gaps between consecutive
+	// tokens in issue order.
+	byProc := make(map[int][]*TokenRecord)
+	for i := range tr.Tokens {
+		t := &tr.Tokens[i]
+		byProc[t.Process] = append(byProc[t.Process], t)
+	}
+	clAll := Bound{Value: math.MaxInt64}
+	for proc, toks := range byProc {
+		sort.Slice(toks, func(a, b int) bool { return toks[a].Index < toks[b].Index })
+		cl := Time(math.MaxInt64)
+		defined := false
+		for i := 1; i < len(toks); i++ {
+			gap := toks[i].In() - toks[i-1].Out()
+			if gap < cl {
+				cl = gap
+			}
+			defined = true
+		}
+		if defined {
+			p.CLPerProcess[proc] = cl
+			if cl < clAll.Value {
+				clAll.Value = cl
+			}
+			clAll.Defined = true
+		}
+	}
+	if clAll.Defined {
+		p.CL = clAll
+	}
+
+	// Global delay: min over non-overlapping ordered pairs (T, T') of
+	// t'_in − t_out. Tokens sorted by exit; for each token, the relevant
+	// predecessor is the latest exit not after its entry.
+	exits := make([]Time, 0, len(tr.Tokens))
+	for i := range tr.Tokens {
+		exits = append(exits, tr.Tokens[i].Out())
+	}
+	sort.Slice(exits, func(a, b int) bool { return exits[a] < exits[b] })
+	// A token's exit is strictly after its entry (depth ≥ 1 and positive
+	// delays), so a token can never appear as its own predecessor here.
+	cg := Bound{Value: math.MaxInt64}
+	for i := range tr.Tokens {
+		in := tr.Tokens[i].In()
+		lo, hi := 0, len(exits) // largest exit ≤ in
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if exits[mid] <= in {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			continue
+		}
+		if gap := in - exits[lo-1]; !cg.Defined || gap < cg.Value {
+			cg = Bound{Value: gap, Defined: true}
+		}
+	}
+	p.CG = cg
+	return p
+}

@@ -1,0 +1,238 @@
+// Package sim executes timed executions (schedules) of uniform balancing
+// networks, per Section 2.3 of the paper: every token passes through one
+// node per layer, the time between consecutive layers is the wire delay,
+// and balancer transition steps are instantaneous and totally ordered.
+//
+// The caller fully controls each token's entry time and per-segment wire
+// delays, which is exactly the power the paper's adversarial constructions
+// assume; helpers generate random schedules honouring timing conditions
+// (c_min, c_max, C_L, C_g). The engine records a Trace from which the
+// realised timing parameters can be measured back (package sim) and
+// consistency conditions checked (package consistency).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Time is simulated time in integer ticks. Using integers keeps every
+// comparison in the theorems exact.
+type Time = int64
+
+// DelayFunc gives a token's wire delay for the segment between layer
+// `fromLayer` and layer fromLayer+1, for fromLayer in 1..d(G). The value
+// must be positive.
+type DelayFunc func(fromLayer int) Time
+
+// ConstantDelay returns a DelayFunc with the same delay on every segment.
+func ConstantDelay(d Time) DelayFunc {
+	return func(int) Time { return d }
+}
+
+// PiecewiseDelay returns a DelayFunc that is `before` on segments leaving
+// layers < switchLayer and `after` on segments leaving layers ≥
+// switchLayer. The Theorem 5.11 second wave uses this: slow until past the
+// split layer, then fast.
+func PiecewiseDelay(switchLayer int, before, after Time) DelayFunc {
+	return func(fromLayer int) Time {
+		if fromLayer < switchLayer {
+			return before
+		}
+		return after
+	}
+}
+
+// TokenSpec describes one token of a schedule.
+type TokenSpec struct {
+	// Process is the id of the issuing process. A process's tokens must
+	// appear in issue order in the schedule and must not overlap in time.
+	Process int
+	// Input is the network input wire the token enters on.
+	Input int
+	// Enter is the time of the token's first balancer step (passing
+	// layer 1).
+	Enter Time
+	// Rank breaks ties among steps with equal times: lower ranks take
+	// their simultaneous steps first. The paper's wave constructions rely
+	// on controlling the order of simultaneous steps.
+	Rank int
+	// Delay gives the token's wire delay out of each layer 1..d(G).
+	Delay DelayFunc
+}
+
+// TokenRecord is one completed token in a Trace.
+type TokenRecord struct {
+	Process int
+	// Index is the token's 0-based issue order within its process.
+	Index int
+	Input int
+	// Sink is the output wire the token exited on; Value the counter value
+	// obtained.
+	Sink  int
+	Value int64
+	// LayerTimes[ℓ-1] is the time the token passed layer ℓ, for
+	// ℓ = 1..d(G)+1. LayerTimes[0] is the entry time t_in; the last entry
+	// is the exit time t_out.
+	LayerTimes []Time
+	// EnterSeq and ExitSeq are the global sequence numbers of the token's
+	// first and last transition steps in the execution's total step order;
+	// token T completely precedes T' iff T.ExitSeq < T'.EnterSeq.
+	EnterSeq, ExitSeq int64
+}
+
+// In returns the token's entry time t_in (passing layer 1).
+func (t *TokenRecord) In() Time { return t.LayerTimes[0] }
+
+// Out returns the token's exit time t_out (passing layer d+1).
+func (t *TokenRecord) Out() Time { return t.LayerTimes[len(t.LayerTimes)-1] }
+
+// Trace is a completed timed execution.
+type Trace struct {
+	Net    *network.Network
+	Tokens []TokenRecord
+}
+
+// Errors returned by Run.
+var (
+	ErrNotUniform   = errors.New("sim: network must be uniform")
+	ErrBadInput     = errors.New("sim: token input wire out of range")
+	ErrBadDelay     = errors.New("sim: wire delays must be positive")
+	ErrOverlap      = errors.New("sim: same-process tokens overlap in time")
+	ErrOutOfOrder   = errors.New("sim: same-process tokens out of issue order")
+	ErrMissingDelay = errors.New("sim: token has no delay function")
+	ErrWirePinning  = errors.New("sim: process must keep its assigned input wire")
+)
+
+// event is one pending transition step.
+type event struct {
+	time  Time
+	rank  int
+	token int // index into specs
+	layer int // layer being passed, 1..d+1
+}
+
+// Run executes the schedule described by specs over net and returns the
+// trace. The execution's total step order sorts steps by (time, rank,
+// token index, layer); within a single token, layer times are strictly
+// increasing, so each token's steps are correctly ordered.
+func Run(net *network.Network, specs []TokenSpec) (*Trace, error) {
+	if !net.Uniform() {
+		return nil, ErrNotUniform
+	}
+	d := net.Depth()
+
+	// Precompute every token's layer-passing times; routing is the only
+	// thing decided during execution.
+	times := make([][]Time, len(specs))
+	for i, sp := range specs {
+		if sp.Input < 0 || sp.Input >= net.FanIn() {
+			return nil, fmt.Errorf("%w: token %d wire %d of %d", ErrBadInput, i, sp.Input, net.FanIn())
+		}
+		if sp.Delay == nil {
+			return nil, fmt.Errorf("%w: token %d", ErrMissingDelay, i)
+		}
+		ts := make([]Time, d+1)
+		ts[0] = sp.Enter
+		for l := 1; l <= d; l++ {
+			dl := sp.Delay(l)
+			if dl <= 0 {
+				return nil, fmt.Errorf("%w: token %d layer %d delay %d", ErrBadDelay, i, l, dl)
+			}
+			ts[l] = ts[l-1] + dl
+		}
+		times[i] = ts
+	}
+
+	// Per-process sanity: tokens in issue order, non-overlapping, and
+	// pinned to a single input wire (the paper's Section 2.1 assumption).
+	lastExit := make(map[int]Time)
+	lastIdx := make(map[int]int)
+	wireOf := make(map[int]int)
+	index := make([]int, len(specs))
+	for i, sp := range specs {
+		if wire, ok := wireOf[sp.Process]; ok && wire != sp.Input {
+			return nil, fmt.Errorf("%w: process %d used wires %d and %d",
+				ErrWirePinning, sp.Process, wire, sp.Input)
+		}
+		wireOf[sp.Process] = sp.Input
+		if prev, ok := lastIdx[sp.Process]; ok {
+			exit := lastExit[sp.Process]
+			if sp.Enter < exit {
+				return nil, fmt.Errorf("%w: process %d token %d enters at %d before token %d exits at %d",
+					ErrOverlap, sp.Process, i, sp.Enter, prev, exit)
+			}
+			if sp.Enter == exit && sp.Rank < specs[prev].Rank {
+				// At equal times the step order is decided by rank; a lower
+				// rank would schedule this token's entry before its
+				// predecessor's exit, interleaving the process's tokens.
+				return nil, fmt.Errorf("%w: process %d token %d rank %d ties at time %d with token %d rank %d",
+					ErrOutOfOrder, sp.Process, i, sp.Rank, sp.Enter, prev, specs[prev].Rank)
+			}
+			index[i] = index[prev] + 1
+		}
+		lastIdx[sp.Process] = i
+		lastExit[sp.Process] = times[i][d]
+	}
+
+	// Total step order.
+	events := make([]event, 0, len(specs)*(d+1))
+	for i := range specs {
+		for l := 1; l <= d+1; l++ {
+			events = append(events, event{time: times[i][l-1], rank: specs[i].Rank, token: i, layer: l})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.time != eb.time {
+			return ea.time < eb.time
+		}
+		if ea.rank != eb.rank {
+			return ea.rank < eb.rank
+		}
+		if ea.token != eb.token {
+			return ea.token < eb.token
+		}
+		return ea.layer < eb.layer
+	})
+
+	// Execute.
+	st := network.NewState(net)
+	cursors := make([]*network.Cursor, len(specs))
+	records := make([]TokenRecord, len(specs))
+	for i, sp := range specs {
+		cursors[i] = st.Start(sp.Input)
+		records[i] = TokenRecord{
+			Process:    sp.Process,
+			Index:      index[i],
+			Input:      sp.Input,
+			LayerTimes: times[i],
+			EnterSeq:   -1,
+		}
+	}
+	for seq, ev := range events {
+		c := cursors[ev.token]
+		if c.Steps != ev.layer-1 {
+			// Should be impossible: per-token layer times strictly increase
+			// and the sort is stable.
+			return nil, fmt.Errorf("sim: internal error: token %d at layer %d stepping layer %d", ev.token, c.Steps, ev.layer)
+		}
+		step := st.Step(c)
+		r := &records[ev.token]
+		if r.EnterSeq < 0 {
+			r.EnterSeq = int64(seq)
+		}
+		r.ExitSeq = int64(seq)
+		if step.Kind == network.StepCounter {
+			r.Sink = step.Sink
+			r.Value = step.Value
+		}
+	}
+	if err := st.VerifyQuiescent(); err != nil {
+		return nil, fmt.Errorf("sim: post-run check: %w", err)
+	}
+	return &Trace{Net: net, Tokens: records}, nil
+}

@@ -1,0 +1,29 @@
+package sim
+
+import "repro/internal/consistency"
+
+// Ops converts the trace into consistency-checker operations, carrying the
+// execution's step order for precedence.
+func (tr *Trace) Ops() []consistency.Op {
+	ops := make([]consistency.Op, len(tr.Tokens))
+	for i := range tr.Tokens {
+		t := &tr.Tokens[i]
+		ops[i] = consistency.Op{
+			Process:  t.Process,
+			Index:    t.Index,
+			Value:    t.Value,
+			EnterSeq: t.EnterSeq,
+			ExitSeq:  t.ExitSeq,
+		}
+	}
+	return ops
+}
+
+// Values returns the values obtained by the trace's tokens, in spec order.
+func (tr *Trace) Values() []int64 {
+	vals := make([]int64, len(tr.Tokens))
+	for i := range tr.Tokens {
+		vals[i] = tr.Tokens[i].Value
+	}
+	return vals
+}

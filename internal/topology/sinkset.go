@@ -1,0 +1,199 @@
+// Package topology computes the structural quantities of Section 5.3 of
+// the paper: wire and balancer valencies, complete / univalent / totally
+// ordering balancers and layers, split depth, split networks, the split
+// sequence and split number, continuous completeness and continuous
+// uniform splittability, and the influence radius irad(G) used by the
+// MPT97 necessary condition in Table 1.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SinkSet is a set of sink (output wire) indices, as a bitset. The zero
+// value is the empty set. Sets are value types: mutating methods return a
+// new or modified receiver-owned copy as documented.
+type SinkSet struct {
+	bits []uint64
+}
+
+// NewSinkSet returns an empty set sized for sinks 0..n-1.
+func NewSinkSet(n int) SinkSet {
+	return SinkSet{bits: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts sink j, growing the set if needed.
+func (s *SinkSet) Add(j int) {
+	w := j / 64
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << uint(j%64)
+}
+
+// Contains reports whether sink j is in the set.
+func (s SinkSet) Contains(j int) bool {
+	w := j / 64
+	return w < len(s.bits) && s.bits[w]&(1<<uint(j%64)) != 0
+}
+
+// Union returns a new set holding s ∪ t.
+func (s SinkSet) Union(t SinkSet) SinkSet {
+	n := len(s.bits)
+	if len(t.bits) > n {
+		n = len(t.bits)
+	}
+	u := SinkSet{bits: make([]uint64, n)}
+	copy(u.bits, s.bits)
+	for i, b := range t.bits {
+		u.bits[i] |= b
+	}
+	return u
+}
+
+// Intersects reports whether s ∩ t is nonempty.
+func (s SinkSet) Intersects(t SinkSet) bool {
+	n := len(s.bits)
+	if len(t.bits) < n {
+		n = len(t.bits)
+	}
+	for i := 0; i < n; i++ {
+		if s.bits[i]&t.bits[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns |s|.
+func (s SinkSet) Count() int {
+	c := 0
+	for _, b := range s.bits {
+		for ; b != 0; b &= b - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// Min returns the smallest element, or -1 if empty.
+func (s SinkSet) Min() int {
+	for i, b := range s.bits {
+		if b != 0 {
+			for j := 0; j < 64; j++ {
+				if b&(1<<uint(j)) != 0 {
+					return i*64 + j
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if empty.
+func (s SinkSet) Max() int {
+	for i := len(s.bits) - 1; i >= 0; i-- {
+		if b := s.bits[i]; b != 0 {
+			for j := 63; j >= 0; j-- {
+				if b&(1<<uint(j)) != 0 {
+					return i*64 + j
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Equal reports whether s and t hold the same sinks.
+func (s SinkSet) Equal(t SinkSet) bool {
+	n := len(s.bits)
+	if len(t.bits) > n {
+		n = len(t.bits)
+	}
+	at := func(bits []uint64, i int) uint64 {
+		if i < len(bits) {
+			return bits[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if at(s.bits, i) != at(t.bits, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s SinkSet) SubsetOf(t SinkSet) bool {
+	for i, b := range s.bits {
+		var tb uint64
+		if i < len(t.bits) {
+			tb = t.bits[i]
+		}
+		if b&^tb != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Precedes reports s ≺ t: every element of s is less than every element of
+// t (Section 5.3). Empty sets vacuously precede and are preceded.
+func (s SinkSet) Precedes(t SinkSet) bool {
+	smax, tmin := s.Max(), t.Min()
+	if smax < 0 || tmin < 0 {
+		return true
+	}
+	return smax < tmin
+}
+
+// Elems returns the elements in increasing order.
+func (s SinkSet) Elems() []int {
+	out := make([]int, 0, s.Count())
+	for i, b := range s.bits {
+		for j := 0; j < 64; j++ {
+			if b&(1<<uint(j)) != 0 {
+				out = append(out, i*64+j)
+			}
+		}
+	}
+	return out
+}
+
+// Range returns a set holding lo..hi inclusive.
+func Range(lo, hi int) SinkSet {
+	s := NewSinkSet(hi + 1)
+	for j := lo; j <= hi; j++ {
+		s.Add(j)
+	}
+	return s
+}
+
+// String implements fmt.Stringer, printing contiguous runs compactly.
+func (s SinkSet) String() string {
+	elems := s.Elems()
+	if len(elems) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(elems); {
+		j := i
+		for j+1 < len(elems) && elems[j+1] == elems[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d..%d", elems[i], elems[j])
+		} else {
+			fmt.Fprintf(&b, "%d", elems[i])
+		}
+		i = j + 1
+	}
+	b.WriteByte('}')
+	return b.String()
+}

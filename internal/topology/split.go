@@ -1,0 +1,223 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Errors returned by the split-sequence computation.
+var (
+	ErrNoSplitLayer  = errors.New("topology: network has no totally ordering layer")
+	ErrNotSplittable = errors.New("topology: split network does not partition into top/bottom subnetworks")
+	ErrOddSinkRange  = errors.New("topology: cannot halve an odd sink range")
+	ErrNotUniform    = errors.New("topology: split sequence requires a uniform network")
+)
+
+// Level is one element S^(ℓ) of the split sequence of Section 5.3.
+type Level struct {
+	// Net is S^(ℓ) as a standalone network; Level 0 is G itself.
+	Net *network.Network
+	// Analysis is the valency analysis of Net.
+	Analysis *Analysis
+	// SinkLo and SinkHi delimit (inclusive) the original sinks of G that
+	// this level's outputs correspond to.
+	SinkLo, SinkHi int
+	// SplitDepth is sd(Net), the level's own split depth.
+	SplitDepth int
+	// AbsSplitDepth is the depth of this level's split layer measured in G:
+	// the cumulative split depth sd_1 < sd_2 < ... used by the Theorem 5.11
+	// wave schedules.
+	AbsSplitDepth int
+	// Complete and UniformlySplittable record the paper's per-level
+	// predicates (the split layer is complete / uniformly splittable).
+	Complete            bool
+	UniformlySplittable bool
+}
+
+// SplitSequence is the full split sequence S^(0), S^(1), ..., together with
+// the paper's continuity predicates. The split number sp(G) is the number
+// of levels.
+type SplitSequence struct {
+	Levels []Level
+	// ContinuouslyComplete holds when every level but the last is complete
+	// (Section 5.3).
+	ContinuouslyComplete bool
+	// ContinuouslyUniformlySplittable holds when every level but the last
+	// is uniformly splittable.
+	ContinuouslyUniformlySplittable bool
+}
+
+// SplitNumber returns sp(G), the length of the split sequence.
+func (s *SplitSequence) SplitNumber() int { return len(s.Levels) }
+
+// DepthAfterSplit returns d(S^(ℓ)(G)) as used by Theorem 5.11's timing
+// condition, for 1 ≤ ℓ ≤ sp(G). For ℓ < sp(G) this is the depth of level
+// ℓ's network; for ℓ = sp(G) — one past the last level — it is 1 by the
+// paper's convention (Corollaries 5.12/5.13 take d(S^(sp)) = 1: the
+// "network" below the last split is a single wire into a counter).
+func (s *SplitSequence) DepthAfterSplit(l int) (int, error) {
+	switch {
+	case l < 1 || l > len(s.Levels):
+		return 0, fmt.Errorf("topology: level ℓ=%d outside 1..sp=%d", l, len(s.Levels))
+	case l < len(s.Levels):
+		return s.Levels[l].Net.Depth(), nil
+	default:
+		return 1, nil
+	}
+}
+
+// AbsSplitDepth returns the cumulative split depth sd_ℓ in G's own layer
+// numbering, for 1 ≤ ℓ ≤ sp(G): the absolute layer after which the
+// Theorem 5.11 second wave has committed to the bottom-most subnetwork
+// S^(ℓ).
+func (s *SplitSequence) AbsSplitDepth(l int) (int, error) {
+	if l < 1 || l > len(s.Levels) {
+		return 0, fmt.Errorf("topology: level ℓ=%d outside 1..sp=%d", l, len(s.Levels))
+	}
+	return s.Levels[l-1].AbsSplitDepth, nil
+}
+
+// ComputeSplitSequence derives the split sequence of a uniform network by
+// repeatedly chopping it at its split depth and keeping the bottom
+// subnetwork, per the paper's inductive definition.
+func ComputeSplitSequence(net *network.Network) (*SplitSequence, error) {
+	if !net.Uniform() {
+		return nil, ErrNotUniform
+	}
+	seq := &SplitSequence{
+		ContinuouslyComplete:            true,
+		ContinuouslyUniformlySplittable: true,
+	}
+	cur := net
+	sinkLo, sinkHi := 0, net.FanOut()-1
+	absBase := 0 // depth in G of the layer just above cur
+	for {
+		an := Analyze(cur)
+		sd, ok := an.SplitDepth()
+		if !ok {
+			return nil, fmt.Errorf("%w (level %d)", ErrNoSplitLayer, len(seq.Levels))
+		}
+		lvl := Level{
+			Net:                 cur,
+			Analysis:            an,
+			SinkLo:              sinkLo,
+			SinkHi:              sinkHi,
+			SplitDepth:          sd,
+			AbsSplitDepth:       absBase + sd,
+			Complete:            an.LayerComplete(sd),
+			UniformlySplittable: an.LayerUniformlySplittable(sd),
+		}
+		seq.Levels = append(seq.Levels, lvl)
+		if sd == cur.Depth() {
+			// Terminal level: the paper's continuity predicates only
+			// quantify over "each network but the last".
+			break
+		}
+		if !lvl.Complete {
+			seq.ContinuouslyComplete = false
+		}
+		if !lvl.UniformlySplittable {
+			seq.ContinuouslyUniformlySplittable = false
+		}
+		n := cur.FanOut()
+		if n%2 != 0 {
+			return nil, fmt.Errorf("%w: %d sinks at level %d", ErrOddSinkRange, n, len(seq.Levels)-1)
+		}
+		bottom := Range(n/2, n-1)
+		sub, err := ExtractSubnetwork(cur, an, sd, bottom)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", len(seq.Levels)-1, err)
+		}
+		absBase += sd
+		sinkLo = sinkLo + (sinkHi-sinkLo+1)/2
+		cur = sub
+	}
+	return seq, nil
+}
+
+// ExtractSubnetwork cuts out the part of net strictly deeper than layer sd
+// whose valency is contained in sinks, renumbering the retained sinks in
+// increasing order and turning every wire crossing into the subnetwork
+// into a fresh network input (ordered by the receiving balancer and port).
+// This realises the paper's SP_1 / SP_2 partition of the split network.
+func ExtractSubnetwork(net *network.Network, an *Analysis, sd int, sinks SinkSet) (*network.Network, error) {
+	include := make([]bool, net.Size())
+	var order []int
+	for b := 0; b < net.Size(); b++ {
+		if net.BalancerDepth(b) > sd && an.BalancerValency(b).SubsetOf(sinks) {
+			include[b] = true
+			order = append(order, b)
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("%w: no balancers below layer %d with valency ⊆ %v", ErrNotSplittable, sd, sinks)
+	}
+	// Sanity: every deeper balancer must fall wholly inside or wholly
+	// outside the chosen sink set, or the split does not partition.
+	for b := 0; b < net.Size(); b++ {
+		if net.BalancerDepth(b) > sd && !include[b] && an.BalancerValency(b).Intersects(sinks) {
+			return nil, fmt.Errorf("%w: balancer %d straddles %v", ErrNotSplittable, b, sinks)
+		}
+	}
+	sort.Ints(order)
+	newID := make(map[int]int, len(order))
+	for i, b := range order {
+		newID[b] = i
+	}
+	newSink := make(map[int]int)
+	for i, j := range sinks.Elems() {
+		newSink[j] = i
+	}
+
+	// Count crossing wires to size the builder: an input port of an
+	// included balancer fed by an excluded node.
+	var crossings int
+	for _, b := range order {
+		for p := 0; p < net.Balancer(b).FanIn; p++ {
+			from := net.InputSource(b, p)
+			if from.Kind != network.KindBalancer || !include[from.Index] {
+				crossings++
+			}
+		}
+	}
+	nb := network.NewBuilder(crossings, sinks.Count())
+	for _, b := range order {
+		spec := net.Balancer(b)
+		nb.AddBalancer(spec.FanIn, spec.FanOut)
+	}
+	nextInput := 0
+	for _, b := range order {
+		spec := net.Balancer(b)
+		for p := 0; p < spec.FanIn; p++ {
+			from := net.InputSource(b, p)
+			if from.Kind != network.KindBalancer || !include[from.Index] {
+				nb.ConnectInput(nextInput, network.Endpoint{Kind: network.KindBalancer, Index: newID[b], Port: p})
+				nextInput++
+			}
+		}
+		for p := 0; p < spec.FanOut; p++ {
+			to := net.OutputTarget(b, p)
+			switch to.Kind {
+			case network.KindSink:
+				idx, ok := newSink[to.Index]
+				if !ok {
+					return nil, fmt.Errorf("%w: balancer %d feeds sink %d outside %v", ErrNotSplittable, b, to.Index, sinks)
+				}
+				nb.Connect(newID[b], p, network.Endpoint{Kind: network.KindSink, Index: idx})
+			case network.KindBalancer:
+				if !include[to.Index] {
+					return nil, fmt.Errorf("%w: wire %d→%d leaves the subnetwork", ErrNotSplittable, b, to.Index)
+				}
+				nb.Connect(newID[b], p, network.Endpoint{Kind: network.KindBalancer, Index: newID[to.Index], Port: to.Port})
+			}
+		}
+	}
+	sub, err := nb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("topology: extracted subnetwork invalid: %w", err)
+	}
+	return sub, nil
+}

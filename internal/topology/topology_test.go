@@ -1,0 +1,453 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/construct"
+	"repro/internal/network"
+)
+
+func TestSinkSetBasics(t *testing.T) {
+	s := NewSinkSet(10)
+	if s.Count() != 0 || s.Min() != -1 || s.Max() != -1 {
+		t.Error("empty set misbehaves")
+	}
+	s.Add(3)
+	s.Add(7)
+	s.Add(3)
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if s.Min() != 3 || s.Max() != 7 {
+		t.Errorf("Min/Max = %d/%d, want 3/7", s.Min(), s.Max())
+	}
+	// Growth past the initial size.
+	s.Add(130)
+	if !s.Contains(130) || s.Max() != 130 {
+		t.Error("growth failed")
+	}
+}
+
+func TestSinkSetOps(t *testing.T) {
+	a := Range(0, 3)
+	b := Range(4, 7)
+	c := Range(2, 5)
+	if a.Intersects(b) {
+		t.Error("disjoint ranges should not intersect")
+	}
+	if !a.Intersects(c) || !b.Intersects(c) {
+		t.Error("overlapping ranges should intersect")
+	}
+	if !a.Precedes(b) || b.Precedes(a) {
+		t.Error("Precedes wrong for disjoint ordered ranges")
+	}
+	if a.Precedes(c) || c.Precedes(a) {
+		t.Error("overlapping ranges must not compare under ≺")
+	}
+	u := a.Union(b)
+	if !u.Equal(Range(0, 7)) {
+		t.Errorf("Union = %v, want {0..7}", u)
+	}
+	if !a.SubsetOf(u) || u.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	var empty SinkSet
+	if !empty.Precedes(a) || !a.Precedes(empty) {
+		t.Error("empty set should vacuously precede and be preceded")
+	}
+	if !empty.SubsetOf(a) {
+		t.Error("empty set is a subset of everything")
+	}
+	if !a.Equal(Range(0, 3)) {
+		t.Error("Equal wrong")
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets reported equal")
+	}
+}
+
+func TestSinkSetString(t *testing.T) {
+	tests := []struct {
+		set  SinkSet
+		want string
+	}{
+		{NewSinkSet(4), "{}"},
+		{Range(0, 3), "{0..3}"},
+		{Range(5, 5), "{5}"},
+	}
+	for _, tt := range tests {
+		if got := tt.set.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+	mixed := Range(0, 1)
+	mixed.Add(5)
+	if got, want := mixed.String(), "{0..1,5}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSinkSetElems(t *testing.T) {
+	s := NewSinkSet(8)
+	for _, j := range []int{6, 1, 4} {
+		s.Add(j)
+	}
+	got := s.Elems()
+	want := []int{1, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBitonicFirstLayerComplete: every first-layer balancer of a counting
+// network reaches every sink (Section 5.3).
+func TestBitonicFirstLayerComplete(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		a := Analyze(construct.MustBitonic(w))
+		if !a.LayerComplete(1) {
+			t.Errorf("B(%d) layer 1 should be complete", w)
+		}
+		for _, b := range a.Network().Layer(1) {
+			if a.TotallyOrdering(b) {
+				t.Errorf("B(%d) first-layer balancer %d should not be totally ordering", w, b)
+			}
+		}
+	}
+}
+
+// TestLastLayerValencies: final-layer balancers have singleton, totally
+// ordered port valencies.
+func TestLastLayerValencies(t *testing.T) {
+	nets := map[string]*network.Network{
+		"bitonic-8":  construct.MustBitonic(8),
+		"periodic-8": construct.MustPeriodic(8),
+		"tree-8":     construct.MustTree(8),
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			a := Analyze(net)
+			d := net.Depth()
+			if !a.LayerTotallyOrdering(d) {
+				t.Error("last layer should be totally ordering")
+			}
+			if !a.LayerUnivalent(d) {
+				t.Error("last layer should be univalent")
+			}
+			for _, b := range net.Layer(d) {
+				for p := 0; p < net.Balancer(b).FanOut; p++ {
+					if got := a.PortValency(b, p).Count(); got != 1 {
+						t.Errorf("balancer %d port %d valency size %d, want 1", b, p, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSplitDepthBitonic reproduces Proposition 5.6:
+// sd(B(w)) = (lg²w − lg w + 2)/2, with the split layer complete and
+// uniformly splittable.
+func TestSplitDepthBitonic(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			a := Analyze(construct.MustBitonic(w))
+			sd, ok := a.SplitDepth()
+			if !ok {
+				t.Fatal("no split layer")
+			}
+			lg := construct.Lg(w)
+			want := (lg*lg - lg + 2) / 2
+			if sd != want {
+				t.Errorf("sd(B(%d)) = %d, want %d", w, sd, want)
+			}
+			if !a.NetworkComplete() {
+				t.Error("B(w) should be complete")
+			}
+			if !a.NetworkUniformlySplittable() {
+				t.Error("B(w) should be uniformly splittable")
+			}
+		})
+	}
+}
+
+// TestSplitDepthPeriodic reproduces Proposition 5.8:
+// sd(P(w)) = lg²w − lg w + 1.
+func TestSplitDepthPeriodic(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			a := Analyze(construct.MustPeriodic(w))
+			sd, ok := a.SplitDepth()
+			if !ok {
+				t.Fatal("no split layer")
+			}
+			lg := construct.Lg(w)
+			want := lg*lg - lg + 1
+			if sd != want {
+				t.Errorf("sd(P(%d)) = %d, want %d", w, sd, want)
+			}
+			if !a.NetworkComplete() {
+				t.Error("P(w) should be complete")
+			}
+			if !a.NetworkUniformlySplittable() {
+				t.Error("P(w) should be uniformly splittable")
+			}
+		})
+	}
+}
+
+// TestSplitSequenceBitonic reproduces Proposition 5.9: B(w) is continuously
+// complete and continuously uniformly splittable with sp(B(w)) = lg w, and
+// S^(ℓ) is the merging network M(w/2^ℓ) of depth lg w − ℓ.
+func TestSplitSequenceBitonic(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			seq, err := ComputeSplitSequence(construct.MustBitonic(w))
+			if err != nil {
+				t.Fatalf("ComputeSplitSequence: %v", err)
+			}
+			lg := construct.Lg(w)
+			if got := seq.SplitNumber(); got != lg {
+				t.Errorf("sp(B(%d)) = %d, want %d", w, got, lg)
+			}
+			if !seq.ContinuouslyComplete {
+				t.Error("B(w) should be continuously complete")
+			}
+			if !seq.ContinuouslyUniformlySplittable {
+				t.Error("B(w) should be continuously uniformly splittable")
+			}
+			for l := 1; l < seq.SplitNumber(); l++ {
+				lvl := seq.Levels[l]
+				if got, want := lvl.Net.Depth(), lg-l; got != want {
+					t.Errorf("d(S^%d) = %d, want %d", l, got, want)
+				}
+				if got, want := lvl.Net.FanOut(), w>>uint(l); got != want {
+					t.Errorf("S^%d fan-out = %d, want %d", l, got, want)
+				}
+				if got, want := lvl.SinkLo, w-w>>uint(l); got != want {
+					t.Errorf("S^%d sink lo = %d, want %d", l, got, want)
+				}
+				if lvl.SinkHi != w-1 {
+					t.Errorf("S^%d sink hi = %d, want %d", l, lvl.SinkHi, w-1)
+				}
+			}
+			// DepthAfterSplit covers ℓ = 1..sp with the sp convention = 1.
+			for l := 1; l <= seq.SplitNumber(); l++ {
+				d, err := seq.DepthAfterSplit(l)
+				if err != nil {
+					t.Fatalf("DepthAfterSplit(%d): %v", l, err)
+				}
+				want := lg - l
+				if l == seq.SplitNumber() {
+					want = 1
+				}
+				if d != want {
+					t.Errorf("DepthAfterSplit(%d) = %d, want %d", l, d, want)
+				}
+			}
+			if _, err := seq.DepthAfterSplit(0); err == nil {
+				t.Error("DepthAfterSplit(0) should fail")
+			}
+			if _, err := seq.DepthAfterSplit(seq.SplitNumber() + 1); err == nil {
+				t.Error("DepthAfterSplit(sp+1) should fail")
+			}
+		})
+	}
+}
+
+// TestSplitSequencePeriodic reproduces Proposition 5.10: sp(P(w)) = lg w,
+// continuously complete and continuously uniformly splittable, with
+// S^(ℓ) a block network of fan w/2^ℓ and depth lg w − ℓ.
+func TestSplitSequencePeriodic(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			seq, err := ComputeSplitSequence(construct.MustPeriodic(w))
+			if err != nil {
+				t.Fatalf("ComputeSplitSequence: %v", err)
+			}
+			lg := construct.Lg(w)
+			if got := seq.SplitNumber(); got != lg {
+				t.Errorf("sp(P(%d)) = %d, want %d", w, got, lg)
+			}
+			if !seq.ContinuouslyComplete || !seq.ContinuouslyUniformlySplittable {
+				t.Error("P(w) should be continuously complete and uniformly splittable")
+			}
+			for l := 1; l < seq.SplitNumber(); l++ {
+				if got, want := seq.Levels[l].Net.Depth(), lg-l; got != want {
+					t.Errorf("d(S^%d) = %d, want %d", l, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAbsSplitDepths: cumulative split depths are strictly increasing and
+// end at d(G).
+func TestAbsSplitDepths(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		seq  func() (*SplitSequence, error)
+		d    int
+	}{
+		{"bitonic-8", func() (*SplitSequence, error) { return ComputeSplitSequence(construct.MustBitonic(8)) }, 6},
+		{"periodic-8", func() (*SplitSequence, error) { return ComputeSplitSequence(construct.MustPeriodic(8)) }, 9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := tc.seq()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := 0
+			for l := 1; l <= seq.SplitNumber(); l++ {
+				abs, err := seq.AbsSplitDepth(l)
+				if err != nil {
+					t.Fatalf("AbsSplitDepth(%d): %v", l, err)
+				}
+				if abs <= prev {
+					t.Errorf("AbsSplitDepth(%d) = %d, not increasing from %d", l, abs, prev)
+				}
+				prev = abs
+			}
+			if prev != tc.d {
+				t.Errorf("final abs split depth = %d, want d(G) = %d", prev, tc.d)
+			}
+			if _, err := seq.AbsSplitDepth(0); err == nil {
+				t.Error("AbsSplitDepth(0) should fail")
+			}
+		})
+	}
+}
+
+// TestSplitSequenceTree: the counting tree's first totally ordering layer
+// is its leaf layer, so its split sequence is trivial (sp = 1).
+func TestSplitSequenceTree(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		seq, err := ComputeSplitSequence(construct.MustTree(w))
+		if err != nil {
+			t.Fatalf("Tree(%d): %v", w, err)
+		}
+		if got := seq.SplitNumber(); got != 1 {
+			t.Errorf("sp(Tree(%d)) = %d, want 1", w, got)
+		}
+		if got, want := seq.Levels[0].SplitDepth, construct.Lg(w); got != want {
+			t.Errorf("sd(Tree(%d)) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// TestTreeRootNotTotallyOrdering: the tree root's children cover
+// interleaved sink sets (evens vs odds), which are disjoint but not
+// ≺-comparable — univalent without being totally ordering.
+func TestTreeRootNotTotallyOrdering(t *testing.T) {
+	a := Analyze(construct.MustTree(8))
+	root := a.Network().Layer(1)[0]
+	if !a.Univalent(root) {
+		t.Error("tree root should be univalent")
+	}
+	if a.TotallyOrdering(root) {
+		t.Error("tree root should not be totally ordering")
+	}
+	if !a.Complete(root) {
+		t.Error("tree root should be complete")
+	}
+}
+
+// TestInfluenceRadius: for B(w) the deepest common ancestor of the extreme
+// sinks sits in the first merger column, giving irad(B(w)) = lg w.
+func TestInfluenceRadius(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		a := Analyze(construct.MustBitonic(w))
+		if got, want := a.InfluenceRadius(), construct.Lg(w); got != want {
+			t.Errorf("irad(B(%d)) = %d, want %d", w, got, want)
+		}
+	}
+	// Tree: every pair's nearest common ancestor distance is maximised by
+	// sinks differing in the lowest path bit chosen at the root... the
+	// nearest common ancestor of sinks 0 and 1 (paths split at the root)
+	// is the root, at distance lg w; sinks 0 and w/2 split at a leaf,
+	// distance 1.
+	for _, w := range []int{4, 8, 16} {
+		a := Analyze(construct.MustTree(w))
+		if got, want := a.InfluenceRadius(), construct.Lg(w); got != want {
+			t.Errorf("irad(Tree(%d)) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// TestExtractSubnetworkErrors exercises the failure paths of extraction.
+func TestExtractSubnetworkErrors(t *testing.T) {
+	n := construct.MustBitonic(4)
+	a := Analyze(n)
+	// Sinks {1,2} straddle both halves below the split layer.
+	bad := NewSinkSet(4)
+	bad.Add(1)
+	bad.Add(2)
+	sd, _ := a.SplitDepth()
+	if _, err := ExtractSubnetwork(n, a, sd, bad); err == nil {
+		t.Error("straddling sink set should fail extraction")
+	}
+	// A sink set reachable by nothing below depth d yields no balancers.
+	if _, err := ExtractSubnetwork(n, a, n.Depth(), Range(2, 3)); err == nil {
+		t.Error("extraction below the last layer should fail")
+	}
+}
+
+// TestQuickSinkSetLaws: set-algebra laws on random small sets.
+func TestQuickSinkSetLaws(t *testing.T) {
+	mk := func(bits uint16) SinkSet {
+		s := NewSinkSet(16)
+		for j := 0; j < 16; j++ {
+			if bits&(1<<uint(j)) != 0 {
+				s.Add(j)
+			}
+		}
+		return s
+	}
+	prop := func(aBits, bBits, cBits uint16) bool {
+		a, b, c := mk(aBits), mk(bBits), mk(cBits)
+		// Union commutes and associates.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		// Subset is reflexive; both sets subset their union.
+		if !a.SubsetOf(a) || !a.SubsetOf(a.Union(b)) || !b.SubsetOf(a.Union(b)) {
+			return false
+		}
+		// Intersects agrees with elementwise check.
+		inter := false
+		for _, e := range a.Elems() {
+			if b.Contains(e) {
+				inter = true
+				break
+			}
+		}
+		if a.Intersects(b) != inter {
+			return false
+		}
+		// Precedes ⇒ disjoint (for nonempty sets).
+		if a.Count() > 0 && b.Count() > 0 && a.Precedes(b) && a.Intersects(b) {
+			return false
+		}
+		// Count of union ≤ sum of counts, ≥ max.
+		u := a.Union(b).Count()
+		if u > a.Count()+b.Count() || u < a.Count() || u < b.Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

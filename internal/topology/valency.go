@@ -1,0 +1,241 @@
+package topology
+
+import (
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Analysis caches the valency structure of one network: for every balancer
+// output port, the set of sinks reachable from it (Section 5.3's Val).
+type Analysis struct {
+	net     *network.Network
+	portVal [][]SinkSet // portVal[b][p] = Val(output port p of balancer b)
+	balVal  []SinkSet   // balVal[b]    = Val(B) = union over ports
+}
+
+// Analyze computes valencies for every balancer output port in the network.
+func Analyze(net *network.Network) *Analysis {
+	a := &Analysis{
+		net:     net,
+		portVal: make([][]SinkSet, net.Size()),
+		balVal:  make([]SinkSet, net.Size()),
+	}
+	// Process balancers in decreasing depth: every wire leads to a strictly
+	// deeper balancer or to a sink, so targets are already resolved.
+	order := make([]int, net.Size())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return net.BalancerDepth(order[x]) > net.BalancerDepth(order[y])
+	})
+	for _, b := range order {
+		spec := net.Balancer(b)
+		a.portVal[b] = make([]SinkSet, spec.FanOut)
+		union := NewSinkSet(net.FanOut())
+		for p := 0; p < spec.FanOut; p++ {
+			to := net.OutputTarget(b, p)
+			var v SinkSet
+			switch to.Kind {
+			case network.KindSink:
+				v = NewSinkSet(net.FanOut())
+				v.Add(to.Index)
+			case network.KindBalancer:
+				v = a.balVal[to.Index]
+			}
+			a.portVal[b][p] = v
+			union = union.Union(v)
+		}
+		a.balVal[b] = union
+	}
+	return a
+}
+
+// Network returns the analyzed network.
+func (a *Analysis) Network() *network.Network { return a.net }
+
+// PortValency returns Val(j) for output port p of balancer b.
+func (a *Analysis) PortValency(b, p int) SinkSet { return a.portVal[b][p] }
+
+// BalancerValency returns Val(B), the sinks reachable from balancer b.
+func (a *Analysis) BalancerValency(b int) SinkSet { return a.balVal[b] }
+
+// Complete reports whether balancer b reaches every sink.
+func (a *Analysis) Complete(b int) bool {
+	return a.balVal[b].Count() == a.net.FanOut()
+}
+
+// Univalent reports whether balancer b's output-port valencies are pairwise
+// disjoint: each reachable sink determines the output wire.
+func (a *Analysis) Univalent(b int) bool {
+	ports := a.portVal[b]
+	for i := 0; i < len(ports); i++ {
+		for j := i + 1; j < len(ports); j++ {
+			if ports[i].Intersects(ports[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotallyOrdering reports whether balancer b's output-port valencies are
+// totally ordered under ≺ (every pair compares). Any totally ordering
+// balancer is univalent.
+func (a *Analysis) TotallyOrdering(b int) bool {
+	ports := a.portVal[b]
+	for i := 0; i < len(ports); i++ {
+		for j := i + 1; j < len(ports); j++ {
+			if !ports[i].Precedes(ports[j]) && !ports[j].Precedes(ports[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UniformlySplittableBalancer reports whether all output-port valencies of
+// balancer b have the same cardinality.
+func (a *Analysis) UniformlySplittableBalancer(b int) bool {
+	ports := a.portVal[b]
+	if len(ports) == 0 {
+		return true
+	}
+	want := ports[0].Count()
+	for _, v := range ports[1:] {
+		if v.Count() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// layerAll reports whether pred holds for every balancer at depth l.
+func (a *Analysis) layerAll(l int, pred func(int) bool) bool {
+	for _, b := range a.net.Layer(l) {
+		if !pred(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// LayerComplete reports whether every balancer in layer l is complete.
+func (a *Analysis) LayerComplete(l int) bool { return a.layerAll(l, a.Complete) }
+
+// LayerUnivalent reports whether every balancer in layer l is univalent.
+func (a *Analysis) LayerUnivalent(l int) bool { return a.layerAll(l, a.Univalent) }
+
+// LayerTotallyOrdering reports whether every balancer in layer l is totally
+// ordering.
+func (a *Analysis) LayerTotallyOrdering(l int) bool { return a.layerAll(l, a.TotallyOrdering) }
+
+// LayerUniformlySplittable reports whether every balancer in layer l has
+// equal-sized output-port valencies.
+func (a *Analysis) LayerUniformlySplittable(l int) bool {
+	return a.layerAll(l, a.UniformlySplittableBalancer)
+}
+
+// SplitDepth returns sd(G): the least layer 1 ≤ ℓ ≤ d(G) that is totally
+// ordering, and whether one exists. All networks whose final layer feeds
+// distinct sinks have one.
+func (a *Analysis) SplitDepth() (int, bool) {
+	for l := 1; l <= a.net.Depth(); l++ {
+		if a.LayerTotallyOrdering(l) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// NetworkComplete reports the paper's "G is complete": the split layer
+// sd(G) is complete.
+func (a *Analysis) NetworkComplete() bool {
+	sd, ok := a.SplitDepth()
+	return ok && a.LayerComplete(sd)
+}
+
+// NetworkUniformlySplittable reports the paper's "G is uniformly
+// splittable": the split layer sd(G) is uniformly splittable.
+func (a *Analysis) NetworkUniformlySplittable() bool {
+	sd, ok := a.SplitDepth()
+	return ok && a.LayerUniformlySplittable(sd)
+}
+
+// InfluenceRadius returns irad(G): the maximum, over pairs of output wires
+// j and k, of the distance (in wire segments) from j to the least common
+// ancestor of j and k — the nearest balancer from which both j and k are
+// reachable. Used by the MPT97 necessary condition (Table 1).
+//
+// For pairs with no common ancestor the pair is skipped; if no pair has a
+// common ancestor the result is 0.
+func (a *Analysis) InfluenceRadius() int {
+	// dist[b][j] = wire segments on the shortest path from balancer b's
+	// outputs to sink j (1 if wired directly). Computed by reverse BFS per
+	// sink over a reversed adjacency built once.
+	nb := a.net.Size()
+	wOut := a.net.FanOut()
+
+	// preds[b] = balancers wired directly into b; sinkPreds[j] = balancers
+	// wired directly into sink j.
+	preds := make([][]int, nb)
+	sinkPreds := make([][]int, wOut)
+	for b := 0; b < nb; b++ {
+		for p := 0; p < a.net.Balancer(b).FanOut; p++ {
+			to := a.net.OutputTarget(b, p)
+			switch to.Kind {
+			case network.KindBalancer:
+				preds[to.Index] = append(preds[to.Index], b)
+			case network.KindSink:
+				sinkPreds[to.Index] = append(sinkPreds[to.Index], b)
+			}
+		}
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([][]int, wOut) // dist[j][b]
+	for j := 0; j < wOut; j++ {
+		dj := make([]int, nb)
+		for i := range dj {
+			dj[i] = inf
+		}
+		queue := make([]int, 0, nb)
+		for _, b := range sinkPreds[j] {
+			if dj[b] == inf {
+				dj[b] = 1
+				queue = append(queue, b)
+			}
+		}
+		for len(queue) > 0 {
+			b := queue[0]
+			queue = queue[1:]
+			for _, pb := range preds[b] {
+				if dj[pb] == inf {
+					dj[pb] = dj[b] + 1
+					queue = append(queue, pb)
+				}
+			}
+		}
+		dist[j] = dj
+	}
+
+	irad := 0
+	for j := 0; j < wOut; j++ {
+		for k := 0; k < wOut; k++ {
+			if j == k {
+				continue
+			}
+			// Nearest common ancestor of j and k, measured from j.
+			best := inf
+			for b := 0; b < nb; b++ {
+				if a.balVal[b].Contains(j) && a.balVal[b].Contains(k) && dist[j][b] < best {
+					best = dist[j][b]
+				}
+			}
+			if best != inf && best > irad {
+				irad = best
+			}
+		}
+	}
+	return irad
+}

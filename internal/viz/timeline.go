@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Timeline renders a timed execution as a time-space diagram: one row per
+// token, time flowing right, with a digit marking each layer passage
+// (1..9, then a..z for deeper layers) and '-' while the token sits on a
+// wire. The wave constructions become visible at a glance: a fast wave's
+// digits bunch together and finish left of a slow wave's.
+//
+// maxWidth caps the number of character columns; times are scaled down to
+// fit. Tokens are ordered by process then issue index.
+func Timeline(tr *sim.Trace, maxWidth int) string {
+	if len(tr.Tokens) == 0 {
+		return "(empty trace)\n"
+	}
+	if maxWidth < 20 {
+		maxWidth = 20
+	}
+	var tMin, tMax sim.Time
+	tMin = tr.Tokens[0].In()
+	for i := range tr.Tokens {
+		t := &tr.Tokens[i]
+		if t.In() < tMin {
+			tMin = t.In()
+		}
+		if t.Out() > tMax {
+			tMax = t.Out()
+		}
+	}
+	span := tMax - tMin
+	if span <= 0 {
+		span = 1
+	}
+	scale := func(t sim.Time) int {
+		col := int((t - tMin) * sim.Time(maxWidth-1) / span)
+		if col >= maxWidth {
+			col = maxWidth - 1
+		}
+		return col
+	}
+
+	order := make([]int, len(tr.Tokens))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := &tr.Tokens[order[a]], &tr.Tokens[order[b]]
+		if ta.Process != tb.Process {
+			return ta.Process < tb.Process
+		}
+		return ta.Index < tb.Index
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %d..%d (one column ≈ %.1f ticks); digits mark layer passages, v = value\n",
+		tMin, tMax, float64(span)/float64(maxWidth-1))
+	for _, i := range order {
+		t := &tr.Tokens[i]
+		row := []byte(strings.Repeat(" ", maxWidth))
+		start, end := scale(t.In()), scale(t.Out())
+		for c := start; c <= end; c++ {
+			row[c] = '-'
+		}
+		for l, tm := range t.LayerTimes {
+			row[scale(tm)] = layerGlyph(l + 1)
+		}
+		fmt.Fprintf(&b, "p%-4d #%-3d %s v=%d\n", t.Process, t.Index, string(row), t.Value)
+	}
+	return b.String()
+}
+
+// layerGlyph maps a 1-based layer number to a single character.
+func layerGlyph(l int) byte {
+	switch {
+	case l < 10:
+		return byte('0' + l)
+	case l < 36:
+		return byte('a' + l - 10)
+	default:
+		return '+'
+	}
+}

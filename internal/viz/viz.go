@@ -1,0 +1,151 @@
+// Package viz renders balancing networks as ASCII diagrams in the style of
+// the paper's figures: horizontal lines are wires, vertical strokes with
+// 'o' port markers are balancers (Figures 1, 2, 4 and 5), and split layers
+// can be annotated to reproduce the structure of Figure 7.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// Render draws a line-shaped network (built with network.LineBuilder) as
+// ASCII art. Each wire is a row; each drawing column holds one balancer
+// per disjoint line span.
+func Render(net *network.Network, layout *network.Layout) string {
+	const colWidth = 4
+	rows := 2*layout.Lines - 1
+	width := colWidth*layout.Columns + 2
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+		if r%2 == 0 {
+			for c := range grid[r] {
+				grid[r][c] = '-'
+			}
+		}
+	}
+	for _, pl := range layout.Placements {
+		x := colWidth*pl.Column + 2
+		min, max := pl.Lines[0], pl.Lines[0]
+		for _, l := range pl.Lines {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		for r := 2 * min; r <= 2*max; r++ {
+			if r%2 == 0 {
+				grid[r][x] = '+' // crossing a wire row
+			} else {
+				grid[r][x] = '|'
+			}
+		}
+		for _, l := range pl.Lines {
+			grid[2*l][x] = '*' // port marker
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		if r%2 == 0 {
+			fmt.Fprintf(&b, "in%-2d %s out%d\n", r/2, string(row), r/2)
+		} else {
+			fmt.Fprintf(&b, "     %s\n", string(row))
+		}
+	}
+	return b.String()
+}
+
+// RenderSplit renders the network with an extra header marking the columns
+// of the split layers (the structure Figure 7 depicts): one 'v' per level
+// of the split sequence, positioned over the first drawing column occupied
+// by that level's cumulative split layer.
+func RenderSplit(net *network.Network, layout *network.Layout, seq *topology.SplitSequence) string {
+	const colWidth = 4
+	// First drawing column per layer depth.
+	firstCol := make(map[int]int)
+	for _, pl := range layout.Placements {
+		d := net.BalancerDepth(pl.Balancer)
+		if c, ok := firstCol[d]; !ok || pl.Column < c {
+			firstCol[d] = pl.Column
+		}
+	}
+	header := []byte(strings.Repeat(" ", colWidth*layout.Columns+2))
+	for l := 1; l <= seq.SplitNumber(); l++ {
+		abs, err := seq.AbsSplitDepth(l)
+		if err != nil {
+			continue
+		}
+		col, ok := firstCol[abs]
+		if !ok {
+			continue
+		}
+		if x := colWidth*col + 2; x >= 0 && x < len(header) {
+			header[x] = 'v'
+		}
+	}
+	return "     " + string(header) + " <- split layers\n" + Render(net, layout)
+}
+
+// RenderTree draws the counting tree (which is not line-shaped) as an
+// indented tree, showing each (1,2) toggle and the counter index at every
+// leaf — the bit-reversed placement that makes the k-th token obtain
+// value k.
+func RenderTree(net *network.Network) string {
+	var b strings.Builder
+	var rec func(e network.Endpoint, prefix string, last bool)
+	rec = func(e network.Endpoint, prefix string, last bool) {
+		branch := "├─"
+		cont := "│ "
+		if last {
+			branch = "└─"
+			cont = "  "
+		}
+		switch e.Kind {
+		case network.KindSink:
+			fmt.Fprintf(&b, "%s%s counter %d (values %d, %d+w, ...)\n", prefix, branch, e.Index, e.Index, e.Index)
+		case network.KindBalancer:
+			fmt.Fprintf(&b, "%s%s toggle b%d\n", prefix, branch, e.Index)
+			spec := net.Balancer(e.Index)
+			for p := 0; p < spec.FanOut; p++ {
+				rec(net.OutputTarget(e.Index, p), prefix+cont, p == spec.FanOut-1)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "in0\n")
+	rec(net.InputTarget(0), "", true)
+	return b.String()
+}
+
+// Describe summarises a network's structural parameters in one block:
+// fan, size, depth, shallowness, uniformity, split depth/number and
+// influence radius — every quantity Table 1 and Section 5 use.
+func Describe(name string, net *network.Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: (%d,%d)-balancing network\n", name, net.FanIn(), net.FanOut())
+	fmt.Fprintf(&b, "  size s = %d balancers, depth d(G) = %d, shallowness s(G) = %d, uniform = %v\n",
+		net.Size(), net.Depth(), net.Shallowness(), net.Uniform())
+	an := topology.Analyze(net)
+	if sd, ok := an.SplitDepth(); ok {
+		fmt.Fprintf(&b, "  split depth sd(G) = %d (complete = %v, uniformly splittable = %v)\n",
+			sd, an.NetworkComplete(), an.NetworkUniformlySplittable())
+	}
+	if net.Uniform() {
+		if seq, err := topology.ComputeSplitSequence(net); err == nil {
+			depths := make([]string, 0, seq.SplitNumber())
+			for l := 1; l <= seq.SplitNumber(); l++ {
+				d, _ := seq.DepthAfterSplit(l)
+				depths = append(depths, fmt.Sprintf("%d", d))
+			}
+			fmt.Fprintf(&b, "  split number sp(G) = %d, d(S^ℓ) = [%s], continuously complete = %v\n",
+				seq.SplitNumber(), strings.Join(depths, " "), seq.ContinuouslyComplete)
+		}
+	}
+	fmt.Fprintf(&b, "  influence radius irad(G) = %d\n", an.InfluenceRadius())
+	return b.String()
+}

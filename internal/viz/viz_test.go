@@ -1,0 +1,161 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRenderBitonic4(t *testing.T) {
+	n, layout, err := construct.Bitonic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(n, layout)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // 4 wires + 3 gap rows
+		t.Fatalf("rendered %d rows, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "in0") || !strings.Contains(lines[0], "out0") {
+		t.Errorf("labels missing: %q", lines[0])
+	}
+	// B(4) has 6 balancers → 12 port markers.
+	if got := strings.Count(out, "*"); got < 12 {
+		t.Errorf("port markers = %d, want ≥ 12:\n%s", got, out)
+	}
+}
+
+func TestRenderSingleBalancer(t *testing.T) {
+	n, layout, err := construct.SingleBalancer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(n, layout)
+	if got := strings.Count(out, "*"); got != 3 {
+		t.Errorf("(3,3)-balancer should show 3 ports, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("balancer should have a vertical stroke")
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	n, layout, err := construct.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(n, layout)
+	if !strings.Contains(out, "in5") || !strings.Contains(out, "out5") {
+		t.Errorf("six wires expected:\n%s", out)
+	}
+}
+
+func TestRenderSplit(t *testing.T) {
+	n, layout, err := construct.Bitonic(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := topology.ComputeSplitSequence(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSplit(n, layout, seq)
+	if got := strings.Count(strings.SplitN(out, "\n", 2)[0], "v"); got != seq.SplitNumber() {
+		t.Errorf("split markers = %d, want %d:\n%s", got, seq.SplitNumber(), out)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	n := construct.MustTree(8)
+	out := RenderTree(n)
+	for _, want := range []string{"in0", "toggle b0", "counter 0", "counter 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "counter"); got != 8 {
+		t.Errorf("counters = %d, want 8", got)
+	}
+	if got := strings.Count(out, "toggle"); got != 7 {
+		t.Errorf("toggles = %d, want 7", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out := Describe("B(8)", construct.MustBitonic(8))
+	for _, want := range []string{"depth d(G) = 6", "split depth sd(G) = 4", "split number sp(G) = 3", "irad(G) = 3", "uniform = true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	net := construct.MustBitonic(4)
+	tr, err := sim.Run(net, []sim.TokenSpec{
+		{Process: 0, Input: 0, Enter: 0, Delay: sim.ConstantDelay(5)},
+		{Process: 1, Input: 1, Enter: 2, Delay: sim.ConstantDelay(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(tr, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "p0") || !strings.Contains(lines[1], "v=") {
+		t.Errorf("row format wrong: %q", lines[1])
+	}
+	// The fast token's row must be narrower than the slow token's.
+	w0 := strings.LastIndexByte(lines[1], '4') - strings.IndexByte(lines[1], '1')
+	w1 := strings.LastIndexByte(lines[2], '4') - strings.IndexByte(lines[2], '1')
+	if w1 >= w0 {
+		t.Errorf("fast token should span fewer columns: slow %d vs fast %d\n%s", w0, w1, out)
+	}
+}
+
+func TestTimelineEmptyAndNarrow(t *testing.T) {
+	if out := Timeline(&sim.Trace{}, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty trace output: %q", out)
+	}
+	net := construct.MustBitonic(2)
+	tr, err := sim.Run(net, []sim.TokenSpec{{Process: 0, Input: 0, Enter: 0, Delay: sim.ConstantDelay(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Timeline(tr, 1); out == "" { // clamped width
+		t.Error("narrow timeline should still render")
+	}
+}
+
+func TestLayerGlyph(t *testing.T) {
+	if layerGlyph(1) != '1' || layerGlyph(9) != '9' {
+		t.Error("digit glyphs wrong")
+	}
+	if layerGlyph(10) != 'a' || layerGlyph(35) != 'z' {
+		t.Error("letter glyphs wrong")
+	}
+	if layerGlyph(99) != '+' {
+		t.Error("overflow glyph wrong")
+	}
+}
+
+func TestRenderSplitPeriodic(t *testing.T) {
+	n, layout, err := construct.Periodic(8, construct.BlockTopBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := topology.ComputeSplitSequence(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSplit(n, layout, seq)
+	header := strings.SplitN(out, "\n", 2)[0]
+	if got := strings.Count(header, "v"); got != seq.SplitNumber() {
+		t.Errorf("split markers = %d, want %d:\n%s", got, seq.SplitNumber(), header)
+	}
+}
