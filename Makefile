@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples lint clean
+.PHONY: all build test race cover bench chaos experiments examples lint clean
 
 all: build test
 
@@ -13,7 +13,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/msgnet/
+	$(GO) test -race ./internal/...
+
+# Reproducible fault-injection run: same seed, same fault schedule.
+chaos:
+	$(GO) run ./cmd/chaos -seed 1 -w 8 -scale 1ms -scenario all -failover
 
 cover:
 	$(GO) test -cover ./...

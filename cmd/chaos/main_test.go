@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	countingnet "repro"
+)
+
+// TestCatalogueSmall runs the full catalogue at a tiny scale through the
+// same entry points main uses.
+func TestCatalogueSmall(t *testing.T) {
+	spec := countingnet.MustBitonic(4)
+	for _, sc := range countingnet.ChaosScenarios(100 * time.Microsecond) {
+		results, err := countingnet.RunChaos(spec, sc, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		for _, r := range results {
+			if !r.Ok() {
+				t.Errorf("%s", r)
+			}
+		}
+	}
+}
+
+func TestFailoverDrill(t *testing.T) {
+	rep, err := countingnet.RunFailoverDrill(countingnet.MustBitonic(4), 4, 60, 5, countingnet.ResilientOptions{
+		Timeout:    2 * time.Millisecond,
+		MaxRetries: 1,
+		FailAfter:  2,
+	})
+	if err != nil {
+		t.Fatalf("%v (report %+v)", err, rep)
+	}
+	if rep.BackupServed == 0 {
+		t.Error("drill never reached the backup")
+	}
+}

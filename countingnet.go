@@ -41,9 +41,11 @@
 package countingnet
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/consistency"
 	"repro/internal/construct"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/msgnet"
 	"repro/internal/network"
 	"repro/internal/perfsim"
@@ -233,6 +235,12 @@ var (
 type (
 	// Counter is any concurrent counter (network or baseline).
 	Counter = runtime.Counter
+	// CtxCounter is a Counter whose increments honour deadlines and
+	// cancellation (IncCtx).
+	CtxCounter = runtime.CtxCounter
+	// FaultHook observes and delays balancer transitions on a compiled
+	// network (fault injection; zero-cost when not installed).
+	FaultHook = runtime.FaultHook
 	// ConcurrentNetwork is a compiled lock-free counting network.
 	ConcurrentNetwork = runtime.Network
 	// Workload drives a Counter from concurrent workers with wall-clock
@@ -271,10 +279,63 @@ var (
 // Message-passing substrate (package msgnet): balancers as goroutine
 // actors, wires as channels — the other implementation style Section 2.3
 // says the timing model captures.
-type MessagePassingNetwork = msgnet.Network
+type (
+	MessagePassingNetwork = msgnet.Network
+	// MessagePassingFaults is the instrumentation interface msgnet actors
+	// consult for fault injection; MessagePassingStepFault is one
+	// directive.
+	MessagePassingFaults    = msgnet.Faults
+	MessagePassingStepFault = msgnet.StepFault
+)
 
-// StartMessagePassing spins up the actor network for a wiring spec.
-var StartMessagePassing = msgnet.Start
+var (
+	// StartMessagePassing spins up the actor network for a wiring spec.
+	StartMessagePassing = msgnet.Start
+	// WithMessagePassingFaults instruments the actors with fault
+	// injection (pass to StartMessagePassing).
+	WithMessagePassingFaults = msgnet.WithFaults
+)
+
+// Fault-injection and fault-tolerance layer (package chaos): the paper's
+// adversaries as executable fault scenarios against the real concurrent
+// implementations, plus the machinery to survive them.
+type (
+	// FaultPlan is a seeded, deterministic fault-injection plan.
+	FaultPlan = chaos.FaultPlan
+	// CrashSpec schedules one warm balancer crash-and-restart.
+	CrashSpec = chaos.CrashSpec
+	// ChaosScenario is one reproducible fault scenario + workload.
+	ChaosScenario = chaos.Scenario
+	// ChaosResult is a scenario's audited outcome.
+	ChaosResult = chaos.Result
+	// ResilientCounter degrades gracefully from a stalled primary network
+	// to a backup counter without ever duplicating an id.
+	ResilientCounter = chaos.ResilientCounter
+	// ResilientOptions tunes timeouts, retry/backoff and failover.
+	ResilientOptions = chaos.ResilientOptions
+	// FailoverReport is the outcome of a failover drill.
+	FailoverReport = chaos.FailoverReport
+)
+
+var (
+	// ErrClosed and ErrTimeout are the typed failures of the
+	// context-aware counting API (IncCtx).
+	ErrClosed  = fault.ErrClosed
+	ErrTimeout = fault.ErrTimeout
+	// NewResilientCounter wraps a primary CtxCounter with deadline-bounded
+	// attempts, retry with backoff, and id-range-handoff failover.
+	NewResilientCounter = chaos.NewResilientCounter
+	// ChaosScenarios is the standard scenario catalogue.
+	ChaosScenarios = chaos.Scenarios
+	// RunChaos runs one scenario on both substrates; RunChaosMsgnet /
+	// RunChaosRuntime pick one.
+	RunChaos        = chaos.Run
+	RunChaosMsgnet  = chaos.RunMsgnet
+	RunChaosRuntime = chaos.RunRuntime
+	// RunFailoverDrill drives a ResilientCounter over a primary that
+	// loses a balancer permanently mid-run.
+	RunFailoverDrill = chaos.RunFailover
+)
 
 // Contention model (package perfsim) — the queueing substitute for a
 // multiprocessor testbed; see DESIGN.md's substitution table.

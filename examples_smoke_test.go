@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/inconsistency",
 		"./examples/linearizable",
 		"./examples/monitor",
+		"./examples/chaos",
 	}
 	for _, path := range examples {
 		t.Run(path, func(t *testing.T) {
@@ -57,6 +58,7 @@ func TestCLIsRun(t *testing.T) {
 		{"run", "./cmd/experiments", "-run", "F1", "-widths", "4,8"},
 		{"run", "./cmd/perfsim", "-procs", "1,8", "-ops", "500"},
 		{"run", "./cmd/countbench", "-ops", "20000", "-workers", "1,2"},
+		{"run", "./cmd/chaos", "-seed", "1", "-w", "4", "-scale", "200us"},
 	}
 	for _, args := range clis {
 		t.Run(args[1], func(t *testing.T) {

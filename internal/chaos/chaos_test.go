@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/construct"
+	"repro/internal/msgnet"
+)
+
+// TestScenarioCatalogue runs every standard scenario against B(8) on both
+// substrates and asserts the surviving guarantees: counting property and
+// quiescent step property under every non-crashing fault (and under warm
+// crash-restart), uniqueness under deadline-driven abandonment.
+func TestScenarioCatalogue(t *testing.T) {
+	spec := construct.MustBitonic(8)
+	for _, sc := range Scenarios(200 * time.Microsecond) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			results, err := Run(spec, sc, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results {
+				if !r.Ok() {
+					t.Errorf("%s", r)
+				}
+				if r.Completed+r.TimedOut != sc.Workers*sc.Ops {
+					t.Errorf("%s/%s: %d completed + %d timed out != %d issued",
+						r.Scenario, r.Substrate, r.Completed, r.TimedOut, sc.Workers*sc.Ops)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanDeterminism: two plans with identical fields must hand every
+// actor the identical fault sequence, independent of scheduling — the
+// whole point of seeding.
+func TestPlanDeterminism(t *testing.T) {
+	mk := func() *FaultPlan {
+		return &FaultPlan{
+			Seed:          7,
+			StallProb:     0.3,
+			StallMin:      time.Microsecond,
+			StallMax:      time.Millisecond,
+			LatencyProb:   0.5,
+			LatencyMin:    time.Microsecond,
+			LatencyMax:    time.Millisecond,
+			PauseProb:     0.2,
+			PauseMin:      time.Microsecond,
+			PauseMax:      time.Millisecond,
+			DuplicateProb: 0.4,
+			Crashes:       []CrashSpec{{Balancer: 1, AtStep: 5, Restart: time.Millisecond}},
+		}
+	}
+	a, b := mk().Msgnet(), mk().Msgnet()
+	for step := 0; step < 200; step++ {
+		for bal := 0; bal < 4; bal++ {
+			if got, want := a.BalancerStep(bal, step), b.BalancerStep(bal, step); got != want {
+				t.Fatalf("balancer %d step %d: %+v vs %+v", bal, step, got, want)
+			}
+			if got, want := a.WireDelay(bal, 0, step), b.WireDelay(bal, 0, step); got != want {
+				t.Fatalf("wire %d step %d: %v vs %v", bal, step, got, want)
+			}
+		}
+		for j := 0; j < 4; j++ {
+			if got, want := a.CounterStep(j, step), b.CounterStep(j, step); got != want {
+				t.Fatalf("counter %d step %d: %+v vs %+v", j, step, got, want)
+			}
+		}
+	}
+	// Distinct seeds must give distinct schedules.
+	c, d := mk(), mk()
+	c.Seed = 8
+	cf, df := c.Msgnet(), d.Msgnet()
+	diff := false
+	for step := 0; step < 200 && !diff; step++ {
+		if cf.BalancerStep(0, step) != df.BalancerStep(0, step) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seed change did not change the fault schedule")
+	}
+}
+
+// TestCrashRestartPreservesState: a warm restart resumes the round-robin
+// toggle exactly where the crashed actor left off, so a sequential stream
+// through a crashing balancer still counts 0, 1, 2, ...
+func TestCrashRestartPreservesState(t *testing.T) {
+	spec, _, err := construct.SingleBalancer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{
+		Seed: 1,
+		Crashes: []CrashSpec{
+			{Balancer: 0, AtStep: 3, Restart: 2 * time.Millisecond},
+			{Balancer: 0, AtStep: 7, Restart: 2 * time.Millisecond},
+		},
+	}
+	n, err := msgnet.Start(spec, 1, msgnet.WithFaults(plan.Msgnet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for k := int64(0); k < 12; k++ {
+		if v := n.Inc(int(k) % 2); v != k {
+			t.Fatalf("token %d got %d: crash-restart lost balancer state", k, v)
+		}
+	}
+}
+
+// TestFailover: the headline acceptance test — a primary that loses a
+// balancer for longer than the run fails over to the backup, and no id is
+// ever handed out twice across the transition.
+func TestFailover(t *testing.T) {
+	rep, err := RunFailover(construct.MustBitonic(4), 4, 80, 11, ResilientOptions{
+		Timeout:     5 * time.Millisecond,
+		MaxRetries:  1,
+		BackoffBase: 100 * time.Microsecond,
+		BackoffCap:  time.Millisecond,
+		FailAfter:   2,
+	})
+	if err != nil {
+		t.Fatalf("%v (report %+v)", err, rep)
+	}
+	if rep.PrimaryServed == 0 {
+		t.Error("no increments served by the primary before the crash")
+	}
+	if rep.BackupServed == 0 {
+		t.Error("no increments served by the backup after failover")
+	}
+	if rep.Base <= 0 {
+		t.Errorf("handoff base = %d, want positive", rep.Base)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d increments surfaced errors despite retry+failover", rep.Errors)
+	}
+}
+
+func TestVerifyStep(t *testing.T) {
+	if err := verifyStep([]int64{0, 1, 4, 5, 2, 3}, 4); err != nil {
+		t.Errorf("legal step sequence rejected: %v", err)
+	}
+	if err := verifyStep([]int64{0, 4, 8, 1}, 4); err == nil {
+		t.Error("y_0=3, y_1=1 should violate the step property")
+	}
+	if err := verifyStep(nil, 4); err != nil {
+		t.Errorf("empty run rejected: %v", err)
+	}
+}
+
+func TestVerifyUnique(t *testing.T) {
+	if err := verifyUnique([]int64{5, 0, 9}); err != nil {
+		t.Errorf("unique values rejected: %v", err)
+	}
+	if err := verifyUnique([]int64{5, 0, 5}); err == nil {
+		t.Error("duplicate not caught")
+	}
+	if err := verifyUnique([]int64{-1}); err == nil {
+		t.Error("negative value not caught")
+	}
+}

@@ -1,0 +1,346 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/msgnet"
+	"repro/internal/network"
+	"repro/internal/runtime"
+)
+
+// Scenario is one reproducible chaos run: a fault plan plus the workload
+// that drives the network through it.
+type Scenario struct {
+	Name string
+	// Plan builds a fresh FaultPlan for the given seed (plans carry
+	// per-run stream state, so each run needs its own).
+	Plan func(seed int64) *FaultPlan
+	// Workers and Ops shape the load (Ops per worker).
+	Workers, Ops int
+	// Buffer sizes msgnet wire channels.
+	Buffer int
+	// Deadline, when positive, bounds every increment; timed-out
+	// increments are recorded, not retried. Scenarios with a Deadline
+	// tolerate incomplete ranges (abandoned tokens burn values), so only
+	// uniqueness is asserted; without one, the full counting property is.
+	Deadline time.Duration
+	// MsgnetOnly skips the shared-memory run for plans whose faults have
+	// no shared-memory analogue.
+	MsgnetOnly bool
+}
+
+// Result is the audited outcome of one scenario against one substrate.
+type Result struct {
+	Scenario  string
+	Substrate string // "msgnet" or "runtime"
+	Completed int
+	TimedOut  int
+	Elapsed   time.Duration
+	// Fractions are the paper's inconsistency fractions over the
+	// completed operations — expected to be nonzero under heavy faults
+	// (that is the paper's point), while Violations stays empty.
+	Fractions consistency.Fractions
+	// Violations lists breaches of the guarantees that must survive:
+	// duplicate values, gaps (when every op completed), step-property
+	// breaks, or unexpected errors.
+	Violations []string
+}
+
+// Ok reports whether every surviving guarantee held.
+func (r Result) Ok() bool { return len(r.Violations) == 0 }
+
+// String formats one line of the chaos report.
+func (r Result) String() string {
+	status := "ok"
+	if !r.Ok() {
+		status = "FAIL " + strings.Join(r.Violations, "; ")
+	}
+	return fmt.Sprintf("%-16s %-8s ops=%-5d timeout=%-4d %s  %s",
+		r.Scenario, r.Substrate, r.Completed, r.TimedOut, r.Fractions, status)
+}
+
+// incFunc abstracts the two substrates for the driver.
+type incFunc func(ctx context.Context, wire int) (int64, error)
+
+// drive hammers inc from sc.Workers goroutines and collects completed and
+// timed-out operations.
+func drive(sc Scenario, wires int, inc incFunc) (ops []runtime.Op, timedOut int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id := 0; id < sc.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var local []runtime.Op
+			misses := 0
+			for k := 0; k < sc.Ops; k++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if sc.Deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, sc.Deadline)
+				}
+				s := time.Now().UnixNano()
+				v, err := inc(ctx, id%wires)
+				e := time.Now().UnixNano()
+				cancel()
+				if err != nil {
+					misses++
+					continue
+				}
+				local = append(local, runtime.Op{Worker: id, Value: v, Start: s, End: e})
+			}
+			mu.Lock()
+			ops = append(ops, local...)
+			timedOut += misses
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	sort.Slice(ops, func(a, b int) bool { return ops[a].Start < ops[b].Start })
+	return ops, timedOut
+}
+
+// auditResult applies the surviving-guarantee checks shared by both
+// substrates.
+func auditResult(sc Scenario, substrate string, w int, ops []runtime.Op, timedOut int, elapsed time.Duration) Result {
+	res := Result{
+		Scenario:  sc.Name,
+		Substrate: substrate,
+		Completed: len(ops),
+		TimedOut:  timedOut,
+		Elapsed:   elapsed,
+		Fractions: consistency.Measure(runtime.Audit(ops)),
+	}
+	vals := runtime.Values(ops)
+	if timedOut == 0 {
+		// Every increment completed: the full counting property must
+		// hold (values are exactly 0..N-1)...
+		if err := runtime.Verify(vals); err != nil {
+			res.Violations = append(res.Violations, err.Error())
+		}
+		// ...and so must the step property of the per-sink exit counts at
+		// quiescence: sink j served the values ≡ j (mod w), and the
+		// counts must be a step sequence.
+		if err := verifyStep(vals, w); err != nil {
+			res.Violations = append(res.Violations, err.Error())
+		}
+	} else if err := verifyUnique(vals); err != nil {
+		// Abandoned tokens burn values (gaps are expected); duplicates
+		// are never excusable.
+		res.Violations = append(res.Violations, err.Error())
+	}
+	return res
+}
+
+// verifyUnique checks only no-duplicates, the guarantee that must survive
+// even runs whose abandoned tokens left gaps.
+func verifyUnique(values []int64) error {
+	seen := make(map[int64]bool, len(values))
+	for _, v := range values {
+		if v < 0 {
+			return fmt.Errorf("chaos: negative value %d handed out", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("chaos: duplicate value %d handed out", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// verifyStep checks the step property of a quiesced run's per-sink counts:
+// with y_j tokens exited on sink j, 0 ≤ y_i − y_j ≤ 1 for i < j.
+func verifyStep(values []int64, w int) error {
+	counts := make([]int, w)
+	for _, v := range values {
+		counts[int(v)%w]++
+	}
+	for i := 0; i < w; i++ {
+		for j := i + 1; j < w; j++ {
+			if d := counts[i] - counts[j]; d < 0 || d > 1 {
+				return fmt.Errorf("chaos: step property violated: y_%d=%d y_%d=%d", i, counts[i], j, counts[j])
+			}
+		}
+	}
+	return nil
+}
+
+// RunMsgnet executes sc against a message-passing instantiation of spec.
+func RunMsgnet(spec *network.Network, sc Scenario, seed int64) (Result, error) {
+	n, err := msgnet.Start(spec, sc.Buffer, msgnet.WithFaults(sc.Plan(seed).Msgnet()))
+	if err != nil {
+		return Result{}, err
+	}
+	defer n.Close()
+	start := time.Now()
+	ops, timedOut := drive(sc, spec.FanIn(), n.IncCtx)
+	return auditResult(sc, "msgnet", spec.FanOut(), ops, timedOut, time.Since(start)), nil
+}
+
+// RunRuntime executes sc against a shared-memory compilation of spec, with
+// the plan's stall hook installed.
+func RunRuntime(spec *network.Network, sc Scenario, seed int64) (Result, error) {
+	n, err := runtime.Compile(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	n.SetFaultHook(sc.Plan(seed).RuntimeHook())
+	start := time.Now()
+	ops, timedOut := drive(sc, n.FanIn(), n.IncCtx)
+	return auditResult(sc, "runtime", n.FanOut(), ops, timedOut, time.Since(start)), nil
+}
+
+// Run executes sc on both substrates (or just msgnet when the scenario
+// says so) and returns the results.
+func Run(spec *network.Network, sc Scenario, seed int64) ([]Result, error) {
+	var out []Result
+	r, err := RunMsgnet(spec, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	if !sc.MsgnetOnly {
+		r, err = RunRuntime(spec, sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Scenarios is the standard catalogue: one scenario per fault class plus a
+// benign control and an everything-at-once mix. Durations are scaled by
+// scale (tests use small scales to stay fast under -race).
+func Scenarios(scale time.Duration) []Scenario {
+	if scale <= 0 {
+		scale = time.Millisecond
+	}
+	mk := func(f func(p *FaultPlan)) func(int64) *FaultPlan {
+		return func(seed int64) *FaultPlan {
+			p := &FaultPlan{Seed: seed}
+			f(p)
+			return p
+		}
+	}
+	base := Scenario{Workers: 8, Ops: 150, Buffer: 2}
+	with := func(name string, plan func(*FaultPlan), mut func(*Scenario)) Scenario {
+		sc := base
+		sc.Name, sc.Plan = name, mk(plan)
+		if mut != nil {
+			mut(&sc)
+		}
+		return sc
+	}
+	return []Scenario{
+		with("baseline", func(*FaultPlan) {}, nil),
+		with("stall", func(p *FaultPlan) {
+			p.StallProb, p.StallMin, p.StallMax = 0.05, scale/5, 2*scale
+		}, nil),
+		with("latency", func(p *FaultPlan) {
+			p.LatencyProb, p.LatencyMin, p.LatencyMax = 0.3, scale/10, scale
+		}, func(sc *Scenario) { sc.MsgnetOnly = true }),
+		with("duplicate", func(p *FaultPlan) {
+			p.DuplicateProb, p.RedeliverAfter = 0.2, scale/5
+		}, func(sc *Scenario) { sc.MsgnetOnly = true }),
+		with("crash-restart", func(p *FaultPlan) {
+			p.Crashes = []CrashSpec{
+				{Balancer: 0, AtStep: 40, Restart: 2 * scale},
+				{Balancer: 1, AtStep: 90, Restart: 4 * scale},
+				{Balancer: 0, AtStep: 200, Restart: 2 * scale},
+			}
+		}, func(sc *Scenario) { sc.MsgnetOnly = true }),
+		with("counter-pause", func(p *FaultPlan) {
+			p.PauseProb, p.PauseMin, p.PauseMax = 0.1, scale/5, scale
+		}, func(sc *Scenario) { sc.MsgnetOnly = true }),
+		with("mixed", func(p *FaultPlan) {
+			p.StallProb, p.StallMin, p.StallMax = 0.03, scale/5, scale
+			p.LatencyProb, p.LatencyMin, p.LatencyMax = 0.2, scale/10, scale/2
+			p.DuplicateProb, p.RedeliverAfter = 0.1, scale/5
+			p.PauseProb, p.PauseMin, p.PauseMax = 0.05, scale/5, scale/2
+			p.Crashes = []CrashSpec{{Balancer: 2, AtStep: 60, Restart: 2 * scale}}
+		}, func(sc *Scenario) { sc.MsgnetOnly = true }),
+		with("deadline", func(p *FaultPlan) {
+			p.StallProb, p.StallMin, p.StallMax = 0.02, 2*scale, 10*scale
+		}, func(sc *Scenario) { sc.Deadline = 5 * scale }),
+	}
+}
+
+// FailoverReport is the outcome of RunFailover.
+type FailoverReport struct {
+	// PrimaryServed / BackupServed count values handed out on each side
+	// of the transition; Base is the backup range start.
+	PrimaryServed, BackupServed int
+	Base                        int64
+	Errors                      int
+	// Violation is non-empty if a duplicate crossed the transition.
+	Violation string
+}
+
+// RunFailover drives a ResilientCounter whose msgnet primary loses a
+// balancer permanently mid-run (a crash with a restart longer than the
+// run), and checks the id-range handoff: failover must happen, and no
+// value may ever be handed out twice across the primary→backup
+// transition.
+func RunFailover(spec *network.Network, workers, ops int, seed int64, opt ResilientOptions) (FailoverReport, error) {
+	// Balancer 0 dies for an hour after a third of the expected steps;
+	// wire 0's tokens queue behind it, deadlines fire, and the counter
+	// must abandon the network.
+	plan := &FaultPlan{
+		Seed:    seed,
+		Crashes: []CrashSpec{{Balancer: 0, AtStep: workers * ops / 3, Restart: time.Hour}},
+	}
+	n, err := msgnet.Start(spec, 1, msgnet.WithFaults(plan.Msgnet()))
+	if err != nil {
+		return FailoverReport{}, err
+	}
+	defer n.Close()
+	rc := NewResilientCounter(n, new(runtime.AtomicCounter), opt)
+
+	var mu sync.Mutex
+	var rep FailoverReport
+	seen := make(map[int64]int)
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < ops; k++ {
+				v, err := rc.IncCtx(context.Background(), id)
+				mu.Lock()
+				if err != nil {
+					rep.Errors++
+				} else {
+					seen[v]++
+				}
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	rep.Base = rc.Base()
+	for v, c := range seen {
+		if c > 1 && rep.Violation == "" {
+			rep.Violation = fmt.Sprintf("value %d handed out %d times", v, c)
+		}
+		if rc.FailedOver() && v >= rep.Base {
+			rep.BackupServed++
+		} else {
+			rep.PrimaryServed++
+		}
+	}
+	if !rc.FailedOver() {
+		return rep, errors.New("chaos: failover never triggered")
+	}
+	if rep.Violation != "" {
+		return rep, fmt.Errorf("chaos: %s", rep.Violation)
+	}
+	return rep, nil
+}

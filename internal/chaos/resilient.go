@@ -1,0 +1,253 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/runtime"
+)
+
+// ResilientOptions tunes a ResilientCounter. The zero value picks the
+// defaults noted on each field.
+type ResilientOptions struct {
+	// Timeout bounds each attempt against the primary (default 50ms).
+	Timeout time.Duration
+	// MaxRetries is how many times one IncCtx re-attempts the primary
+	// after its first timeout before reporting failure to the caller
+	// (default 3). Retries back off exponentially with jitter.
+	MaxRetries int
+	// BackoffBase is the first retry's backoff (default 1ms); BackoffCap
+	// caps the exponential growth (default 100ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// FailAfter is how many *consecutive* timed-out attempts (across all
+	// callers) declare the primary stalled and trigger failover
+	// (default 3). Any successful attempt resets the count.
+	FailAfter int
+	// Seed seeds the backoff jitter (default 1).
+	Seed int64
+}
+
+func (o ResilientOptions) withDefaults() ResilientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 50 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 100 * time.Millisecond
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ResilientCounter serves increments from a primary counting network and
+// degrades gracefully when the primary stalls: attempts are
+// deadline-bounded, transient timeouts are retried with exponential
+// backoff and jitter, and once FailAfter consecutive attempts time out the
+// counter fails over to a backup for good.
+//
+// The no-duplicates guarantee survives the transition through an id-range
+// handoff: while the primary is live, every value it hands out is recorded
+// (under a read-lock) as it is committed to a caller; failover (under the
+// write-lock, so it waits out in-flight commits) retires the primary and
+// reserves the range [0, base) for it, where base is one past the highest
+// value ever committed. The backup then owns [base, ∞). A primary value
+// that surfaces after the handoff — a token that limped through the
+// stalled network at last — fails its commit and is discarded, never
+// handed to a caller. Completed increments therefore never see a
+// duplicate, at the price the paper's impossibility results already
+// predict: the primary's unfinished range is abandoned, so gap-freedom is
+// given up at the moment of failover.
+type ResilientCounter struct {
+	primary runtime.CtxCounter
+	backup  runtime.Counter
+	opt     ResilientOptions
+
+	mu     sync.RWMutex // guards the primary→backup transition
+	failed bool
+	base   int64 // backup range start, set at failover
+
+	maxSeen atomic.Int64 // highest value committed from the primary
+	strikes atomic.Int32 // consecutive timed-out attempts
+
+	jmu  sync.Mutex
+	jrng *rand.Rand
+}
+
+// NewResilientCounter wraps primary with deadline-bounded attempts, retry,
+// and failover onto backup. backup must be fresh (first value 0) and is
+// offset into the reserved range at handoff; an AtomicCounter is the usual
+// choice — after failover the object is a plain linearizable counter,
+// trading the network's parallelism for availability.
+func NewResilientCounter(primary runtime.CtxCounter, backup runtime.Counter, opt ResilientOptions) *ResilientCounter {
+	r := &ResilientCounter{
+		primary: primary,
+		backup:  backup,
+		opt:     opt.withDefaults(),
+	}
+	r.maxSeen.Store(-1)
+	r.jrng = rand.New(rand.NewSource(r.opt.Seed))
+	return r
+}
+
+// FailedOver reports whether the counter has switched to its backup.
+func (r *ResilientCounter) FailedOver() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.failed
+}
+
+// Base returns the backup id-range start, or -1 before failover.
+func (r *ResilientCounter) Base() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.failed {
+		return -1
+	}
+	return r.base
+}
+
+// commit records a value obtained from the primary; it reports false when
+// the primary has already been retired, in which case the value must be
+// discarded. Running under the read-lock makes commits and the failover
+// mutually exclusive: every value committed before the handoff is below
+// the backup's base, and nothing commits after it.
+func (r *ResilientCounter) commit(v int64) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.failed {
+		return false
+	}
+	for {
+		m := r.maxSeen.Load()
+		if v <= m || r.maxSeen.CompareAndSwap(m, v) {
+			return true
+		}
+	}
+}
+
+// failOver retires the primary and hands the id range [maxSeen+1, ∞) to
+// the backup. Idempotent; the first caller wins.
+func (r *ResilientCounter) failOver() {
+	r.mu.Lock()
+	if !r.failed {
+		r.failed = true
+		r.base = r.maxSeen.Load() + 1
+	}
+	r.mu.Unlock()
+}
+
+// backupInc serves one increment from the backup's reserved range.
+func (r *ResilientCounter) backupInc(ctx context.Context, wire int) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fault.FromContext(err)
+	}
+	r.mu.RLock()
+	base := r.base
+	r.mu.RUnlock()
+	if cc, ok := r.backup.(runtime.CtxCounter); ok {
+		v, err := cc.IncCtx(ctx, wire)
+		if err != nil {
+			return 0, err
+		}
+		return base + v, nil
+	}
+	return base + r.backup.Inc(wire), nil
+}
+
+// backoff returns the attempt-th retry delay: exponential from
+// BackoffBase, capped at BackoffCap, with equal jitter (half fixed, half
+// uniform) so stalled callers do not retry in lockstep.
+func (r *ResilientCounter) backoff(attempt int) time.Duration {
+	d := r.opt.BackoffBase
+	for i := 0; i < attempt && d < r.opt.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > r.opt.BackoffCap {
+		d = r.opt.BackoffCap
+	}
+	r.jmu.Lock()
+	j := time.Duration(r.jrng.Int63n(int64(d) + 1))
+	r.jmu.Unlock()
+	return d/2 + j/2
+}
+
+// IncCtx obtains the next value, riding out transient stalls and failing
+// over when the primary is declared dead. Errors surface only when ctx
+// itself expires or is cancelled, when the retry budget is exhausted while
+// the primary is still (just barely) alive, or when the backup itself
+// fails.
+func (r *ResilientCounter) IncCtx(ctx context.Context, wire int) (int64, error) {
+	for attempt := 0; ; attempt++ {
+		if r.FailedOver() {
+			return r.backupInc(ctx, wire)
+		}
+		actx, cancel := context.WithTimeout(ctx, r.opt.Timeout)
+		v, err := r.primary.IncCtx(actx, wire)
+		cancel()
+		if err == nil {
+			if r.commit(v) {
+				r.strikes.Store(0)
+				return v, nil
+			}
+			// Failover raced this attempt: the primary value is dead —
+			// discard it and serve from the backup's range instead.
+			return r.backupInc(ctx, wire)
+		}
+		if errors.Is(err, fault.ErrClosed) {
+			// The primary is gone for good; no amount of retrying helps.
+			r.failOver()
+			return r.backupInc(ctx, wire)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's own deadline expired (the attempt context
+			// inherits it), or the caller cancelled.
+			return 0, fault.FromContext(cerr)
+		}
+		if !fault.Transient(err) {
+			return 0, err
+		}
+		if int(r.strikes.Add(1)) >= r.opt.FailAfter {
+			r.failOver()
+			return r.backupInc(ctx, wire)
+		}
+		if attempt >= r.opt.MaxRetries {
+			return 0, err
+		}
+		t := time.NewTimer(r.backoff(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return 0, fault.FromContext(ctx.Err())
+		}
+	}
+}
+
+// Inc implements runtime.Counter. Without a deadline the only failure mode
+// is retry exhaustion against a stalled-but-open primary, which resolves
+// to failover after enough calls; Inc retries through failover rather than
+// surface an error, so it never returns a sentinel.
+func (r *ResilientCounter) Inc(wire int) int64 {
+	for {
+		v, err := r.IncCtx(context.Background(), wire)
+		if err == nil {
+			return v
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package fault is the shared error vocabulary of the fault-tolerant
+// counting API. Both concurrent substrates (internal/runtime,
+// internal/msgnet) and the chaos layer (internal/chaos) return these
+// sentinels, so callers can switch on a failure's kind without knowing
+// which implementation served the increment.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrClosed reports an increment issued against a network that has
+	// been shut down (msgnet.Network.Close), or whose token was abandoned
+	// by the shutdown while in flight. It replaces the historical -1
+	// sentinel value.
+	ErrClosed = errors.New("counting network: closed")
+
+	// ErrTimeout reports an increment that gave up because its context's
+	// deadline expired while the token was stalled or in flight. It wraps
+	// context.DeadlineExceeded, so errors.Is works with either sentinel.
+	ErrTimeout = fmt.Errorf("counting network: stalled: %w", context.DeadlineExceeded)
+)
+
+// FromContext converts a context error into the package vocabulary:
+// deadline expiry becomes ErrTimeout; cancellation passes through as
+// context.Canceled (the caller asked to stop — that is not a fault).
+func FromContext(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}
+
+// Transient reports whether err is worth retrying: a deadline expiry may
+// clear when the stalled component resumes, whereas a closed network or a
+// caller-initiated cancellation never will.
+func Transient(err error) bool {
+	return errors.Is(err, ErrTimeout)
+}

@@ -1,11 +1,15 @@
 package msgnet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/construct"
+	"repro/internal/fault"
 	"repro/internal/runtime"
 )
 
@@ -91,10 +95,127 @@ func TestCloseIdempotentAndIncAfterClose(t *testing.T) {
 	if v := n.Inc(0); v != 0 {
 		t.Fatalf("first value %d", v)
 	}
+	if n.Closed() {
+		t.Error("Closed() true before Close")
+	}
 	n.Close()
 	n.Close() // idempotent
+	if !n.Closed() {
+		t.Error("Closed() false after Close")
+	}
 	if v := n.Inc(0); v != -1 {
 		t.Errorf("Inc after Close = %d, want -1", v)
+	}
+	if _, err := n.IncCtx(context.Background(), 0); !errors.Is(err, fault.ErrClosed) {
+		t.Errorf("IncCtx after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRacesInFlightInc is the regression test for the documented
+// "callers must ensure quiescence" caveat: Close fired into a storm of
+// in-flight Incs must not deadlock or panic, and every increment that did
+// complete (returned ≥ 0) must still hold a unique value.
+func TestCloseRacesInFlightInc(t *testing.T) {
+	for _, buffer := range []int{0, 2} {
+		t.Run(fmt.Sprintf("buffer-%d", buffer), func(t *testing.T) {
+			n, err := Start(construct.MustBitonic(8), buffer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers = 16
+			values := make([][]int64, workers)
+			var wg sync.WaitGroup
+			for id := 0; id < workers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for k := 0; ; k++ {
+						v := n.Inc(id % 8)
+						if v < 0 {
+							return // network closed under us
+						}
+						values[id] = append(values[id], v)
+					}
+				}(id)
+			}
+			time.Sleep(2 * time.Millisecond) // let the storm develop
+			done := make(chan struct{})
+			go func() {
+				n.Close()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("Close deadlocked against in-flight Inc")
+			}
+			wg.Wait()
+			seen := make(map[int64]bool)
+			total := 0
+			for _, vs := range values {
+				for _, v := range vs {
+					if seen[v] {
+						t.Fatalf("duplicate value %d across Close race", v)
+					}
+					seen[v] = true
+					total++
+				}
+			}
+			if total == 0 {
+				t.Error("no increment completed before Close")
+			}
+		})
+	}
+}
+
+// stubFaults stalls every balancer forever (well past any test deadline).
+type stubFaults struct{}
+
+func (stubFaults) BalancerStep(_, _ int) StepFault {
+	return StepFault{Stall: time.Hour}
+}
+func (stubFaults) WireDelay(_, _, _ int) time.Duration { return 0 }
+func (stubFaults) CounterStep(_, _ int) StepFault      { return StepFault{} }
+
+// TestIncCtxDeadline: a token stuck behind a stalled balancer honours its
+// deadline with ErrTimeout, and the network shuts down cleanly with the
+// abandoned token still inside.
+func TestIncCtxDeadline(t *testing.T) {
+	n, err := Start(construct.MustBitonic(4), 1, WithFaults(stubFaults{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = n.IncCtx(ctx, 0)
+	if !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if errors.Is(err, context.Canceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ErrTimeout should wrap context.DeadlineExceeded; got %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("deadline honoured only after %v", waited)
+	}
+}
+
+// TestIncCtxCancel: caller-initiated cancellation surfaces as
+// context.Canceled, not as a fault.
+func TestIncCtxCancel(t *testing.T) {
+	n, err := Start(construct.MustBitonic(4), 1, WithFaults(stubFaults{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	if _, err := n.IncCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

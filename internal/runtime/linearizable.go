@@ -1,6 +1,11 @@
 package runtime
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
 
 // LinearizableCounter wraps any quiescently-consistent Counter (typically
 // a counting network) and makes it linearizable by *waiting*: an increment
@@ -38,4 +43,45 @@ func (l *LinearizableCounter) Inc(wire int) int64 {
 	}
 	l.published.Store(v + 1)
 	return v
+}
+
+// IncCtx is Inc with cancellation support. Because returns are serialized
+// in value order, a caller that gives up while waiting cannot simply
+// vanish — every later value is waiting on its slot. An abandoned
+// operation therefore hands its release duty to a background goroutine:
+// the value is discarded (never returned to any caller, so no duplicates)
+// but its slot is still released in order, so waiters behind it make
+// progress. If the underlying counter is itself a CtxCounter, the
+// traversal also honours ctx.
+func (l *LinearizableCounter) IncCtx(ctx context.Context, wire int) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fault.FromContext(err)
+	}
+	var v int64
+	if cc, ok := l.c.(CtxCounter); ok {
+		var err error
+		if v, err = cc.IncCtx(ctx, wire); err != nil {
+			return 0, err
+		}
+	} else {
+		v = l.c.Inc(wire)
+	}
+	for spins := 0; l.published.Load() != v; spins++ {
+		// ctx.Err takes a lock; amortise it over a batch of spins.
+		if spins%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				go l.release(v)
+				return 0, fault.FromContext(err)
+			}
+		}
+	}
+	l.published.Store(v + 1)
+	return v, nil
+}
+
+// release waits for v's turn and releases its slot without returning it.
+func (l *LinearizableCounter) release(v int64) {
+	for l.published.Load() != v {
+	}
+	l.published.Store(v + 1)
 }

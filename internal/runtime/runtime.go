@@ -13,10 +13,12 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/network"
 )
 
@@ -31,6 +33,23 @@ type Counter interface {
 	// wire; implementations without wires ignore it.
 	Inc(wire int) int64
 }
+
+// CtxCounter is a Counter whose increments honour deadlines and
+// cancellation: IncCtx returns fault.ErrTimeout / fault.ErrClosed /
+// context.Canceled instead of a value when the operation gives up.
+// Network, LinearizableCounter (this package), msgnet.Network and
+// chaos.ResilientCounter all implement it.
+type CtxCounter interface {
+	Counter
+	IncCtx(ctx context.Context, wire int) (int64, error)
+}
+
+// FaultHook observes — and, for fault injection, delays — balancer
+// transitions. It is called once per token arriving at balancer bal,
+// before the toggle fires. A hook that stalls should watch ctx so that
+// deadline-bounded increments are not held hostage; ctx is
+// context.Background() for plain Inc calls.
+type FaultHook func(ctx context.Context, bal int)
 
 // node is a compiled wiring target in flat form.
 type node struct {
@@ -56,6 +75,9 @@ type Network struct {
 	inputs    []node
 	counters  []paddedCounter
 	depth     int
+	// hook, when non-nil, is consulted before every balancer transition.
+	// The fast path pays exactly one well-predicted nil check for it.
+	hook FaultHook
 }
 
 // paddedCounter keeps sink counters on separate cache lines; the whole
@@ -127,12 +149,24 @@ func (n *Network) FanOut() int { return n.wOut }
 // Depth returns the network depth d(G).
 func (n *Network) Depth() int { return n.depth }
 
+// SetFaultHook installs (or, with nil, removes) the per-balancer fault
+// hook. It must not race with traversals: install before the network is
+// shared, or between quiescent phases. Uninstrumented traversals are
+// unchanged apart from one nil check.
+func (n *Network) SetFaultHook(h FaultHook) { n.hook = h }
+
 // Inc traverses the network from the given input wire (reduced modulo the
 // fan-in, so callers may pass a worker id directly) and returns the
 // counter value obtained. Balancer steps use a single fetch-and-add each,
 // so every balancer transition is atomic, exactly matching the
 // instantaneous-step semantics of the model.
 func (n *Network) Inc(wire int) int64 {
+	if n.hook != nil {
+		// Instrumented path: hooks fire, but with no deadline the
+		// traversal always completes and the error is always nil.
+		v, _ := n.IncCtx(context.Background(), wire)
+		return v
+	}
 	at := n.inputs[wire%n.wIn]
 	for at.sink < 0 {
 		b := &n.balancers[at.bal]
@@ -140,6 +174,39 @@ func (n *Network) Inc(wire int) int64 {
 		at = b.next[port]
 	}
 	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+}
+
+// IncCtx is Inc with deadline/cancellation support. The deadline is
+// honoured at two points: before the token enters the network, and after
+// any fault-hook stall at the token's *first* balancer — at both points
+// the token has not yet toggled anything, so giving up is free. Once the
+// first toggle fires the token is committed: a shared-memory traversal is
+// wait-free (hooks stall it only as long as they choose to, and they watch
+// ctx), and aborting a half-travelled token would skew the balancers it
+// already toggled, breaking gap-freedom for everyone else. A committed
+// traversal therefore always returns its value, even if ctx expired while
+// it was in flight.
+func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fault.FromContext(err)
+	}
+	at := n.inputs[wire%n.wIn]
+	first := true
+	for at.sink < 0 {
+		if n.hook != nil {
+			n.hook(ctx, at.bal)
+			if first {
+				if err := ctx.Err(); err != nil {
+					return 0, fault.FromContext(err)
+				}
+			}
+		}
+		first = false
+		b := &n.balancers[at.bal]
+		port := (b.state.Add(1) - 1) % b.fanOut
+		at = b.next[port]
+	}
+	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut), nil
 }
 
 // IncCAS is Inc with compare-and-swap balancer toggles instead of

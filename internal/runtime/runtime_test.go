@@ -222,6 +222,33 @@ func TestVerify(t *testing.T) {
 	}
 }
 
+// TestVerifyEdgeCases pins the boundary behaviour: empty inputs verify,
+// a single value must be exactly 0, and duplicates/overflows right at the
+// len-1 boundary are caught.
+func TestVerifyEdgeCases(t *testing.T) {
+	if err := Verify([]int64{}); err != nil {
+		t.Errorf("empty non-nil slice should verify: %v", err)
+	}
+	if err := Verify([]int64{0}); err != nil {
+		t.Errorf("single value 0 should verify: %v", err)
+	}
+	if err := Verify([]int64{1}); err == nil {
+		t.Error("single value 1 is a gap (range is 0..0) and should fail")
+	}
+	if err := Verify([]int64{-1}); err == nil {
+		t.Error("negative value should fail")
+	}
+	if err := Verify([]int64{0, 1, 2, 2}); err == nil {
+		t.Error("duplicate at the len-1 boundary should fail")
+	}
+	if err := Verify([]int64{0, 1, 2, 4}); err == nil {
+		t.Error("value == len(values) should fail the range check")
+	}
+	if err := Verify([]int64{3, 2, 1, 0}); err != nil {
+		t.Errorf("reversed permutation should verify: %v", err)
+	}
+}
+
 func BenchmarkIncUncontended(b *testing.B) {
 	n := MustCompile(construct.MustBitonic(8))
 	b.ReportAllocs()
