@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench chaos experiments examples lint clean
+.PHONY: all build test race cover bench bench-json chaos countmon experiments examples lint clean
 
 all: build test
 
@@ -25,6 +25,11 @@ cover:
 bench:
 	$(GO) test -bench . -benchmem .
 
+# Machine-readable benchmark results (ns/op, B/op, allocs/op, paper
+# metrics) for diffing and plotting; see cmd/benchjson.
+bench-json:
+	$(GO) run ./cmd/benchjson -time 100ms -o BENCH_runtime.json
+
 # The full paper-reproduction report; non-zero exit if any experiment fails.
 experiments:
 	$(GO) run ./cmd/experiments
@@ -35,10 +40,16 @@ examples:
 	$(GO) run ./examples/idserver
 	$(GO) run ./examples/inconsistency
 	$(GO) run ./examples/linearizable
+	$(GO) run ./examples/monitor
+	$(GO) run ./examples/chaos
+
+# Live telemetry demo: run for 5s, print the report, leave no server behind.
+countmon:
+	$(GO) run ./cmd/countmon -w 8 -duration 5s
 
 lint:
 	$(GO) vet ./...
-	gofmt -l .
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 
 clean:
 	$(GO) clean ./...

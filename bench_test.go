@@ -18,6 +18,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -289,6 +290,40 @@ func BenchmarkThroughput(b *testing.B) {
 					c.Inc(wire)
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkIncOverhead — the telemetry overhead budget: Inc on B(8) with
+// no observer (the nil-check fast path, which must not allocate) versus
+// the same network with the sharded telemetry collector attached, and
+// versus collector+tracer through a Tee. The delta between the first two
+// is the advertised cost of observability.
+func BenchmarkIncOverhead(b *testing.B) {
+	spec := construct.MustBitonic(8)
+	variants := []struct {
+		name string
+		obs  func() telemetry.Observer
+	}{
+		{"uninstrumented", func() telemetry.Observer { return nil }},
+		{"collector", func() telemetry.Observer { return telemetry.NewCollectorFor(spec) }},
+		{"collector+tracer", func() telemetry.Observer {
+			col := telemetry.NewCollectorFor(spec)
+			tr := telemetry.NewTracer(telemetry.TracerConfig{Workers: spec.FanIn(), MaxOpsPerWorker: 1 << 16})
+			return telemetry.Tee(col, tr)
+		}},
+	}
+	for _, tc := range variants {
+		b.Run(tc.name, func(b *testing.B) {
+			ctr := runtime.MustCompile(spec)
+			if obs := tc.obs(); obs != nil {
+				ctr.SetObserver(obs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctr.Inc(i & 7)
+			}
 		})
 	}
 }

@@ -1,0 +1,199 @@
+// Command benchjson runs the repository's benchmark suite and writes the
+// results as machine-readable JSON, so benchmark history can be diffed,
+// plotted or gated in CI without scraping `go test` output by hand. Each
+// benchmark row records iterations, ns/op, B/op, allocs/op and every
+// custom metric the suite reports through b.ReportMetric (depths, split
+// numbers, F_nl/F_nsc fractions, ...).
+//
+// Usage:
+//
+//	benchjson                                # all benchmarks -> BENCH_runtime.json
+//	benchjson -bench IncOverhead -time 1s    # one family, longer runs
+//	benchjson -o - -time 10ms                # quick pass to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  *float64           `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *float64           `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole run: environment header plus every benchmark.
+type Report struct {
+	Date       string   `json:"date"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench = "."
+		btime = "100ms"
+		pkg   = "."
+		out   = "BENCH_runtime.json"
+	)
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		next := func(flagName string) string {
+			i++
+			if i >= len(args) {
+				fmt.Fprintf(os.Stderr, "benchjson: %s needs a value\n", flagName)
+				os.Exit(2)
+			}
+			return args[i]
+		}
+		switch args[i] {
+		case "-bench":
+			bench = next("-bench")
+		case "-time":
+			btime = next("-time")
+		case "-pkg":
+			pkg = next("-pkg")
+		case "-o":
+			out = next("-o")
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q (want -bench, -time, -pkg, -o)\n", args[i])
+			os.Exit(2)
+		}
+	}
+
+	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", bench,
+		"-benchmem", "-benchtime", btime, pkg)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	// Echo the run while parsing it, so the usual benchmark table is still
+	// visible on stderr.
+	rep, perr := parseBench(io.TeeReader(pipe, os.Stderr))
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	if perr != nil {
+		fatal(perr)
+	}
+	rep.Date = time.Now().UTC().Format(time.RFC3339)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parseBench reads `go test -bench` output and returns the structured
+// report (environment header + one Result per benchmark line).
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if !ok {
+				return nil, fmt.Errorf("malformed benchmark line: %q", line)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8  1234  107.5 ns/op  0 B/op  0 allocs/op  6.000 depth
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Unknown units
+// land in Metrics under their unit name.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, true
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS marker go test appends to
+// benchmark names ("BenchmarkX/sub-8" -> "BenchmarkX/sub").
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIncOverhead/uninstrumented-8         	 2207520	       107.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIncOverhead/collector-8              	  790138	       311.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFigure4Bitonic/w=8-8                 	   50000	     22000 ns/op	         6.000 depth	     512 B/op	      12 allocs/op
+BenchmarkProposition53Waves-8                 	     100	  10000000 ns/op	         0.3333 F_nl	         0.3333 F_nsc	    4096 B/op	      64 allocs/op
+PASS
+ok  	repro	3.034s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" {
+		t.Errorf("header wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu header wrong: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	fast := rep.Benchmarks[0]
+	if fast.Name != "BenchmarkIncOverhead/uninstrumented" {
+		t.Errorf("proc suffix not trimmed: %q", fast.Name)
+	}
+	if fast.Iterations != 2207520 || fast.NsPerOp != 107.5 {
+		t.Errorf("fast path row wrong: %+v", fast)
+	}
+	if fast.BytesPerOp == nil || *fast.BytesPerOp != 0 || fast.AllocsPerOp == nil || *fast.AllocsPerOp != 0 {
+		t.Errorf("benchmem columns wrong: %+v", fast)
+	}
+
+	depth := rep.Benchmarks[2]
+	if depth.Metrics["depth"] != 6 {
+		t.Errorf("custom metric lost: %+v", depth)
+	}
+	waves := rep.Benchmarks[3]
+	if waves.Metrics["F_nl"] != 0.3333 || waves.Metrics["F_nsc"] != 0.3333 {
+		t.Errorf("fraction metrics lost: %+v", waves)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkBroken-8 notanumber 1 ns/op\n")); err == nil {
+		t.Error("malformed iteration count accepted")
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":         "BenchmarkX",
+		"BenchmarkX/sub-16":    "BenchmarkX/sub",
+		"BenchmarkX/w=8-4":     "BenchmarkX/w=8",
+		"BenchmarkNoSuffix":    "BenchmarkNoSuffix",
+		"BenchmarkTrailing-ab": "BenchmarkTrailing-ab",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -28,12 +28,13 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "fault-schedule seed (same seed, same faults)")
-		width    = flag.Int("w", 8, "bitonic network fan (power of two)")
-		scenario = flag.String("scenario", "all", "scenario name or comma list (or 'all'); see -list")
-		scale    = flag.Duration("scale", time.Millisecond, "base fault duration (stalls/latency scale with it)")
-		failover = flag.Bool("failover", true, "also run the ResilientCounter failover drill")
-		list     = flag.Bool("list", false, "list scenario names and exit")
+		seed      = flag.Int64("seed", 1, "fault-schedule seed (same seed, same faults)")
+		width     = flag.Int("w", 8, "bitonic network fan (power of two)")
+		scenario  = flag.String("scenario", "all", "scenario name or comma list (or 'all'); see -list")
+		scale     = flag.Duration("scale", time.Millisecond, "base fault duration (stalls/latency scale with it)")
+		failover  = flag.Bool("failover", true, "also run the ResilientCounter failover drill")
+		telemetry = flag.Bool("telemetry", true, "print each run's telemetry snapshot (toggles, latency quantiles)")
+		list      = flag.Bool("list", false, "list scenario names and exit")
 	)
 	flag.Parse()
 
@@ -72,6 +73,9 @@ func main() {
 		}
 		for _, r := range results {
 			fmt.Println(r)
+			if *telemetry {
+				fmt.Printf("    telemetry: %s\n", r.Telemetry.Summary())
+			}
 			if !r.Ok() {
 				failed = true
 			}

@@ -1,0 +1,227 @@
+// Command countmon runs a counting network under sustained load and
+// serves its telemetry live over HTTP — the operational face of the
+// repository. It compiles a network, attaches the lock-free telemetry
+// collector and the streaming consistency monitor, drives pinned-wire
+// workers at it, and exposes:
+//
+//	/metrics            Prometheus text: per-balancer toggles, per-wire and
+//	                    per-sink traffic, Inc latency histogram + quantiles,
+//	                    live F_nl / F_nsc inconsistency fractions
+//	/debug/countingnet  the same snapshot as JSON
+//	/heatmap            ASCII balancer-traffic heatmap by network layer
+//	/debug/pprof/       the standard Go profiler endpoints
+//
+// With -duration 0 it serves until interrupted; with a positive -duration
+// it runs that long, scrapes its own /metrics to prove the surface is live
+// under load, prints the telemetry report, and exits. -trace exports every
+// sampled token traversal as Chrome trace-event JSON (load it in
+// chrome://tracing or Perfetto; feed it back to the consistency checkers
+// with ParseChromeTrace).
+//
+// Usage:
+//
+//	countmon -net bitonic -w 8 -addr :8080
+//	countmon -w 16 -workers 32 -duration 10s -trace trace.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	countingnet "repro"
+)
+
+type options struct {
+	kind     string        // network construction: bitonic or periodic
+	width    int           // network fan (power of two)
+	addr     string        // HTTP listen address
+	workers  int           // load workers (0: one per input wire)
+	pace     time.Duration // per-worker delay between increments
+	duration time.Duration // run length (0: serve until interrupted)
+	trace    string        // Chrome trace-event output path ("" disables)
+	sample   int           // record every k-th balancer hop in the trace
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.kind, "net", "bitonic", "network: bitonic or periodic")
+	flag.IntVar(&o.width, "w", 8, "network fan (power of two)")
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.IntVar(&o.workers, "workers", 0, "load workers (0: one per input wire)")
+	flag.DurationVar(&o.pace, "pace", 0, "per-worker delay between increments")
+	flag.DurationVar(&o.duration, "duration", 0, "run length (0: serve until interrupted)")
+	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON here on exit")
+	flag.IntVar(&o.sample, "sample", 0, "trace every k-th balancer hop (0: none)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "countmon:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the instrumented network, serves the telemetry surface and
+// drives load until ctx is done or o.duration elapses, then prints the
+// final report to out. Split from main so tests can exercise the whole
+// pipeline in-process.
+func run(ctx context.Context, o options, out io.Writer) error {
+	var (
+		spec *countingnet.Network
+		err  error
+	)
+	switch o.kind {
+	case "bitonic":
+		spec, _, err = countingnet.Bitonic(o.width)
+	case "periodic":
+		spec, _, err = countingnet.Periodic(o.width, countingnet.BlockTopBottom)
+	default:
+		err = fmt.Errorf("unknown network %q (want bitonic or periodic)", o.kind)
+	}
+	if err != nil {
+		return err
+	}
+	ctr, err := countingnet.Compile(spec)
+	if err != nil {
+		return err
+	}
+	if o.workers <= 0 {
+		o.workers = spec.FanIn()
+	}
+
+	// Observability: collector always, tracer only when an export is
+	// requested, both fed from the single network hook.
+	col := countingnet.NewTelemetryCollectorFor(spec)
+	mon := countingnet.NewOnlineMonitor()
+	var tracer *countingnet.Tracer
+	if o.trace != "" {
+		tracer = countingnet.NewTracer(countingnet.TracerConfig{
+			Workers:    spec.FanIn(),
+			SampleHops: o.sample,
+		})
+		ctr.SetObserver(countingnet.TelemetryTee(col, tracer))
+	} else {
+		ctr.SetObserver(col)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", countingnet.TelemetryHandler(col, mon))
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, countingnet.Heatmap(spec, col.Snapshot().Toggles))
+	})
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	defer srv.Close()
+	go srv.Serve(ln)
+
+	fmt.Fprintf(out, "countmon: %s width %d, %d workers, serving http://%s/metrics\n",
+		o.kind, o.width, o.workers, ln.Addr())
+
+	if o.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.duration)
+		defer cancel()
+	}
+	driveLoad(ctx, ctr, mon, spec.FanIn(), o.workers, o.pace)
+
+	// The run is over (deadline or interrupt): prove the surface is live by
+	// scraping our own /metrics, then print the report.
+	if err := selfScrape(out, ln.Addr().String()); err != nil {
+		return err
+	}
+	snap := col.Snapshot()
+	fmt.Fprintf(out, "telemetry: %s\n", snap.Summary())
+	f := mon.Fractions()
+	fmt.Fprintf(out, "consistency: %d ops, F_nl=%.6f F_nsc=%.6f\n",
+		f.Total, f.NonLinFraction(), f.NonSCFraction())
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, countingnet.Heatmap(spec, snap.Toggles))
+
+	if tracer != nil {
+		if err := writeTrace(o.trace, tracer); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d ops (%d dropped) -> %s\n",
+			tracer.Count(), tracer.Dropped(), o.trace)
+	}
+	return nil
+}
+
+// driveLoad runs workers pinned round-robin onto the input wires, each
+// incrementing (and reporting to the consistency monitor) until ctx is
+// done.
+func driveLoad(ctx context.Context, ctr countingnet.Counter, mon *countingnet.OnlineMonitor, fanIn, workers int, pace time.Duration) {
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wire := id % fanIn
+			for ctx.Err() == nil {
+				s := time.Now().UnixNano()
+				v := ctr.Inc(wire)
+				e := time.Now().UnixNano()
+				mon.Report(id, v, s, e)
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+		}(id)
+	}
+	<-ctx.Done()
+	wg.Wait()
+}
+
+// selfScrape fetches /metrics from our own listener and checks the scrape
+// saw traffic — the acceptance probe that the surface works under load.
+func selfScrape(out io.Writer, addr string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("self-scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("self-scrape: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("self-scrape: status %d", resp.StatusCode)
+	}
+	tokens := ""
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "countingnet_tokens_total ") {
+			tokens = strings.TrimPrefix(line, "countingnet_tokens_total ")
+		}
+	}
+	if tokens == "" || tokens == "0" {
+		return fmt.Errorf("self-scrape: /metrics reports no tokens (got %q)", tokens)
+	}
+	fmt.Fprintf(out, "self-scrape: /metrics live, countingnet_tokens_total=%s\n", tokens)
+	return nil
+}
+
+func writeTrace(path string, tr *countingnet.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

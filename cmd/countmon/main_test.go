@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	countingnet "repro"
+)
+
+// TestRunEndToEnd drives the whole countmon pipeline in-process: load, the
+// HTTP surface, the self-scrape acceptance probe, and the Chrome trace
+// export, which must round-trip through the consistency checkers.
+func TestRunEndToEnd(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	err := run(context.Background(), options{
+		kind:     "bitonic",
+		width:    4,
+		addr:     "127.0.0.1:0",
+		workers:  4,
+		duration: 250 * time.Millisecond,
+		trace:    trace,
+		sample:   2,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"self-scrape: /metrics live",
+		"telemetry: tokens=",
+		"consistency:",
+		"balancer traffic:",
+		"trace:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ops, err := countingnet.ParseChromeTrace(f)
+	if err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("exported trace holds no operations")
+	}
+	vals := make([]int64, len(ops))
+	for i, op := range ops {
+		vals[i] = op.Value
+	}
+	if err := countingnet.VerifyValues(vals); err != nil {
+		t.Errorf("traced values violate the counting property: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownNetwork(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), options{kind: "moebius", width: 4}, &out)
+	if err == nil || !strings.Contains(err.Error(), "moebius") {
+		t.Fatalf("want unknown-network error, got %v", err)
+	}
+}

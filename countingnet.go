@@ -51,6 +51,7 @@ import (
 	"repro/internal/perfsim"
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/viz"
 )
@@ -335,6 +336,50 @@ var (
 	// RunFailoverDrill drives a ResilientCounter over a primary that
 	// loses a balancer permanently mid-run.
 	RunFailoverDrill = chaos.RunFailover
+)
+
+// Telemetry layer (package telemetry): per-balancer metrics, latency
+// histograms, execution tracing and the live HTTP observability surface.
+// Attach to a compiled network with SetObserver, or to a message-passing
+// one with WithTelemetryObserver; both hooks are zero-cost when absent.
+type (
+	// TelemetryCollector accumulates lock-free per-balancer, per-wire and
+	// per-sink traffic counts plus an Inc latency histogram.
+	TelemetryCollector = telemetry.Collector
+	// TelemetrySnapshot is a merged, JSON-serialisable collector view.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryObserver is the event hook Collector and Tracer implement.
+	TelemetryObserver = telemetry.Observer
+	// Tracer records per-token traversal events and exports Chrome
+	// trace-event JSON or consistency.Op slices.
+	Tracer = telemetry.Tracer
+	// TracerConfig shapes a Tracer (workers, hop sampling, buffer caps).
+	TracerConfig = telemetry.TracerConfig
+	// LatencySummary is a latency histogram snapshot with quantiles.
+	LatencySummary = telemetry.LatencySummary
+)
+
+var (
+	// NewTelemetryCollector builds a collector for a network shape
+	// (balancers, input wires, sinks); NewTelemetryCollectorFor sizes one
+	// from a network directly.
+	NewTelemetryCollector    = telemetry.NewCollector
+	NewTelemetryCollectorFor = telemetry.NewCollectorFor
+	// NewTracer starts an execution tracer.
+	NewTracer = telemetry.NewTracer
+	// TelemetryTee fans observer events out to several observers.
+	TelemetryTee = telemetry.Tee
+	// TelemetryHandler serves /metrics, /debug/countingnet and pprof for a
+	// collector plus an optional online consistency monitor.
+	TelemetryHandler = telemetry.Handler
+	// ParseChromeTrace reads an exported Chrome trace back into
+	// consistency-checkable operations.
+	ParseChromeTrace = telemetry.ParseChromeTrace
+	// WithTelemetryObserver instruments a message-passing network (pass to
+	// StartMessagePassing).
+	WithTelemetryObserver = msgnet.WithObserver
+	// Heatmap renders per-balancer traffic over the network's layers.
+	Heatmap = viz.Heatmap
 )
 
 // Contention model (package perfsim) — the queueing substitute for a

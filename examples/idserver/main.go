@@ -25,13 +25,19 @@ func main() {
 		producers = 16
 		idsEach   = 2_000
 	)
+	// The network allocator carries a telemetry collector: the audit below
+	// pairs its consistency verdicts with where the tokens actually went.
+	spec := countingnet.MustBitonic(16)
+	network := countingnet.MustCompile(spec)
+	col := countingnet.NewTelemetryCollectorFor(spec)
+	network.SetObserver(col)
 	counters := []struct {
 		name string
 		c    countingnet.Counter
 	}{
 		{"atomic fetch&inc", new(countingnet.AtomicCounter)},
 		{"mutex counter", new(countingnet.MutexCounter)},
-		{"bitonic B(16)", countingnet.MustCompile(countingnet.MustBitonic(16))},
+		{"bitonic B(16)", network},
 	}
 
 	fmt.Printf("%d producers × %d ids each (%d total)\n\n", producers, idsEach, producers*idsEach)
@@ -58,5 +64,7 @@ func main() {
 			countingnet.Linearizable(audit),
 			countingnet.SequentiallyConsistent(audit))
 	}
+	snap := col.Snapshot()
+	fmt.Printf("\nnetwork telemetry: %s\n", snap.Summary())
 	fmt.Println("\nEvery allocator hands out each id exactly once; the network does it without a single hot spot.")
 }

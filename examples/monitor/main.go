@@ -3,7 +3,9 @@
 // a deployment would watch a production counter. The monitor implements
 // the paper's Section 5.1 token definitions incrementally (small state, no
 // transcript), flagging each non-linearizable or non-sequentially-
-// consistent operation the moment it completes.
+// consistent operation the moment it completes. A telemetry collector
+// rides the same run, so the report pairs consistency fractions with
+// traffic counts, Inc latency quantiles and a balancer heatmap.
 package main
 
 import (
@@ -19,8 +21,11 @@ func main() {
 		workers = 12
 		perWork = 3_000
 	)
-	ctr := countingnet.MustCompile(countingnet.MustBitonic(8))
+	spec := countingnet.MustBitonic(8)
+	ctr := countingnet.MustCompile(spec)
 	mon := countingnet.NewOnlineMonitor()
+	col := countingnet.NewTelemetryCollectorFor(spec)
+	ctr.SetObserver(col)
 
 	w := countingnet.Workload{Workers: workers, OpsPerWorker: perWork, Monitor: mon}
 	start := time.Now()
@@ -44,4 +49,10 @@ func main() {
 	fmt.Println("Offline audit of the full transcript agrees:")
 	full := countingnet.MeasureConsistency(countingnet.AuditOps(ops))
 	fmt.Printf("  %v\n", full)
+
+	snap := col.Snapshot()
+	fmt.Println()
+	fmt.Printf("Telemetry for the same run: %s\n", snap.Summary())
+	fmt.Println()
+	fmt.Println(countingnet.Heatmap(spec, snap.Toggles))
 }

@@ -59,6 +59,7 @@ func TestCLIsRun(t *testing.T) {
 		{"run", "./cmd/perfsim", "-procs", "1,8", "-ops", "500"},
 		{"run", "./cmd/countbench", "-ops", "20000", "-workers", "1,2"},
 		{"run", "./cmd/chaos", "-seed", "1", "-w", "4", "-scale", "200us"},
+		{"run", "./cmd/countmon", "-w", "4", "-addr", "127.0.0.1:0", "-duration", "300ms"},
 	}
 	for _, args := range clis {
 		t.Run(args[1], func(t *testing.T) {

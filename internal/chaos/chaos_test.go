@@ -30,6 +30,20 @@ func TestScenarioCatalogue(t *testing.T) {
 					t.Errorf("%s/%s: %d completed + %d timed out != %d issued",
 						r.Scenario, r.Substrate, r.Completed, r.TimedOut, sc.Workers*sc.Ops)
 				}
+				// Every fault run carries its telemetry: completed tokens
+				// and their latency are accounted for exactly.
+				if r.Telemetry.Tokens != uint64(r.Completed) {
+					t.Errorf("%s/%s: telemetry tokens %d != completed %d",
+						r.Scenario, r.Substrate, r.Telemetry.Tokens, r.Completed)
+				}
+				if r.Telemetry.Latency.Count != uint64(r.Completed) {
+					t.Errorf("%s/%s: latency count %d != completed %d",
+						r.Scenario, r.Substrate, r.Telemetry.Latency.Count, r.Completed)
+				}
+				if r.Completed > 0 && r.Telemetry.TotalToggles() < uint64(r.Completed)*uint64(spec.Depth()) {
+					t.Errorf("%s/%s: %d toggles for %d completed tokens (depth %d)",
+						r.Scenario, r.Substrate, r.Telemetry.TotalToggles(), r.Completed, spec.Depth())
+				}
 			}
 		})
 	}

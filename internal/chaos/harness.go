@@ -13,6 +13,7 @@ import (
 	"repro/internal/msgnet"
 	"repro/internal/network"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
 
 // Scenario is one reproducible chaos run: a fault plan plus the workload
@@ -51,6 +52,10 @@ type Result struct {
 	// duplicate values, gaps (when every op completed), step-property
 	// breaks, or unexpected errors.
 	Violations []string
+	// Telemetry is the run's traffic and latency snapshot: per-balancer
+	// toggle totals show where injected faults pooled tokens, and the
+	// latency quantiles show what the faults cost completed increments.
+	Telemetry telemetry.Snapshot
 }
 
 // Ok reports whether every surviving guarantee held.
@@ -173,28 +178,38 @@ func verifyStep(values []int64, w int) error {
 }
 
 // RunMsgnet executes sc against a message-passing instantiation of spec.
+// The run is observed by a telemetry collector, so the result reports
+// where tokens pooled and what the faults cost in latency.
 func RunMsgnet(spec *network.Network, sc Scenario, seed int64) (Result, error) {
-	n, err := msgnet.Start(spec, sc.Buffer, msgnet.WithFaults(sc.Plan(seed).Msgnet()))
+	col := telemetry.NewCollectorFor(spec)
+	n, err := msgnet.Start(spec, sc.Buffer,
+		msgnet.WithFaults(sc.Plan(seed).Msgnet()), msgnet.WithObserver(col))
 	if err != nil {
 		return Result{}, err
 	}
 	defer n.Close()
 	start := time.Now()
 	ops, timedOut := drive(sc, spec.FanIn(), n.IncCtx)
-	return auditResult(sc, "msgnet", spec.FanOut(), ops, timedOut, time.Since(start)), nil
+	res := auditResult(sc, "msgnet", spec.FanOut(), ops, timedOut, time.Since(start))
+	res.Telemetry = col.Snapshot()
+	return res, nil
 }
 
 // RunRuntime executes sc against a shared-memory compilation of spec, with
-// the plan's stall hook installed.
+// the plan's stall hook and a telemetry collector installed.
 func RunRuntime(spec *network.Network, sc Scenario, seed int64) (Result, error) {
 	n, err := runtime.Compile(spec)
 	if err != nil {
 		return Result{}, err
 	}
 	n.SetFaultHook(sc.Plan(seed).RuntimeHook())
+	col := telemetry.NewCollectorFor(spec)
+	n.SetObserver(col)
 	start := time.Now()
 	ops, timedOut := drive(sc, n.FanIn(), n.IncCtx)
-	return auditResult(sc, "runtime", n.FanOut(), ops, timedOut, time.Since(start)), nil
+	res := auditResult(sc, "runtime", n.FanOut(), ops, timedOut, time.Since(start))
+	res.Telemetry = col.Snapshot()
+	return res, nil
 }
 
 // Run executes sc on both substrates (or just msgnet when the scenario

@@ -45,9 +45,24 @@ import (
 // token is one increment request flowing through the channels. The id is
 // unique per network and exists for the benefit of fault tolerance: it
 // lets counters recognise a redelivered token and answer idempotently.
+// wire is the issuing caller's input wire, carried so that observers can
+// attribute balancer visits to the worker that launched the token.
 type token struct {
 	id    uint64
+	wire  int
 	reply chan int64
+}
+
+// Observer receives telemetry events from an instrumented network (the
+// telemetry package's Collector and Tracer satisfy it). Methods must be
+// safe for concurrent use: BalancerVisit is called from the balancer
+// actors, TokenEnter/TokenExit from the caller's goroutine. wire is the
+// caller-supplied input wire, un-reduced. Balancers here never retry a
+// CAS, so the interface omits the shared-memory substrate's CASRetry.
+type Observer interface {
+	TokenEnter(wire int)
+	BalancerVisit(wire, bal int)
+	TokenExit(wire, sink int, value int64, elapsed time.Duration)
 }
 
 // StepFault tells an instrumented actor what to do before one step. The
@@ -98,6 +113,12 @@ func WithFaults(f Faults) Option {
 	return func(n *Network) { n.faults = f }
 }
 
+// WithObserver installs a telemetry observer. A nil Observer leaves the
+// network unobserved; uninstrumented actors pay one nil check per step.
+func WithObserver(o Observer) Option {
+	return func(n *Network) { n.obs = o }
+}
+
 // Network is a running message-passing counting network. Create with
 // Start, use Inc/IncCtx concurrently, then Close once no increment is in
 // flight.
@@ -109,6 +130,7 @@ type Network struct {
 	closed bool
 	mu     sync.Mutex
 	faults Faults
+	obs    Observer
 	nextID atomic.Uint64
 }
 
@@ -229,6 +251,9 @@ func (n *Network) balancerActor(b int, inbox chan token, outs []chan token, st *
 	for {
 		select {
 		case tok := <-inbox:
+			if n.obs != nil {
+				n.obs.BalancerVisit(tok.wire, b)
+			}
 			var f StepFault
 			if n.faults != nil {
 				f = n.faults.BalancerStep(b, st.step)
@@ -352,7 +377,13 @@ func (n *Network) superviseCounter(j int, inbox chan token, st *ctrState, downti
 // has its value discarded (never handed to any caller), so completed
 // operations never see duplicates. Safe for concurrent use.
 func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
-	tok := token{id: n.nextID.Add(1), reply: make(chan int64, 1)}
+	obs := n.obs
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+		obs.TokenEnter(wire)
+	}
+	tok := token{id: n.nextID.Add(1), wire: wire, reply: make(chan int64, 1)}
 	select {
 	case n.inputs[wire%len(n.inputs)] <- tok:
 	case <-n.done:
@@ -362,6 +393,11 @@ func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
 	}
 	select {
 	case v := <-tok.reply:
+		if obs != nil {
+			// The sink identity is recoverable from the value: counter j
+			// hands out exactly the values ≡ j (mod w).
+			obs.TokenExit(wire, int(v)%n.spec.FanOut(), v, time.Since(t0))
+		}
 		return v, nil
 	case <-n.done:
 		return 0, fault.ErrClosed

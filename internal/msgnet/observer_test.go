@@ -1,0 +1,86 @@
+package msgnet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/construct"
+)
+
+// countingObserver tallies events; safe for concurrent use (balancer
+// actors call BalancerVisit from their own goroutines).
+type countingObserver struct {
+	enters, visits, exits atomic.Int64
+	badSink               atomic.Int64
+	fanOut                int
+}
+
+func (o *countingObserver) TokenEnter(wire int)       { o.enters.Add(1) }
+func (o *countingObserver) BalancerVisit(wire, b int) { o.visits.Add(1) }
+func (o *countingObserver) TokenExit(wire, sink int, v int64, d time.Duration) {
+	o.exits.Add(1)
+	if sink != int(v)%o.fanOut || d <= 0 {
+		o.badSink.Add(1)
+	}
+}
+
+// TestObserverEventCounts: one enter and one exit per completed increment,
+// one visit per layer, with the sink recovered from the value.
+func TestObserverEventCounts(t *testing.T) {
+	spec := construct.MustBitonic(4)
+	obs := &countingObserver{fanOut: spec.FanOut()}
+	n, err := Start(spec, 1, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 4, 50
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				if _, err := n.IncCtx(context.Background(), id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	n.Close()
+
+	total := int64(workers * per)
+	if obs.enters.Load() != total || obs.exits.Load() != total {
+		t.Errorf("enters=%d exits=%d, want %d each", obs.enters.Load(), obs.exits.Load(), total)
+	}
+	if got := obs.visits.Load(); got != total*int64(spec.Depth()) {
+		t.Errorf("visits = %d, want %d", got, total*int64(spec.Depth()))
+	}
+	if obs.badSink.Load() != 0 {
+		t.Errorf("%d exits with wrong sink attribution or non-positive latency", obs.badSink.Load())
+	}
+}
+
+// TestObserverAbandonedToken: a deadline-expired increment fires TokenEnter
+// but never TokenExit — completed-operations-only semantics.
+func TestObserverAbandonedToken(t *testing.T) {
+	spec := construct.MustBitonic(4)
+	obs := &countingObserver{fanOut: spec.FanOut()}
+	n, err := Start(spec, 0, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.IncCtx(ctx, 0); err == nil {
+		t.Fatal("cancelled IncCtx succeeded")
+	}
+	if obs.enters.Load() != 1 || obs.exits.Load() != 0 {
+		t.Errorf("enters=%d exits=%d after abandoned token, want 1 and 0", obs.enters.Load(), obs.exits.Load())
+	}
+}

@@ -1,0 +1,102 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/construct"
+)
+
+// countingObserver tallies events; safe for concurrent use.
+type countingObserver struct {
+	enters, visits, retries, exits atomic.Int64
+	lastElapsed                    atomic.Int64
+}
+
+func (o *countingObserver) TokenEnter(wire int)       { o.enters.Add(1) }
+func (o *countingObserver) BalancerVisit(wire, b int) { o.visits.Add(1) }
+func (o *countingObserver) CASRetry(wire, b int)      { o.retries.Add(1) }
+func (o *countingObserver) TokenExit(wire, sink int, v int64, d time.Duration) {
+	o.exits.Add(1)
+	o.lastElapsed.Store(int64(d))
+}
+
+// TestObserverEventCounts: every token fires one enter, one exit, and one
+// visit per layer of the uniform network, from Inc, IncCtx and IncCAS alike.
+func TestObserverEventCounts(t *testing.T) {
+	spec := construct.MustBitonic(4)
+	n := MustCompile(spec)
+	obs := &countingObserver{}
+	n.SetObserver(obs)
+
+	const workers, per = 4, 50
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				n.Inc(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	total := int64(workers * per)
+	if got := obs.enters.Load(); got != total {
+		t.Errorf("enters = %d, want %d", got, total)
+	}
+	if got := obs.exits.Load(); got != total {
+		t.Errorf("exits = %d, want %d", got, total)
+	}
+	if got := obs.visits.Load(); got != total*int64(spec.Depth()) {
+		t.Errorf("visits = %d, want %d", got, total*int64(spec.Depth()))
+	}
+	if obs.lastElapsed.Load() <= 0 {
+		t.Error("exit elapsed not positive")
+	}
+
+	// IncCAS fires the same events (plus retries under contention).
+	before := obs.enters.Load()
+	n.IncCAS(0)
+	if obs.enters.Load() != before+1 {
+		t.Error("IncCAS did not fire TokenEnter")
+	}
+}
+
+// TestObserverWithFaultHook: observer and fault hook compose on the same
+// instrumented traversal, and the values stay a correct count.
+func TestObserverWithFaultHook(t *testing.T) {
+	spec := construct.MustBitonic(4)
+	n := MustCompile(spec)
+	obs := &countingObserver{}
+	var hooks atomic.Int64
+	n.SetObserver(obs)
+	n.SetFaultHook(func(ctx context.Context, bal int) { hooks.Add(1) })
+
+	const total = 40
+	vals := make([]int64, total)
+	for i := range vals {
+		vals[i] = n.Inc(i)
+	}
+	if err := Verify(vals); err != nil {
+		t.Fatal(err)
+	}
+	if obs.exits.Load() != total {
+		t.Errorf("exits = %d, want %d", obs.exits.Load(), total)
+	}
+	if hooks.Load() != obs.visits.Load() {
+		t.Errorf("hook calls %d != observer visits %d", hooks.Load(), obs.visits.Load())
+	}
+}
+
+// TestIncFastPathNoAllocs pins the overhead budget: with no hook and no
+// observer attached, Inc must not allocate.
+func TestIncFastPathNoAllocs(t *testing.T) {
+	n := MustCompile(construct.MustBitonic(8))
+	if allocs := testing.AllocsPerRun(1000, func() { n.Inc(3) }); allocs != 0 {
+		t.Fatalf("uninstrumented Inc allocates %.1f objects per op, want 0", allocs)
+	}
+}

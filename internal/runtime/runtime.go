@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/network"
@@ -51,6 +52,27 @@ type CtxCounter interface {
 // context.Background() for plain Inc calls.
 type FaultHook func(ctx context.Context, bal int)
 
+// Observer receives telemetry events from an instrumented network (the
+// telemetry package's Collector and Tracer implement it). All methods must
+// be safe for concurrent use and should be fast: they run inline on the
+// traversal. wire is the caller-supplied input wire, un-reduced, so
+// observers can use it as the worker identity.
+//
+// Like FaultHook, the hook is zero-cost when absent: the uninstrumented
+// Inc fast path pays one well-predicted nil check and allocates nothing.
+type Observer interface {
+	// TokenEnter fires when a token enters the network on wire.
+	TokenEnter(wire int)
+	// BalancerVisit fires once per balancer the token visits, before the
+	// toggle.
+	BalancerVisit(wire, bal int)
+	// CASRetry fires once per failed compare-and-swap in IncCAS.
+	CASRetry(wire, bal int)
+	// TokenExit fires when the token obtains value at sink, elapsed after
+	// its TokenEnter.
+	TokenExit(wire, sink int, value int64, elapsed time.Duration)
+}
+
 // node is a compiled wiring target in flat form.
 type node struct {
 	// sink is ≥ 0 when the target is a counter; otherwise bal is the
@@ -78,6 +100,8 @@ type Network struct {
 	// hook, when non-nil, is consulted before every balancer transition.
 	// The fast path pays exactly one well-predicted nil check for it.
 	hook FaultHook
+	// obs, when non-nil, receives telemetry events (same cost model).
+	obs Observer
 }
 
 // paddedCounter keeps sink counters on separate cache lines; the whole
@@ -155,13 +179,18 @@ func (n *Network) Depth() int { return n.depth }
 // unchanged apart from one nil check.
 func (n *Network) SetFaultHook(h FaultHook) { n.hook = h }
 
+// SetObserver installs (or, with nil, removes) the telemetry observer,
+// under the same discipline as SetFaultHook: install before the network is
+// shared, or between quiescent phases.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
 // Inc traverses the network from the given input wire (reduced modulo the
 // fan-in, so callers may pass a worker id directly) and returns the
 // counter value obtained. Balancer steps use a single fetch-and-add each,
 // so every balancer transition is atomic, exactly matching the
 // instantaneous-step semantics of the model.
 func (n *Network) Inc(wire int) int64 {
-	if n.hook != nil {
+	if n.hook != nil || n.obs != nil {
 		// Instrumented path: hooks fire, but with no deadline the
 		// traversal always completes and the error is always nil.
 		v, _ := n.IncCtx(context.Background(), wire)
@@ -190,6 +219,12 @@ func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, fault.FromContext(err)
 	}
+	obs := n.obs
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+		obs.TokenEnter(wire)
+	}
 	at := n.inputs[wire%n.wIn]
 	first := true
 	for at.sink < 0 {
@@ -202,19 +237,35 @@ func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
 			}
 		}
 		first = false
+		if obs != nil {
+			obs.BalancerVisit(wire, at.bal)
+		}
 		b := &n.balancers[at.bal]
 		port := (b.state.Add(1) - 1) % b.fanOut
 		at = b.next[port]
 	}
-	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut), nil
+	v := n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+	if obs != nil {
+		obs.TokenExit(wire, at.sink, v, time.Since(t0))
+	}
+	return v, nil
 }
 
 // IncCAS is Inc with compare-and-swap balancer toggles instead of
 // fetch-and-add — the ablation DESIGN.md calls out. Under contention CAS
 // retries make balancers slower but the traversal is otherwise identical.
 func (n *Network) IncCAS(wire int) int64 {
+	obs := n.obs
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+		obs.TokenEnter(wire)
+	}
 	at := n.inputs[wire%n.wIn]
 	for at.sink < 0 {
+		if obs != nil {
+			obs.BalancerVisit(wire, at.bal)
+		}
 		b := &n.balancers[at.bal]
 		var port int64
 		for {
@@ -223,10 +274,17 @@ func (n *Network) IncCAS(wire int) int64 {
 				port = s % b.fanOut
 				break
 			}
+			if obs != nil {
+				obs.CASRetry(wire, at.bal)
+			}
 		}
 		at = b.next[port]
 	}
-	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+	v := n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+	if obs != nil {
+		obs.TokenExit(wire, at.sink, v, time.Since(t0))
+	}
+	return v
 }
 
 // Verify checks the values handed out by a quiesced run: together with the

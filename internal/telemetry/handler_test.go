@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+)
+
+// parseMetrics reads the Prometheus text exposition into a flat map keyed
+// by "name{labels}".
+func parseMetrics(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func testCollector() *Collector {
+	c := NewCollectorShards(3, 2, 2, 2)
+	for k := 0; k < 10; k++ {
+		c.TokenEnter(k % 2)
+		c.BalancerVisit(k%2, 0)
+		c.BalancerVisit(k%2, 2)
+		c.TokenExit(k%2, k%2, int64(k), time.Duration(100+k)*time.Nanosecond)
+	}
+	return c
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	mon := consistency.NewOnline()
+	mon.Report(0, 5, 1, 2)
+	mon.Report(0, 3, 3, 4) // per-process decrease: non-SC, non-lin
+	srv := httptest.NewServer(Handler(testCollector(), mon))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := parseMetrics(t, string(body))
+
+	want := map[string]float64{
+		"countingnet_tokens_total":                            10,
+		"countingnet_balancer_toggles_total{balancer=\"0\"}":  10,
+		"countingnet_balancer_toggles_total{balancer=\"1\"}":  0,
+		"countingnet_balancer_toggles_total{balancer=\"2\"}":  10,
+		"countingnet_wire_tokens_total{wire=\"0\"}":           5,
+		"countingnet_wire_tokens_total{wire=\"1\"}":           5,
+		"countingnet_inc_latency_seconds_count":               10,
+		"countingnet_inc_latency_seconds_bucket{le=\"+Inf\"}": 10,
+		"countingnet_ops_total":                               2,
+		"countingnet_nonsc_total":                             1,
+		"countingnet_nonlinearizable_total":                   1,
+		"countingnet_nonsc_fraction":                          0.5,
+	}
+	for k, v := range want {
+		if got, ok := m[k]; !ok || got != v {
+			t.Errorf("metric %s = %v (present=%v), want %v", k, got, ok, v)
+		}
+	}
+	// Histogram buckets must be cumulative and end at the count.
+	if m["countingnet_inc_latency_seconds_bucket{le=\"1.6e-08\"}"] != 0 {
+		t.Error("lowest bucket should be empty for ~100ns samples")
+	}
+	// All 10 samples are ≥ 100ns < 128ns.
+	if got := m["countingnet_inc_latency_seconds_bucket{le=\"1.28e-07\"}"]; got != 10 {
+		t.Errorf("128ns cumulative bucket = %v, want 10", got)
+	}
+}
+
+func TestHandlerJSONSnapshot(t *testing.T) {
+	srv := httptest.NewServer(Handler(testCollector(), consistency.NewOnline()))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/debug/countingnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body struct {
+		Telemetry   *Snapshot              `json:"telemetry"`
+		Consistency *consistency.Fractions `json:"consistency"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Telemetry == nil || body.Telemetry.Tokens != 10 {
+		t.Fatalf("JSON snapshot wrong: %+v", body.Telemetry)
+	}
+	if body.Consistency == nil || body.Consistency.Total != 0 {
+		t.Fatalf("JSON consistency wrong: %+v", body.Consistency)
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/":             200,
+		"/metrics":      200,
+		"/debug/pprof/": 200,
+		"/nope":         404,
+	} {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, res.StatusCode, want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/construct"
+	"repro/internal/msgnet"
+	"repro/internal/runtime"
+	"repro/internal/telemetry"
+)
+
+// TestRuntimeInstrumentedEndToEnd is the acceptance run: a compiled B(8)
+// under concurrent load with a Collector and a Tracer attached via one
+// Tee, ≥1000 tokens, with the exported Chrome trace replaying through the
+// consistency checkers with exactly the fractions of the tracer's own ops.
+func TestRuntimeInstrumentedEndToEnd(t *testing.T) {
+	const (
+		workers = 12
+		perWork = 100
+		total   = workers * perWork
+	)
+	spec := construct.MustBitonic(8)
+	net := runtime.MustCompile(spec)
+	col := telemetry.NewCollectorFor(spec)
+	tr := telemetry.NewTracer(telemetry.TracerConfig{Workers: workers, SampleHops: 8})
+	net.SetObserver(telemetry.Tee(col, tr))
+	mon := consistency.NewOnline()
+
+	w := runtime.Workload{Workers: workers, OpsPerWorker: perWork, Monitor: mon}
+	ops := w.Run(net)
+	if err := runtime.Verify(runtime.Values(ops)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collector: every token seen once, every layer crossed once per token
+	// (B(8) is uniform with depth 6), latency recorded for each.
+	s := col.Snapshot()
+	if s.Tokens != total {
+		t.Fatalf("collector tokens = %d, want %d", s.Tokens, total)
+	}
+	if want := uint64(total * spec.Depth()); s.TotalToggles() != want {
+		t.Fatalf("total toggles = %d, want %d (tokens × depth)", s.TotalToggles(), want)
+	}
+	if s.Latency.Count != total || s.Latency.Max <= 0 {
+		t.Fatalf("latency summary wrong: %+v", s.Latency)
+	}
+	var sinks uint64
+	for _, v := range s.SinkTokens {
+		sinks += v
+	}
+	if sinks != total {
+		t.Fatalf("sink tokens = %d, want %d", sinks, total)
+	}
+
+	// Live monitor and tracer saw the same operations.
+	if f := mon.Fractions(); f.Total != total {
+		t.Fatalf("monitor audited %d ops, want %d", f.Total, total)
+	}
+	if tr.Count() != total {
+		t.Fatalf("tracer recorded %d ops, want %d", tr.Count(), total)
+	}
+
+	// Chrome trace round-trip: same fractions as the tracer's direct ops.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := telemetry.ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != total {
+		t.Fatalf("parsed %d ops from trace, want %d", len(parsed), total)
+	}
+	direct, replay := consistency.Measure(tr.Ops()), consistency.Measure(parsed)
+	if direct != replay {
+		t.Fatalf("fractions drifted across export: direct %v, replayed %v", direct, replay)
+	}
+
+	// The traced values must be the complete 0..N-1 range, like the live run.
+	vals := make([]int64, len(parsed))
+	for i, op := range parsed {
+		vals[i] = op.Value
+	}
+	if err := runtime.Verify(vals); err != nil {
+		t.Fatalf("replayed trace fails the counting property: %v", err)
+	}
+}
+
+// TestMsgnetInstrumentedEndToEnd runs the same acceptance shape against
+// the message-passing substrate via WithObserver.
+func TestMsgnetInstrumentedEndToEnd(t *testing.T) {
+	const (
+		workers = 8
+		perWork = 50
+		total   = workers * perWork
+	)
+	spec := construct.MustBitonic(4)
+	col := telemetry.NewCollectorFor(spec)
+	tr := telemetry.NewTracer(telemetry.TracerConfig{Workers: workers})
+	net, err := msgnet.Start(spec, 1, msgnet.WithObserver(telemetry.Tee(col, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := runtime.Workload{Workers: workers, OpsPerWorker: perWork}
+	ops := w.Run(net)
+	net.Close()
+	if err := runtime.Verify(runtime.Values(ops)); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+	if s.Tokens != total {
+		t.Fatalf("collector tokens = %d, want %d", s.Tokens, total)
+	}
+	if want := uint64(total * spec.Depth()); s.TotalToggles() != want {
+		t.Fatalf("total toggles = %d, want %d", s.TotalToggles(), want)
+	}
+	if tr.Count() != total {
+		t.Fatalf("tracer recorded %d ops, want %d", tr.Count(), total)
+	}
+}

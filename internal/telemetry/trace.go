@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/consistency"
+)
+
+// Tracer records per-token traversal events — enter, sampled balancer
+// hops, exit — into per-worker buffers, and exports the result two ways:
+// Chrome trace-event JSON (WriteChrome; loadable in Perfetto or
+// chrome://tracing) and consistency.Op slices (Ops; replayable through the
+// existing consistency checkers).
+//
+// Events are bucketed by wire modulo the worker count, under the repo's
+// pinned-wire convention (worker i drives wire i, one operation in flight
+// per wire). A TokenEnter that arrives while the wire's previous operation
+// is still open replaces it: abandoned operations (deadline-expired msgnet
+// tokens) are dropped, matching the checkers' completed-operations-only
+// semantics.
+type Tracer struct {
+	cfg     TracerConfig
+	workers []*workerTrace
+	base    int64
+	now     func() int64 // injectable for deterministic tests
+}
+
+// TracerConfig shapes a Tracer.
+type TracerConfig struct {
+	// Workers is the number of per-worker buffers (wires are reduced
+	// modulo it).
+	Workers int
+	// SampleHops records every k-th balancer hop per worker; 0 disables
+	// hop events (enter/exit only), 1 records every hop.
+	SampleHops int
+	// MaxOpsPerWorker bounds each buffer; once full, further completed
+	// operations on that worker are dropped (counted in Dropped). 0 means
+	// unbounded.
+	MaxOpsPerWorker int
+}
+
+type tokenRec struct {
+	wire       int
+	index      int
+	start, end int64
+	value      int64
+	sink       int
+}
+
+type hopRec struct {
+	bal int
+	ts  int64
+}
+
+type workerTrace struct {
+	mu      sync.Mutex
+	open    bool
+	cur     tokenRec
+	done    []tokenRec
+	hops    []hopRec
+	visits  int // balancer hops seen, for sampling
+	next    int // next completed-operation index
+	dropped uint64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	t := &Tracer{cfg: cfg, now: func() int64 { return time.Now().UnixNano() }}
+	t.workers = make([]*workerTrace, cfg.Workers)
+	for i := range t.workers {
+		t.workers[i] = &workerTrace{}
+	}
+	t.base = t.now()
+	return t
+}
+
+func (t *Tracer) worker(wire int) *workerTrace {
+	return t.workers[uint(wire)%uint(len(t.workers))]
+}
+
+// TokenEnter implements Observer.
+func (t *Tracer) TokenEnter(wire int) {
+	ts := t.now()
+	w := t.worker(wire)
+	w.mu.Lock()
+	w.open = true
+	w.cur = tokenRec{wire: wire, start: ts}
+	w.mu.Unlock()
+}
+
+// BalancerVisit implements Observer.
+func (t *Tracer) BalancerVisit(wire, bal int) {
+	if t.cfg.SampleHops <= 0 {
+		return
+	}
+	ts := t.now()
+	w := t.worker(wire)
+	w.mu.Lock()
+	if w.open {
+		if w.visits%t.cfg.SampleHops == 0 {
+			w.hops = append(w.hops, hopRec{bal: bal, ts: ts})
+		}
+		w.visits++
+	}
+	w.mu.Unlock()
+}
+
+// CASRetry implements Observer (not traced).
+func (t *Tracer) CASRetry(wire, bal int) {}
+
+// TokenExit implements Observer.
+func (t *Tracer) TokenExit(wire, sink int, value int64, elapsed time.Duration) {
+	ts := t.now()
+	w := t.worker(wire)
+	w.mu.Lock()
+	if w.open {
+		w.open = false
+		if t.cfg.MaxOpsPerWorker > 0 && len(w.done) >= t.cfg.MaxOpsPerWorker {
+			w.dropped++
+		} else {
+			w.cur.end = ts
+			w.cur.value = value
+			w.cur.sink = sink
+			w.cur.index = w.next
+			w.next++
+			w.done = append(w.done, w.cur)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Count returns the number of completed operations recorded so far.
+func (t *Tracer) Count() int {
+	n := 0
+	for _, w := range t.workers {
+		w.mu.Lock()
+		n += len(w.done)
+		w.mu.Unlock()
+	}
+	return n
+}
+
+// Dropped returns the operations discarded by MaxOpsPerWorker.
+func (t *Tracer) Dropped() uint64 {
+	var n uint64
+	for _, w := range t.workers {
+		w.mu.Lock()
+		n += w.dropped
+		w.mu.Unlock()
+	}
+	return n
+}
+
+// Ops exports the completed operations in the consistency checkers' form:
+// the worker is the process, buffer order is the per-process issue order,
+// and the recorded wall-clock enter/exit stamps are the step positions —
+// exactly the convention of runtime.Audit.
+func (t *Tracer) Ops() []consistency.Op {
+	var out []consistency.Op
+	for id, w := range t.workers {
+		w.mu.Lock()
+		for _, r := range w.done {
+			out = append(out, consistency.Op{
+				Process:  id,
+				Index:    r.index,
+				Value:    r.value,
+				EnterSeq: r.start,
+				ExitSeq:  r.end,
+			})
+		}
+		w.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].EnterSeq < out[b].EnterSeq })
+	return out
+}
+
+// Chrome trace-event JSON shapes. Timestamps ("ts", "dur") are
+// microseconds rebased to the tracer's start, the unit the trace viewers
+// expect; args carry the exact rebased nanosecond stamps so a parsed trace
+// loses no precision.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name  string          `json:"name"`
+	Phase string          `json:"ph"`
+	Scope string          `json:"s,omitempty"`
+	PID   int             `json:"pid"`
+	TID   int             `json:"tid"`
+	TS    float64         `json:"ts"`
+	Dur   float64         `json:"dur,omitempty"`
+	Args  json.RawMessage `json:"args,omitempty"`
+}
+
+type chromeIncArgs struct {
+	Wire    int   `json:"wire"`
+	Index   int   `json:"index"`
+	Value   int64 `json:"value"`
+	Sink    int   `json:"sink"`
+	StartNS int64 `json:"startNS"`
+	EndNS   int64 `json:"endNS"`
+}
+
+type chromeHopArgs struct {
+	Balancer int   `json:"balancer"`
+	TSNS     int64 `json:"tsNS"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+// WriteChrome exports the recorded trace as Chrome trace-event JSON: one
+// complete ("X") event per operation on the worker's own tid, one instant
+// ("i") event per sampled balancer hop.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	meta, _ := json.Marshal(chromeMetaArgs{Name: "countingnet"})
+	out := chromeTrace{
+		DisplayTimeUnit: "ns",
+		TraceEvents: []chromeEvent{
+			{Name: "process_name", Phase: "M", PID: 0, Args: meta},
+		},
+	}
+	for id, wt := range t.workers {
+		wt.mu.Lock()
+		for _, r := range wt.done {
+			args, _ := json.Marshal(chromeIncArgs{
+				Wire:    r.wire,
+				Index:   r.index,
+				Value:   r.value,
+				Sink:    r.sink,
+				StartNS: r.start - t.base,
+				EndNS:   r.end - t.base,
+			})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  "inc",
+				Phase: "X",
+				PID:   0,
+				TID:   id,
+				TS:    float64(r.start-t.base) / 1e3,
+				Dur:   float64(r.end-r.start) / 1e3,
+				Args:  args,
+			})
+		}
+		for _, h := range wt.hops {
+			args, _ := json.Marshal(chromeHopArgs{Balancer: h.bal, TSNS: h.ts - t.base})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  fmt.Sprintf("balancer %d", h.bal),
+				Phase: "i",
+				Scope: "t",
+				PID:   0,
+				TID:   id,
+				TS:    float64(h.ts-t.base) / 1e3,
+				Args:  args,
+			})
+		}
+		wt.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ParseChromeTrace reads a trace written by WriteChrome back into
+// consistency.Op form. Stamps are the trace's rebased nanoseconds — a
+// uniform shift of the originals, so precedence (and therefore every
+// consistency fraction) is preserved exactly.
+func ParseChromeTrace(r io.Reader) ([]consistency.Op, error) {
+	var tr chromeTrace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("telemetry: parse chrome trace: %w", err)
+	}
+	var out []consistency.Op
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase != "X" || ev.Name != "inc" {
+			continue
+		}
+		var args chromeIncArgs
+		if err := json.Unmarshal(ev.Args, &args); err != nil {
+			return nil, fmt.Errorf("telemetry: parse inc event args: %w", err)
+		}
+		out = append(out, consistency.Op{
+			Process:  ev.TID,
+			Index:    args.Index,
+			Value:    args.Value,
+			EnterSeq: args.StartNS,
+			ExitSeq:  args.EndNS,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].EnterSeq < out[b].EnterSeq })
+	return out, nil
+}

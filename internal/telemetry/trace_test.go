@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+)
+
+// fakeClock installs a deterministic nanosecond clock on tr: the k-th call
+// returns base + k*step.
+func fakeClock(tr *Tracer, base, step int64) {
+	tick := base
+	tr.now = func() int64 {
+		tick += step
+		return tick
+	}
+	tr.base = base
+}
+
+// scriptedTrace drives a fixed little execution through a deterministic
+// tracer; the golden test and the round-trip test share it.
+func scriptedTrace() *Tracer {
+	tr := NewTracer(TracerConfig{Workers: 2, SampleHops: 1})
+	fakeClock(tr, 1_000, 250)
+	tr.TokenEnter(0)
+	tr.BalancerVisit(0, 0)
+	tr.BalancerVisit(0, 1)
+	tr.TokenExit(0, 1, 5, 0)
+	tr.TokenEnter(1)
+	tr.BalancerVisit(1, 2)
+	tr.TokenExit(1, 0, 2, 0)
+	tr.TokenEnter(0)
+	tr.BalancerVisit(0, 0)
+	tr.TokenExit(0, 0, 4, 0)
+	return tr
+}
+
+func TestTracerChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with UPDATE_GOLDEN=1 go test -run TestTracerChromeGolden ./internal/telemetry)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTracerChromeRoundTrip: export → parse must preserve every completed
+// operation and every consistency fraction exactly.
+func TestTracerChromeRoundTrip(t *testing.T) {
+	tr := scriptedTrace()
+	direct := tr.Ops()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(direct) {
+		t.Fatalf("parsed %d ops, tracer recorded %d", len(parsed), len(direct))
+	}
+	for i := range parsed {
+		p, d := parsed[i], direct[i]
+		if p.Process != d.Process || p.Index != d.Index || p.Value != d.Value {
+			t.Errorf("op %d: parsed %+v != direct %+v", i, p, d)
+		}
+		// Stamps are rebased by a uniform shift; spans must be identical.
+		if p.ExitSeq-p.EnterSeq != d.ExitSeq-d.EnterSeq {
+			t.Errorf("op %d: span changed: parsed %d, direct %d", i, p.ExitSeq-p.EnterSeq, d.ExitSeq-d.EnterSeq)
+		}
+	}
+	fp, fd := consistency.Measure(parsed), consistency.Measure(direct)
+	if fp != fd {
+		t.Errorf("fractions changed across round-trip: parsed %v, direct %v", fp, fd)
+	}
+}
+
+func TestTracerOps(t *testing.T) {
+	ops := scriptedTrace().Ops()
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	// Worker 0 issued values 5 then 4 — a per-process decrease the
+	// checkers must see through the exported ops.
+	if consistency.SequentiallyConsistent(ops) {
+		t.Error("scripted decrease at worker 0 not visible to the checker")
+	}
+	perWorker := map[int][]int{}
+	for _, op := range ops {
+		perWorker[op.Process] = append(perWorker[op.Process], op.Index)
+	}
+	if got := perWorker[0]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("worker 0 indices = %v, want [0 1]", got)
+	}
+}
+
+// TestTracerAbandonedOp: an enter with no exit (a deadline-abandoned
+// msgnet token) must not surface as a completed operation.
+func TestTracerAbandonedOp(t *testing.T) {
+	tr := NewTracer(TracerConfig{Workers: 1, SampleHops: 1})
+	fakeClock(tr, 0, 10)
+	tr.TokenEnter(0) // abandoned: no exit
+	tr.TokenEnter(0)
+	tr.TokenExit(0, 0, 1, 0)
+	if got := tr.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1 (abandoned op must be dropped)", got)
+	}
+	// An exit with no open op (stray duplicate) is ignored too.
+	tr.TokenExit(0, 0, 9, 0)
+	if got := tr.Count(); got != 1 {
+		t.Fatalf("count after stray exit = %d, want 1", got)
+	}
+}
+
+func TestTracerMaxOps(t *testing.T) {
+	tr := NewTracer(TracerConfig{Workers: 1, MaxOpsPerWorker: 2})
+	fakeClock(tr, 0, 10)
+	for i := 0; i < 5; i++ {
+		tr.TokenEnter(0)
+		tr.TokenExit(0, 0, int64(i), 0)
+	}
+	if tr.Count() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("count=%d dropped=%d, want 2 and 3", tr.Count(), tr.Dropped())
+	}
+}
+
+func TestTracerHopSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{Workers: 1, SampleHops: 3})
+	fakeClock(tr, 0, 10)
+	tr.TokenEnter(0)
+	for i := 0; i < 9; i++ {
+		tr.BalancerVisit(0, i)
+	}
+	tr.TokenExit(0, 0, 0, time.Nanosecond)
+	if got := len(tr.workers[0].hops); got != 3 {
+		t.Fatalf("sampled %d hops of 9 at rate 3, want 3", got)
+	}
+}
