@@ -26,9 +26,13 @@ bench:
 	$(GO) test -bench . -benchmem .
 
 # Machine-readable benchmark results (ns/op, B/op, allocs/op, paper
-# metrics) for diffing and plotting; see cmd/benchjson.
+# metrics) for diffing and plotting; see cmd/benchjson. Writes the full
+# suite and the throughput trajectory (counter variants × goroutine
+# counts) as separate files so perf PRs can diff the hot numbers alone.
 bench-json:
-	$(GO) run ./cmd/benchjson -time 100ms -o BENCH_runtime.json
+	$(GO) run ./cmd/benchjson -time 100ms \
+		-bench . -o BENCH_runtime.json \
+		-bench Throughput -o BENCH_throughput.json
 
 # The full paper-reproduction report; non-zero exit if any experiment fails.
 experiments:

@@ -10,6 +10,8 @@ package countingnet
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/consistency"
@@ -262,35 +264,115 @@ func BenchmarkBarrierApplication(b *testing.B) {
 	}
 }
 
-// BenchmarkThroughput — the AHS94-motivation comparison: counting networks
-// vs centralized counters under concurrency (b.RunParallel scales with
-// GOMAXPROCS; on a single-CPU host the centralized counters dominate, as
-// expected — see EXPERIMENTS.md).
-func BenchmarkThroughput(b *testing.B) {
-	counters := []struct {
-		name string
-		mk   func() runtime.Counter
-	}{
-		{"atomic", func() runtime.Counter { return new(runtime.AtomicCounter) }},
-		{"mutex", func() runtime.Counter { return new(runtime.MutexCounter) }},
-		{"queuelock", func() runtime.Counter { return new(runtime.QueueLockCounter) }},
-		{"combining-8", func() runtime.Counter { return runtime.NewCombiningTree(8) }},
-		{"bitonic-16", func() runtime.Counter { return runtime.MustCompile(construct.MustBitonic(16)) }},
-		{"periodic-16", func() runtime.Counter { return runtime.MustCompile(construct.MustPeriodic(16)) }},
-		{"tree-16", func() runtime.Counter { return runtime.MustCompile(construct.MustTree(16)) }},
+// The throughput family below is the AHS94-motivation comparison and the
+// perf trajectory every PR diffs against (BENCH_throughput.json, written
+// by `make bench-json`): every counter variant — counting networks under
+// FAA, CAS and batched traversal, and the centralized/combining baselines
+// — measured at fixed goroutine counts. ns/op is wall time per obtained
+// value aggregated across all goroutines, so lower is better and the
+// series across g exposes each structure's contention behaviour. On boxes
+// with few cores the centralized counters dominate, as the paper predicts;
+// the batch variant wins everywhere because it amortises the traversal.
+
+// tpWorker hands one goroutine its per-op increment function; separate
+// workers get separate closures so batch variants can keep local blocks.
+type tpWorker func() int64
+
+// tpCounter builds per-goroutine workers over one shared structure.
+type tpCounter interface {
+	worker(wire int) tpWorker
+}
+
+// incThroughput adapts any Counter: every op is one Inc.
+type incThroughput struct{ c runtime.Counter }
+
+func (a incThroughput) worker(wire int) tpWorker {
+	return func() int64 { return a.c.Inc(wire) }
+}
+
+// casThroughput is the CAS-toggle ablation of a compiled network.
+type casThroughput struct{ n *runtime.Network }
+
+func (a casThroughput) worker(wire int) tpWorker {
+	return func() int64 { return a.n.IncCAS(wire) }
+}
+
+// batchThroughput draws values through IncBatch in blocks of size block;
+// each worker consumes its own block before reserving the next, so one op
+// still yields exactly one value.
+type batchThroughput struct {
+	n     *runtime.Network
+	block int
+}
+
+func (a batchThroughput) worker(wire int) tpWorker {
+	var buf []int64
+	return func() int64 {
+		if len(buf) == 0 {
+			buf = runtime.ExpandRanges(buf[:0], a.n.IncBatch(wire, a.block))
+		}
+		v := buf[0]
+		buf = buf[1:]
+		return v
 	}
-	for _, tc := range counters {
-		b.Run(tc.name, func(b *testing.B) {
-			c := tc.mk()
-			var wires int64
-			b.RunParallel(func(pb *testing.PB) {
-				wire := int(wires) // racy wire assignment is fine: any wire works
-				wires++
-				for pb.Next() {
-					c.Inc(wire)
-				}
+}
+
+// benchThroughput runs b.N increments split across g goroutines.
+func benchThroughput(b *testing.B, c tpCounter, g int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	var sink atomic.Int64
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		ops := b.N / g
+		if w < b.N%g {
+			ops++
+		}
+		wg.Add(1)
+		go func(wire, ops int) {
+			defer wg.Done()
+			op := c.worker(wire)
+			var last int64
+			for i := 0; i < ops; i++ {
+				last = op()
+			}
+			sink.Store(last)
+		}(w, ops)
+	}
+	wg.Wait()
+}
+
+func BenchmarkThroughput(b *testing.B) {
+	bitonic := construct.MustBitonic(16)
+	periodic := construct.MustPeriodic(16)
+	variants := []struct {
+		name string
+		mk   func() tpCounter
+	}{
+		{"atomic", func() tpCounter { return incThroughput{new(runtime.AtomicCounter)} }},
+		{"mutex", func() tpCounter { return incThroughput{new(runtime.MutexCounter)} }},
+		{"queuelock", func() tpCounter { return incThroughput{new(runtime.QueueLockCounter)} }},
+		{"combining-8", func() tpCounter { return incThroughput{runtime.NewCombiningTree(8)} }},
+		{"diffracting-16", func() tpCounter {
+			t, err := runtime.NewDiffractingTree(16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return incThroughput{t}
+		}},
+		{"bitonic-16-faa", func() tpCounter { return incThroughput{runtime.MustCompile(bitonic)} }},
+		{"bitonic-16-cas", func() tpCounter { return casThroughput{runtime.MustCompile(bitonic)} }},
+		{"bitonic-16-batch256", func() tpCounter { return batchThroughput{runtime.MustCompile(bitonic), 256} }},
+		{"periodic-16-faa", func() tpCounter { return incThroughput{runtime.MustCompile(periodic)} }},
+		{"periodic-16-cas", func() tpCounter { return casThroughput{runtime.MustCompile(periodic)} }},
+		{"tree-16-faa", func() tpCounter { return incThroughput{runtime.MustCompile(construct.MustTree(16))} }},
+	}
+	for _, tc := range variants {
+		for _, g := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/g=%d", tc.name, g), func(b *testing.B) {
+				benchThroughput(b, tc.mk(), g)
 			})
-		})
+		}
 	}
 }
 

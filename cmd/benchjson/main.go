@@ -10,6 +10,13 @@
 //	benchjson                                # all benchmarks -> BENCH_runtime.json
 //	benchjson -bench IncOverhead -time 1s    # one family, longer runs
 //	benchjson -o - -time 10ms                # quick pass to stdout
+//
+// Repeated -bench/-o pairs run several filtered passes, each to its own
+// file — how `make bench-json` writes both the full suite and the
+// throughput trajectory in one invocation:
+//
+//	benchjson -bench . -o BENCH_runtime.json \
+//	          -bench Throughput -o BENCH_throughput.json
 package main
 
 import (
@@ -44,72 +51,121 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-func main() {
-	var (
-		bench = "."
-		btime = "100ms"
-		pkg   = "."
-		out   = "BENCH_runtime.json"
-	)
-	args := os.Args[1:]
+// runSpec is one filtered benchmark pass and its destination file.
+type runSpec struct {
+	Bench string // -bench regexp
+	Out   string // output path, "-" for stdout
+}
+
+// options is the parsed command line: global -time/-pkg plus one runSpec
+// per requested pass.
+type options struct {
+	BenchTime string
+	Pkg       string
+	Runs      []runSpec
+}
+
+const defaultOut = "BENCH_runtime.json"
+
+// parseArgs parses the command line. -time and -pkg are global; each -o
+// closes one pass over the most recent -bench pattern (default "."), so
+// repeated -bench/-o pairs express multiple passes. A trailing -bench
+// without -o (the classic single-run form) writes to the default file, as
+// does an empty command line.
+func parseArgs(args []string) (options, error) {
+	opts := options{BenchTime: "100ms", Pkg: "."}
+	bench := "."
+	benchPending := false
 	for i := 0; i < len(args); i++ {
-		next := func(flagName string) string {
+		next := func(flagName string) (string, error) {
 			i++
 			if i >= len(args) {
-				fmt.Fprintf(os.Stderr, "benchjson: %s needs a value\n", flagName)
-				os.Exit(2)
+				return "", fmt.Errorf("%s needs a value", flagName)
 			}
-			return args[i]
+			return args[i], nil
 		}
+		var err error
 		switch args[i] {
 		case "-bench":
-			bench = next("-bench")
+			if bench, err = next("-bench"); err != nil {
+				return opts, err
+			}
+			benchPending = true
 		case "-time":
-			btime = next("-time")
+			if opts.BenchTime, err = next("-time"); err != nil {
+				return opts, err
+			}
 		case "-pkg":
-			pkg = next("-pkg")
+			if opts.Pkg, err = next("-pkg"); err != nil {
+				return opts, err
+			}
 		case "-o":
-			out = next("-o")
+			var out string
+			if out, err = next("-o"); err != nil {
+				return opts, err
+			}
+			opts.Runs = append(opts.Runs, runSpec{Bench: bench, Out: out})
+			benchPending = false
 		default:
-			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q (want -bench, -time, -pkg, -o)\n", args[i])
-			os.Exit(2)
+			return opts, fmt.Errorf("unknown flag %q (want -bench, -time, -pkg, -o)", args[i])
 		}
 	}
+	if len(opts.Runs) == 0 || benchPending {
+		opts.Runs = append(opts.Runs, runSpec{Bench: bench, Out: defaultOut})
+	}
+	return opts, nil
+}
 
+func main() {
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	for _, run := range opts.Runs {
+		rep, err := runBench(run.Bench, opts.BenchTime, opts.Pkg)
+		if err != nil {
+			fatal(err)
+		}
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		enc = append(enc, '\n')
+		if run.Out == "-" {
+			os.Stdout.Write(enc)
+			continue
+		}
+		if err := os.WriteFile(run.Out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), run.Out)
+	}
+}
+
+// runBench runs one filtered `go test -bench` pass and parses its output.
+func runBench(bench, btime, pkg string) (*Report, error) {
 	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", bench,
 		"-benchmem", "-benchtime", btime, pkg)
 	cmd.Stderr = os.Stderr
 	pipe, err := cmd.StdoutPipe()
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		fatal(err)
+		return nil, err
 	}
 	// Echo the run while parsing it, so the usual benchmark table is still
 	// visible on stderr.
 	rep, perr := parseBench(io.TeeReader(pipe, os.Stderr))
 	if err := cmd.Wait(); err != nil {
-		fatal(fmt.Errorf("go test -bench: %w", err))
+		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
 	if perr != nil {
-		fatal(perr)
+		return nil, perr
 	}
 	rep.Date = time.Now().UTC().Format(time.RFC3339)
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), out)
+	return rep, nil
 }
 
 func fatal(err error) {

@@ -53,6 +53,80 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want options
+	}{
+		{
+			name: "default",
+			args: nil,
+			want: options{BenchTime: "100ms", Pkg: ".", Runs: []runSpec{{".", defaultOut}}},
+		},
+		{
+			name: "classic single bench without -o",
+			args: []string{"-bench", "IncOverhead", "-time", "1s"},
+			want: options{BenchTime: "1s", Pkg: ".", Runs: []runSpec{{"IncOverhead", defaultOut}}},
+		},
+		{
+			name: "stdout",
+			args: []string{"-o", "-", "-time", "10ms"},
+			want: options{BenchTime: "10ms", Pkg: ".", Runs: []runSpec{{".", "-"}}},
+		},
+		{
+			name: "two filtered passes",
+			args: []string{"-bench", ".", "-o", "BENCH_runtime.json", "-bench", "Throughput", "-o", "BENCH_throughput.json"},
+			want: options{BenchTime: "100ms", Pkg: ".", Runs: []runSpec{
+				{".", "BENCH_runtime.json"},
+				{"Throughput", "BENCH_throughput.json"},
+			}},
+		},
+		{
+			name: "pass plus trailing bench falls back to default file",
+			args: []string{"-o", "a.json", "-bench", "X", "-pkg", "./internal/runtime"},
+			want: options{BenchTime: "100ms", Pkg: "./internal/runtime", Runs: []runSpec{
+				{".", "a.json"},
+				{"X", defaultOut},
+			}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseArgs(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.BenchTime != tc.want.BenchTime || got.Pkg != tc.want.Pkg {
+				t.Errorf("globals = (%q, %q), want (%q, %q)", got.BenchTime, got.Pkg, tc.want.BenchTime, tc.want.Pkg)
+			}
+			if len(got.Runs) != len(tc.want.Runs) {
+				t.Fatalf("runs = %+v, want %+v", got.Runs, tc.want.Runs)
+			}
+			for i := range got.Runs {
+				if got.Runs[i] != tc.want.Runs[i] {
+					t.Errorf("run %d = %+v, want %+v", i, got.Runs[i], tc.want.Runs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-frobnicate"},
+		{"-bench"},
+		{"-o"},
+		{"-time"},
+		{"-pkg"},
+		{"-bench", "X", "-o"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%q) accepted, want error", args)
+		}
+	}
+}
+
 func TestParseBenchRejectsMalformed(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("BenchmarkBroken-8 notanumber 1 ns/op\n")); err == nil {
 		t.Error("malformed iteration count accepted")

@@ -35,6 +35,7 @@
 //	spec := countingnet.MustBitonic(8)        // build B(8)
 //	ctr := countingnet.MustCompile(spec)      // lock-free concurrent form
 //	v := ctr.Inc(myWire)                      // concurrent increments
+//	rs := ctr.IncBatch(myWire, 1024)          // 1024 ids, O(balancers) atomics
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-reproduction results.
@@ -239,6 +240,12 @@ type (
 	// CtxCounter is a Counter whose increments honour deadlines and
 	// cancellation (IncCtx).
 	CtxCounter = runtime.CtxCounter
+	// BatchCounter is a Counter that can reserve many values in one
+	// amortized operation (IncBatch); ConcurrentNetwork implements it.
+	BatchCounter = runtime.BatchCounter
+	// Range is an arithmetic progression of counter values handed out by
+	// one sink; IncBatch returns the k reserved values as O(width) Ranges.
+	Range = runtime.Range
 	// FaultHook observes and delays balancer transitions on a compiled
 	// network (fault injection; zero-cost when not installed).
 	FaultHook = runtime.FaultHook
@@ -273,6 +280,10 @@ var (
 	NewDiffractingTree = runtime.NewDiffractingTree
 	// VerifyValues checks gap-free duplicate-free values.
 	VerifyValues = runtime.Verify
+	// ExpandRanges flattens IncBatch ranges into concrete values;
+	// RangeTotal counts them without expanding.
+	ExpandRanges = runtime.ExpandRanges
+	RangeTotal   = runtime.RangeTotal
 	// AuditOps converts workload records for the consistency checkers.
 	AuditOps = runtime.Audit
 )

@@ -1,0 +1,7 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing guards skip under it (every memory access costs a shadow check).
+const raceEnabled = true

@@ -15,6 +15,9 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +48,13 @@ type CtxCounter interface {
 	IncCtx(ctx context.Context, wire int) (int64, error)
 }
 
+// BatchCounter is a Counter that can reserve many values in one amortized
+// operation; Network implements it.
+type BatchCounter interface {
+	Counter
+	IncBatch(wire, k int) []Range
+}
+
 // FaultHook observes — and, for fault injection, delays — balancer
 // transitions. It is called once per token arriving at balancer bal,
 // before the toggle fires. A hook that stalls should watch ctx so that
@@ -64,44 +74,105 @@ type Observer interface {
 	// TokenEnter fires when a token enters the network on wire.
 	TokenEnter(wire int)
 	// BalancerVisit fires once per balancer the token visits, before the
-	// toggle.
+	// toggle. On the batched path (IncBatch) it fires once per balancer
+	// the batch toggles — i.e. once per atomic operation, not once per
+	// token.
 	BalancerVisit(wire, bal int)
 	// CASRetry fires once per failed compare-and-swap in IncCAS.
 	CASRetry(wire, bal int)
 	// TokenExit fires when the token obtains value at sink, elapsed after
-	// its TokenEnter.
+	// its TokenEnter. On the batched path it fires once per sink the batch
+	// drew from, with the range's first value.
 	TokenExit(wire, sink int, value int64, elapsed time.Duration)
 }
 
-// node is a compiled wiring target in flat form.
-type node struct {
-	// sink is ≥ 0 when the target is a counter; otherwise bal is the
-	// balancer index.
-	sink int
-	bal  int
+// The compiled hot path is laid out for mechanical sympathy:
+//
+//   - Every balancer toggle lives on its own cache line (paddedToggle).
+//     Tokens from different balancers would otherwise false-share: a
+//     fetch-and-add on balancer b invalidates the line holding b±1's
+//     toggle too, reintroducing exactly the contention the network
+//     distributes away (the same reasoning as paddedCounter on sinks).
+//
+//   - All routing is one contiguous read-only []int32 (routes): words
+//     0..wIn-1 are the input wires' targets, then each balancer's output
+//     ports follow at meta[b].base. A word ≥ 0 is the next balancer's
+//     index; a word < 0 encodes sink j as ^j. The whole table for a
+//     B(16) fits in a handful of cache lines and is never written after
+//     Compile, so every core keeps it in Shared state.
+//
+//   - Port selection avoids the int64 division of `state % fanOut`: all
+//     the classical constructions (bitonic, periodic, trees) use
+//     power-of-two fan-outs, reduced with a bitmask; general fan-outs
+//     are strength-reduced to a multiply-high against a precomputed
+//     reciprocal (Granlund–Montgomery), see portOf.
+
+// paddedToggle is one balancer's fetch-and-add toggle, padded to a cache
+// line so adjacent balancers never false-share.
+type paddedToggle struct {
+	v atomic.Int64
+	_ [7]int64
 }
 
-// compiledBalancer is a lock-free balancer: a fetch-and-add toggle modulo
-// its fan-out.
-type compiledBalancer struct {
-	state  atomic.Int64
-	fanOut int64
-	// next[p] is the node fed by output port p.
-	next []node
+// balMeta is the read-only per-balancer routing metadata.
+type balMeta struct {
+	base int32 // index of this balancer's first output port in routes
+	// mask is fanOut-1 when fanOut is a power of two (the common case:
+	// every classical construction), else -1.
+	mask   int32
+	fanOut uint64
+	// magic is ⌊2^64/fanOut⌋, used to strength-reduce state % fanOut to a
+	// multiply-high when mask < 0.
+	magic uint64
+}
+
+// portOf reduces a toggle state (≥ 0) to an output port of m.
+func portOf(t int64, m *balMeta) int64 {
+	if m.mask >= 0 {
+		return t & int64(m.mask)
+	}
+	// q = ⌊t·⌊2^64/f⌋ / 2^64⌋ is ⌊t/f⌋ or ⌊t/f⌋-1, so one conditional
+	// subtract corrects the remainder — no division in sight.
+	q, _ := bits.Mul64(uint64(t), m.magic)
+	r := uint64(t) - q*m.fanOut
+	if r >= m.fanOut {
+		r -= m.fanOut
+	}
+	return int64(r)
+}
+
+// reduceWire maps an arbitrary caller wire id (worker ids, possibly
+// negative) onto 0..wIn-1. Unlike Go's %, the result is never negative.
+func reduceWire(wire, wIn int) int {
+	w := wire % wIn
+	if w < 0 {
+		w += wIn
+	}
+	return w
 }
 
 // Network is a compiled, concurrently traversable counting network.
 type Network struct {
 	wIn, wOut int
-	balancers []compiledBalancer
-	inputs    []node
-	counters  []paddedCounter
-	depth     int
+	toggles   []paddedToggle
+	meta      []balMeta
+	// routes is the packed routing table: routes[0:wIn] are the input
+	// wires' targets, balancer b's ports start at meta[b].base. Words ≥ 0
+	// name the next balancer; words < 0 encode sink j as ^j.
+	routes   []int32
+	counters []paddedCounter
+	// topo lists balancer indices in topological (layer) order; IncBatch
+	// propagates token counts along it.
+	topo  []int32
+	depth int
 	// hook, when non-nil, is consulted before every balancer transition.
 	// The fast path pays exactly one well-predicted nil check for it.
 	hook FaultHook
 	// obs, when non-nil, receives telemetry events (same cost model).
 	obs Observer
+	// batchScratch recycles IncBatch's per-call count buffers so batch
+	// allocations stay O(width), independent of both k and call count.
+	batchScratch sync.Pool
 }
 
 // paddedCounter keeps sink counters on separate cache lines; the whole
@@ -114,43 +185,73 @@ type paddedCounter struct {
 
 // Compile flattens a network.Network into its concurrent form.
 func Compile(spec *network.Network) (*Network, error) {
+	nb := spec.Size()
 	n := &Network{
-		wIn:       spec.FanIn(),
-		wOut:      spec.FanOut(),
-		balancers: make([]compiledBalancer, spec.Size()),
-		inputs:    make([]node, spec.FanIn()),
-		counters:  make([]paddedCounter, spec.FanOut()),
-		depth:     spec.Depth(),
+		wIn:      spec.FanIn(),
+		wOut:     spec.FanOut(),
+		toggles:  make([]paddedToggle, nb),
+		meta:     make([]balMeta, nb),
+		counters: make([]paddedCounter, spec.FanOut()),
+		topo:     make([]int32, nb),
+		depth:    spec.Depth(),
 	}
-	conv := func(e network.Endpoint) (node, error) {
+	conv := func(e network.Endpoint) (int32, error) {
 		switch e.Kind {
 		case network.KindSink:
-			return node{sink: e.Index, bal: -1}, nil
+			return ^int32(e.Index), nil
 		case network.KindBalancer:
-			return node{sink: -1, bal: e.Index}, nil
+			return int32(e.Index), nil
 		default:
-			return node{}, fmt.Errorf("runtime: cannot compile wire into %v", e)
+			return 0, fmt.Errorf("runtime: cannot compile wire into %v", e)
 		}
 	}
-	var err error
+	ports := 0
+	for b := 0; b < nb; b++ {
+		ports += spec.Balancer(b).FanOut
+	}
+	n.routes = make([]int32, 0, spec.FanIn()+ports)
 	for i := 0; i < spec.FanIn(); i++ {
-		if n.inputs[i], err = conv(spec.InputTarget(i)); err != nil {
+		w, err := conv(spec.InputTarget(i))
+		if err != nil {
 			return nil, err
 		}
+		n.routes = append(n.routes, w)
 	}
-	for b := 0; b < spec.Size(); b++ {
-		bs := spec.Balancer(b)
-		cb := &n.balancers[b]
-		cb.fanOut = int64(bs.FanOut)
-		cb.next = make([]node, bs.FanOut)
-		for p := 0; p < bs.FanOut; p++ {
-			if cb.next[p], err = conv(spec.OutputTarget(b, p)); err != nil {
+	for b := 0; b < nb; b++ {
+		f := spec.Balancer(b).FanOut
+		m := &n.meta[b]
+		m.base = int32(len(n.routes))
+		m.fanOut = uint64(f)
+		if f&(f-1) == 0 {
+			m.mask = int32(f - 1)
+		} else {
+			m.mask = -1
+			m.magic = math.MaxUint64 / uint64(f)
+		}
+		for p := 0; p < f; p++ {
+			w, err := conv(spec.OutputTarget(b, p))
+			if err != nil {
 				return nil, err
 			}
+			n.routes = append(n.routes, w)
 		}
 	}
+	// Balancer depth strictly increases along every wire, so sorting by
+	// depth is a topological order of the DAG.
+	for b := range n.topo {
+		n.topo[b] = int32(b)
+	}
+	sort.SliceStable(n.topo, func(a, b int) bool {
+		return spec.BalancerDepth(int(n.topo[a])) < spec.BalancerDepth(int(n.topo[b]))
+	})
 	for j := range n.counters {
 		n.counters[j].v.Store(int64(j))
+	}
+	n.batchScratch.New = func() any {
+		return &batchCounts{
+			pending: make([]int64, nb),
+			sinks:   make([]int64, spec.FanOut()),
+		}
 	}
 	return n, nil
 }
@@ -173,6 +274,9 @@ func (n *Network) FanOut() int { return n.wOut }
 // Depth returns the network depth d(G).
 func (n *Network) Depth() int { return n.depth }
 
+// Size returns the number of balancers.
+func (n *Network) Size() int { return len(n.meta) }
+
 // SetFaultHook installs (or, with nil, removes) the per-balancer fault
 // hook. It must not race with traversals: install before the network is
 // shared, or between quiescent phases. Uninstrumented traversals are
@@ -185,10 +289,10 @@ func (n *Network) SetFaultHook(h FaultHook) { n.hook = h }
 func (n *Network) SetObserver(o Observer) { n.obs = o }
 
 // Inc traverses the network from the given input wire (reduced modulo the
-// fan-in, so callers may pass a worker id directly) and returns the
-// counter value obtained. Balancer steps use a single fetch-and-add each,
-// so every balancer transition is atomic, exactly matching the
-// instantaneous-step semantics of the model.
+// fan-in, so callers may pass a worker id — even a negative one —
+// directly) and returns the counter value obtained. Balancer steps use a
+// single fetch-and-add each, so every balancer transition is atomic,
+// exactly matching the instantaneous-step semantics of the model.
 func (n *Network) Inc(wire int) int64 {
 	if n.hook != nil || n.obs != nil {
 		// Instrumented path: hooks fire, but with no deadline the
@@ -196,13 +300,13 @@ func (n *Network) Inc(wire int) int64 {
 		v, _ := n.IncCtx(context.Background(), wire)
 		return v
 	}
-	at := n.inputs[wire%n.wIn]
-	for at.sink < 0 {
-		b := &n.balancers[at.bal]
-		port := (b.state.Add(1) - 1) % b.fanOut
-		at = b.next[port]
+	at := n.routes[reduceWire(wire, n.wIn)]
+	for at >= 0 {
+		m := &n.meta[at]
+		t := n.toggles[at].v.Add(1) - 1
+		at = n.routes[int(m.base)+int(portOf(t, m))]
 	}
-	return n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+	return n.counters[^at].v.Add(int64(n.wOut)) - int64(n.wOut)
 }
 
 // IncCtx is Inc with deadline/cancellation support. The deadline is
@@ -225,11 +329,11 @@ func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
 		t0 = time.Now()
 		obs.TokenEnter(wire)
 	}
-	at := n.inputs[wire%n.wIn]
+	at := n.routes[reduceWire(wire, n.wIn)]
 	first := true
-	for at.sink < 0 {
+	for at >= 0 {
 		if n.hook != nil {
-			n.hook(ctx, at.bal)
+			n.hook(ctx, int(at))
 			if first {
 				if err := ctx.Err(); err != nil {
 					return 0, fault.FromContext(err)
@@ -238,15 +342,16 @@ func (n *Network) IncCtx(ctx context.Context, wire int) (int64, error) {
 		}
 		first = false
 		if obs != nil {
-			obs.BalancerVisit(wire, at.bal)
+			obs.BalancerVisit(wire, int(at))
 		}
-		b := &n.balancers[at.bal]
-		port := (b.state.Add(1) - 1) % b.fanOut
-		at = b.next[port]
+		m := &n.meta[at]
+		t := n.toggles[at].v.Add(1) - 1
+		at = n.routes[int(m.base)+int(portOf(t, m))]
 	}
-	v := n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+	sink := int(^at)
+	v := n.counters[sink].v.Add(int64(n.wOut)) - int64(n.wOut)
 	if obs != nil {
-		obs.TokenExit(wire, at.sink, v, time.Since(t0))
+		obs.TokenExit(wire, sink, v, time.Since(t0))
 	}
 	return v, nil
 }
@@ -261,28 +366,30 @@ func (n *Network) IncCAS(wire int) int64 {
 		t0 = time.Now()
 		obs.TokenEnter(wire)
 	}
-	at := n.inputs[wire%n.wIn]
-	for at.sink < 0 {
+	at := n.routes[reduceWire(wire, n.wIn)]
+	for at >= 0 {
 		if obs != nil {
-			obs.BalancerVisit(wire, at.bal)
+			obs.BalancerVisit(wire, int(at))
 		}
-		b := &n.balancers[at.bal]
-		var port int64
+		m := &n.meta[at]
+		tg := &n.toggles[at].v
+		var t int64
 		for {
-			s := b.state.Load()
-			if b.state.CompareAndSwap(s, s+1) {
-				port = s % b.fanOut
+			s := tg.Load()
+			if tg.CompareAndSwap(s, s+1) {
+				t = s
 				break
 			}
 			if obs != nil {
-				obs.CASRetry(wire, at.bal)
+				obs.CASRetry(wire, int(at))
 			}
 		}
-		at = b.next[port]
+		at = n.routes[int(m.base)+int(portOf(t, m))]
 	}
-	v := n.counters[at.sink].v.Add(int64(n.wOut)) - int64(n.wOut)
+	sink := int(^at)
+	v := n.counters[sink].v.Add(int64(n.wOut)) - int64(n.wOut)
 	if obs != nil {
-		obs.TokenExit(wire, at.sink, v, time.Since(t0))
+		obs.TokenExit(wire, sink, v, time.Since(t0))
 	}
 	return v
 }
