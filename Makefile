@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json chaos countmon experiments examples lint clean
+.PHONY: all build test race cover bench bench-json chaos countmon countd netsmoke experiments examples lint clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./cmd/countd/ ./cmd/countload/
 
 # Reproducible fault-injection run: same seed, same fault schedule.
 chaos:
@@ -46,10 +46,23 @@ examples:
 	$(GO) run ./examples/linearizable
 	$(GO) run ./examples/monitor
 	$(GO) run ./examples/chaos
+	$(GO) run ./examples/netcounter
 
 # Live telemetry demo: run for 5s, print the report, leave no server behind.
 countmon:
 	$(GO) run ./cmd/countmon -w 8 -duration 5s
+
+# Serve a counting network over the wire protocol until interrupted.
+countd:
+	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9701 -telemetry 127.0.0.1:8080
+
+# Loopback end-to-end smoke: countd for 4s, countload against it for 2s,
+# load-test JSON merged into BENCH_throughput.json. Mirrors the CI job.
+netsmoke:
+	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9701 -duration 4s & \
+	sleep 1 && \
+	$(GO) run ./cmd/countload -addr 127.0.0.1:9701 -g 4 -duration 2s -json BENCH_throughput.json && \
+	wait
 
 lint:
 	$(GO) vet ./...

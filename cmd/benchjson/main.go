@@ -5,6 +5,13 @@
 // custom metric the suite reports through b.ReportMetric (depths, split
 // numbers, F_nl/F_nsc fractions, ...).
 //
+// When the output file already holds a benchmark report, the new rows are
+// merged into it: re-run benchmarks are replaced with fresh numbers,
+// benchmarks the pass did not touch are kept. One file can therefore
+// accumulate groups from several sources — `benchjson -bench Throughput`
+// and a `countload -json` run land in the same BENCH_throughput.json
+// without clobbering each other.
+//
 // Usage:
 //
 //	benchjson                                # all benchmarks -> BENCH_runtime.json
@@ -20,36 +27,21 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"strconv"
-	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"nsPerOp"`
-	BytesPerOp  *float64           `json:"bytesPerOp,omitempty"`
-	AllocsPerOp *float64           `json:"allocsPerOp,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the whole run: environment header plus every benchmark.
-type Report struct {
-	Date       string   `json:"date"`
-	GoOS       string   `json:"goos,omitempty"`
-	GoArch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
+// Result and Report alias the shared schema (kept for the test suite and
+// any external importers of this command's source).
+type (
+	Result = benchfmt.Result
+	Report = benchfmt.Report
+)
 
 // runSpec is one filtered benchmark pass and its destination file.
 type runSpec struct {
@@ -127,19 +119,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		enc, err := json.MarshalIndent(rep, "", "  ")
+		if run.Out == "-" {
+			if err := benchfmt.Write("-", rep); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		merged, err := benchfmt.Load(run.Out)
 		if err != nil {
 			fatal(err)
 		}
-		enc = append(enc, '\n')
-		if run.Out == "-" {
-			os.Stdout.Write(enc)
-			continue
-		}
-		if err := os.WriteFile(run.Out, enc, 0o644); err != nil {
+		kept := len(merged.Benchmarks)
+		benchfmt.Merge(merged, rep)
+		if err := benchfmt.Write(run.Out, merged); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), run.Out)
+		if kept > 0 {
+			fmt.Printf("benchjson: %d benchmarks merged into %s (%d total)\n",
+				len(rep.Benchmarks), run.Out, len(merged.Benchmarks))
+		} else {
+			fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), run.Out)
+		}
 	}
 }
 
@@ -173,83 +173,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// parseBench reads `go test -bench` output and returns the structured
-// report (environment header + one Result per benchmark line).
-func parseBench(r io.Reader) (*Report, error) {
-	rep := &Report{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			res, ok := parseLine(line)
-			if !ok {
-				return nil, fmt.Errorf("malformed benchmark line: %q", line)
-			}
-			rep.Benchmarks = append(rep.Benchmarks, res)
-		}
-	}
-	return rep, sc.Err()
-}
+// parseBench and trimProcSuffix delegate to the shared parser; the thin
+// names keep this command's test suite and muscle memory working.
+func parseBench(r io.Reader) (*Report, error) { return benchfmt.Parse(r) }
 
-// parseLine parses one benchmark result line of the form
-//
-//	BenchmarkName-8  1234  107.5 ns/op  0 B/op  0 allocs/op  6.000 depth
-//
-// i.e. a name, an iteration count, then (value, unit) pairs. Unknown units
-// land in Metrics under their unit name.
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	res := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			res.NsPerOp = val
-		case "B/op":
-			v := val
-			res.BytesPerOp = &v
-		case "allocs/op":
-			v := val
-			res.AllocsPerOp = &v
-		default:
-			if res.Metrics == nil {
-				res.Metrics = map[string]float64{}
-			}
-			res.Metrics[unit] = val
-		}
-	}
-	return res, true
-}
-
-// trimProcSuffix drops the trailing -GOMAXPROCS marker go test appends to
-// benchmark names ("BenchmarkX/sub-8" -> "BenchmarkX/sub").
-func trimProcSuffix(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
-}
+func trimProcSuffix(name string) string { return benchfmt.TrimProcSuffix(name) }

@@ -33,6 +33,7 @@ func main() {
 		scenario  = flag.String("scenario", "all", "scenario name or comma list (or 'all'); see -list")
 		scale     = flag.Duration("scale", time.Millisecond, "base fault duration (stalls/latency scale with it)")
 		failover  = flag.Bool("failover", true, "also run the ResilientCounter failover drill")
+		netDrill  = flag.Bool("net", true, "also run the loopback network-service drill with frame faults")
 		telemetry = flag.Bool("telemetry", true, "print each run's telemetry snapshot (toggles, latency quantiles)")
 		list      = flag.Bool("list", false, "list scenario names and exit")
 	)
@@ -96,6 +97,22 @@ func main() {
 			rep.PrimaryServed, rep.BackupServed, rep.Base, rep.Errors)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: failover drill: %v\n", err)
+			failed = true
+		}
+	}
+
+	if *netDrill {
+		plan := &countingnet.FaultPlan{
+			Seed:         *seed,
+			NetDropProb:  0.05,
+			NetDupProb:   0.05,
+			NetDelayProb: 0.2,
+			NetDelayMax:  *scale,
+		}
+		rep, err := countingnet.RunNetDrill(spec, plan, 8, 40)
+		fmt.Printf("\n%s\n", rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: net drill: %v\n", err)
 			failed = true
 		}
 	}

@@ -1,0 +1,160 @@
+// Command countd serves a compiled counting network over the wire
+// protocol — the daemon form of the repository. It compiles a network,
+// wraps it in the coalescing server (internal/server), and listens on
+// TCP for framed Inc/IncBatch/Read/Snapshot requests, each carrying its
+// own SC|LIN consistency mode. Concurrent SC increments from different
+// connections are folded into single IncBatch FAA sweeps; LIN increments
+// serialize through the network one traversal at a time.
+//
+// Endpoints:
+//
+//	-listen  TCP service address (the wire protocol; countload/client.Dial)
+//	-udp     optional UDP datagram endpoint: fire-and-forget SC increments
+//	-telemetry  optional HTTP address serving /metrics (balancer toggles,
+//	            per-mode latency histograms, coalescing factor, queue
+//	            high-water marks), /debug/countingnet and pprof
+//
+// With -duration 0 countd serves until interrupted (SIGINT drains in
+// flight requests and closes connections cleanly); a positive -duration
+// runs that long and exits, which is how the CI smoke job uses it.
+//
+// Usage:
+//
+//	countd -net bitonic -w 8 -listen :9701 -telemetry :8080
+//	countd -w 16 -mode lin -listen 127.0.0.1:9701   # linearizable by default
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	countingnet "repro"
+)
+
+type options struct {
+	kind     string        // network construction: bitonic, periodic or tree
+	width    int           // network fan (power of two)
+	listen   string        // TCP service address
+	udp      string        // UDP datagram address ("" disables)
+	telem    string        // telemetry HTTP address ("" disables)
+	mode     string        // default consistency: sc (coalesce) or lin (serialize all)
+	mailbox  int           // SC mailbox depth (0: server default)
+	batch    int           // combiner batch limit (0: server default)
+	opTime   time.Duration // per-request mailbox deadline (0: none)
+	duration time.Duration // run length (0: serve until interrupted)
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.kind, "net", "bitonic", "network: bitonic, periodic or tree")
+	flag.IntVar(&o.width, "w", 8, "network fan (power of two)")
+	flag.StringVar(&o.listen, "listen", ":9701", "TCP service address")
+	flag.StringVar(&o.udp, "udp", "", "UDP datagram address for fire-and-forget SC increments (empty: off)")
+	flag.StringVar(&o.telem, "telemetry", "", "HTTP telemetry address (empty: off)")
+	flag.StringVar(&o.mode, "mode", "sc", "default consistency: sc coalesces, lin serializes every increment")
+	flag.IntVar(&o.mailbox, "mailbox", 0, "SC request mailbox depth (0: default)")
+	flag.IntVar(&o.batch, "batch", 0, "combiner batch limit (0: default)")
+	flag.DurationVar(&o.opTime, "optimeout", 0, "fail requests queued longer than this (0: never)")
+	flag.DurationVar(&o.duration, "duration", 0, "run length (0: serve until interrupted)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "countd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSpec constructs the requested network specification.
+func buildSpec(kind string, width int) (*countingnet.Network, error) {
+	switch kind {
+	case "bitonic":
+		spec, _, err := countingnet.Bitonic(width)
+		return spec, err
+	case "periodic":
+		spec, _, err := countingnet.Periodic(width, countingnet.BlockTopBottom)
+		return spec, err
+	case "tree":
+		return countingnet.Tree(width)
+	default:
+		return nil, fmt.Errorf("unknown network %q (want bitonic, periodic or tree)", kind)
+	}
+}
+
+// run builds the network, starts the serving endpoints and blocks until
+// ctx is done or o.duration elapses, then drains and reports. Split from
+// main so tests drive the whole daemon in-process.
+func run(ctx context.Context, o options, out io.Writer) error {
+	spec, err := buildSpec(o.kind, o.width)
+	if err != nil {
+		return err
+	}
+	mode, err := countingnet.ParseConsistencyMode(o.mode)
+	if err != nil {
+		return err
+	}
+	ctr, err := countingnet.Compile(spec)
+	if err != nil {
+		return err
+	}
+
+	// Balancer-level telemetry feeds the same /metrics surface countmon
+	// serves; the server's own stats ride along as an extra section.
+	col := countingnet.NewTelemetryCollectorFor(spec)
+	ctr.SetObserver(col)
+	stats := countingnet.NewServerStats(0)
+	srv := countingnet.NewServer(ctr, countingnet.ServerOptions{
+		Mailbox:    o.mailbox,
+		BatchLimit: o.batch,
+		OpTimeout:  o.opTime,
+		Stats:      stats,
+		ForceLIN:   mode == countingnet.ModeLIN,
+	})
+	defer srv.Close()
+
+	addr, err := srv.Listen(o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "countd: %s width %d, mode %s, serving %s\n", o.kind, o.width, o.mode, addr)
+	if o.udp != "" {
+		ua, err := srv.ListenPacket(o.udp)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "countd: udp endpoint %s (fire-and-forget SC)\n", ua)
+	}
+	if o.telem != "" {
+		ln, err := net.Listen("tcp", o.telem)
+		if err != nil {
+			return err
+		}
+		hsrv := &http.Server{Handler: countingnet.TelemetryHandler(col, nil, stats.AppendMetrics)}
+		defer hsrv.Close()
+		go hsrv.Serve(ln)
+		fmt.Fprintf(out, "countd: telemetry http://%s/metrics\n", ln.Addr())
+	}
+
+	if o.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.duration)
+		defer cancel()
+	}
+	<-ctx.Done()
+
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	snap := stats.Snapshot()
+	fmt.Fprintf(out, "countd: drained; issued %d (sc %d, lin %d), %d conns, coalescing factor %.1f\n",
+		srv.Issued(), snap.SCOps, snap.LINOps, snap.ConnsTotal, snap.CoalescingFactor())
+	return nil
+}

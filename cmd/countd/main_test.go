@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// syncBuffer lets the test read countd's streamed output while run is
+// still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var servingRe = regexp.MustCompile(`serving ([0-9.]+:\d+)`)
+var telemRe = regexp.MustCompile(`telemetry http://([0-9.]+:\d+)/metrics`)
+
+// startDaemon runs the daemon in-process on ephemeral ports and waits for
+// its service address to appear in the output.
+func startDaemon(t *testing.T, o options) (*syncBuffer, string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, out) }()
+	t.Cleanup(cancel)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			return out, m[1], cancel, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("countd exited before serving: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("countd never reported a serving address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd boots countd in-process, drives it with a remote
+// client, scrapes the telemetry endpoint, and checks the drain report.
+func TestDaemonEndToEnd(t *testing.T) {
+	out, addr, cancel, done := startDaemon(t, options{
+		kind: "bitonic", width: 8,
+		listen: "127.0.0.1:0", telem: "127.0.0.1:0", mode: "sc",
+	})
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 20; i++ {
+		v := c.Inc(i)
+		if v < 0 || seen[v] {
+			t.Fatalf("op %d: value %v (negative or duplicate)", i, v)
+		}
+		seen[v] = true
+	}
+	c.Close()
+
+	m := telemRe.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no telemetry address in output:\n%s", out.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	metrics := string(body[:n])
+	for _, want := range []string{"countd_sc_ops_total", "countingnet_tokens_total", "countd_sweeps_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := out.String(); !strings.Contains(got, "drained; issued 20") {
+		t.Errorf("drain report missing issued count:\n%s", got)
+	}
+}
+
+// TestDaemonForceLIN checks -mode lin serializes even SC-requested
+// increments: the drain report must count them as LIN ops.
+func TestDaemonForceLIN(t *testing.T) {
+	out, addr, cancel, done := startDaemon(t, options{
+		kind: "bitonic", width: 4, listen: "127.0.0.1:0", mode: "lin",
+	})
+	c, err := client.Dial(addr, client.Options{Mode: wire.ModeSC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if v := c.Inc(0); v != int64(i) {
+			t.Fatalf("LIN-forced Inc %d = %d, want sequential", i, v)
+		}
+	}
+	c.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "lin 10") || !strings.Contains(got, "sc 0,") {
+		t.Errorf("forced-LIN daemon should report 10 lin ops, 0 sc:\n%s", got)
+	}
+}
+
+func TestDaemonDuration(t *testing.T) {
+	out := &syncBuffer{}
+	err := run(context.Background(), options{
+		kind: "tree", width: 4, listen: "127.0.0.1:0", mode: "sc",
+		duration: 100 * time.Millisecond,
+	}, out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("no drain report after -duration elapsed:\n%s", out.String())
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	for _, o := range []options{
+		{kind: "moebius", width: 4, listen: "127.0.0.1:0", mode: "sc"},
+		{kind: "bitonic", width: 4, listen: "127.0.0.1:0", mode: "eventually"},
+		{kind: "bitonic", width: 3, listen: "127.0.0.1:0", mode: "sc"},
+	} {
+		if err := run(context.Background(), o, &syncBuffer{}); err == nil {
+			t.Errorf("run(%+v) accepted bad configuration", o)
+		}
+	}
+}

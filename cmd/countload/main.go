@@ -1,0 +1,235 @@
+// Command countload drives a running countd with concurrent remote
+// clients and reports what the service sustained: ops/s, p50/p95/p99
+// latency, errors, and — because the values a counting network hands out
+// are auditable — a uniqueness check over every value observed. It is
+// the serving-layer analogue of cmd/countbench: same reporting shape,
+// but measured across a real socket against the coalescing server.
+//
+// -json appends the run to a benchmark report file in the cmd/benchjson
+// schema, merging into whatever groups the file already holds, so remote
+// and in-process throughput numbers accumulate side by side in
+// BENCH_throughput.json:
+//
+//	{"name": "Countload/mode=sc/g=4", "nsPerOp": ..., "metrics": {"ops/s": ...}}
+//
+// Usage:
+//
+//	countload -addr 127.0.0.1:9701 -g 4 -duration 2s
+//	countload -addr 127.0.0.1:9701 -g 64 -mode lin -json BENCH_throughput.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	countingnet "repro"
+	"repro/internal/benchfmt"
+	"repro/internal/client"
+	"repro/internal/telemetry"
+)
+
+type options struct {
+	addr     string        // countd service address
+	clients  int           // concurrent client connections
+	window   int           // per-client pipelined in-flight window
+	mode     string        // consistency mode requested per increment
+	duration time.Duration // run length
+	jsonOut  string        // benchmark-report path ("" disables, "-" stdout)
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:9701", "countd service address")
+	flag.IntVar(&o.clients, "g", 4, "concurrent clients")
+	flag.IntVar(&o.window, "window", 64, "per-client pipelined in-flight window")
+	flag.StringVar(&o.mode, "mode", "sc", "consistency mode: sc or lin")
+	flag.DurationVar(&o.duration, "duration", 2*time.Second, "run length")
+	flag.StringVar(&o.jsonOut, "json", "", "merge results into this benchmark report file (- for stdout)")
+	flag.Parse()
+
+	if err := run(context.Background(), o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "countload:", err)
+		os.Exit(1)
+	}
+}
+
+// result is what one load run measured.
+type result struct {
+	Ops      int64
+	Errors   int64
+	Elapsed  time.Duration
+	Lat      telemetry.LatencySummary
+	Dup      int64 // values handed to two callers (must be 0)
+	MaxValue int64
+}
+
+func (r result) opsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// run drives the load and writes the human report (and, when asked, the
+// merged JSON report). Split from main for in-process testing.
+func run(ctx context.Context, o options, out io.Writer) error {
+	mode, err := countingnet.ParseConsistencyMode(o.mode)
+	if err != nil {
+		return err
+	}
+	if o.clients <= 0 {
+		return fmt.Errorf("need at least one client, got %d", o.clients)
+	}
+
+	res, err := drive(ctx, o, mode)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "countload: %s, %d clients x window %d, mode %s, %v\n",
+		o.addr, o.clients, o.window, o.mode, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  ops %d (%.0f ops/s), errors %d, duplicates %d, max value %d\n",
+		res.Ops, res.opsPerSec(), res.Errors, res.Dup, res.MaxValue)
+	fmt.Fprintf(out, "  latency p50 %v p95 %v p99 %v max %v\n",
+		res.Lat.P50, res.Lat.P95, res.Lat.P99, res.Lat.Max)
+	if res.Dup > 0 {
+		return fmt.Errorf("%d duplicate values observed — the service violated uniqueness", res.Dup)
+	}
+	if res.Ops == 0 {
+		return fmt.Errorf("no operation completed (errors %d) — is countd up at %s?", res.Errors, o.addr)
+	}
+
+	if o.jsonOut != "" {
+		if err := writeJSON(o.jsonOut, o, res); err != nil {
+			return err
+		}
+		if o.jsonOut != "-" {
+			fmt.Fprintf(out, "  json: merged into %s\n", o.jsonOut)
+		}
+	}
+	return nil
+}
+
+// drive runs the measurement: o.clients connections, each keeping up to
+// o.window increments in flight, for o.duration. Every observed value is
+// audited for uniqueness.
+func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (result, error) {
+	var res result
+	ctx, cancel := context.WithTimeout(ctx, o.duration)
+	defer cancel()
+
+	lat := telemetry.NewHistogram(o.clients)
+	var (
+		mu     sync.Mutex
+		seen   = map[int64]int{}
+		ops    int64
+		errs   int64
+		maxVal int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < o.clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(o.addr, client.Options{
+				Window:    o.window,
+				Mode:      mode,
+				OpTimeout: time.Second,
+			})
+			if err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+
+			// The pipelined window: sem slots bound the in-flight ops per
+			// client; each op is an independent goroutine so SC increments
+			// re-batch inside the client library.
+			sem := make(chan struct{}, o.window)
+			var cwg sync.WaitGroup
+			for ctx.Err() == nil {
+				sem <- struct{}{}
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					defer func() { <-sem }()
+					s := time.Now()
+					v, err := c.IncCtx(ctx, g)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if ctx.Err() == nil {
+							errs++
+						}
+						return
+					}
+					lat.Record(g, time.Since(s))
+					ops++
+					seen[v]++
+					if v > maxVal {
+						maxVal = v
+					}
+				}()
+			}
+			cwg.Wait()
+		}(g)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	res.Ops = ops
+	res.Errors = errs
+	res.MaxValue = maxVal
+	for _, n := range seen {
+		if n > 1 {
+			res.Dup += int64(n - 1)
+		}
+	}
+	res.Lat = lat.Summary()
+	return res, nil
+}
+
+// writeJSON merges the run into the benchmark report at path, in the
+// same schema cmd/benchjson writes, named so repeated configurations
+// replace their previous rows.
+func writeJSON(path string, o options, res result) error {
+	name := fmt.Sprintf("Countload/mode=%s/g=%d", o.mode, o.clients)
+	nsPerOp := 0.0
+	if res.Ops > 0 {
+		nsPerOp = float64(res.Elapsed.Nanoseconds()) / float64(res.Ops)
+	}
+	rep := &benchfmt.Report{
+		Date: time.Now().UTC().Format(time.RFC3339),
+		Pkg:  "repro/cmd/countload",
+		Benchmarks: []benchfmt.Result{{
+			Name:       name,
+			Iterations: res.Ops,
+			NsPerOp:    nsPerOp,
+			Metrics: map[string]float64{
+				"ops/s":      res.opsPerSec(),
+				"p50-ns":     float64(res.Lat.P50.Nanoseconds()),
+				"p99-ns":     float64(res.Lat.P99.Nanoseconds()),
+				"errors":     float64(res.Errors),
+				"clients":    float64(o.clients),
+				"window-ops": float64(o.window),
+			},
+		}},
+	}
+	if path == "-" {
+		return benchfmt.Write("-", rep)
+	}
+	prev, err := benchfmt.Load(path)
+	if err != nil {
+		return err
+	}
+	benchfmt.Merge(prev, rep)
+	return benchfmt.Write(path, prev)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	countingnet "repro"
+	"repro/internal/benchfmt"
+	"repro/internal/server"
+)
+
+// startService serves B(width) on loopback for the duration of the test.
+func startService(t *testing.T, width int) string {
+	t.Helper()
+	rt := countingnet.MustCompile(countingnet.MustBitonic(width))
+	srv := server.New(rt, server.Options{Stats: server.NewStats(0)})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+func TestLoadRun(t *testing.T) {
+	addr := startService(t, 8)
+	var out strings.Builder
+	err := run(context.Background(), options{
+		addr: addr, clients: 4, window: 16, mode: "sc",
+		duration: 300 * time.Millisecond,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"ops ", "ops/s", "duplicates 0", "latency p50"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLoadJSONMerges(t *testing.T) {
+	addr := startService(t, 4)
+	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+
+	// Seed the file with an unrelated in-process benchmark group; the load
+	// run must land beside it, not clobber it.
+	seed := &benchfmt.Report{
+		Date:       "2026-01-01T00:00:00Z",
+		Benchmarks: []benchfmt.Result{{Name: "BenchmarkThroughput/g=4", Iterations: 1, NsPerOp: 100}},
+	}
+	if err := benchfmt.Write(path, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []string{"sc", "lin"} {
+		var out strings.Builder
+		err := run(context.Background(), options{
+			addr: addr, clients: 2, window: 8, mode: mode,
+			duration: 200 * time.Millisecond, jsonOut: path,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run(mode=%s): %v\n%s", mode, err, out.String())
+		}
+	}
+
+	rep, err := benchfmt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		names[b.Name] = true
+	}
+	for _, want := range []string{
+		"BenchmarkThroughput/g=4", // the seeded group survived
+		"Countload/mode=sc/g=2",
+		"Countload/mode=lin/g=2",
+	} {
+		if !names[want] {
+			t.Errorf("merged report missing %q (have %v)", want, names)
+		}
+	}
+	// A re-run replaces its row rather than appending a duplicate.
+	var out strings.Builder
+	if err := run(context.Background(), options{
+		addr: addr, clients: 2, window: 8, mode: "sc",
+		duration: 100 * time.Millisecond, jsonOut: path,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := benchfmt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Benchmarks) != len(rep.Benchmarks) {
+		t.Errorf("re-run grew the report from %d to %d rows; want in-place replace",
+			len(rep.Benchmarks), len(rep2.Benchmarks))
+	}
+}
+
+func TestLoadFailsWithoutService(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), options{
+		addr: "127.0.0.1:1", clients: 1, window: 4, mode: "sc",
+		duration: 100 * time.Millisecond,
+	}, &out)
+	if err == nil {
+		t.Fatal("run succeeded against a dead address")
+	}
+}
+
+func TestLoadRejectsBadMode(t *testing.T) {
+	err := run(context.Background(), options{addr: "x", clients: 1, mode: "quantum"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "quantum") {
+		t.Fatalf("want bad-mode error, got %v", err)
+	}
+}

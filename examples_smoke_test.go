@@ -22,6 +22,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/linearizable",
 		"./examples/monitor",
 		"./examples/chaos",
+		"./examples/netcounter",
 	}
 	for _, path := range examples {
 		t.Run(path, func(t *testing.T) {
@@ -60,6 +61,7 @@ func TestCLIsRun(t *testing.T) {
 		{"run", "./cmd/countbench", "-ops", "20000", "-workers", "1,2"},
 		{"run", "./cmd/chaos", "-seed", "1", "-w", "4", "-scale", "200us"},
 		{"run", "./cmd/countmon", "-w", "4", "-addr", "127.0.0.1:0", "-duration", "300ms"},
+		{"run", "./cmd/countd", "-w", "4", "-listen", "127.0.0.1:0", "-duration", "300ms"},
 	}
 	for _, args := range clis {
 		t.Run(args[1], func(t *testing.T) {

@@ -1,0 +1,194 @@
+// Package benchfmt is the shared schema for machine-readable benchmark
+// reports: the JSON shape written by cmd/benchjson and cmd/countload,
+// the `go test -bench` output parser behind it, and the merge logic that
+// folds a new run into an existing report file without discarding the
+// benchmark groups the new run did not touch.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark row: iterations, the standard per-op measures,
+// and every custom metric reported through b.ReportMetric.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  *float64           `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *float64           `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one run: environment header plus every benchmark row.
+type Report struct {
+	Date       string   `json:"date"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and returns the structured report
+// (environment header + one Result per benchmark line).
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := ParseLine(line)
+			if !ok {
+				return nil, fmt.Errorf("malformed benchmark line: %q", line)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// ParseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8  1234  107.5 ns/op  0 B/op  0 allocs/op  6.000 depth
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Unknown
+// units land in Metrics under their unit name.
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: TrimProcSuffix(fields[0]), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, true
+}
+
+// TrimProcSuffix drops the trailing -GOMAXPROCS marker go test appends
+// to benchmark names ("BenchmarkX/sub-8" -> "BenchmarkX/sub").
+func TrimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Merge folds src into dst: rows whose Name matches an existing dst row
+// replace it in place (fresh numbers for a re-run benchmark), new names
+// append in src order, and src's header fields win where set. Rows dst
+// had but src did not re-run are kept — that is the point: one report
+// file can accumulate benchmark groups from several passes.
+func Merge(dst, src *Report) {
+	if src.Date != "" {
+		dst.Date = src.Date
+	}
+	if src.GoOS != "" {
+		dst.GoOS = src.GoOS
+	}
+	if src.GoArch != "" {
+		dst.GoArch = src.GoArch
+	}
+	if src.CPU != "" {
+		dst.CPU = src.CPU
+	}
+	if src.Pkg != "" && dst.Pkg != src.Pkg {
+		// Groups from different packages coexist in one file; keep the
+		// header honest rather than wrong.
+		if dst.Pkg == "" {
+			dst.Pkg = src.Pkg
+		} else {
+			dst.Pkg = dst.Pkg + "," + src.Pkg
+		}
+	}
+	at := make(map[string]int, len(dst.Benchmarks))
+	for i, r := range dst.Benchmarks {
+		at[r.Name] = i
+	}
+	for _, r := range src.Benchmarks {
+		if i, ok := at[r.Name]; ok {
+			dst.Benchmarks[i] = r
+		} else {
+			at[r.Name] = len(dst.Benchmarks)
+			dst.Benchmarks = append(dst.Benchmarks, r)
+		}
+	}
+}
+
+// Load reads a report file. A missing file returns an empty report (so
+// callers can Merge into it unconditionally); a present-but-unparsable
+// file is an error rather than something to silently overwrite.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Report{Benchmarks: []Result{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(b, rep); err != nil {
+		return nil, fmt.Errorf("%s exists but is not a benchmark report: %w", path, err)
+	}
+	if rep.Benchmarks == nil {
+		rep.Benchmarks = []Result{}
+	}
+	return rep, nil
+}
+
+// Write marshals rep to path ("-" for stdout) with a trailing newline.
+func Write(path string, rep *Report) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(path, enc, 0o644)
+}

@@ -1,0 +1,142 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestMergeReplacesAndAppends(t *testing.T) {
+	dst := &Report{
+		Date: "old", GoOS: "linux", Pkg: "repro",
+		Benchmarks: []Result{
+			{Name: "BenchmarkA", Iterations: 10, NsPerOp: 100},
+			{Name: "BenchmarkB", Iterations: 10, NsPerOp: 200},
+		},
+	}
+	src := &Report{
+		Date: "new", GoOS: "linux", Pkg: "repro",
+		Benchmarks: []Result{
+			{Name: "BenchmarkB", Iterations: 99, NsPerOp: 150, AllocsPerOp: f64(0)},
+			{Name: "BenchmarkC", Iterations: 5, NsPerOp: 300},
+		},
+	}
+	Merge(dst, src)
+
+	if dst.Date != "new" {
+		t.Fatalf("Date = %q, want src's", dst.Date)
+	}
+	names := make([]string, len(dst.Benchmarks))
+	for i, r := range dst.Benchmarks {
+		names[i] = r.Name
+	}
+	want := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("names = %v, want %v (replace in place, append new)", names, want)
+	}
+	if b := dst.Benchmarks[1]; b.NsPerOp != 150 || b.Iterations != 99 || b.AllocsPerOp == nil {
+		t.Fatalf("BenchmarkB not replaced with fresh row: %+v", b)
+	}
+	if a := dst.Benchmarks[0]; a.NsPerOp != 100 {
+		t.Fatalf("BenchmarkA (untouched by src) changed: %+v", a)
+	}
+}
+
+func TestMergePkgCoexistence(t *testing.T) {
+	dst := &Report{Pkg: "repro"}
+	Merge(dst, &Report{Pkg: "repro/cmd/countload"})
+	if dst.Pkg != "repro,repro/cmd/countload" {
+		t.Fatalf("Pkg = %q, want comma-joined when groups come from different packages", dst.Pkg)
+	}
+	// Same package: no duplication.
+	dst2 := &Report{Pkg: "repro"}
+	Merge(dst2, &Report{Pkg: "repro"})
+	if dst2.Pkg != "repro" {
+		t.Fatalf("Pkg = %q after same-pkg merge", dst2.Pkg)
+	}
+}
+
+func TestLoadMissingFileIsEmptyReport(t *testing.T) {
+	rep, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("Load(missing): %v", err)
+	}
+	if rep == nil || rep.Benchmarks == nil || len(rep.Benchmarks) != 0 {
+		t.Fatalf("Load(missing) = %+v, want empty report ready for Merge", rep)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a non-report file; it must refuse to overwrite it silently")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rep.json")
+	rep := &Report{
+		Date: "2026-08-06T00:00:00Z", GoOS: "linux", GoArch: "amd64",
+		Benchmarks: []Result{
+			{Name: "BenchmarkX", Iterations: 7, NsPerOp: 71.5,
+				Metrics: map[string]float64{"depth": 6}},
+		},
+	}
+	if err := Write(path, rep); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Name != "BenchmarkX" ||
+		got.Benchmarks[0].Metrics["depth"] != 6 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// A second Write after Merge keeps both groups — the accumulate story.
+	Merge(got, &Report{Benchmarks: []Result{{Name: "BenchmarkY", Iterations: 1, NsPerOp: 1}}})
+	if err := Write(path, got); err != nil {
+		t.Fatalf("Write(merged): %v", err)
+	}
+	again, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(merged): %v", err)
+	}
+	if len(again.Benchmarks) != 2 {
+		t.Fatalf("merged file has %d benchmarks, want 2", len(again.Benchmarks))
+	}
+}
+
+func TestParseHeaderAndLines(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU
+BenchmarkIncOverhead-8   	16519208	        71.09 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDepth-8   	 1000000	       100.0 ns/op	         6.000 depth
+PASS
+`
+	rep, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rep.GoOS != "linux" || rep.Pkg != "repro" || rep.CPU != "Test CPU" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkIncOverhead" || b.NsPerOp != 71.09 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Fatalf("row 0 = %+v", b)
+	}
+	if rep.Benchmarks[1].Metrics["depth"] != 6 {
+		t.Fatalf("custom metric lost: %+v", rep.Benchmarks[1])
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/msgnet"
 	"repro/internal/runtime"
+	"repro/internal/wire"
 )
 
 // CrashSpec schedules one warm crash-and-restart: the target balancer
@@ -83,6 +84,17 @@ type FaultPlan struct {
 	// to crash, and its state cannot be lost).
 	Crashes []CrashSpec
 
+	// Network faults, applied at the serving layer's transport seam via
+	// Frames (wire.FrameFaults): frames are dropped, duplicated, or
+	// delayed uniform in [NetDelayMin, NetDelayMax]. A dropped or
+	// duplicated increment burns counter values — bounded gaps among
+	// observed values, never duplicates — which is exactly the msgnet
+	// redelivery story replayed one layer up.
+	NetDropProb              float64
+	NetDupProb               float64
+	NetDelayProb             float64
+	NetDelayMin, NetDelayMax time.Duration
+
 	mu      sync.Mutex
 	streams map[streamKey]*stream
 }
@@ -97,6 +109,7 @@ const (
 	kindWire
 	kindCounter
 	kindRuntime
+	kindNet
 )
 
 // stream is one actor's private PRNG. msgnet actors use their stream from
@@ -189,6 +202,31 @@ func (f *msgnetFaults) CounterStep(j, _ int) msgnet.StepFault {
 		sf.Redeliver, sf.RedeliverAfter = true, f.p.RedeliverAfter
 	}
 	return sf
+}
+
+// Frames compiles the plan's network faults into a wire.FrameFaults for
+// the serving layer (server.Options.Faults). Each (connection,
+// direction) pair gets its own deterministic stream, so the fault
+// schedule a connection sees depends only on the plan and its connection
+// id — not on how other connections interleave.
+func (p *FaultPlan) Frames() wire.FrameFaults { return &frameFaults{p: p} }
+
+type frameFaults struct{ p *FaultPlan }
+
+// Frame implements wire.FrameFaults. Every call consumes the same number
+// of variates, so one frame's outcome never shifts the schedule seen by
+// later frames on the same connection.
+func (f *frameFaults) Frame(conn int, inbound bool, _ int) wire.FrameFault {
+	dir := 0
+	if !inbound {
+		dir = 1
+	}
+	s := f.p.streamFor(kindNet, conn*2+dir)
+	var ff wire.FrameFault
+	ff.Delay = s.draw(f.p.NetDelayProb, f.p.NetDelayMin, f.p.NetDelayMax)
+	ff.Drop = s.hit(f.p.NetDropProb)
+	ff.Duplicate = s.hit(f.p.NetDupProb)
+	return ff
 }
 
 // RuntimeHook compiles the plan into a runtime.FaultHook: per-balancer

@@ -3,7 +3,6 @@ package chaos
 import (
 	"context"
 	"errors"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,8 +84,7 @@ type ResilientCounter struct {
 	maxSeen atomic.Int64 // highest value committed from the primary
 	strikes atomic.Int32 // consecutive timed-out attempts
 
-	jmu  sync.Mutex
-	jrng *rand.Rand
+	bo fault.Backoff
 }
 
 // NewResilientCounter wraps primary with deadline-bounded attempts, retry,
@@ -101,7 +99,7 @@ func NewResilientCounter(primary runtime.CtxCounter, backup runtime.Counter, opt
 		opt:     opt.withDefaults(),
 	}
 	r.maxSeen.Store(-1)
-	r.jrng = rand.New(rand.NewSource(r.opt.Seed))
+	r.bo = fault.Backoff{Base: r.opt.BackoffBase, Cap: r.opt.BackoffCap, Seed: r.opt.Seed}
 	return r
 }
 
@@ -170,21 +168,11 @@ func (r *ResilientCounter) backupInc(ctx context.Context, wire int) (int64, erro
 	return base + r.backup.Inc(wire), nil
 }
 
-// backoff returns the attempt-th retry delay: exponential from
-// BackoffBase, capped at BackoffCap, with equal jitter (half fixed, half
-// uniform) so stalled callers do not retry in lockstep.
+// backoff returns the attempt-th retry delay, drawn from the shared
+// fault.Backoff policy (exponential from BackoffBase, capped at
+// BackoffCap, equal jitter).
 func (r *ResilientCounter) backoff(attempt int) time.Duration {
-	d := r.opt.BackoffBase
-	for i := 0; i < attempt && d < r.opt.BackoffCap; i++ {
-		d *= 2
-	}
-	if d > r.opt.BackoffCap {
-		d = r.opt.BackoffCap
-	}
-	r.jmu.Lock()
-	j := time.Duration(r.jrng.Int63n(int64(d) + 1))
-	r.jmu.Unlock()
-	return d/2 + j/2
+	return r.bo.Delay(attempt)
 }
 
 // IncCtx obtains the next value, riding out transient stalls and failing

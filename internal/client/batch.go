@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+
+	"repro/internal/fault"
+	"repro/internal/wire"
+)
+
+// incCall is one SC increment waiting in the re-batching mailbox.
+type incCall struct {
+	wire int
+	resp chan incRes
+}
+
+type incRes struct {
+	value int64
+	err   error
+}
+
+// incBatched submits one SC increment through the combining mailbox and
+// waits for its dealt-out value.
+func (c *Client) incBatched(ctx context.Context, w int) (int64, error) {
+	call := incCall{wire: w, resp: make(chan incRes, 1)}
+	select {
+	case c.incs <- call:
+	case <-c.done:
+		return 0, ErrClosed
+	case <-ctx.Done():
+		return 0, fault.FromContext(ctx.Err())
+	}
+	select {
+	case r := <-call.resp:
+		return r.value, r.err
+	case <-c.done:
+		// The batcher may have exited after this call slipped into the
+		// buffered mailbox; prefer its answer if it got one out.
+		select {
+		case r := <-call.resp:
+			return r.value, r.err
+		default:
+			return 0, ErrClosed
+		}
+	case <-ctx.Done():
+		// The batcher will still deliver into the buffered channel; the
+		// value it carries is abandoned — a gap, never a duplicate.
+		return 0, fault.FromContext(ctx.Err())
+	}
+}
+
+// batchLoop is the client-side combiner: it drains the mailbox, folds
+// callers on the same wire into one TIncBatch frame, and deals the
+// returned value ranges back out in arrival order.
+func (c *Client) batchLoop() {
+	defer c.wg.Done()
+	limit := c.opt.BatchLimit
+	pending := make([]incCall, 0, limit)
+	for {
+		var first incCall
+		select {
+		case first = <-c.incs:
+		case <-c.done:
+			c.failAll(nil, ErrClosed)
+			return
+		}
+		pending = append(pending[:0], first)
+		more := true
+		for more && len(pending) < limit {
+			select {
+			case call := <-c.incs:
+				pending = append(pending, call)
+			case <-c.done:
+				c.failAll(pending, ErrClosed)
+				return
+			default:
+				more = false
+			}
+		}
+		c.flushBatch(pending)
+	}
+}
+
+// failAll answers every queued caller with err.
+func (c *Client) failAll(pending []incCall, err error) {
+	for _, call := range pending {
+		call.resp <- incRes{err: err}
+	}
+	for {
+		select {
+		case call := <-c.incs:
+			call.resp <- incRes{err: err}
+		default:
+			return
+		}
+	}
+}
+
+// flushBatch groups the pending calls by wire, issues one TIncBatch per
+// group, and deals values out in arrival order.
+func (c *Client) flushBatch(pending []incCall) {
+	type group struct {
+		wire  int
+		calls []incCall
+	}
+	groups := make(map[int]*group, 4)
+	order := make([]*group, 0, 4)
+	for _, call := range pending {
+		g := groups[call.wire]
+		if g == nil {
+			g = &group{wire: call.wire}
+			groups[call.wire] = g
+			order = append(order, g)
+		}
+		g.calls = append(g.calls, call)
+	}
+	for _, g := range order {
+		f, err := c.request(context.Background(), wire.Frame{
+			Type: wire.TIncBatch,
+			Wire: int64(g.wire),
+			K:    int64(len(g.calls)),
+			Mode: wire.ModeSC,
+		})
+		if err != nil {
+			for _, call := range g.calls {
+				call.resp <- incRes{err: err}
+			}
+			continue
+		}
+		// Deal the ranges out one value per caller, arrival order.
+		i := 0
+		for _, r := range f.Rs {
+			for off := int64(0); off < r.Count && i < len(g.calls); off++ {
+				g.calls[i].resp <- incRes{value: r.First + off*r.Stride}
+				i++
+			}
+		}
+		for ; i < len(g.calls); i++ {
+			g.calls[i].resp <- incRes{err: wire.ErrBadFrame}
+		}
+	}
+}

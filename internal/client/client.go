@@ -1,0 +1,525 @@
+// Package client is the Go client for the networked counting service: a
+// connection pool speaking the internal/wire protocol with pipelined,
+// id-matched requests, automatic re-batching of concurrent SC increments,
+// and retry with the shared fault.Backoff policy.
+//
+// The client presents the same Counter/CtxCounter/BatchCounter facade as
+// the in-process implementations, so every existing harness — the
+// workload driver, the consistency monitors, the chaos drills — runs
+// unmodified against a remote network. Inc follows the msgnet
+// convention: -1 on error, a value otherwise.
+//
+// # Re-batching
+//
+// Concurrent SC Inc calls do not each cross the network. They meet in a
+// client-side combining mailbox; a batcher goroutine folds callers that
+// named the same input wire into one TIncBatch frame and deals the
+// returned value ranges back out in arrival order. Against a coalescing
+// server this compounds: many callers → few frames → fewer sweeps. LIN
+// increments never re-batch — each one pays its own round trip through
+// the server's linearizing section, which is the point.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/wire"
+)
+
+// Options tunes a Client; the zero value picks the defaults noted on
+// each field.
+type Options struct {
+	// Conns is the connection pool size (default 1).
+	Conns int
+	// Window bounds the in-flight (unanswered) requests per connection
+	// (default 64); acquiring a slot blocks, which is the client-side
+	// backpressure that feeds the re-batcher.
+	Window int
+	// Mode is the consistency mode used by the Counter facade methods
+	// (default ModeSC). The *Mode methods override it per call.
+	Mode wire.Mode
+	// BatchLimit caps how many SC increments one TIncBatch frame carries
+	// (default 512).
+	BatchLimit int
+	// Retries is how many times a retryable failure (backpressure, mailbox
+	// timeout, transport error) is re-attempted before giving up
+	// (default 4).
+	Retries int
+	// Backoff paces the retries; nil picks the shared default policy
+	// (1ms base, 100ms cap, equal jitter).
+	Backoff *fault.Backoff
+	// OpTimeout, when positive, bounds each attempt of a request. An
+	// expired attempt counts as retryable — the abandoned request id can
+	// no longer match a response, so a late answer burns its value (a
+	// gap) rather than duplicating one. Essential when frame-level faults
+	// can eat requests or responses.
+	OpTimeout time.Duration
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.BatchLimit <= 0 {
+		o.BatchLimit = 512
+	}
+	if o.Retries <= 0 {
+		o.Retries = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.Backoff == nil {
+		o.Backoff = &fault.Backoff{}
+	}
+	return o
+}
+
+// Client is a pooled connection to one counting service.
+type Client struct {
+	addr  string
+	opt   Options
+	shape network.Shape
+
+	idSeq atomic.Uint64
+	rr    atomic.Uint64 // round-robin cursor over the pool
+
+	mu     sync.Mutex
+	pool   []*cconn // slots; nil or dead entries are re-dialed lazily
+	closed bool
+
+	incs chan incCall // SC re-batching mailbox
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ErrClosed reports an operation on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Dial connects to a counting service, performs the THello handshake and
+// caches the served network's shape.
+func Dial(addr string, opt Options) (*Client, error) {
+	c := &Client{
+		addr: addr,
+		opt:  opt.withDefaults(),
+		incs: make(chan incCall, 4096),
+		done: make(chan struct{}),
+	}
+	c.pool = make([]*cconn, c.opt.Conns)
+	// The handshake is bounded by DialTimeout and retried like any other
+	// request: on a faulty transport the THello or its TShape answer can
+	// be dropped, and an unbounded wait would hang Dial forever. A
+	// re-sent hello is idempotent (an orphan TShape is discarded by id
+	// matching).
+	var last error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		cc, err := c.dial()
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.pool[0] = cc
+		c.mu.Unlock()
+		hctx, cancel := context.WithTimeout(context.Background(), c.opt.DialTimeout)
+		f, err := c.roundTrip(hctx, cc, wire.Frame{Type: wire.THello})
+		cancel()
+		if err != nil {
+			cc.kill(err)
+			last = err
+			if retryable(err) {
+				continue
+			}
+			return nil, fmt.Errorf("client: handshake: %w", err)
+		}
+		if f.Type != wire.TShape {
+			cc.kill(nil)
+			return nil, fmt.Errorf("client: handshake answered with %v", f.Type)
+		}
+		c.shape = f.Shape
+		last = nil
+		break
+	}
+	if last != nil {
+		return nil, fmt.Errorf("client: handshake: %w", last)
+	}
+	c.wg.Add(1)
+	go c.batchLoop()
+	return c, nil
+}
+
+// Shape returns the served network's topology, learned at handshake.
+func (c *Client) Shape() network.Shape { return c.shape }
+
+// Width returns the served network's input width.
+func (c *Client) Width() int { return c.shape.Width }
+
+// Close releases the pool. In-flight requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	pool := append([]*cconn(nil), c.pool...)
+	c.mu.Unlock()
+	close(c.done)
+	for _, cc := range pool {
+		if cc != nil {
+			cc.kill(ErrClosed)
+		}
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// wireFor reduces a caller's wire id onto the served width, so harnesses
+// with more workers than the network has wires run unmodified.
+func (c *Client) wireFor(w int) int {
+	width := c.shape.Width
+	if width <= 0 {
+		return 0
+	}
+	w %= width
+	if w < 0 {
+		w += width
+	}
+	return w
+}
+
+// Inc obtains the next counter value in the client's default mode,
+// returning -1 on error (the msgnet convention) so it satisfies the
+// Counter facade.
+func (c *Client) Inc(w int) int64 {
+	v, err := c.IncCtx(context.Background(), w)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// IncCtx obtains the next counter value in the client's default mode.
+func (c *Client) IncCtx(ctx context.Context, w int) (int64, error) {
+	return c.IncMode(ctx, w, c.opt.Mode)
+}
+
+// IncMode obtains the next counter value in an explicit consistency
+// mode: SC increments join the re-batching mailbox, LIN increments go
+// straight to the server's linearizing section.
+func (c *Client) IncMode(ctx context.Context, w int, mode wire.Mode) (int64, error) {
+	w = c.wireFor(w)
+	if mode == wire.ModeSC {
+		return c.incBatched(ctx, w)
+	}
+	f, err := c.request(ctx, wire.Frame{Type: wire.TInc, Wire: int64(w), Mode: wire.ModeLIN})
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != wire.TValue {
+		return 0, fmt.Errorf("client: inc answered with %v", f.Type)
+	}
+	return f.Value, nil
+}
+
+// IncBatch reserves k values from a wire in one request, satisfying the
+// BatchCounter facade. Returns nil on error or k <= 0.
+func (c *Client) IncBatch(w, k int) []runtime.Range {
+	rs, err := c.IncBatchCtx(context.Background(), w, k, c.opt.Mode)
+	if err != nil {
+		return nil
+	}
+	return rs
+}
+
+// IncBatchCtx reserves k values from a wire in one request in an
+// explicit mode.
+func (c *Client) IncBatchCtx(ctx context.Context, w, k int, mode wire.Mode) ([]runtime.Range, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	f, err := c.request(ctx, wire.Frame{Type: wire.TIncBatch, Wire: int64(c.wireFor(w)), K: int64(k), Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TRanges {
+		return nil, fmt.Errorf("client: incbatch answered with %v", f.Type)
+	}
+	rs := make([]runtime.Range, len(f.Rs))
+	for i, r := range f.Rs {
+		rs[i] = runtime.Range{First: r.First, Stride: r.Stride, Count: r.Count}
+	}
+	return rs, nil
+}
+
+// Read returns how many values the server has handed out.
+func (c *Client) Read(ctx context.Context) (int64, error) {
+	f, err := c.request(ctx, wire.Frame{Type: wire.TRead})
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != wire.TValue {
+		return 0, fmt.Errorf("client: read answered with %v", f.Type)
+	}
+	return f.Value, nil
+}
+
+// Snapshot fetches the server's stats snapshot, decoded into out (any
+// JSON-shaped destination; pass a *server.Snapshot or *map[string]any).
+func (c *Client) Snapshot(ctx context.Context, out any) error {
+	f, err := c.request(ctx, wire.Frame{Type: wire.TSnapshot})
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TInfo {
+		return fmt.Errorf("client: snapshot answered with %v", f.Type)
+	}
+	return json.Unmarshal(f.Data, out)
+}
+
+// retryable reports whether a failed attempt may be re-issued: shed or
+// expired requests never executed, and transport errors re-issue at the
+// cost of a possible burned value (a gap, never a duplicate — the old
+// request id can no longer match a response).
+func retryable(err error) bool {
+	return errors.Is(err, wire.ErrBackpressure) ||
+		errors.Is(err, fault.ErrTimeout) ||
+		errors.Is(err, errTransport)
+}
+
+var errTransport = errors.New("client: connection failed")
+
+// request sends one frame and waits for its response, retrying
+// retryable failures with backoff on a (possibly fresh) connection.
+func (c *Client) request(ctx context.Context, f wire.Frame) (wire.Frame, error) {
+	var last error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if attempt > 0 {
+			if err := c.opt.Backoff.Sleep(ctx, attempt-1); err != nil {
+				return wire.Frame{}, err
+			}
+		}
+		cc, err := c.conn()
+		if err != nil {
+			last = err
+			if errors.Is(err, ErrClosed) {
+				return wire.Frame{}, err
+			}
+			continue
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(nil)
+		if c.opt.OpTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, c.opt.OpTimeout)
+		}
+		rf, err := c.roundTrip(attemptCtx, cc, f)
+		if cancel != nil {
+			cancel()
+		}
+		if errors.Is(err, fault.ErrTimeout) && ctx.Err() == nil {
+			// The attempt expired, not the caller: retry.
+			last = err
+			continue
+		}
+		if err == nil {
+			return rf, nil
+		}
+		last = err
+		if !retryable(err) {
+			return wire.Frame{}, err
+		}
+	}
+	return wire.Frame{}, fmt.Errorf("client: gave up after %d attempts: %w", c.opt.Retries+1, last)
+}
+
+// roundTrip issues f on cc and waits for the matching response; TError
+// responses come back as their sentinel errors.
+func (c *Client) roundTrip(ctx context.Context, cc *cconn, f wire.Frame) (wire.Frame, error) {
+	f.ID = c.idSeq.Add(1)
+	rf, err := cc.do(ctx, &f)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if rf.Type == wire.TError {
+		return wire.Frame{}, rf.Code.Err()
+	}
+	return rf, nil
+}
+
+// conn returns a live pooled connection, re-dialing a dead slot lazily.
+func (c *Client) conn() (*cconn, error) {
+	slot := int(c.rr.Add(1)) % c.opt.Conns
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cc := c.pool[slot]
+	if cc != nil && !cc.isDead() {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	// Dial outside the lock; racing dials for the same slot are harmless
+	// (the loser is used once and garbage-collected when it dies).
+	fresh, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errTransport, err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		fresh.kill(ErrClosed)
+		return nil, ErrClosed
+	}
+	if cur := c.pool[slot]; cur == nil || cur.isDead() {
+		c.pool[slot] = fresh
+	}
+	c.mu.Unlock()
+	return fresh, nil
+}
+
+func (c *Client) dial() (*cconn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &cconn{
+		nc:      nc,
+		window:  make(chan struct{}, c.opt.Window),
+		pending: make(map[uint64]chan wire.Frame),
+		dead:    make(chan struct{}),
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// cconn is one pooled connection: pipelined writes under a mutex, a
+// reader goroutine matching responses to waiters by request id.
+type cconn struct {
+	nc net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+
+	window chan struct{} // in-flight slots
+
+	dead    chan struct{}
+	die     sync.Once
+	lastErr error
+}
+
+func (cc *cconn) isDead() bool {
+	select {
+	case <-cc.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// kill tears the connection down and fails every waiter.
+func (cc *cconn) kill(err error) {
+	cc.die.Do(func() {
+		cc.lastErr = err
+		close(cc.dead)
+		_ = cc.nc.Close()
+		cc.mu.Lock()
+		for id, ch := range cc.pending {
+			delete(cc.pending, id)
+			close(ch)
+		}
+		cc.mu.Unlock()
+	})
+}
+
+// do sends one frame and waits for its id-matched response.
+func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
+	// Acquire an in-flight slot.
+	select {
+	case cc.window <- struct{}{}:
+	case <-cc.dead:
+		return wire.Frame{}, errTransport
+	case <-ctx.Done():
+		return wire.Frame{}, fault.FromContext(ctx.Err())
+	}
+	release := func() { <-cc.window }
+
+	ch := make(chan wire.Frame, 1)
+	cc.mu.Lock()
+	cc.pending[f.ID] = ch
+	cc.mu.Unlock()
+	forget := func() {
+		cc.mu.Lock()
+		delete(cc.pending, f.ID)
+		cc.mu.Unlock()
+	}
+
+	cc.wmu.Lock()
+	var err error
+	cc.wbuf, err = wire.AppendFrame(cc.wbuf[:0], f)
+	if err == nil {
+		_, err = cc.nc.Write(cc.wbuf)
+	}
+	cc.wmu.Unlock()
+	if err != nil {
+		forget()
+		release()
+		cc.kill(err)
+		return wire.Frame{}, fmt.Errorf("%w: %v", errTransport, err)
+	}
+
+	select {
+	case rf, ok := <-ch:
+		release()
+		if !ok {
+			return wire.Frame{}, errTransport
+		}
+		return rf, nil
+	case <-ctx.Done():
+		forget()
+		release()
+		return wire.Frame{}, fault.FromContext(ctx.Err())
+	}
+}
+
+// readLoop delivers responses to waiters; responses with no waiter
+// (duplicates injected by faults, or requests abandoned on ctx expiry)
+// are discarded — that discard is what keeps duplicated frames from
+// duplicating observed values.
+func (cc *cconn) readLoop() {
+	br := newReader(cc.nc)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			cc.kill(err)
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.pending[f.ID]
+		delete(cc.pending, f.ID)
+		cc.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+func newReader(nc net.Conn) *bufio.Reader { return bufio.NewReaderSize(nc, 32<<10) }

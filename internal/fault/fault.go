@@ -9,6 +9,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
+	"time"
 )
 
 var (
@@ -39,4 +42,63 @@ func FromContext(err error) error {
 // caller-initiated cancellation never will.
 func Transient(err error) bool {
 	return errors.Is(err, ErrTimeout)
+}
+
+// Backoff computes retry delays: exponential from Base, capped at Cap,
+// with equal jitter (half fixed, half uniform) so stalled callers do not
+// retry in lockstep. It is the shared retry policy of the fault-tolerant
+// layers — chaos.ResilientCounter and the network client both draw their
+// delays from it. The zero value is usable (Base 1ms, Cap 100ms, Seed 1);
+// a Backoff must not be copied after first use.
+type Backoff struct {
+	// Base is the first retry's backoff; Cap bounds the exponential
+	// growth. Seed seeds the jitter (same seed, same delay sequence).
+	Base, Cap time.Duration
+	Seed      int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Delay returns the attempt-th retry's delay (attempt 0 is the first
+// retry). Safe for concurrent use.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	b.once.Do(func() {
+		if b.Base <= 0 {
+			b.Base = time.Millisecond
+		}
+		if b.Cap <= 0 {
+			b.Cap = 100 * time.Millisecond
+		}
+		seed := b.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		b.rng = rand.New(rand.NewSource(seed))
+	})
+	d := b.Base
+	for i := 0; i < attempt && d < b.Cap; i++ {
+		d *= 2
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	b.mu.Lock()
+	j := time.Duration(b.rng.Int63n(int64(d) + 1))
+	b.mu.Unlock()
+	return d/2 + j/2
+}
+
+// Sleep waits out the attempt-th retry delay or returns early with ctx's
+// converted error; a nil return means the full delay elapsed.
+func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return FromContext(ctx.Err())
+	}
 }

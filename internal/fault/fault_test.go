@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffBoundedAndJittered: delays grow exponentially from Base,
+// never exceed Cap, never drop below Base/2 (equal jitter), and the same
+// seed replays the same sequence.
+func TestBackoffBoundedAndJittered(t *testing.T) {
+	mk := func() *Backoff {
+		return &Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Seed: 7}
+	}
+	a, b := mk(), mk()
+	for attempt := 0; attempt < 10; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, da, db)
+		}
+		if da < time.Millisecond/2 || da > 8*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside [Base/2, Cap]", attempt, da)
+		}
+	}
+}
+
+// TestBackoffZeroValue: the zero value is usable with sane defaults.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0)
+	if d <= 0 || d > 100*time.Millisecond {
+		t.Fatalf("zero-value delay %v", d)
+	}
+}
+
+// TestBackoffSleepHonoursContext: Sleep returns early with the converted
+// context error.
+func TestBackoffSleepHonoursContext(t *testing.T) {
+	b := &Backoff{Base: time.Second, Cap: time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := b.Sleep(ctx, 3)
+	if err != ErrTimeout {
+		t.Fatalf("Sleep under expired deadline: %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("Sleep ignored the deadline")
+	}
+}

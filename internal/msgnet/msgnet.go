@@ -417,6 +417,20 @@ func (n *Network) Inc(wire int) int64 {
 	return v
 }
 
+// FanIn returns the number of network input wires.
+func (n *Network) FanIn() int { return n.spec.FanIn() }
+
+// FanOut returns the number of output counters.
+func (n *Network) FanOut() int { return n.spec.FanOut() }
+
+// Width is FanIn under its serving-layer name: valid input wire ids are
+// 0..Width()-1 (Inc reduces arbitrary ids modulo the width; a server
+// validating remote requests wants the bound).
+func (n *Network) Width() int { return n.spec.FanIn() }
+
+// Shape returns the running network's structural fingerprint.
+func (n *Network) Shape() network.Shape { return n.spec.Shape() }
+
 // Closed reports whether Close has been called.
 func (n *Network) Closed() bool {
 	n.mu.Lock()

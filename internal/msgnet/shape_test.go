@@ -1,0 +1,25 @@
+package msgnet
+
+import (
+	"testing"
+
+	"repro/internal/construct"
+)
+
+// TestShapeAccessors: the running actor network reports its spec's
+// topology, so a serving layer can validate remote wire ids against it.
+func TestShapeAccessors(t *testing.T) {
+	spec := construct.MustBitonic(4)
+	n, err := Start(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	if n.Width() != 4 || n.FanIn() != 4 || n.FanOut() != 4 {
+		t.Fatalf("Width/FanIn/FanOut = %d/%d/%d, want 4", n.Width(), n.FanIn(), n.FanOut())
+	}
+	if got := n.Shape(); got != spec.Shape() {
+		t.Fatalf("Shape() = %+v, spec %+v", got, spec.Shape())
+	}
+}

@@ -117,8 +117,36 @@ type Network struct {
 	sinkDepth []int   // depth of each sink node
 }
 
+// Shape is a network's structural fingerprint: the topology parameters a
+// serving layer advertises to remote clients and validates wire ids
+// against. All three concurrent substrates (network.Network,
+// runtime.Network, msgnet.Network) expose it through a Shape method.
+type Shape struct {
+	Width     int `json:"width"`     // input wires (fan-in)
+	Sinks     int `json:"sinks"`     // output counters (fan-out)
+	Balancers int `json:"balancers"` // inner nodes
+	Depth     int `json:"depth"`     // d(G)
+}
+
+// Contains reports whether wire is a valid input wire id.
+func (s Shape) Contains(wire int64) bool { return wire >= 0 && wire < int64(s.Width) }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	return fmt.Sprintf("width=%d sinks=%d balancers=%d depth=%d", s.Width, s.Sinks, s.Balancers, s.Depth)
+}
+
 // FanIn returns w_in, the number of network input wires.
 func (n *Network) FanIn() int { return n.wIn }
+
+// Width is FanIn under its serving-layer name: the range of valid input
+// wire ids is 0..Width()-1.
+func (n *Network) Width() int { return n.wIn }
+
+// Shape returns the network's structural fingerprint.
+func (n *Network) Shape() Shape {
+	return Shape{Width: n.wIn, Sinks: n.wOut, Balancers: len(n.balancers), Depth: n.depth}
+}
 
 // FanOut returns w_out, the number of network output wires (counters).
 func (n *Network) FanOut() int { return n.wOut }

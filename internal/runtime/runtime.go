@@ -268,6 +268,28 @@ func MustCompile(spec *network.Network) *Network {
 // FanIn returns the number of input wires.
 func (n *Network) FanIn() int { return n.wIn }
 
+// Width is FanIn under its serving-layer name: valid input wire ids are
+// 0..Width()-1 (Inc itself reduces arbitrary ids modulo the width, but a
+// server validating remote requests wants the bound, not the reduction).
+func (n *Network) Width() int { return n.wIn }
+
+// Shape returns the compiled network's structural fingerprint.
+func (n *Network) Shape() network.Shape {
+	return network.Shape{Width: n.wIn, Sinks: n.wOut, Balancers: len(n.meta), Depth: n.depth}
+}
+
+// Issued returns the number of counter values handed out so far: the sum
+// over sinks of completed fetch-and-adds. Concurrent traversals make the
+// sum a lower bound that is exact at quiescence.
+func (n *Network) Issued() int64 {
+	var total int64
+	for j := range n.counters {
+		// Counter j holds the next value it will hand out: j + issued_j*w.
+		total += (n.counters[j].v.Load() - int64(j)) / int64(n.wOut)
+	}
+	return total
+}
+
 // FanOut returns the number of output counters.
 func (n *Network) FanOut() int { return n.wOut }
 

@@ -1,0 +1,39 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/construct"
+)
+
+// TestShapeAccessors: the compiled network reports the same topology as
+// its spec, and Issued tracks values handed out.
+func TestShapeAccessors(t *testing.T) {
+	spec := construct.MustBitonic(8)
+	n := MustCompile(spec)
+
+	if n.Width() != spec.FanIn() || n.Width() != 8 {
+		t.Fatalf("Width() = %d, want %d", n.Width(), spec.FanIn())
+	}
+	s := n.Shape()
+	if s != spec.Shape() {
+		t.Fatalf("Shape() = %+v, spec %+v", s, spec.Shape())
+	}
+	if s.Width != 8 || s.Sinks != 8 || s.Balancers != spec.Size() || s.Depth != spec.Depth() {
+		t.Fatalf("Shape fields wrong: %+v", s)
+	}
+	if !s.Contains(0) || !s.Contains(7) || s.Contains(8) || s.Contains(-1) {
+		t.Fatalf("Shape.Contains bounds wrong: %+v", s)
+	}
+
+	if got := n.Issued(); got != 0 {
+		t.Fatalf("Issued() = %d before any Inc", got)
+	}
+	for i := 0; i < 100; i++ {
+		n.Inc(i)
+	}
+	n.IncBatch(3, 28)
+	if got := n.Issued(); got != 128 {
+		t.Fatalf("Issued() = %d, want 128", got)
+	}
+}

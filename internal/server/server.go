@@ -1,0 +1,761 @@
+// Package server exposes a compiled counting network as a network
+// service: a TCP listener speaking the internal/wire protocol, with the
+// consistency mode as a per-request knob.
+//
+// The serving layer is where the paper's contrast becomes a systems
+// tradeoff. Sequentially consistent increments are cheap to serve: the
+// server folds concurrent SC requests from many connections into a single
+// IncBatch sweep (one fetch-and-add per balancer for the whole batch)
+// through a mailbox/combining loop, so under load the per-token cost of
+// the network collapses. Linearizable increments pay what the condition
+// demands: each one is serialized through the server's linearizing
+// section and answered individually — no coalescing, a full round trip
+// per value.
+//
+// # Coalescing loop
+//
+// Connection readers do not touch the network. They validate each request
+// and post it into a bounded mailbox; a single combiner goroutine drains
+// the mailbox, groups pending increments by input wire, executes one
+// IncBatch per wire, and deals the resulting value ranges back to the
+// requests in arrival order. When the mailbox is full the reader answers
+// wire.ErrBackpressure immediately — load shedding at the door instead of
+// unbounded queueing. Requests that sit in the mailbox longer than
+// Options.OpTimeout fail with fault.ErrTimeout.
+//
+// # Shutdown
+//
+// Close drains rather than drops: accepting stops, connection readers
+// finish their current frame, the combiner sweeps what the mailbox still
+// holds, writers flush every pending response, and only then are the
+// connections closed. A client that disconnects mid-flight abandons its
+// outstanding requests (their values are never delivered — a bounded gap
+// among observed values, never a duplicate).
+//
+// # Fault injection
+//
+// Options.Faults installs a wire.FrameFaults at the transport seam: every
+// frame read and written consults it, so a chaos.FaultPlan can drop,
+// delay or duplicate traffic without touching the protocol or the kernel.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/wire"
+)
+
+// Backend is the counting object a Server serves: the compiled
+// runtime.Network is the intended implementation, but anything with a
+// batched increment and a shape works (tests substitute slow or scripted
+// backends).
+type Backend interface {
+	Inc(wire int) int64
+	IncBatch(wire, k int) []runtime.Range
+	Shape() network.Shape
+}
+
+// Options tunes a Server. The zero value picks the defaults noted on each
+// field.
+type Options struct {
+	// Mailbox bounds the SC request queue between connection readers and
+	// the combiner (default 4096). A full mailbox answers requests with
+	// wire.ErrBackpressure instead of queueing unboundedly.
+	Mailbox int
+	// BatchLimit is the most requests one combiner sweep folds together
+	// (default 1024).
+	BatchLimit int
+	// OutQueue bounds each connection's pending-response queue (default
+	// 8192). A client that stops reading long enough to fill it is
+	// disconnected — backpressure by eviction, so one slow consumer cannot
+	// stall the combiner.
+	OutQueue int
+	// OpTimeout, when positive, fails requests that waited in the mailbox
+	// longer than this with fault.ErrTimeout.
+	OpTimeout time.Duration
+	// Stats, when non-nil, records per-op latency histograms, queue depths
+	// and coalescing effectiveness; expose it on an HTTP surface with
+	// telemetry.Handler(..., stats.AppendMetrics).
+	Stats *Stats
+	// Faults, when non-nil, is consulted once per frame at the transport
+	// seam (see wire.FrameFaults).
+	Faults wire.FrameFaults
+	// ForceLIN, when true, serves every increment through the serialized
+	// LIN path regardless of the mode the client requested — the operator
+	// override for running a linearizable-by-default daemon. Clients still
+	// see their requests answered normally; they just pay LIN latency.
+	ForceLIN bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mailbox <= 0 {
+		o.Mailbox = 4096
+	}
+	if o.BatchLimit <= 0 {
+		o.BatchLimit = 1024
+	}
+	if o.OutQueue <= 0 {
+		o.OutQueue = 8192
+	}
+	return o
+}
+
+// req is one pending SC increment in the mailbox.
+type req struct {
+	c     *conn // nil: fire-and-forget (UDP)
+	id    uint64
+	wire  int
+	k     int64
+	batch bool // answer with TRanges (TIncBatch) vs TValue (TInc)
+	enq   time.Time
+}
+
+// Server serves one Backend over TCP (and optionally UDP).
+type Server struct {
+	be    Backend
+	shape network.Shape
+	opt   Options
+
+	mail    chan req
+	done    chan struct{} // closed when Close begins
+	drained chan struct{} // closed when the combiner has swept the last request
+
+	mu    sync.Mutex
+	lns   []net.Listener
+	pcs   []net.PacketConn
+	conns map[*conn]struct{}
+
+	readerWg sync.WaitGroup // accept loops, connection readers, packet loops
+	writerWg sync.WaitGroup // connection writers
+
+	closing atomic.Bool
+	closed  chan struct{} // closed when Close has fully finished
+
+	connSeq atomic.Int64
+	issued  atomic.Int64
+
+	// linMu is the linearizing section: a LIN request's whole traversal
+	// happens inside it, so LIN values are handed out in real-time order
+	// (sequential executions of a counting network are gap-free at every
+	// step). SC traffic does not take it — that is exactly the freedom SC
+	// buys.
+	linMu sync.Mutex
+}
+
+// New builds a server for be. Call Listen/Serve to accept traffic and
+// Close to drain and stop.
+func New(be Backend, opt Options) *Server {
+	s := &Server{
+		be:      be,
+		shape:   be.Shape(),
+		opt:     opt.withDefaults(),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+		closed:  make(chan struct{}),
+		conns:   make(map[*conn]struct{}),
+	}
+	s.mail = make(chan req, s.opt.Mailbox)
+	go s.combine()
+	return s
+}
+
+// Shape returns the served network's topology (what THello advertises).
+func (s *Server) Shape() network.Shape { return s.shape }
+
+// Issued returns the number of counter values the server has handed out.
+func (s *Server) Issued() int64 { return s.issued.Load() }
+
+// Stats returns the server's stats sink (nil unless Options.Stats was set).
+func (s *Server) Stats() *Stats { return s.opt.Stats }
+
+// Listen starts accepting TCP connections on addr (e.g. "127.0.0.1:0")
+// and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	s.readerWg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// ListenPacket starts the optional UDP endpoint on addr: datagrams
+// carrying SC TInc/TIncBatch frames are folded into the combining loop
+// fire-and-forget — no response, at-most-once (a datagram that misses the
+// mailbox is dropped and counted).
+func (s *Server) ListenPacket(addr string) (net.Addr, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.pcs = append(s.pcs, pc)
+	s.mu.Unlock()
+	s.readerWg.Add(1)
+	go s.packetLoop(pc)
+	return pc.LocalAddr(), nil
+}
+
+// Serve accepts connections from ln until the server closes. Most callers
+// want Listen; Serve exists for custom listeners.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	s.readerWg.Add(1)
+	s.acceptLoop(ln)
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.readerWg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Close) or fatal
+		}
+		if s.closing.Load() {
+			_ = nc.Close()
+			return
+		}
+		c := &conn{
+			s:    s,
+			id:   int(s.connSeq.Add(1) - 1),
+			nc:   nc,
+			out:  make(chan wire.Frame, s.opt.OutQueue),
+			dead: make(chan struct{}),
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		if st := s.opt.Stats; st != nil {
+			st.connsTotal.Add(1)
+			st.connsActive.Add(1)
+		}
+		s.readerWg.Add(1)
+		s.writerWg.Add(1)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// packetLoop serves one UDP socket.
+func (s *Server) packetLoop(pc net.PacketConn) {
+	defer s.readerWg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return // socket closed
+		}
+		st := s.opt.Stats
+		f, _, derr := wire.DecodeFrame(buf[:n])
+		if derr != nil || (f.Type != wire.TInc && f.Type != wire.TIncBatch) || f.Mode != wire.ModeSC {
+			if st != nil {
+				st.udpRejected.Add(1)
+			}
+			continue
+		}
+		if st != nil {
+			st.udpDatagrams.Add(1)
+		}
+		if !s.shape.Contains(f.Wire) {
+			if st != nil {
+				st.badWire.Add(1)
+			}
+			continue
+		}
+		k := int64(1)
+		if f.Type == wire.TIncBatch {
+			k = f.K
+		}
+		if k <= 0 {
+			continue
+		}
+		r := req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: time.Now()}
+		select {
+		case s.mail <- r:
+		default:
+			if st != nil {
+				st.udpDropped.Add(1)
+			}
+		}
+	}
+}
+
+// Close drains and stops the server: stop accepting, let readers finish
+// their current frame, sweep the mailbox, flush every pending response,
+// then close the connections. Idempotent; concurrent calls wait for the
+// first to finish.
+func (s *Server) Close() error {
+	if !s.closing.CompareAndSwap(false, true) {
+		<-s.closed
+		return nil
+	}
+	close(s.done)
+	s.mu.Lock()
+	lns, pcs := s.lns, s.pcs
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, pc := range pcs {
+		_ = pc.Close()
+	}
+	// Unblock readers parked in ReadFrame; they notice closing and exit
+	// without killing their connection.
+	for _, c := range conns {
+		_ = c.nc.SetReadDeadline(time.Now())
+	}
+	s.readerWg.Wait()
+	// Readers were the only mailbox senders; the combiner sweeps the rest
+	// and exits.
+	close(s.mail)
+	<-s.drained
+	// No senders remain on any out queue: closing them flushes the writers.
+	s.mu.Lock()
+	conns = conns[:0]
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		close(c.out)
+	}
+	s.writerWg.Wait()
+	for _, c := range conns {
+		_ = c.nc.Close()
+	}
+	close(s.closed)
+	return nil
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	_, present := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if present {
+		if st := s.opt.Stats; st != nil {
+			st.connsActive.Add(-1)
+		}
+	}
+}
+
+// sleepDone pauses for d unless the server begins closing.
+func (s *Server) sleepDone(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.done:
+	}
+}
+
+// combine is the coalescing loop: it drains the mailbox, folds the
+// pending increments of each input wire into one IncBatch sweep, and
+// deals the resulting ranges back to the requests in arrival order.
+func (s *Server) combine() {
+	defer close(s.drained)
+	limit := s.opt.BatchLimit
+	pending := make([]req, 0, limit)
+	for {
+		r, ok := <-s.mail
+		if !ok {
+			return
+		}
+		pending = append(pending[:0], r)
+		more := true
+		for more && len(pending) < limit {
+			select {
+			case r2, ok := <-s.mail:
+				if !ok {
+					s.sweep(pending)
+					return
+				}
+				pending = append(pending, r2)
+			default:
+				more = false
+			}
+		}
+		s.sweep(pending)
+	}
+}
+
+// wireGroup accumulates one input wire's share of a sweep.
+type wireGroup struct {
+	wire  int
+	total int64
+	reqs  []int // indices into the sweep's request slice
+}
+
+// sweep executes one combined pass over the backend.
+func (s *Server) sweep(pending []req) {
+	st := s.opt.Stats
+	now := time.Now()
+
+	// Expire requests that overstayed the mailbox.
+	live := pending[:0]
+	for _, r := range pending {
+		if s.opt.OpTimeout > 0 && now.Sub(r.enq) > s.opt.OpTimeout {
+			if st != nil {
+				st.timeouts.Add(1)
+			}
+			if r.c != nil {
+				r.c.trySend(errFrame(r.id, fault.ErrTimeout))
+			}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if st != nil {
+		st.sweeps.Add(1)
+		st.sweepReqs.Add(uint64(len(live)))
+		st.observeQueue(len(s.mail))
+	}
+
+	// Group by input wire, preserving arrival order within each group.
+	groups := make(map[int]*wireGroup, 4)
+	order := make([]*wireGroup, 0, 4)
+	for i, r := range live {
+		g := groups[r.wire]
+		if g == nil {
+			g = &wireGroup{wire: r.wire}
+			groups[r.wire] = g
+			order = append(order, g)
+		}
+		g.total += r.k
+		g.reqs = append(g.reqs, i)
+	}
+
+	for _, g := range order {
+		rs := s.be.IncBatch(g.wire, int(g.total))
+		s.issued.Add(g.total)
+		if st != nil {
+			st.sweepTokens.Add(uint64(g.total))
+		}
+		// Deal the ranges out to the group's requests in arrival order:
+		// each takes its k values as sub-ranges of the sweep's ranges.
+		ri, off := 0, int64(0)
+		for _, idx := range g.reqs {
+			r := live[idx]
+			need := r.k
+			var out []wire.Range
+			var first int64
+			for need > 0 {
+				cur := rs[ri]
+				take := min(cur.Count-off, need)
+				if len(out) == 0 {
+					first = cur.First + off*cur.Stride
+				}
+				out = append(out, wire.Range{
+					First:  cur.First + off*cur.Stride,
+					Stride: cur.Stride,
+					Count:  take,
+				})
+				off += take
+				need -= take
+				if off == cur.Count {
+					ri++
+					off = 0
+				}
+			}
+			if st != nil {
+				st.scOps.Add(1)
+				st.latSC.Record(r.wire, time.Since(r.enq))
+			}
+			if r.c == nil {
+				continue // fire-and-forget
+			}
+			if r.batch {
+				r.c.trySend(wire.Frame{Type: wire.TRanges, ID: r.id, Rs: out})
+			} else {
+				r.c.trySend(wire.Frame{Type: wire.TValue, ID: r.id, Value: first})
+			}
+		}
+	}
+}
+
+// errFrame builds the TError response for err.
+func errFrame(id uint64, err error) wire.Frame {
+	return wire.Frame{Type: wire.TError, ID: id, Code: wire.CodeOf(err), Msg: err.Error()}
+}
+
+// conn is one TCP connection: a reader goroutine parsing request frames
+// and a writer goroutine flushing response frames — the per-connection
+// goroutine pair.
+type conn struct {
+	s    *Server
+	id   int
+	nc   net.Conn
+	out  chan wire.Frame
+	dead chan struct{}
+	die  sync.Once
+
+	inSeq, outSeq int // frame-fault sequence numbers (single-threaded each)
+}
+
+// markDead abandons the connection: pending responses are discarded and
+// the socket is closed. Used for protocol violations, overflow and client
+// disconnects — never for server Close, which drains instead.
+func (c *conn) markDead() {
+	c.die.Do(func() {
+		close(c.dead)
+		_ = c.nc.Close()
+		c.s.removeConn(c)
+	})
+}
+
+// trySend queues a response without ever blocking the caller (the
+// combiner must not stall on one slow client): a full queue kills the
+// connection.
+func (c *conn) trySend(f wire.Frame) {
+	select {
+	case <-c.dead:
+		return
+	default:
+	}
+	select {
+	case c.out <- f:
+	case <-c.dead:
+	default:
+		if st := c.s.opt.Stats; st != nil {
+			st.evictions.Add(1)
+		}
+		c.markDead()
+	}
+}
+
+func (c *conn) readLoop() {
+	defer c.s.readerWg.Done()
+	br := newFrameReader(c.nc)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			if !c.s.closing.Load() {
+				c.markDead()
+			}
+			return
+		}
+		if st := c.s.opt.Stats; st != nil {
+			st.framesIn.Add(1)
+		}
+		if ff := c.s.opt.Faults; ff != nil {
+			fa := ff.Frame(c.id, true, c.inSeq)
+			c.inSeq++
+			c.noteFault(fa)
+			if fa.Delay > 0 {
+				c.s.sleepDone(fa.Delay)
+			}
+			if fa.Drop {
+				continue
+			}
+			c.process(f)
+			if fa.Duplicate {
+				c.process(f)
+			}
+			continue
+		}
+		c.process(f)
+	}
+}
+
+func (c *conn) noteFault(fa wire.FrameFault) {
+	st := c.s.opt.Stats
+	if st == nil {
+		return
+	}
+	if fa.Drop {
+		st.faultDropped.Add(1)
+	}
+	if fa.Duplicate {
+		st.faultDuplicated.Add(1)
+	}
+	if fa.Delay > 0 {
+		st.faultDelayed.Add(1)
+	}
+}
+
+// process handles one request frame on the reader goroutine.
+func (c *conn) process(f wire.Frame) {
+	s := c.s
+	st := s.opt.Stats
+	switch f.Type {
+	case wire.THello:
+		c.trySend(wire.Frame{Type: wire.TShape, ID: f.ID, Shape: s.shape})
+	case wire.TRead:
+		c.trySend(wire.Frame{Type: wire.TValue, ID: f.ID, Value: s.issued.Load()})
+	case wire.TSnapshot:
+		var body []byte
+		if st != nil {
+			body, _ = json.Marshal(st.Snapshot())
+		} else {
+			body, _ = json.Marshal(map[string]int64{"issued": s.issued.Load()})
+		}
+		c.trySend(wire.Frame{Type: wire.TInfo, ID: f.ID, Data: body})
+	case wire.TInc, wire.TIncBatch:
+		k := int64(1)
+		batch := f.Type == wire.TIncBatch
+		if batch {
+			k = f.K
+		}
+		if !s.shape.Contains(f.Wire) {
+			if st != nil {
+				st.badWire.Add(1)
+			}
+			c.trySend(errFrame(f.ID, fmt.Errorf("%w: wire %d, width %d", wire.ErrBadWire, f.Wire, s.shape.Width)))
+			return
+		}
+		if k == 0 {
+			c.trySend(wire.Frame{Type: wire.TRanges, ID: f.ID, Rs: []wire.Range{}})
+			return
+		}
+		if f.Mode == wire.ModeLIN || s.opt.ForceLIN {
+			c.processLIN(f.ID, int(f.Wire), k, batch)
+			return
+		}
+		r := req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: time.Now()}
+		select {
+		case s.mail <- r:
+		default:
+			if st != nil {
+				st.backpressure.Add(1)
+			}
+			c.trySend(errFrame(f.ID, wire.ErrBackpressure))
+		}
+	default:
+		c.trySend(errFrame(f.ID, fmt.Errorf("%w: %v is not a request", wire.ErrBadFrame, f.Type)))
+	}
+}
+
+// processLIN serves one linearizable increment: the whole traversal runs
+// inside the linearizing section, so values are handed to LIN requests in
+// real-time order — the waiting the condition demands, paid per request.
+func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
+	s := c.s
+	start := time.Now()
+	s.linMu.Lock()
+	var first int64
+	var rs []runtime.Range
+	if k == 1 {
+		first = s.be.Inc(w)
+	} else {
+		rs = s.be.IncBatch(w, int(k))
+		first = rs[0].First
+	}
+	s.issued.Add(k)
+	s.linMu.Unlock()
+	if st := s.opt.Stats; st != nil {
+		st.linOps.Add(1)
+		st.latLIN.Record(w, time.Since(start))
+	}
+	if !batch {
+		c.trySend(wire.Frame{Type: wire.TValue, ID: id, Value: first})
+		return
+	}
+	out := make([]wire.Range, 0, len(rs))
+	if k == 1 {
+		out = append(out, wire.Range{First: first, Stride: 1, Count: 1})
+	}
+	for _, r := range rs {
+		out = append(out, wire.Range{First: r.First, Stride: r.Stride, Count: r.Count})
+	}
+	c.trySend(wire.Frame{Type: wire.TRanges, ID: id, Rs: out})
+}
+
+func (c *conn) writeLoop() {
+	defer c.s.writerWg.Done()
+	bw := newFrameWriter(c.nc)
+	var scratch []byte
+	broken := false
+	st := c.s.opt.Stats
+	write := func(f *wire.Frame) {
+		if broken {
+			return
+		}
+		var err error
+		scratch, err = wire.AppendFrame(scratch[:0], f)
+		if err != nil {
+			// Server-built frames always encode; treat failure as fatal
+			// for this connection rather than corrupting the stream.
+			broken = true
+			c.markDead()
+			return
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			broken = true
+			c.markDead()
+			return
+		}
+		if st != nil {
+			st.framesOut.Add(1)
+		}
+	}
+	for {
+		select {
+		case f, ok := <-c.out:
+			if !ok {
+				// Server Close: flush what was queued and finish.
+				if !broken {
+					_ = bw.Flush()
+				}
+				return
+			}
+			if ff := c.s.opt.Faults; ff != nil {
+				fa := ff.Frame(c.id, false, c.outSeq)
+				c.outSeq++
+				c.noteFault(fa)
+				if fa.Delay > 0 {
+					c.s.sleepDone(fa.Delay)
+				}
+				if fa.Drop {
+					continue
+				}
+				write(&f)
+				if fa.Duplicate {
+					write(&f)
+				}
+			} else {
+				write(&f)
+			}
+			if len(c.out) == 0 && !broken {
+				if err := bw.Flush(); err != nil {
+					broken = true
+					c.markDead()
+				}
+			}
+		case <-c.dead:
+			// Abandoned connection: discard whatever is still queued.
+			return
+		}
+	}
+}
+
+// Drained reports whether every accepted request has been answered and
+// the server fully closed; it is closed-channel-as-event for tests.
+func (s *Server) Drained() <-chan struct{} { return s.closed }
+
+func newFrameReader(nc net.Conn) *bufio.Reader { return bufio.NewReaderSize(nc, 32<<10) }
+func newFrameWriter(nc net.Conn) *bufio.Writer { return bufio.NewWriterSize(nc, 32<<10) }

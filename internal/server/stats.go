@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Stats is the serving layer's metrics sink: lock-free counters plus
+// per-mode latency histograms. Create one with NewStats, pass it in
+// Options, and expose it over HTTP by handing AppendMetrics to
+// telemetry.Handler as an extra appender.
+type Stats struct {
+	connsTotal  atomic.Int64
+	connsActive atomic.Int64
+
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+
+	scOps  atomic.Uint64 // coalesced increments answered
+	linOps atomic.Uint64 // serialized increments answered
+
+	sweeps      atomic.Uint64 // combiner passes that touched the backend
+	sweepReqs   atomic.Uint64 // requests folded across all sweeps
+	sweepTokens atomic.Uint64 // counter values issued by coalesced sweeps
+
+	queueMax atomic.Int64 // high-water mark of the mailbox depth
+
+	backpressure atomic.Uint64 // requests refused: mailbox full
+	timeouts     atomic.Uint64 // requests expired in the mailbox
+	badWire      atomic.Uint64 // requests naming an out-of-range wire
+	evictions    atomic.Uint64 // connections killed for unread responses
+
+	udpDatagrams atomic.Uint64 // well-formed datagrams accepted
+	udpRejected  atomic.Uint64 // datagrams that failed decode/validation
+	udpDropped   atomic.Uint64 // datagrams shed because the mailbox was full
+
+	faultDropped    atomic.Uint64 // frames dropped by injected faults
+	faultDuplicated atomic.Uint64 // frames duplicated by injected faults
+	faultDelayed    atomic.Uint64 // frames delayed by injected faults
+
+	latSC  *telemetry.Histogram // mailbox-entry to response-enqueue
+	latLIN *telemetry.Histogram // linearizing-section round trip
+}
+
+// NewStats returns a ready-to-use sink; shards sizes the latency
+// histograms (0 picks a small default).
+func NewStats(shards int) *Stats {
+	if shards <= 0 {
+		shards = 8
+	}
+	return &Stats{
+		latSC:  telemetry.NewHistogram(shards),
+		latLIN: telemetry.NewHistogram(shards),
+	}
+}
+
+// observeQueue folds one mailbox-depth observation into the high-water
+// mark.
+func (st *Stats) observeQueue(depth int) {
+	d := int64(depth)
+	for {
+		cur := st.queueMax.Load()
+		if d <= cur || st.queueMax.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of the server's metrics, JSON-ready.
+type Snapshot struct {
+	ConnsTotal  int64 `json:"connsTotal"`
+	ConnsActive int64 `json:"connsActive"`
+
+	FramesIn  uint64 `json:"framesIn"`
+	FramesOut uint64 `json:"framesOut"`
+
+	SCOps  uint64 `json:"scOps"`
+	LINOps uint64 `json:"linOps"`
+
+	Sweeps      uint64 `json:"sweeps"`
+	SweepReqs   uint64 `json:"sweepReqs"`
+	SweepTokens uint64 `json:"sweepTokens"`
+	QueueMax    int64  `json:"queueMax"`
+
+	Backpressure uint64 `json:"backpressure"`
+	Timeouts     uint64 `json:"timeouts"`
+	BadWire      uint64 `json:"badWire"`
+	Evictions    uint64 `json:"evictions"`
+
+	UDPDatagrams uint64 `json:"udpDatagrams"`
+	UDPRejected  uint64 `json:"udpRejected"`
+	UDPDropped   uint64 `json:"udpDropped"`
+
+	FaultDropped    uint64 `json:"faultDropped"`
+	FaultDuplicated uint64 `json:"faultDuplicated"`
+	FaultDelayed    uint64 `json:"faultDelayed"`
+
+	LatencySC  telemetry.LatencySummary `json:"latencySC"`
+	LatencyLIN telemetry.LatencySummary `json:"latencyLIN"`
+}
+
+// Snapshot merges the counters and histograms into a Snapshot.
+func (st *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		ConnsTotal:  st.connsTotal.Load(),
+		ConnsActive: st.connsActive.Load(),
+
+		FramesIn:  st.framesIn.Load(),
+		FramesOut: st.framesOut.Load(),
+
+		SCOps:  st.scOps.Load(),
+		LINOps: st.linOps.Load(),
+
+		Sweeps:      st.sweeps.Load(),
+		SweepReqs:   st.sweepReqs.Load(),
+		SweepTokens: st.sweepTokens.Load(),
+		QueueMax:    st.queueMax.Load(),
+
+		Backpressure: st.backpressure.Load(),
+		Timeouts:     st.timeouts.Load(),
+		BadWire:      st.badWire.Load(),
+		Evictions:    st.evictions.Load(),
+
+		UDPDatagrams: st.udpDatagrams.Load(),
+		UDPRejected:  st.udpRejected.Load(),
+		UDPDropped:   st.udpDropped.Load(),
+
+		FaultDropped:    st.faultDropped.Load(),
+		FaultDuplicated: st.faultDuplicated.Load(),
+		FaultDelayed:    st.faultDelayed.Load(),
+
+		LatencySC:  st.latSC.Summary(),
+		LatencyLIN: st.latLIN.Summary(),
+	}
+}
+
+// CoalescingFactor reports the mean number of requests folded into one
+// backend sweep — the serving layer's amplification of the kernel's
+// batch path (1 means no coalescing happened).
+func (s Snapshot) CoalescingFactor() float64 {
+	if s.Sweeps == 0 {
+		return 0
+	}
+	return float64(s.SweepReqs) / float64(s.Sweeps)
+}
+
+// AppendMetrics writes the counters in Prometheus text exposition format.
+// Its signature matches telemetry.Handler's extra-appender hook.
+func (st *Stats) AppendMetrics(w io.Writer) {
+	s := st.Snapshot()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("countd_conns_active", "open client connections", s.ConnsActive)
+	counter("countd_conns_total", "client connections accepted", uint64(s.ConnsTotal))
+	counter("countd_frames_in_total", "request frames read", s.FramesIn)
+	counter("countd_frames_out_total", "response frames written", s.FramesOut)
+	counter("countd_sc_ops_total", "sequentially consistent increments served", s.SCOps)
+	counter("countd_lin_ops_total", "linearizable increments served", s.LINOps)
+	counter("countd_sweeps_total", "coalesced backend sweeps", s.Sweeps)
+	counter("countd_sweep_requests_total", "requests folded into sweeps", s.SweepReqs)
+	counter("countd_sweep_tokens_total", "counter values issued by sweeps", s.SweepTokens)
+	gauge("countd_queue_high_water", "mailbox depth high-water mark", s.QueueMax)
+	counter("countd_backpressure_total", "requests refused with queue full", s.Backpressure)
+	counter("countd_timeouts_total", "requests expired in the mailbox", s.Timeouts)
+	counter("countd_bad_wire_total", "requests naming an invalid wire", s.BadWire)
+	counter("countd_evictions_total", "connections dropped for unread responses", s.Evictions)
+	counter("countd_udp_datagrams_total", "UDP increments accepted", s.UDPDatagrams)
+	counter("countd_udp_rejected_total", "UDP datagrams rejected", s.UDPRejected)
+	counter("countd_udp_dropped_total", "UDP datagrams shed under load", s.UDPDropped)
+	counter("countd_fault_dropped_total", "frames dropped by fault injection", s.FaultDropped)
+	counter("countd_fault_duplicated_total", "frames duplicated by fault injection", s.FaultDuplicated)
+	counter("countd_fault_delayed_total", "frames delayed by fault injection", s.FaultDelayed)
+	writeHist(w, "countd_latency_sc", "SC increment latency", s.LatencySC)
+	writeHist(w, "countd_latency_lin", "LIN increment latency", s.LatencyLIN)
+}
+
+// writeHist writes one latency summary as a Prometheus histogram.
+func writeHist(w io.Writer, name, help string, ls telemetry.LatencySummary) {
+	fmt.Fprintf(w, "# HELP %s_seconds %s\n# TYPE %s_seconds histogram\n", name, help, name)
+	var cum uint64
+	for i, c := range ls.Buckets {
+		cum += c
+		bound := ls.Bounds[i]
+		if bound < 0 {
+			continue // overflow bucket is the +Inf line below
+		}
+		fmt.Fprintf(w, "%s_seconds_bucket{le=\"%g\"} %d\n", name, float64(bound)/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_seconds_bucket{le=\"+Inf\"} %d\n", name, ls.Count)
+	fmt.Fprintf(w, "%s_seconds_sum %g\n", name, time.Duration(ls.Sum).Seconds())
+	fmt.Fprintf(w, "%s_seconds_count %d\n", name, ls.Count)
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -20,7 +21,13 @@ import (
 // Either argument may be nil; the corresponding sections are omitted. The
 // handler is a plain ServeMux, so callers can mount it under their own mux
 // and add routes beside it.
-func Handler(c *Collector, mon *consistency.Online) http.Handler {
+//
+// extras are appended to the /metrics exposition after the built-in
+// sections; each is called per scrape with the response writer. The
+// serving layer uses this to publish its countd_* metrics (pass
+// server.Stats.AppendMetrics) without the telemetry package knowing
+// about it.
+func Handler(c *Collector, mon *consistency.Online, extras ...func(io.Writer)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -30,6 +37,11 @@ func Handler(c *Collector, mon *consistency.Online) http.Handler {
 		}
 		if mon != nil {
 			writeConsistencyMetrics(&b, mon.Fractions())
+		}
+		for _, extra := range extras {
+			if extra != nil {
+				extra(&b)
+			}
 		}
 		_, _ = w.Write([]byte(b.String()))
 	})

@@ -1,0 +1,527 @@
+// Package wire is the binary protocol of the networked counting service:
+// the frame format spoken between cmd/countd (internal/server) and
+// internal/client over TCP and UDP.
+//
+// A frame is a fixed five-byte header, a varint-length-prefixed payload,
+// and a CRC:
+//
+//	offset  size  field
+//	0       2     magic 0x43 0x4E ("CN")
+//	2       1     protocol version (currently 1)
+//	3       1     frame type (TInc, TIncBatch, ...)
+//	4       1     flags (bit 0: consistency mode, 0 = SC, 1 = LIN)
+//	5       1-10  payload length (uvarint)
+//	...     n     payload (per-type varint fields, see below)
+//	...     4     CRC-32C (little-endian) over everything before it
+//
+// Payloads are varint-packed: unsigned fields (request ids, counts) are
+// uvarints, fields that may be negative (wire ids, counter values) are
+// zigzag varints. Every payload starts with the request id, so responses
+// can be matched to pipelined requests in any order:
+//
+//	TInc       id, wire               →  TValue  id, value
+//	TIncBatch  id, wire, k            →  TRanges id, n, n×(first, stride, count)
+//	TRead      id                     →  TValue  id, issued
+//	THello     id                     →  TShape  id, width, sinks, balancers, depth
+//	TSnapshot  id                     →  TInfo   id, len, bytes (JSON)
+//	any        —                      →  TError  id, code, len, message
+//
+// The mode flag rides on every request frame: SC requests may be coalesced
+// and answered with purely local latency, LIN requests are serialized
+// through the server's linearizing section — the protocol-level form of
+// the paper's sequentially-consistent-versus-linearizable tradeoff.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+)
+
+// Protocol constants.
+const (
+	Version = 1 // current protocol version
+
+	magic0, magic1 = 0x43, 0x4E // "CN"
+
+	headerSize = 5
+	crcSize    = 4
+
+	// MaxPayload bounds a frame's payload; DecodeFrame rejects larger
+	// claims before allocating, so a corrupt length cannot balloon memory.
+	MaxPayload = 1 << 20
+)
+
+// castagnoli is the CRC-32C table shared by every encode/decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Mode is a request's consistency mode — the protocol knob the paper's
+// contrast becomes once tokens arrive over a network.
+type Mode uint8
+
+const (
+	// ModeSC asks for sequentially consistent counting: the server may
+	// coalesce the increment with others and answer from the batched sweep.
+	ModeSC Mode = 0
+	// ModeLIN asks for linearizable counting: the increment is serialized
+	// through the server's linearizing section and pays the round trip the
+	// condition demands.
+	ModeLIN Mode = 1
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeLIN {
+		return "lin"
+	}
+	return "sc"
+}
+
+// ParseMode parses "sc" or "lin".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "sc", "SC":
+		return ModeSC, nil
+	case "lin", "LIN":
+		return ModeLIN, nil
+	}
+	return ModeSC, fmt.Errorf("wire: unknown consistency mode %q (want sc or lin)", s)
+}
+
+// Type is a frame's opcode.
+type Type uint8
+
+const (
+	// Requests.
+	TInc      Type = 1 // obtain one counter value from a wire
+	TIncBatch Type = 2 // reserve k values from a wire in one sweep
+	TRead     Type = 3 // read the number of values the server handed out
+	THello    Type = 4 // ask for the served network's shape
+	TSnapshot Type = 5 // ask for the server's stats snapshot (JSON)
+
+	// Responses.
+	TValue  Type = 16 // one value (answers TInc and TRead)
+	TRanges Type = 17 // value ranges (answers TIncBatch)
+	TShape  Type = 18 // network shape (answers THello)
+	TInfo   Type = 19 // opaque bytes (answers TSnapshot)
+	TError  Type = 20 // typed failure for any request
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TInc:
+		return "inc"
+	case TIncBatch:
+		return "incbatch"
+	case TRead:
+		return "read"
+	case THello:
+		return "hello"
+	case TSnapshot:
+		return "snapshot"
+	case TValue:
+		return "value"
+	case TRanges:
+		return "ranges"
+	case TShape:
+		return "shape"
+	case TInfo:
+		return "info"
+	case TError:
+		return "error"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// IsRequest reports whether t is a client-to-server opcode.
+func (t Type) IsRequest() bool { return t >= TInc && t <= TSnapshot }
+
+// flag bits.
+const flagLIN = 0x01
+
+// Decode failures: the frame bytes themselves are unusable.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	ErrTruncated  = errors.New("wire: truncated frame")
+	ErrCRC        = errors.New("wire: frame CRC mismatch")
+	ErrBadFrame   = errors.New("wire: malformed frame payload")
+	ErrTooBig     = errors.New("wire: frame payload exceeds limit")
+)
+
+// Service failures: the frame was fine, the request was not. These travel
+// as TError frames with an ErrCode and come back out as these sentinels
+// (or the shared fault-package ones), so errors.Is works end to end.
+var (
+	// ErrBadWire reports a request naming an input wire outside the served
+	// network's topology (wire < 0 or wire ≥ width).
+	ErrBadWire = errors.New("wire: input wire outside network width")
+	// ErrBackpressure reports a request the server refused because its
+	// request queue was full — retry after backoff.
+	ErrBackpressure = errors.New("wire: server queue full")
+)
+
+// ErrCode is a service failure's code on the wire.
+type ErrCode uint8
+
+const (
+	CodeBadRequest   ErrCode = 1
+	CodeBadWire      ErrCode = 2
+	CodeBackpressure ErrCode = 3
+	CodeTimeout      ErrCode = 4
+	CodeClosed       ErrCode = 5
+)
+
+// Err converts a code back into its sentinel error.
+func (c ErrCode) Err() error {
+	switch c {
+	case CodeBadWire:
+		return ErrBadWire
+	case CodeBackpressure:
+		return ErrBackpressure
+	case CodeTimeout:
+		return fault.ErrTimeout
+	case CodeClosed:
+		return fault.ErrClosed
+	case CodeBadRequest:
+		return ErrBadFrame
+	}
+	return fmt.Errorf("wire: server error code %d", uint8(c))
+}
+
+// CodeOf maps an error onto its wire code (CodeBadRequest for anything
+// unrecognised).
+func CodeOf(err error) ErrCode {
+	switch {
+	case errors.Is(err, ErrBadWire):
+		return CodeBadWire
+	case errors.Is(err, ErrBackpressure):
+		return CodeBackpressure
+	case errors.Is(err, fault.ErrTimeout):
+		return CodeTimeout
+	case errors.Is(err, fault.ErrClosed):
+		return CodeClosed
+	}
+	return CodeBadRequest
+}
+
+// Range mirrors runtime.Range on the wire: an arithmetic progression of
+// counter values (First, First+Stride, ..., First+(Count-1)*Stride).
+type Range struct {
+	First  int64
+	Stride int64
+	Count  int64
+}
+
+// Frame is one decoded protocol frame. Which fields are meaningful depends
+// on Type; unset fields are zero.
+type Frame struct {
+	Type Type
+	Mode Mode
+	ID   uint64
+
+	Wire  int64         // TInc, TIncBatch
+	K     int64         // TIncBatch
+	Value int64         // TValue
+	Rs    []Range       // TRanges
+	Shape network.Shape // TShape
+	Code  ErrCode       // TError
+	Msg   string        // TError
+	Data  []byte        // TInfo
+}
+
+// AppendFrame encodes f and appends the bytes to dst.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	payload, err := appendPayload(nil, f)
+	if err != nil {
+		return dst, err
+	}
+	if len(payload) > MaxPayload {
+		return dst, ErrTooBig
+	}
+	start := len(dst)
+	flags := byte(0)
+	if f.Mode == ModeLIN {
+		flags |= flagLIN
+	}
+	dst = append(dst, magic0, magic1, Version, byte(f.Type), flags)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+// EncodeFrame encodes f into a fresh buffer.
+func EncodeFrame(f *Frame) ([]byte, error) { return AppendFrame(nil, f) }
+
+// appendPayload writes f's per-type payload fields.
+func appendPayload(p []byte, f *Frame) ([]byte, error) {
+	p = binary.AppendUvarint(p, f.ID)
+	switch f.Type {
+	case TInc:
+		p = binary.AppendVarint(p, f.Wire)
+	case TIncBatch:
+		if f.K < 0 {
+			return p, fmt.Errorf("%w: negative batch size %d", ErrBadFrame, f.K)
+		}
+		p = binary.AppendVarint(p, f.Wire)
+		p = binary.AppendUvarint(p, uint64(f.K))
+	case TRead, THello, TSnapshot:
+		// id only
+	case TValue:
+		p = binary.AppendVarint(p, f.Value)
+	case TRanges:
+		p = binary.AppendUvarint(p, uint64(len(f.Rs)))
+		for _, r := range f.Rs {
+			if r.Stride < 0 || r.Count < 0 {
+				return p, fmt.Errorf("%w: negative range stride/count", ErrBadFrame)
+			}
+			p = binary.AppendVarint(p, r.First)
+			p = binary.AppendUvarint(p, uint64(r.Stride))
+			p = binary.AppendUvarint(p, uint64(r.Count))
+		}
+	case TShape:
+		p = binary.AppendUvarint(p, uint64(f.Shape.Width))
+		p = binary.AppendUvarint(p, uint64(f.Shape.Sinks))
+		p = binary.AppendUvarint(p, uint64(f.Shape.Balancers))
+		p = binary.AppendUvarint(p, uint64(f.Shape.Depth))
+	case TInfo:
+		p = binary.AppendUvarint(p, uint64(len(f.Data)))
+		p = append(p, f.Data...)
+	case TError:
+		p = binary.AppendUvarint(p, uint64(f.Code))
+		p = binary.AppendUvarint(p, uint64(len(f.Msg)))
+		p = append(p, f.Msg...)
+	default:
+		return p, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, f.Type)
+	}
+	return p, nil
+}
+
+// DecodeFrame decodes the first frame in b, returning it and the number of
+// bytes consumed. A short buffer returns ErrTruncated (read more and call
+// again); any other error means the stream is unsynchronized and the
+// connection should be dropped.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < headerSize {
+		return f, 0, ErrTruncated
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return f, 0, ErrBadMagic
+	}
+	if b[2] != Version {
+		return f, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	f.Type = Type(b[3])
+	if b[4]&flagLIN != 0 {
+		f.Mode = ModeLIN
+	}
+	plen, n := binary.Uvarint(b[headerSize:])
+	if n == 0 {
+		return f, 0, ErrTruncated
+	}
+	if n < 0 || plen > MaxPayload {
+		return f, 0, ErrTooBig
+	}
+	total := headerSize + n + int(plen) + crcSize
+	if len(b) < total {
+		return f, 0, ErrTruncated
+	}
+	body := b[:total-crcSize]
+	want := binary.LittleEndian.Uint32(b[total-crcSize : total])
+	if crc32.Checksum(body, castagnoli) != want {
+		return f, 0, ErrCRC
+	}
+	if err := parsePayload(&f, b[headerSize+n:total-crcSize]); err != nil {
+		return f, 0, err
+	}
+	return f, total, nil
+}
+
+// parsePayload fills f's typed fields from the payload bytes; the whole
+// payload must be consumed.
+func parsePayload(f *Frame, p []byte) error {
+	var err error
+	if f.ID, p, err = getUvarint(p); err != nil {
+		return err
+	}
+	switch f.Type {
+	case TInc:
+		f.Wire, p, err = getVarint(p)
+	case TIncBatch:
+		if f.Wire, p, err = getVarint(p); err == nil {
+			var k uint64
+			if k, p, err = getUvarint(p); err == nil {
+				if k > uint64(1)<<32 {
+					return fmt.Errorf("%w: batch size %d", ErrBadFrame, k)
+				}
+				f.K = int64(k)
+			}
+		}
+	case TRead, THello, TSnapshot:
+	case TValue:
+		f.Value, p, err = getVarint(p)
+	case TRanges:
+		var n uint64
+		if n, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		// Each range is at least 3 payload bytes; reject count claims the
+		// remaining payload cannot possibly hold.
+		if n > uint64(len(p)) {
+			return fmt.Errorf("%w: %d ranges in %d bytes", ErrBadFrame, n, len(p))
+		}
+		f.Rs = make([]Range, n)
+		for i := range f.Rs {
+			var s, c uint64
+			if f.Rs[i].First, p, err = getVarint(p); err != nil {
+				return err
+			}
+			if s, p, err = getUvarint(p); err != nil {
+				return err
+			}
+			if c, p, err = getUvarint(p); err != nil {
+				return err
+			}
+			f.Rs[i].Stride, f.Rs[i].Count = int64(s), int64(c)
+			if f.Rs[i].Stride < 0 || f.Rs[i].Count < 0 {
+				return fmt.Errorf("%w: range overflow", ErrBadFrame)
+			}
+		}
+	case TShape:
+		var w, s, nb, d uint64
+		if w, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if s, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if nb, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if d, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		const lim = 1 << 30
+		if w > lim || s > lim || nb > lim || d > lim {
+			return fmt.Errorf("%w: absurd shape", ErrBadFrame)
+		}
+		f.Shape = network.Shape{Width: int(w), Sinks: int(s), Balancers: int(nb), Depth: int(d)}
+	case TInfo:
+		var n uint64
+		if n, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if n != uint64(len(p)) {
+			return fmt.Errorf("%w: info length %d vs %d", ErrBadFrame, n, len(p))
+		}
+		f.Data = append([]byte(nil), p...)
+		p = nil
+	case TError:
+		var code, n uint64
+		if code, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if code == 0 || code > 255 {
+			return fmt.Errorf("%w: error code %d", ErrBadFrame, code)
+		}
+		f.Code = ErrCode(code)
+		if n, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if n != uint64(len(p)) {
+			return fmt.Errorf("%w: message length %d vs %d", ErrBadFrame, n, len(p))
+		}
+		f.Msg = string(p)
+		p = nil
+	default:
+		return fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, f.Type)
+	}
+	if err != nil {
+		return err
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, len(p))
+	}
+	return nil
+}
+
+func getUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, fmt.Errorf("%w: bad uvarint", ErrBadFrame)
+	}
+	return v, p[n:], nil
+}
+
+func getVarint(p []byte) (int64, []byte, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, p, fmt.Errorf("%w: bad varint", ErrBadFrame)
+	}
+	return v, p[n:], nil
+}
+
+// ReadFrame reads one frame from a buffered stream, verifying the CRC. It
+// returns io.EOF cleanly only at a frame boundary; a connection cut inside
+// a frame returns io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var f Frame
+	var raw [headerSize + binary.MaxVarintLen64]byte
+	if _, err := io.ReadFull(br, raw[:headerSize]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return f, io.ErrUnexpectedEOF
+		}
+		return f, err
+	}
+	n := headerSize
+	// Read the payload-length uvarint byte by byte, keeping the raw bytes
+	// for the CRC.
+	plen := uint64(0)
+	for shift := 0; ; shift += 7 {
+		if shift >= 64 || n == len(raw) {
+			return f, ErrTooBig
+		}
+		c, err := br.ReadByte()
+		if err != nil {
+			return f, unexpected(err)
+		}
+		raw[n] = c
+		n++
+		plen |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			break
+		}
+	}
+	if plen > MaxPayload {
+		return f, ErrTooBig
+	}
+	buf := make([]byte, n+int(plen)+crcSize)
+	copy(buf, raw[:n])
+	if _, err := io.ReadFull(br, buf[n:]); err != nil {
+		return f, unexpected(err)
+	}
+	f, consumed, err := DecodeFrame(buf)
+	if err != nil {
+		return f, err
+	}
+	if consumed != len(buf) {
+		return f, ErrBadFrame
+	}
+	return f, nil
+}
+
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+)
+
+// randFrame draws a random well-formed frame of any type.
+func randFrame(rng *rand.Rand) Frame {
+	types := []Type{TInc, TIncBatch, TRead, THello, TSnapshot, TValue, TRanges, TShape, TInfo, TError}
+	f := Frame{
+		Type: types[rng.Intn(len(types))],
+		Mode: Mode(rng.Intn(2)),
+		ID:   rng.Uint64() >> uint(rng.Intn(64)),
+	}
+	switch f.Type {
+	case TInc:
+		f.Wire = rng.Int63n(1<<40) - 1<<39
+	case TIncBatch:
+		f.Wire = rng.Int63n(1<<40) - 1<<39
+		f.K = rng.Int63n(1 << 20)
+	case TValue:
+		f.Value = rng.Int63() - rng.Int63()
+	case TRanges:
+		n := rng.Intn(8)
+		f.Rs = make([]Range, n)
+		for i := range f.Rs {
+			f.Rs[i] = Range{
+				First:  rng.Int63n(1 << 50),
+				Stride: rng.Int63n(64) + 1,
+				Count:  rng.Int63n(1 << 16),
+			}
+		}
+		if n == 0 {
+			f.Rs = []Range{}
+		}
+	case TShape:
+		f.Shape = network.Shape{
+			Width:     rng.Intn(1 << 16),
+			Sinks:     rng.Intn(1 << 16),
+			Balancers: rng.Intn(1 << 20),
+			Depth:     rng.Intn(1 << 10),
+		}
+	case TInfo:
+		f.Data = make([]byte, rng.Intn(256))
+		rng.Read(f.Data)
+	case TError:
+		f.Code = ErrCode(rng.Intn(5) + 1)
+		b := make([]byte, rng.Intn(64))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		f.Msg = string(b)
+	}
+	return f
+}
+
+func framesEqual(a, b Frame) bool {
+	if a.Type != b.Type || a.Mode != b.Mode || a.ID != b.ID ||
+		a.Wire != b.Wire || a.K != b.K || a.Value != b.Value ||
+		a.Shape != b.Shape || a.Code != b.Code || a.Msg != b.Msg {
+		return false
+	}
+	if len(a.Rs) != len(b.Rs) {
+		return false
+	}
+	for i := range a.Rs {
+		if a.Rs[i] != b.Rs[i] {
+			return false
+		}
+	}
+	return bytes.Equal(a.Data, b.Data)
+}
+
+// TestRoundTrip: randomized frames encode and decode to themselves, both
+// through the buffer API and the streaming reader.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		f := randFrame(rng)
+		enc, err := EncodeFrame(&f)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", f, err)
+		}
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if !framesEqual(f, got) {
+			t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", f, got)
+		}
+	}
+}
+
+// TestStreamRoundTrip: many frames back to back through a bufio stream.
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	var want []Frame
+	for i := 0; i < 200; i++ {
+		f := randFrame(rng)
+		enc, err := EncodeFrame(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(enc)
+		want = append(want, f)
+	}
+	br := bufio.NewReader(&buf)
+	for i, w := range want {
+		got, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !framesEqual(w, got) {
+			t.Fatalf("frame %d mismatch:\n  in  %+v\n  out %+v", i, w, got)
+		}
+	}
+	if _, err := ReadFrame(br); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF at stream end, got %v", err)
+	}
+}
+
+// TestDecodeRejectsCorruption: flipping any single bit of an encoded frame
+// must not decode to the original frame — either the CRC (or a structural
+// check) rejects it, or it decodes to a *different* well-formed frame
+// (possible only in theory for CRC collisions, which a single bit flip
+// cannot produce).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		f := randFrame(rng)
+		enc, err := EncodeFrame(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bit := 0; bit < len(enc)*8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[bit/8] ^= 1 << (bit % 8)
+			got, n, err := DecodeFrame(mut)
+			if err == nil && n == len(mut) && framesEqual(f, got) {
+				t.Fatalf("bit flip %d went undetected (frame %+v)", bit, f)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsTruncation: every strict prefix of a frame reports
+// ErrTruncated (ask for more bytes), never a bogus success.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		f := randFrame(rng)
+		enc, err := EncodeFrame(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(enc); n++ {
+			if _, _, err := DecodeFrame(enc[:n]); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("prefix %d/%d: want ErrTruncated, got %v", n, len(enc), err)
+			}
+			if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc[:n]))); err == nil {
+				t.Fatalf("stream prefix %d/%d decoded", n, len(enc))
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsGarbage: bad magic, bad version, absurd length claims.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	f := Frame{Type: TInc, ID: 7, Wire: 3}
+	enc, _ := EncodeFrame(&f)
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: got %v", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[2] = 99
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: got %v", err)
+	}
+
+	// A length claim beyond MaxPayload must be rejected before allocation.
+	huge := []byte{magic0, magic1, Version, byte(TInc), 0, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("huge length: got %v", err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("huge length (stream): got %v", err)
+	}
+}
+
+// TestErrorCodeMapping: sentinels survive the code round trip.
+func TestErrorCodeMapping(t *testing.T) {
+	for _, err := range []error{ErrBadWire, ErrBackpressure, fault.ErrTimeout, fault.ErrClosed} {
+		if got := CodeOf(err).Err(); !errors.Is(got, err) {
+			t.Errorf("CodeOf(%v).Err() = %v", err, got)
+		}
+	}
+	if CodeOf(errors.New("misc")) != CodeBadRequest {
+		t.Error("unknown errors should map to CodeBadRequest")
+	}
+}
+
+// TestModeFlag: the consistency mode rides the flags byte.
+func TestModeFlag(t *testing.T) {
+	for _, m := range []Mode{ModeSC, ModeLIN} {
+		f := Frame{Type: TInc, ID: 1, Wire: 0, Mode: m}
+		enc, _ := EncodeFrame(&f)
+		got, _, err := DecodeFrame(enc)
+		if err != nil || got.Mode != m {
+			t.Fatalf("mode %v: got %v err %v", m, got.Mode, err)
+		}
+	}
+	if _, err := ParseMode("lin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseMode("eventual"); err == nil {
+		t.Fatal("ParseMode accepted junk")
+	}
+}
