@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json chaos countmon countd netsmoke experiments examples lint clean
+.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke experiments examples lint clean
 
 all: build test
 
@@ -32,7 +32,14 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -time 100ms \
 		-bench . -o BENCH_runtime.json \
-		-bench Throughput -o BENCH_throughput.json
+		-bench 'Throughput|WireEncode|WireDecode|ServerLoopback' -o BENCH_throughput.json
+
+# Serving-path benchmarks: wire codec (asserted zero-allocation) and the
+# in-process server loopback across modes and client counts, merged into
+# the throughput trajectory file.
+servebench:
+	$(GO) run ./cmd/benchjson -time 300ms \
+		-bench 'WireEncode|WireDecode|ServerLoopback' -o BENCH_throughput.json
 
 # The full paper-reproduction report; non-zero exit if any experiment fails.
 experiments:

@@ -1,0 +1,135 @@
+package countingnet
+
+// Serving-path benchmarks: the wire codec in isolation and the full
+// loopback serving stack (server + client library) under SC and LIN at
+// increasing pipelining. BenchmarkWireEncode/BenchmarkWireDecode must
+// report 0 allocs/op — CI's serve-smoke job asserts it — because the
+// codec's allocation-freedom is what the rest of the serving hot path is
+// built on. BenchmarkServerLoopback is the socket-level half of the
+// paper's SC-vs-LIN story: SC coalesces and batches across clients, LIN
+// pays a serialized round trip per increment, and the gap between the two
+// curves is the performance the weaker condition buys.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/construct"
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// serveBenchFrames is the frame mix the loopback path actually carries:
+// the SC request/response pair plus the batched forms the client-side
+// combiner emits.
+func serveBenchFrames() []wire.Frame {
+	return []wire.Frame{
+		{Type: wire.TInc, ID: 42, Wire: 3},
+		{Type: wire.TValue, ID: 42, Value: 123456789},
+		{Type: wire.TIncBatch, ID: 43, Wire: 5, K: 512},
+		{Type: wire.TRanges, ID: 43, Rs: []wire.Range{
+			{First: 1000, Stride: 8, Count: 256},
+			{First: 1004, Stride: 8, Count: 256},
+		}},
+	}
+}
+
+// BenchmarkWireEncode — steady-state frame encoding into a reused buffer;
+// must run at 0 allocs/op.
+func BenchmarkWireEncode(b *testing.B) {
+	frames := serveBenchFrames()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &frames[i%len(frames)]
+		var err error
+		if buf, err = wire.AppendFrame(buf[:0], f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode — steady-state frame decoding into a reused frame;
+// must run at 0 allocs/op.
+func BenchmarkWireDecode(b *testing.B) {
+	frames := serveBenchFrames()
+	encoded := make([][]byte, len(frames))
+	for i := range frames {
+		var err error
+		if encoded[i], err = wire.EncodeFrame(&frames[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var f wire.Frame
+	// Warm the frame's slice capacity so the measurement is steady state.
+	for i := range encoded {
+		if _, err := wire.DecodeInto(&f, encoded[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeInto(&f, encoded[i%len(encoded)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerLoopback — the full serving stack on loopback: a width-8
+// bitonic network served over TCP, g goroutines sharing one client. The
+// ops/s metric is the serving-path throughput trajectory recorded into
+// BENCH_throughput.json by `make servebench`.
+func BenchmarkServerLoopback(b *testing.B) {
+	for _, mode := range []wire.Mode{wire.ModeSC, wire.ModeLIN} {
+		for _, g := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("mode=%s/g=%d", mode, g), func(b *testing.B) {
+				rt := runtime.MustCompile(construct.MustBitonic(8))
+				srv := server.New(rt, server.Options{})
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				c, err := client.Dial(addr.String(), client.Options{Mode: mode, Window: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / g
+				extra := b.N % g
+				for w := 0; w < g; w++ {
+					n := per
+					if w < extra {
+						n++
+					}
+					if n == 0 {
+						continue
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if _, err := c.IncCtx(context.Background(), w); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			})
+		}
+	}
+}

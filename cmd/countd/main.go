@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"time"
 
 	countingnet "repro"
@@ -46,9 +47,13 @@ type options struct {
 	telem    string        // telemetry HTTP address ("" disables)
 	mode     string        // default consistency: sc (coalesce) or lin (serialize all)
 	mailbox  int           // SC mailbox depth (0: server default)
+	shards   int           // combining shards (0: server default)
 	batch    int           // combiner batch limit (0: server default)
 	opTime   time.Duration // per-request mailbox deadline (0: none)
+	flushDur time.Duration // writer flush deadline (0: default, <0: flush eagerly)
+	flushBy  int           // writer flush byte threshold (0: default)
 	duration time.Duration // run length (0: serve until interrupted)
+	cpuprof  string        // write a CPU profile here ("" disables)
 }
 
 func main() {
@@ -60,9 +65,13 @@ func main() {
 	flag.StringVar(&o.telem, "telemetry", "", "HTTP telemetry address (empty: off)")
 	flag.StringVar(&o.mode, "mode", "sc", "default consistency: sc coalesces, lin serializes every increment")
 	flag.IntVar(&o.mailbox, "mailbox", 0, "SC request mailbox depth (0: default)")
+	flag.IntVar(&o.shards, "shards", 0, "combining shards, one combiner per wire range (0: default)")
 	flag.IntVar(&o.batch, "batch", 0, "combiner batch limit (0: default)")
 	flag.DurationVar(&o.opTime, "optimeout", 0, "fail requests queued longer than this (0: never)")
+	flag.DurationVar(&o.flushDur, "flush-delay", 0, "writer flush deadline for pipelined responses (0: default 200µs, negative: flush eagerly)")
+	flag.IntVar(&o.flushBy, "flush-bytes", 0, "writer flush byte threshold (0: default 16KiB)")
 	flag.DurationVar(&o.duration, "duration", 0, "run length (0: serve until interrupted)")
+	flag.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile to this file (empty: off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -97,6 +106,17 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.cpuprof != "" {
+		f, err := os.Create(o.cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	mode, err := countingnet.ParseConsistencyMode(o.mode)
 	if err != nil {
 		return err
@@ -107,14 +127,21 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 
 	// Balancer-level telemetry feeds the same /metrics surface countmon
-	// serves; the server's own stats ride along as an extra section.
-	col := countingnet.NewTelemetryCollectorFor(spec)
-	ctr.SetObserver(col)
+	// serves; the server's own stats ride along as an extra section. The
+	// observer costs atomics on every balancer visit, so it is attached
+	// only when the telemetry endpoint is actually on.
+	var col *countingnet.TelemetryCollector
+	if o.telem != "" {
+		col = countingnet.NewTelemetryCollectorFor(spec)
+		ctr.SetObserver(col)
+	}
 	stats := countingnet.NewServerStats(0)
 	srv := countingnet.NewServer(ctr, countingnet.ServerOptions{
 		Mailbox:    o.mailbox,
+		Shards:     o.shards,
 		BatchLimit: o.batch,
 		OpTimeout:  o.opTime,
+		Flush:      countingnet.ServerFlushPolicy{MaxDelay: o.flushDur, MaxBytes: o.flushBy},
 		Stats:      stats,
 		ForceLIN:   mode == countingnet.ModeLIN,
 	})

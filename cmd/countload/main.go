@@ -24,7 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	countingnet "repro"
@@ -40,6 +43,8 @@ type options struct {
 	mode     string        // consistency mode requested per increment
 	duration time.Duration // run length
 	jsonOut  string        // benchmark-report path ("" disables, "-" stdout)
+	adaptive bool          // RTT-adaptive in-flight window
+	cpuprof  string        // write a CPU profile here ("" disables)
 }
 
 func main() {
@@ -50,8 +55,23 @@ func main() {
 	flag.StringVar(&o.mode, "mode", "sc", "consistency mode: sc or lin")
 	flag.DurationVar(&o.duration, "duration", 2*time.Second, "run length")
 	flag.StringVar(&o.jsonOut, "json", "", "merge results into this benchmark report file (- for stdout)")
+	flag.BoolVar(&o.adaptive, "adaptive", false, "tune each connection's in-flight window to measured RTT (AIMD)")
+	flag.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile to this file (empty: off)")
 	flag.Parse()
 
+	if o.cpuprof != "" {
+		f, err := os.Create(o.cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "countload:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(context.Background(), o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "countload:", err)
 		os.Exit(1)
@@ -66,6 +86,7 @@ type result struct {
 	Lat      telemetry.LatencySummary
 	Dup      int64 // values handed to two callers (must be 0)
 	MaxValue int64
+	Windows  []client.WindowStats // per-client adaptive-window state at end of run
 }
 
 func (r result) opsPerSec() float64 {
@@ -97,6 +118,14 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		res.Ops, res.opsPerSec(), res.Errors, res.Dup, res.MaxValue)
 	fmt.Fprintf(out, "  latency p50 %v p95 %v p99 %v max %v\n",
 		res.Lat.P50, res.Lat.P95, res.Lat.P99, res.Lat.Max)
+	if o.adaptive {
+		for i, ws := range res.Windows {
+			for j, eff := range ws.Effective {
+				fmt.Fprintf(out, "  client %d conn %d: window %d/%d, rtt ewma %v floor %v\n",
+					i, j, eff, ws.Window, ws.RTTEwma[j].Round(time.Microsecond), ws.RTTMin[j].Round(time.Microsecond))
+			}
+		}
+	}
 	if res.Dup > 0 {
 		return fmt.Errorf("%d duplicate values observed — the service violated uniqueness", res.Dup)
 	}
@@ -115,22 +144,31 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	return nil
 }
 
-// drive runs the measurement: o.clients connections, each keeping up to
-// o.window increments in flight, for o.duration. Every observed value is
-// audited for uniqueness.
+// drive runs the measurement: o.clients connections, each with o.window
+// fixed worker goroutines looping sequential increments (the worker count
+// is the pipelining — no goroutine is spawned per op, and no global lock
+// sits on the hot path). Every observed value is collected per worker and
+// audited for uniqueness after the run with one sort.
 func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (result, error) {
 	var res result
 	ctx, cancel := context.WithTimeout(ctx, o.duration)
 	defer cancel()
 
-	lat := telemetry.NewHistogram(o.clients)
-	var (
-		mu     sync.Mutex
-		seen   = map[int64]int{}
-		ops    int64
-		errs   int64
-		maxVal int64
-	)
+	lat := telemetry.NewHistogram(o.clients * o.window)
+	type workerOut struct {
+		ops, errs int64
+		maxVal    int64
+		vals      []int64
+	}
+	outs := make([]workerOut, o.clients*o.window)
+	windows := make([]client.WindowStats, o.clients)
+
+	// The stop signal is an atomic flag, not ctx.Err(): with thousands of
+	// workers on the hot loop, a per-op ctx.Err() is a measurable tax on
+	// the very service being measured.
+	var stop atomic.Bool
+	defer context.AfterFunc(ctx, func() { stop.Store(true) })()
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for g := 0; g < o.clients; g++ {
@@ -138,59 +176,81 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 		go func(g int) {
 			defer wg.Done()
 			c, err := client.Dial(o.addr, client.Options{
-				Window:    o.window,
-				Mode:      mode,
-				OpTimeout: time.Second,
+				Window:         o.window,
+				Mode:           mode,
+				OpTimeout:      time.Second,
+				AdaptiveWindow: o.adaptive,
 			})
 			if err != nil {
-				mu.Lock()
-				errs++
-				mu.Unlock()
+				outs[g*o.window].errs++
 				return
 			}
 			defer c.Close()
 
-			// The pipelined window: sem slots bound the in-flight ops per
-			// client; each op is an independent goroutine so SC increments
-			// re-batch inside the client library.
-			sem := make(chan struct{}, o.window)
 			var cwg sync.WaitGroup
-			for ctx.Err() == nil {
-				sem <- struct{}{}
+			for w := 0; w < o.window; w++ {
 				cwg.Add(1)
-				go func() {
+				go func(w int) {
 					defer cwg.Done()
-					defer func() { <-sem }()
-					s := time.Now()
-					v, err := c.IncCtx(ctx, g)
-					mu.Lock()
-					defer mu.Unlock()
-					if err != nil {
-						if ctx.Err() == nil {
-							errs++
+					id := g*o.window + w
+					out := &outs[id]
+					out.maxVal = -1
+					out.vals = make([]int64, 0, 512)
+					// Each op runs under a non-cancellable context — the stop
+					// flag bounds the loop, and OpTimeout bounds each op — so
+					// thousands of workers don't contend on one shared
+					// ctx.Done channel inside the client. Latency is sampled
+					// 1-in-64 per worker: two clock reads plus a histogram
+					// record per op would cost more CPU than some of the
+					// increments being timed, and tens of thousands of
+					// samples per run keep the percentiles stable.
+					for n := 0; !stop.Load(); n++ {
+						sample := n&63 == 0
+						var s time.Time
+						if sample {
+							s = time.Now()
 						}
-						return
+						v, err := c.IncCtx(context.Background(), g)
+						if err != nil {
+							if !stop.Load() {
+								out.errs++
+							}
+							continue
+						}
+						if sample {
+							lat.Record(id, time.Since(s))
+						}
+						out.ops++
+						out.vals = append(out.vals, v)
+						if v > out.maxVal {
+							out.maxVal = v
+						}
 					}
-					lat.Record(g, time.Since(s))
-					ops++
-					seen[v]++
-					if v > maxVal {
-						maxVal = v
-					}
-				}()
+				}(w)
 			}
 			cwg.Wait()
+			windows[g] = c.WindowStats()
 		}(g)
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	res.Windows = windows
 
-	res.Ops = ops
-	res.Errors = errs
-	res.MaxValue = maxVal
-	for _, n := range seen {
-		if n > 1 {
-			res.Dup += int64(n - 1)
+	// Post-run merge and uniqueness audit: one sort over every observed
+	// value replaces the per-op map the driver used to maintain.
+	var all []int64
+	for i := range outs {
+		res.Ops += outs[i].ops
+		res.Errors += outs[i].errs
+		if outs[i].maxVal > res.MaxValue {
+			res.MaxValue = outs[i].maxVal
+		}
+		all = append(all, outs[i].vals...)
+	}
+	slices.Sort(all)
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			res.Dup++
 		}
 	}
 	res.Lat = lat.Summary()
@@ -216,6 +276,7 @@ func writeJSON(path string, o options, res result) error {
 			Metrics: map[string]float64{
 				"ops/s":      res.opsPerSec(),
 				"p50-ns":     float64(res.Lat.P50.Nanoseconds()),
+				"p95-ns":     float64(res.Lat.P95.Nanoseconds()),
 				"p99-ns":     float64(res.Lat.P99.Nanoseconds()),
 				"errors":     float64(res.Errors),
 				"clients":    float64(o.clients),

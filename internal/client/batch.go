@@ -2,140 +2,257 @@ package client
 
 import (
 	"context"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/wire"
 )
 
-// incCall is one SC increment waiting in the re-batching mailbox.
-type incCall struct {
-	wire int
-	resp chan incRes
+// batchGroup is one set of SC increments that crosses the wire as a
+// single TIncBatch. Callers claim arrival slots lock-free; results come
+// back by arrival index; done is closed once vals/err are final, waking
+// every waiter with one operation instead of one channel send per caller.
+type batchGroup struct {
+	// arrivals packs the claim counter with sealBit. A caller joins by
+	// adding 1; the claimer that detaches the group from the batcher seals
+	// it by adding sealBit, after which late adders retry on a fresh
+	// group. Claims past the seal (or past BatchLimit) are abandoned —
+	// the seal-time count minus the overshoot is the group's true size.
+	arrivals atomic.Int32
+	n        int     // final size, set once by the sealer
+	vals     []int64 // dealt values by arrival index, valid after done
+	err      error   // group-wide failure, valid after done
+	done     chan struct{}
 }
 
-type incRes struct {
-	value int64
-	err   error
+const sealBit = int32(1) << 30
+
+// wireBatcher is one input wire's flat-combining point. Callers claim a
+// slot in the open group with two atomic adds — no lock on the per-op
+// path — and the caller that finds the wire idle elects itself flusher
+// with a CAS. The flusher issues one TIncBatch per group and, if callers
+// kept arriving, hands off to a continuation goroutine so its own latency
+// stays one round trip. At most one batch per wire is in flight at a
+// time; while it is out new callers accumulate, which is exactly what
+// builds big batches under load. Different wires flush concurrently.
+type wireBatcher struct {
+	open     atomic.Pointer[batchGroup]
+	inflight atomic.Bool
+	nsealed  atomic.Int32 // len(sealed), readable without the lock
+	mu       sync.Mutex   // guards sealed (touched once per full group)
+	sealed   []*batchGroup
 }
 
-// incBatched submits one SC increment through the combining mailbox and
+// incBatched submits one SC increment through the per-wire combiner and
 // waits for its dealt-out value.
 func (c *Client) incBatched(ctx context.Context, w int) (int64, error) {
-	call := incCall{wire: w, resp: make(chan incRes, 1)}
-	select {
-	case c.incs <- call:
-	case <-c.done:
-		return 0, ErrClosed
-	case <-ctx.Done():
-		return 0, fault.FromContext(ctx.Err())
+	if len(c.batchers) == 0 {
+		w = 0 // no shape learned; degenerate single batcher
+	} else {
+		w %= len(c.batchers)
 	}
-	select {
-	case r := <-call.resp:
-		return r.value, r.err
-	case <-c.done:
-		// The batcher may have exited after this call slipped into the
-		// buffered mailbox; prefer its answer if it got one out.
-		select {
-		case r := <-call.resp:
-			return r.value, r.err
-		default:
-			return 0, ErrClosed
-		}
-	case <-ctx.Done():
-		// The batcher will still deliver into the buffered channel; the
-		// value it carries is abandoned — a gap, never a duplicate.
-		return 0, fault.FromContext(ctx.Err())
+	b := &c.batchers[w]
+	g, idx := b.join(c.opt.BatchLimit)
+	if b.inflight.CompareAndSwap(false, true) {
+		b.settle()
+		c.flushOnce(w, b)
 	}
+	return waitInc(ctx, g, idx)
 }
 
-// batchLoop is the client-side combiner: it drains the mailbox, folds
-// callers on the same wire into one TIncBatch frame, and deals the
-// returned value ranges back out in arrival order.
-func (c *Client) batchLoop() {
-	defer c.wg.Done()
-	limit := c.opt.BatchLimit
-	pending := make([]incCall, 0, limit)
+// join claims an arrival slot in the wire's open group, installing a
+// fresh group when none is open and retrying when a concurrent sealer
+// won the race for the slot.
+func (b *wireBatcher) join(limit int) (*batchGroup, int) {
 	for {
-		var first incCall
-		select {
-		case first = <-c.incs:
-		case <-c.done:
-			c.failAll(nil, ErrClosed)
-			return
-		}
-		pending = append(pending[:0], first)
-		more := true
-		for more && len(pending) < limit {
-			select {
-			case call := <-c.incs:
-				pending = append(pending, call)
-			case <-c.done:
-				c.failAll(pending, ErrClosed)
-				return
-			default:
-				more = false
-			}
-		}
-		c.flushBatch(pending)
-	}
-}
-
-// failAll answers every queued caller with err.
-func (c *Client) failAll(pending []incCall, err error) {
-	for _, call := range pending {
-		call.resp <- incRes{err: err}
-	}
-	for {
-		select {
-		case call := <-c.incs:
-			call.resp <- incRes{err: err}
-		default:
-			return
-		}
-	}
-}
-
-// flushBatch groups the pending calls by wire, issues one TIncBatch per
-// group, and deals values out in arrival order.
-func (c *Client) flushBatch(pending []incCall) {
-	type group struct {
-		wire  int
-		calls []incCall
-	}
-	groups := make(map[int]*group, 4)
-	order := make([]*group, 0, 4)
-	for _, call := range pending {
-		g := groups[call.wire]
+		g := b.open.Load()
 		if g == nil {
-			g = &group{wire: call.wire}
-			groups[call.wire] = g
-			order = append(order, g)
-		}
-		g.calls = append(g.calls, call)
-	}
-	for _, g := range order {
-		f, err := c.request(context.Background(), wire.Frame{
-			Type: wire.TIncBatch,
-			Wire: int64(g.wire),
-			K:    int64(len(g.calls)),
-			Mode: wire.ModeSC,
-		})
-		if err != nil {
-			for _, call := range g.calls {
-				call.resp <- incRes{err: err}
+			ng := &batchGroup{done: make(chan struct{})}
+			if !b.open.CompareAndSwap(nil, ng) {
+				continue
 			}
-			continue
+			g = ng
 		}
-		// Deal the ranges out one value per caller, arrival order.
-		i := 0
-		for _, r := range f.Rs {
-			for off := int64(0); off < r.Count && i < len(g.calls); off++ {
-				g.calls[i].resp <- incRes{value: r.First + off*r.Stride}
-				i++
+		a := g.arrivals.Add(1)
+		if a&sealBit != 0 || int(a) > limit {
+			continue // sealed (or full) under us; retry on a fresh group
+		}
+		if int(a) == limit && b.open.CompareAndSwap(g, nil) {
+			// This claim filled the group: detach and seal it now so the
+			// flusher never carries more than BatchLimit in one frame.
+			b.seal(g, limit)
+			b.mu.Lock()
+			b.sealed = append(b.sealed, g)
+			b.mu.Unlock()
+			b.nsealed.Add(1)
+		}
+		return g, int(a) - 1
+	}
+}
+
+// seal freezes a detached group's membership and records its final size.
+func (b *wireBatcher) seal(g *batchGroup, limit int) {
+	count := int(g.arrivals.Add(sealBit) &^ sealBit)
+	if count > limit {
+		count = limit // overshooting claimers retried elsewhere
+	}
+	g.n = count
+}
+
+// waitInc blocks until the flusher closes the group. Delivery is
+// guaranteed even across client close — the flusher always finishes the
+// group, with an error if the connection is gone — so the only other exit
+// is the caller's own context.
+func waitInc(ctx context.Context, g *batchGroup, idx int) (int64, error) {
+	if done := ctx.Done(); done != nil {
+		select {
+		case <-g.done:
+		case <-done:
+			// The flusher will still finish the group; the value dealt to
+			// this index is abandoned — a gap, never a duplicate.
+			return 0, fault.FromContext(ctx.Err())
+		}
+	} else {
+		// Non-cancellable caller: a plain receive skips the select
+		// machinery — and, with thousands of concurrent callers, the lock
+		// contention on a shared ctx.Done channel.
+		<-g.done
+	}
+	if g.err != nil {
+		return 0, g.err
+	}
+	return g.vals[idx], nil
+}
+
+// flushOnce runs one combined flush for wire w — the lead caller's own
+// round trip. If callers queued up behind the batch, a continuation
+// goroutine keeps flushing until the wire goes idle again. The caller
+// must hold the inflight flag.
+func (c *Client) flushOnce(w int, b *wireBatcher) {
+	g := b.take(c.opt.BatchLimit)
+	if g == nil {
+		if b.release() {
+			go c.flushLoop(w, b)
+		}
+		return
+	}
+	c.sendGroup(w, g)
+	if b.pending() || b.release() {
+		go c.flushLoop(w, b)
+	}
+}
+
+// pending reports whether any claim is waiting for a flusher. Joining
+// always makes open non-nil (or lands the group in the sealed list)
+// before the claimer tries to elect itself, so a flusher that checks
+// pending after giving up the flag cannot miss a caller.
+func (b *wireBatcher) pending() bool {
+	return b.open.Load() != nil || b.nsealed.Load() > 0
+}
+
+// flushLoop drains a busy wire: one batch per round trip until no caller
+// is waiting. Under sustained load this goroutine is the wire's standing
+// combiner; it exits the moment the wire goes idle. The goroutine owns
+// the inflight flag.
+func (c *Client) flushLoop(w int, b *wireBatcher) {
+	for {
+		b.settle()
+		g := b.take(c.opt.BatchLimit)
+		if g == nil {
+			if !b.release() {
+				return
 			}
+			continue // late arrival slipped in; stay the flusher
 		}
-		for ; i < len(g.calls); i++ {
-			g.calls[i].resp <- incRes{err: wire.ErrBadFrame}
+		c.sendGroup(w, g)
+	}
+}
+
+// release gives up the inflight flag, then re-elects the caller as
+// flusher if a claim arrived in the window between the last take and the
+// handover — the claimer that lost its CAS during that window would
+// otherwise wait on a group no one flushes. Reports whether the caller
+// is the flusher again.
+func (b *wireBatcher) release() bool {
+	b.inflight.Store(false)
+	return b.pending() && b.inflight.CompareAndSwap(false, true)
+}
+
+// settle yields the processor while callers are still joining the open
+// group. A completed batch wakes its whole herd at once; flushing before
+// the herd has re-enqueued would cut every batch to half the window
+// (half in flight, half waking — the classic double buffer). The loop is
+// bounded: it exits the first time a yield adds no caller.
+func (b *wireBatcher) settle() {
+	prev := int32(-1)
+	for {
+		var n int32
+		if g := b.open.Load(); g != nil {
+			n = g.arrivals.Load()
+		}
+		if n == prev {
+			return
+		}
+		prev = n
+		stdruntime.Gosched()
+	}
+}
+
+// take removes the oldest waiting group, sealing the open one, or
+// returns nil when no caller is queued.
+func (b *wireBatcher) take(limit int) *batchGroup {
+	var g *batchGroup
+	if b.nsealed.Load() > 0 {
+		b.mu.Lock()
+		if len(b.sealed) > 0 {
+			g = b.sealed[0]
+			copy(b.sealed, b.sealed[1:])
+			b.sealed = b.sealed[:len(b.sealed)-1]
+			b.nsealed.Add(-1)
+		}
+		b.mu.Unlock()
+	}
+	if g == nil {
+		if g = b.open.Swap(nil); g == nil {
+			return nil
+		}
+		b.seal(g, limit)
+	}
+	if g.n == 0 {
+		// Raced a claimer that had not finished joining; the claimer saw
+		// the seal and is retrying on a fresh group.
+		return nil
+	}
+	return g
+}
+
+// sendGroup issues one TIncBatch for the group (all on wire w) and deals
+// the returned values out by arrival index. Safe for per-process ordering
+// despite concurrent flushes on other wires: a caller's next increment is
+// only submitted after this one's value arrives, so its batch is issued
+// strictly later.
+func (c *Client) sendGroup(w int, g *batchGroup) {
+	f, err := c.request(context.Background(), wire.Frame{
+		Type: wire.TIncBatch,
+		Wire: int64(w),
+		K:    int64(g.n),
+		Mode: wire.ModeSC,
+	})
+	if err != nil {
+		g.err = err
+		close(g.done)
+		return
+	}
+	g.vals = make([]int64, 0, g.n)
+	for _, r := range f.Rs {
+		for off := int64(0); off < r.Count && len(g.vals) < g.n; off++ {
+			g.vals = append(g.vals, r.First+off*r.Stride)
 		}
 	}
+	if len(g.vals) < g.n {
+		g.err = wire.ErrBadFrame
+	}
+	close(g.done)
 }

@@ -11,13 +11,14 @@
 //
 // # Re-batching
 //
-// Concurrent SC Inc calls do not each cross the network. They meet in a
-// client-side combining mailbox; a batcher goroutine folds callers that
-// named the same input wire into one TIncBatch frame and deals the
-// returned value ranges back out in arrival order. Against a coalescing
-// server this compounds: many callers → few frames → fewer sweeps. LIN
-// increments never re-batch — each one pays its own round trip through
-// the server's linearizing section, which is the point.
+// Concurrent SC Inc calls do not each cross the network. They meet at a
+// per-wire flat-combining point: the caller that finds its wire idle
+// becomes the flusher, folds everyone queued behind it into one TIncBatch
+// frame, and deals the returned value ranges back out in arrival order.
+// Against a coalescing server this compounds: many callers → few frames →
+// fewer sweeps. LIN increments never re-batch — each one pays its own
+// round trip through the server's linearizing section, which is the
+// point.
 package client
 
 import (
@@ -67,6 +68,12 @@ type Options struct {
 	OpTimeout time.Duration
 	// DialTimeout bounds each dial (default 5s).
 	DialTimeout time.Duration
+	// AdaptiveWindow, when true, tunes each connection's effective
+	// in-flight window to the measured RTT (AIMD: halve when the smoothed
+	// RTT exceeds twice the observed floor — queueing, not service, is
+	// absorbing the extra in-flight — and grow by one when it sits near
+	// the floor). Window stays the hard cap.
+	AdaptiveWindow bool
 }
 
 func (o Options) withDefaults() Options {
@@ -104,9 +111,8 @@ type Client struct {
 	pool   []*cconn // slots; nil or dead entries are re-dialed lazily
 	closed bool
 
-	incs chan incCall // SC re-batching mailbox
-	done chan struct{}
-	wg   sync.WaitGroup
+	batchers []wireBatcher // per-wire SC flat-combining points
+	done     chan struct{}
 }
 
 // ErrClosed reports an operation on a closed client.
@@ -118,7 +124,6 @@ func Dial(addr string, opt Options) (*Client, error) {
 	c := &Client{
 		addr: addr,
 		opt:  opt.withDefaults(),
-		incs: make(chan incCall, 4096),
 		done: make(chan struct{}),
 	}
 	c.pool = make([]*cconn, c.opt.Conns)
@@ -158,8 +163,11 @@ func Dial(addr string, opt Options) (*Client, error) {
 	if last != nil {
 		return nil, fmt.Errorf("client: handshake: %w", last)
 	}
-	c.wg.Add(1)
-	go c.batchLoop()
+	width := c.shape.Width
+	if width <= 0 {
+		width = 1
+	}
+	c.batchers = make([]wireBatcher, width)
 	return c, nil
 }
 
@@ -185,7 +193,6 @@ func (c *Client) Close() error {
 			cc.kill(ErrClosed)
 		}
 	}
-	c.wg.Wait()
 	return nil
 }
 
@@ -277,6 +284,32 @@ func (c *Client) Read(ctx context.Context) (int64, error) {
 		return 0, fmt.Errorf("client: read answered with %v", f.Type)
 	}
 	return f.Value, nil
+}
+
+// WindowStats is a point-in-time view of the pool's in-flight windows,
+// one entry per live connection.
+type WindowStats struct {
+	Window    int             // configured hard cap per connection
+	Effective []int           // current effective window per live connection
+	RTTEwma   []time.Duration // smoothed RTT per live connection
+	RTTMin    []time.Duration // observed RTT floor per live connection
+}
+
+// WindowStats reports the adaptive-window state of the live pool; with
+// AdaptiveWindow off the effective windows simply equal the cap.
+func (c *Client) WindowStats() WindowStats {
+	ws := WindowStats{Window: c.opt.Window}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.pool {
+		if cc == nil || cc.isDead() {
+			continue
+		}
+		ws.Effective = append(ws.Effective, cc.effWindow())
+		ws.RTTEwma = append(ws.RTTEwma, time.Duration(cc.rttEwma.Load()))
+		ws.RTTMin = append(ws.RTTMin, time.Duration(cc.rttMin.Load()))
+	}
+	return ws
 }
 
 // Snapshot fetches the server's stats snapshot, decoded into out (any
@@ -399,10 +432,11 @@ func (c *Client) dial() (*cconn, error) {
 		return nil, err
 	}
 	cc := &cconn{
-		nc:      nc,
-		window:  make(chan struct{}, c.opt.Window),
-		pending: make(map[uint64]chan wire.Frame),
-		dead:    make(chan struct{}),
+		nc:       nc,
+		window:   make(chan struct{}, c.opt.Window),
+		pending:  make(map[uint64]chan wire.Frame),
+		dead:     make(chan struct{}),
+		adaptive: c.opt.AdaptiveWindow,
 	}
 	go cc.readLoop()
 	return cc, nil
@@ -419,12 +453,90 @@ type cconn struct {
 	mu      sync.Mutex
 	pending map[uint64]chan wire.Frame
 
-	window chan struct{} // in-flight slots
+	// window is the in-flight semaphore: channel occupancy = in-flight
+	// requests + reserved (tuner-held) tokens; capacity is the hard
+	// window. The tokens are fungible, which is what keeps the adaptive
+	// tuner's reserve/release moves safe against concurrent requests.
+	window   chan struct{}
+	adaptive bool
+	tuneMu   sync.Mutex
+	reserved atomic.Int32 // tokens held by the tuner (shrinks the window)
+	rttN     atomic.Uint64
+	rttEwma  atomic.Int64 // smoothed RTT, ns (heuristic; races are benign)
+	rttMin   atomic.Int64 // observed RTT floor, ns
 
 	dead    chan struct{}
 	die     sync.Once
 	lastErr error
 }
+
+// respChPool recycles the one-shot response channels of the request path.
+// A channel is re-pooled only after its owner received from it — a
+// channel that was ever abandoned (ctx expiry) or closed (kill) is left
+// to the garbage collector.
+var respChPool = sync.Pool{New: func() any { return make(chan wire.Frame, 1) }}
+
+// observeRTT folds one successful round trip into the connection's RTT
+// model and periodically lets the tuner adjust the effective window.
+func (cc *cconn) observeRTT(rtt time.Duration) {
+	r := int64(rtt)
+	if r <= 0 {
+		return
+	}
+	for {
+		cur := cc.rttMin.Load()
+		if (cur != 0 && r >= cur) || cc.rttMin.CompareAndSwap(cur, r) {
+			break
+		}
+	}
+	if cur := cc.rttEwma.Load(); cur == 0 {
+		cc.rttEwma.Store(r)
+	} else {
+		cc.rttEwma.Store(cur + (r-cur)/8)
+	}
+	if cc.rttN.Add(1)%64 == 0 {
+		cc.tune()
+	}
+}
+
+// tune is the AIMD step: halve the effective window when the smoothed RTT
+// runs at twice the floor (the extra in-flight is sitting in queues, not
+// being served), grow it by one when the RTT sits near the floor.
+func (cc *cconn) tune() {
+	if !cc.tuneMu.TryLock() {
+		return
+	}
+	defer cc.tuneMu.Unlock()
+	floor, ew := cc.rttMin.Load(), cc.rttEwma.Load()
+	if floor <= 0 || ew <= 0 {
+		return
+	}
+	eff := cap(cc.window) - int(cc.reserved.Load())
+	switch {
+	case ew > 2*floor && eff > 1:
+		target := eff / 2
+		if target < 1 {
+			target = 1
+		}
+		for eff > target {
+			select {
+			case cc.window <- struct{}{}:
+				cc.reserved.Add(1)
+				eff--
+			default:
+				return // every slot is in flight; shrink next round
+			}
+		}
+	case ew < 3*floor/2 && cc.reserved.Load() > 0:
+		// reserved > 0 guarantees the channel holds at least one token
+		// (occupancy = inflight + reserved), so this never blocks.
+		<-cc.window
+		cc.reserved.Add(-1)
+	}
+}
+
+// effWindow reports the current effective in-flight window.
+func (cc *cconn) effWindow() int { return cap(cc.window) - int(cc.reserved.Load()) }
 
 func (cc *cconn) isDead() bool {
 	select {
@@ -462,7 +574,7 @@ func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
 	}
 	release := func() { <-cc.window }
 
-	ch := make(chan wire.Frame, 1)
+	ch := respChPool.Get().(chan wire.Frame)
 	cc.mu.Lock()
 	cc.pending[f.ID] = ch
 	cc.mu.Unlock()
@@ -472,6 +584,10 @@ func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
 		cc.mu.Unlock()
 	}
 
+	var start time.Time
+	if cc.adaptive {
+		start = time.Now()
+	}
 	cc.wmu.Lock()
 	var err error
 	cc.wbuf, err = wire.AppendFrame(cc.wbuf[:0], f)
@@ -490,10 +606,17 @@ func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
 	case rf, ok := <-ch:
 		release()
 		if !ok {
+			// kill closed the channel; it must not be re-pooled.
 			return wire.Frame{}, errTransport
+		}
+		respChPool.Put(ch)
+		if cc.adaptive {
+			cc.observeRTT(time.Since(start))
 		}
 		return rf, nil
 	case <-ctx.Done():
+		// The channel stays out of the pool: the reader may still deliver
+		// the orphaned response into it.
 		forget()
 		release()
 		return wire.Frame{}, fault.FromContext(ctx.Err())
@@ -503,12 +626,15 @@ func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
 // readLoop delivers responses to waiters; responses with no waiter
 // (duplicates injected by faults, or requests abandoned on ctx expiry)
 // are discarded — that discard is what keeps duplicated frames from
-// duplicating observed values.
+// duplicating observed values. The frame and scratch buffer are recycled
+// across reads, so the steady state allocates only when a response
+// carries a slice payload that must be detached before handoff.
 func (cc *cconn) readLoop() {
 	br := newReader(cc.nc)
+	var f wire.Frame
+	var scratch []byte
 	for {
-		f, err := wire.ReadFrame(br)
-		if err != nil {
+		if err := wire.ReadFrameInto(br, &f, &scratch); err != nil {
 			cc.kill(err)
 			return
 		}
@@ -516,9 +642,19 @@ func (cc *cconn) readLoop() {
 		ch := cc.pending[f.ID]
 		delete(cc.pending, f.ID)
 		cc.mu.Unlock()
-		if ch != nil {
-			ch <- f
+		if ch == nil {
+			continue
 		}
+		rf := f
+		// Detach slice payloads from the recycled frame: the waiter keeps
+		// the response after this loop has moved on to the next frame.
+		if len(f.Rs) > 0 {
+			rf.Rs = append([]wire.Range(nil), f.Rs...)
+		}
+		if len(f.Data) > 0 {
+			rf.Data = append([]byte(nil), f.Data...)
+		}
+		ch <- rf
 	}
 }
 

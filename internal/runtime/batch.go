@@ -67,8 +67,14 @@ type batchCounts struct {
 // values each, RangeTotal(rs) == k). k ≤ 0 returns nil. IncBatch is safe
 // for concurrent use with itself and with Inc/IncCtx/IncCAS.
 func (n *Network) IncBatch(wire, k int) []Range {
+	return n.IncBatchAppend(nil, wire, k)
+}
+
+// IncBatchAppend is IncBatch appending into dst, so a steady-state caller
+// that recycles its result slice sweeps without allocating.
+func (n *Network) IncBatchAppend(dst []Range, wire, k int) []Range {
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	obs := n.obs
 	var t0 time.Time
@@ -131,7 +137,11 @@ func (n *Network) IncBatch(wire, k int) []Range {
 
 	// Drain the sinks: one fetch-and-add per contributing counter, and
 	// re-zero the scratch for the next pooled use.
-	out := make([]Range, 0, nonzero)
+	out := dst
+	if cap(out)-len(out) < nonzero {
+		out = make([]Range, len(dst), len(dst)+nonzero)
+		copy(out, dst)
+	}
 	stride := int64(n.wOut)
 	for j := range sinks {
 		c := sinks[j]

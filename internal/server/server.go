@@ -4,33 +4,48 @@
 //
 // The serving layer is where the paper's contrast becomes a systems
 // tradeoff. Sequentially consistent increments are cheap to serve: the
-// server folds concurrent SC requests from many connections into a single
-// IncBatch sweep (one fetch-and-add per balancer for the whole batch)
-// through a mailbox/combining loop, so under load the per-token cost of
-// the network collapses. Linearizable increments pay what the condition
-// demands: each one is serialized through the server's linearizing
-// section and answered individually — no coalescing, a full round trip
-// per value.
+// server folds concurrent SC requests from many connections into batched
+// IncBatch sweeps (one fetch-and-add per balancer for a whole batch)
+// through sharded combining mailboxes, so under load the per-token cost
+// of the network collapses. Linearizable increments pay what the
+// condition demands: each one is serialized through the server's
+// linearizing section and answered individually — no coalescing, a full
+// round trip per value.
 //
-// # Coalescing loop
+// # Sharded combining
 //
 // Connection readers do not touch the network. They validate each request
-// and post it into a bounded mailbox; a single combiner goroutine drains
-// the mailbox, groups pending increments by input wire, executes one
-// IncBatch per wire, and deals the resulting value ranges back to the
-// requests in arrival order. When the mailbox is full the reader answers
-// wire.ErrBackpressure immediately — load shedding at the door instead of
-// unbounded queueing. Requests that sit in the mailbox longer than
-// Options.OpTimeout fail with fault.ErrTimeout.
+// and post it into the combining shard that owns the request's input
+// wire; one combiner goroutine per shard drains its mailbox, groups
+// pending increments by wire, executes one IncBatch per wire, and deals
+// the resulting value ranges back to the requests in arrival order.
+// Sharding by wire range lets SC coalescing scale with cores instead of
+// serializing on one channel; a combiner whose own mailbox runs dry
+// steals from its siblings' mailboxes before sweeping, so an idle shard
+// rebalances load instead of sleeping next to a hot one. When a shard's
+// mailbox is full the reader answers wire.ErrBackpressure immediately —
+// load shedding at the door instead of unbounded queueing, using a
+// pre-encoded error frame so shedding costs no allocation. Requests that
+// sit in a mailbox longer than Options.OpTimeout fail with
+// fault.ErrTimeout.
+//
+// # Flush batching
+//
+// Each connection's writer gathers every queued response into its
+// buffered encoder and flushes adaptively (FlushPolicy): a connection
+// seeing one response at a time flushes immediately (no added latency),
+// while a pipelined connection's responses are held briefly — until the
+// queue drains and stays dry, a byte threshold fills, or a deadline
+// expires — so many response frames share one syscall.
 //
 // # Shutdown
 //
 // Close drains rather than drops: accepting stops, connection readers
-// finish their current frame, the combiner sweeps what the mailbox still
-// holds, writers flush every pending response, and only then are the
-// connections closed. A client that disconnects mid-flight abandons its
-// outstanding requests (their values are never delivered — a bounded gap
-// among observed values, never a duplicate).
+// finish their current frame, the combiners sweep what their mailboxes
+// still hold, writers flush every pending batched response, and only then
+// are the connections closed. A client that disconnects mid-flight
+// abandons its outstanding requests (their values are never delivered — a
+// bounded gap among observed values, never a duplicate).
 //
 // # Fault injection
 //
@@ -44,6 +59,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,29 +73,64 @@ import (
 // Backend is the counting object a Server serves: the compiled
 // runtime.Network is the intended implementation, but anything with a
 // batched increment and a shape works (tests substitute slow or scripted
-// backends).
+// backends). IncBatch must be safe for concurrent use — combining shards
+// sweep in parallel.
 type Backend interface {
 	Inc(wire int) int64
 	IncBatch(wire, k int) []runtime.Range
 	Shape() network.Shape
 }
 
+// FlushPolicy tunes the response writer's Nagle-style flush batching.
+// The zero value picks the defaults noted on each field.
+type FlushPolicy struct {
+	// MaxDelay bounds how long a pipelined response may sit in the write
+	// buffer waiting for companions before the writer forces a flush
+	// (default 200µs). Negative disables the wait entirely: the writer
+	// flushes every time its queue drains, the pre-batching behaviour.
+	// The wait is adaptive — it is only taken on connections that have
+	// demonstrated pipelining (more than one response per gather), so a
+	// strict request-response client never pays it.
+	MaxDelay time.Duration
+	// MaxBytes flushes mid-gather once this many bytes are buffered
+	// (default 16 KiB), bounding response latency under sustained bursts
+	// and keeping writes under the kernel's coalescing sweet spot.
+	MaxBytes int
+}
+
+func (p FlushPolicy) withDefaults() FlushPolicy {
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 200 * time.Microsecond
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = 16 << 10
+	}
+	return p
+}
+
 // Options tunes a Server. The zero value picks the defaults noted on each
 // field.
 type Options struct {
 	// Mailbox bounds the SC request queue between connection readers and
-	// the combiner (default 4096). A full mailbox answers requests with
-	// wire.ErrBackpressure instead of queueing unboundedly.
+	// the combiners (default 4096), split evenly across shards. A full
+	// shard answers requests with wire.ErrBackpressure instead of queueing
+	// unboundedly.
 	Mailbox int
+	// Shards is the number of combining shards, each owning a contiguous
+	// range of input wires with its own mailbox and combiner goroutine
+	// (default min(GOMAXPROCS, 8), clamped to the network width).
+	Shards int
 	// BatchLimit is the most requests one combiner sweep folds together
 	// (default 1024).
 	BatchLimit int
 	// OutQueue bounds each connection's pending-response queue (default
 	// 8192). A client that stops reading long enough to fill it is
 	// disconnected — backpressure by eviction, so one slow consumer cannot
-	// stall the combiner.
+	// stall the combiners.
 	OutQueue int
-	// OpTimeout, when positive, fails requests that waited in the mailbox
+	// Flush tunes the per-connection response flush batching.
+	Flush FlushPolicy
+	// OpTimeout, when positive, fails requests that waited in a mailbox
 	// longer than this with fault.ErrTimeout.
 	OpTimeout time.Duration
 	// Stats, when non-nil, records per-op latency histograms, queue depths
@@ -100,16 +151,20 @@ func (o Options) withDefaults() Options {
 	if o.Mailbox <= 0 {
 		o.Mailbox = 4096
 	}
+	if o.Shards <= 0 {
+		o.Shards = min(stdruntime.GOMAXPROCS(0), 8)
+	}
 	if o.BatchLimit <= 0 {
 		o.BatchLimit = 1024
 	}
 	if o.OutQueue <= 0 {
 		o.OutQueue = 8192
 	}
+	o.Flush = o.Flush.withDefaults()
 	return o
 }
 
-// req is one pending SC increment in the mailbox.
+// req is one pending SC increment in a shard mailbox.
 type req struct {
 	c     *conn // nil: fire-and-forget (UDP)
 	id    uint64
@@ -119,15 +174,27 @@ type req struct {
 	enq   time.Time
 }
 
+// outMsg is one queued response: either a frame to encode, or a
+// pre-encoded canonical error template plus the request id to patch in.
+type outMsg struct {
+	f    wire.Frame
+	tmpl *wire.ErrorTemplate // when set, only f.ID is used
+}
+
 // Server serves one Backend over TCP (and optionally UDP).
 type Server struct {
 	be    Backend
 	shape network.Shape
 	opt   Options
 
-	mail    chan req
-	done    chan struct{} // closed when Close begins
-	drained chan struct{} // closed when the combiner has swept the last request
+	shards []chan req    // one combining mailbox per wire-range shard
+	done   chan struct{} // closed when Close begins
+	combWg sync.WaitGroup
+
+	// Canonical error replies, pre-encoded once at start so the common
+	// shed/expire paths never encode an error string per response.
+	tmplBackpressure *wire.ErrorTemplate
+	tmplTimeout      *wire.ErrorTemplate
 
 	mu    sync.Mutex
 	lns   []net.Listener
@@ -155,17 +222,59 @@ type Server struct {
 // Close to drain and stop.
 func New(be Backend, opt Options) *Server {
 	s := &Server{
-		be:      be,
-		shape:   be.Shape(),
-		opt:     opt.withDefaults(),
-		done:    make(chan struct{}),
-		drained: make(chan struct{}),
-		closed:  make(chan struct{}),
-		conns:   make(map[*conn]struct{}),
+		be:               be,
+		shape:            be.Shape(),
+		opt:              opt.withDefaults(),
+		done:             make(chan struct{}),
+		closed:           make(chan struct{}),
+		conns:            make(map[*conn]struct{}),
+		tmplBackpressure: wire.NewErrorTemplate(wire.ErrBackpressure),
+		tmplTimeout:      wire.NewErrorTemplate(fault.ErrTimeout),
 	}
-	s.mail = make(chan req, s.opt.Mailbox)
-	go s.combine()
+	nsh := s.opt.Shards
+	if s.shape.Width > 0 && nsh > s.shape.Width {
+		nsh = s.shape.Width
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
+	per := s.opt.Mailbox / nsh
+	if per < 1 {
+		per = 1
+	}
+	s.shards = make([]chan req, nsh)
+	for i := range s.shards {
+		s.shards[i] = make(chan req, per)
+	}
+	if st := s.opt.Stats; st != nil {
+		st.sizeShards(nsh)
+	}
+	for i := range s.shards {
+		s.combWg.Add(1)
+		go s.combine(i)
+	}
 	return s
+}
+
+// shardOf maps an input wire onto its combining shard: contiguous wire
+// ranges, so a client hammering neighbouring wires stays on one shard's
+// cache-warm combiner.
+func (s *Server) shardOf(w int) int {
+	if s.shape.Width <= 0 || len(s.shards) == 1 {
+		return 0
+	}
+	return w * len(s.shards) / s.shape.Width
+}
+
+// post offers r to its wire's shard without blocking; false means the
+// shard is full and the request must be shed.
+func (s *Server) post(r req) bool {
+	select {
+	case s.shards[s.shardOf(r.wire)] <- r:
+		return true
+	default:
+		return false
+	}
 }
 
 // Shape returns the served network's topology (what THello advertises).
@@ -176,6 +285,9 @@ func (s *Server) Issued() int64 { return s.issued.Load() }
 
 // Stats returns the server's stats sink (nil unless Options.Stats was set).
 func (s *Server) Stats() *Stats { return s.opt.Stats }
+
+// Shards returns the number of combining shards the server runs.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Listen starts accepting TCP connections on addr (e.g. "127.0.0.1:0")
 // and returns the bound address.
@@ -234,7 +346,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s:    s,
 			id:   int(s.connSeq.Add(1) - 1),
 			nc:   nc,
-			out:  make(chan wire.Frame, s.opt.OutQueue),
+			out:  make(chan outMsg, s.opt.OutQueue),
 			dead: make(chan struct{}),
 		}
 		s.mu.Lock()
@@ -251,17 +363,22 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// packetLoop serves one UDP socket.
+// packetLoop serves one UDP socket. The 64 KiB read buffer is reused for
+// every datagram; that reuse is safe because wire.DecodeInto guarantees
+// the decoded frame never aliases its input (see the wire package's
+// aliasing contract, pinned by TestDecodeDoesNotAliasInput and exercised
+// end-to-end by TestUDPBufferReuse).
 func (s *Server) packetLoop(pc net.PacketConn) {
 	defer s.readerWg.Done()
 	buf := make([]byte, 64<<10)
+	var f wire.Frame
 	for {
 		n, _, err := pc.ReadFrom(buf)
 		if err != nil {
 			return // socket closed
 		}
 		st := s.opt.Stats
-		f, _, derr := wire.DecodeFrame(buf[:n])
+		_, derr := wire.DecodeInto(&f, buf[:n])
 		if derr != nil || (f.Type != wire.TInc && f.Type != wire.TIncBatch) || f.Mode != wire.ModeSC {
 			if st != nil {
 				st.udpRejected.Add(1)
@@ -284,10 +401,7 @@ func (s *Server) packetLoop(pc net.PacketConn) {
 		if k <= 0 {
 			continue
 		}
-		r := req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: time.Now()}
-		select {
-		case s.mail <- r:
-		default:
+		if !s.post(req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: time.Now()}) {
 			if st != nil {
 				st.udpDropped.Add(1)
 			}
@@ -296,7 +410,7 @@ func (s *Server) packetLoop(pc net.PacketConn) {
 }
 
 // Close drains and stops the server: stop accepting, let readers finish
-// their current frame, sweep the mailbox, flush every pending response,
+// their current frame, sweep the mailboxes, flush every pending response,
 // then close the connections. Idempotent; concurrent calls wait for the
 // first to finish.
 func (s *Server) Close() error {
@@ -324,10 +438,12 @@ func (s *Server) Close() error {
 		_ = c.nc.SetReadDeadline(time.Now())
 	}
 	s.readerWg.Wait()
-	// Readers were the only mailbox senders; the combiner sweeps the rest
-	// and exits.
-	close(s.mail)
-	<-s.drained
+	// Readers were the only mailbox senders; the combiners sweep the rest
+	// and exit.
+	for _, mail := range s.shards {
+		close(mail)
+	}
+	s.combWg.Wait()
 	// No senders remain on any out queue: closing them flushes the writers.
 	s.mu.Lock()
 	conns = conns[:0]
@@ -371,34 +487,76 @@ func (s *Server) sleepDone(d time.Duration) {
 	}
 }
 
-// combine is the coalescing loop: it drains the mailbox, folds the
+// combine is one shard's coalescing loop: it drains the shard's mailbox,
+// steals from idle siblings' mailboxes when its own runs dry, folds the
 // pending increments of each input wire into one IncBatch sweep, and
 // deals the resulting ranges back to the requests in arrival order.
-func (s *Server) combine() {
-	defer close(s.drained)
+func (s *Server) combine(shard int) {
+	defer s.combWg.Done()
 	limit := s.opt.BatchLimit
+	mail := s.shards[shard]
+	sw := newSweeper(s, shard)
 	pending := make([]req, 0, limit)
 	for {
-		r, ok := <-s.mail
+		r, ok := <-mail
 		if !ok {
-			return
+			return // mailbox closed and fully drained
 		}
 		pending = append(pending[:0], r)
-		more := true
-		for more && len(pending) < limit {
+	gather:
+		for len(pending) < limit {
 			select {
-			case r2, ok := <-s.mail:
-				if !ok {
-					s.sweep(pending)
-					return
+			case r2, ok2 := <-mail:
+				if !ok2 {
+					// Closed mid-gather: sweep what we hold; the next
+					// blocking receive observes the close and exits.
+					break gather
 				}
 				pending = append(pending, r2)
 			default:
-				more = false
+				// Own mailbox dry: rebalance by stealing from siblings
+				// before sweeping, so one hot shard cannot pile up work
+				// next to idle combiners.
+				pending = s.steal(shard, pending, limit)
+				break gather
 			}
 		}
-		s.sweep(pending)
+		sw.sweep(pending)
 	}
+}
+
+// steal moves requests from sibling shards' mailboxes into pending, up to
+// limit. Safe because any combiner may execute any wire's IncBatch — the
+// backend is concurrent — and each request is still consumed exactly once
+// (channel semantics).
+func (s *Server) steal(shard int, pending []req, limit int) []req {
+	if len(s.shards) == 1 {
+		return pending
+	}
+	stolen := 0
+	for i := 1; i < len(s.shards) && len(pending) < limit; i++ {
+		from := s.shards[(shard+i)%len(s.shards)]
+		dry := false
+		for !dry && len(pending) < limit {
+			select {
+			case r, ok := <-from:
+				if !ok {
+					dry = true // sibling closed and drained
+					break
+				}
+				pending = append(pending, r)
+				stolen++
+			default:
+				dry = true
+			}
+		}
+	}
+	if stolen > 0 {
+		if st := s.opt.Stats; st != nil {
+			st.steals.Add(uint64(stolen))
+		}
+	}
+	return pending
 }
 
 // wireGroup accumulates one input wire's share of a sweep.
@@ -408,8 +566,67 @@ type wireGroup struct {
 	reqs  []int // indices into the sweep's request slice
 }
 
+// sweeper holds one combiner's reusable sweep state, so steady-state
+// sweeps allocate nothing for grouping — and, when the backend can append
+// into a caller buffer, nothing for the sweep results either.
+type sweeper struct {
+	s      *Server
+	shard  int
+	groups map[int]*wireGroup
+	order  []*wireGroup
+	ba     batchAppender   // non-nil when the backend supports it
+	rsbuf  []runtime.Range // reused sweep-result buffer (consumed before the next sweep)
+}
+
+// batchAppender is the optional allocation-free form of Backend.IncBatch
+// (runtime.Network implements it).
+type batchAppender interface {
+	IncBatchAppend(dst []runtime.Range, wire, k int) []runtime.Range
+}
+
+func newSweeper(s *Server, shard int) *sweeper {
+	sw := &sweeper{s: s, shard: shard, groups: make(map[int]*wireGroup, 8)}
+	sw.ba, _ = s.be.(batchAppender)
+	return sw
+}
+
+// rangeFree recycles TRanges reply slices between the sweepers that
+// build them and the writers that encode them. A buffered channel of
+// slice headers rather than a sync.Pool: headers pass by value, so
+// neither side pays a boxing allocation per transfer. The pool is
+// best-effort — slices on frames dropped by a dying connection are
+// simply collected.
+var rangeFree = make(chan []wire.Range, 1024)
+
+// getRanges returns an empty reply slice with capacity for hint ranges.
+func getRanges(hint int) []wire.Range {
+	select {
+	case rs := <-rangeFree:
+		if cap(rs) >= hint {
+			return rs[:0]
+		}
+	default:
+	}
+	if hint < 4 {
+		hint = 4
+	}
+	return make([]wire.Range, 0, hint)
+}
+
+// putRanges recycles a reply slice once its frame has been encoded.
+func putRanges(rs []wire.Range) {
+	if cap(rs) == 0 {
+		return
+	}
+	select {
+	case rangeFree <- rs[:0]:
+	default:
+	}
+}
+
 // sweep executes one combined pass over the backend.
-func (s *Server) sweep(pending []req) {
+func (sw *sweeper) sweep(pending []req) {
+	s := sw.s
 	st := s.opt.Stats
 	now := time.Now()
 
@@ -421,7 +638,8 @@ func (s *Server) sweep(pending []req) {
 				st.timeouts.Add(1)
 			}
 			if r.c != nil {
-				r.c.trySend(errFrame(r.id, fault.ErrTimeout))
+				r.c.outstanding.Add(-1)
+				r.c.trySend(outMsg{f: wire.Frame{ID: r.id}, tmpl: s.tmplTimeout})
 			}
 			continue
 		}
@@ -433,48 +651,71 @@ func (s *Server) sweep(pending []req) {
 	if st != nil {
 		st.sweeps.Add(1)
 		st.sweepReqs.Add(uint64(len(live)))
-		st.observeQueue(len(s.mail))
+		st.observeShard(sw.shard, len(s.shards[sw.shard]), uint64(len(live)))
 	}
 
 	// Group by input wire, preserving arrival order within each group.
-	groups := make(map[int]*wireGroup, 4)
-	order := make([]*wireGroup, 0, 4)
+	// The group map and order slice persist across sweeps; only reqs
+	// index slices grow, and those also retain capacity.
+	order := sw.order[:0]
 	for i, r := range live {
-		g := groups[r.wire]
+		g := sw.groups[r.wire]
 		if g == nil {
 			g = &wireGroup{wire: r.wire}
-			groups[r.wire] = g
+			sw.groups[r.wire] = g
+		}
+		if len(g.reqs) == 0 {
 			order = append(order, g)
 		}
 		g.total += r.k
 		g.reqs = append(g.reqs, i)
 	}
+	sw.order = order
 
 	for _, g := range order {
-		rs := s.be.IncBatch(g.wire, int(g.total))
+		var rs []runtime.Range
+		if sw.ba != nil {
+			sw.rsbuf = sw.ba.IncBatchAppend(sw.rsbuf[:0], g.wire, int(g.total))
+			rs = sw.rsbuf
+		} else {
+			rs = s.be.IncBatch(g.wire, int(g.total))
+		}
 		s.issued.Add(g.total)
 		if st != nil {
 			st.sweepTokens.Add(uint64(g.total))
 		}
 		// Deal the ranges out to the group's requests in arrival order:
 		// each takes its k values as sub-ranges of the sweep's ranges.
+		// Ranges are materialized only for batch requests with a live
+		// connection; plain TInc replies need just the first value and
+		// UDP requests need nothing at all.
 		ri, off := 0, int64(0)
 		for _, idx := range g.reqs {
 			r := live[idx]
 			need := r.k
 			var out []wire.Range
-			var first int64
+			if r.c != nil && r.batch {
+				// A request's reply spans at most as many ranges as the
+				// sweep produced; drawing from the pool (recycled by the
+				// writer after encoding) keeps the reply path mostly
+				// allocation-free.
+				out = getRanges(len(rs))
+			}
+			first, firstSet := int64(0), false
 			for need > 0 {
 				cur := rs[ri]
 				take := min(cur.Count-off, need)
-				if len(out) == 0 {
+				if !firstSet {
 					first = cur.First + off*cur.Stride
+					firstSet = true
 				}
-				out = append(out, wire.Range{
-					First:  cur.First + off*cur.Stride,
-					Stride: cur.Stride,
-					Count:  take,
-				})
+				if out != nil {
+					out = append(out, wire.Range{
+						First:  cur.First + off*cur.Stride,
+						Stride: cur.Stride,
+						Count:  take,
+					})
+				}
 				off += take
 				need -= take
 				if off == cur.Count {
@@ -489,30 +730,43 @@ func (s *Server) sweep(pending []req) {
 			if r.c == nil {
 				continue // fire-and-forget
 			}
+			r.c.outstanding.Add(-1)
 			if r.batch {
-				r.c.trySend(wire.Frame{Type: wire.TRanges, ID: r.id, Rs: out})
+				r.c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: r.id, Rs: out}})
 			} else {
-				r.c.trySend(wire.Frame{Type: wire.TValue, ID: r.id, Value: first})
+				r.c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: r.id, Value: first}})
 			}
 		}
+		// Reset the group for the next sweep, keeping its capacity.
+		g.total = 0
+		g.reqs = g.reqs[:0]
 	}
 }
 
-// errFrame builds the TError response for err.
-func errFrame(id uint64, err error) wire.Frame {
-	return wire.Frame{Type: wire.TError, ID: id, Code: wire.CodeOf(err), Msg: err.Error()}
+// errFrame builds the TError response for err (non-canonical errors whose
+// message is dynamic; the canonical sentinels use pre-encoded templates).
+func errFrame(id uint64, err error) outMsg {
+	return outMsg{f: wire.Frame{Type: wire.TError, ID: id, Code: wire.CodeOf(err), Msg: err.Error()}}
 }
 
 // conn is one TCP connection: a reader goroutine parsing request frames
-// and a writer goroutine flushing response frames — the per-connection
-// goroutine pair.
+// and a writer goroutine batching and flushing response frames — the
+// per-connection goroutine pair.
 type conn struct {
 	s    *Server
 	id   int
 	nc   net.Conn
-	out  chan wire.Frame
+	out  chan outMsg
 	dead chan struct{}
 	die  sync.Once
+
+	// outstanding counts SC requests posted to combiners whose responses
+	// have not been enqueued yet. The writer reads it to decide whether
+	// waiting for flush companions can pay off: zero means the client is
+	// blocked on us and the buffer must go out now. Decremented before the
+	// response is enqueued, so a writer that sees a positive count is
+	// guaranteed more traffic (at worst one early flush, never a stall).
+	outstanding atomic.Int64
 
 	inSeq, outSeq int // frame-fault sequence numbers (single-threaded each)
 }
@@ -528,17 +782,16 @@ func (c *conn) markDead() {
 	})
 }
 
-// trySend queues a response without ever blocking the caller (the
-// combiner must not stall on one slow client): a full queue kills the
-// connection.
-func (c *conn) trySend(f wire.Frame) {
+// trySend queues a response without ever blocking the caller (a combiner
+// must not stall on one slow client): a full queue kills the connection.
+func (c *conn) trySend(m outMsg) {
 	select {
 	case <-c.dead:
 		return
 	default:
 	}
 	select {
-	case c.out <- f:
+	case c.out <- m:
 	case <-c.dead:
 	default:
 		if st := c.s.opt.Stats; st != nil {
@@ -551,9 +804,13 @@ func (c *conn) trySend(f wire.Frame) {
 func (c *conn) readLoop() {
 	defer c.s.readerWg.Done()
 	br := newFrameReader(c.nc)
+	// One frame and one scratch buffer recycled for the connection's whole
+	// life: the read path performs zero steady-state allocations. process
+	// copies what it keeps, so reuse is safe.
+	var f wire.Frame
+	var scratch []byte
 	for {
-		f, err := wire.ReadFrame(br)
-		if err != nil {
+		if err := wire.ReadFrameInto(br, &f, &scratch); err != nil {
 			if !c.s.closing.Load() {
 				c.markDead()
 			}
@@ -572,13 +829,13 @@ func (c *conn) readLoop() {
 			if fa.Drop {
 				continue
 			}
-			c.process(f)
+			c.process(&f)
 			if fa.Duplicate {
-				c.process(f)
+				c.process(&f)
 			}
 			continue
 		}
-		c.process(f)
+		c.process(&f)
 	}
 }
 
@@ -598,15 +855,16 @@ func (c *conn) noteFault(fa wire.FrameFault) {
 	}
 }
 
-// process handles one request frame on the reader goroutine.
-func (c *conn) process(f wire.Frame) {
+// process handles one request frame on the reader goroutine. It must not
+// retain f — the reader recycles it for the next frame.
+func (c *conn) process(f *wire.Frame) {
 	s := c.s
 	st := s.opt.Stats
 	switch f.Type {
 	case wire.THello:
-		c.trySend(wire.Frame{Type: wire.TShape, ID: f.ID, Shape: s.shape})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TShape, ID: f.ID, Shape: s.shape}})
 	case wire.TRead:
-		c.trySend(wire.Frame{Type: wire.TValue, ID: f.ID, Value: s.issued.Load()})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: f.ID, Value: s.issued.Load()}})
 	case wire.TSnapshot:
 		var body []byte
 		if st != nil {
@@ -614,7 +872,7 @@ func (c *conn) process(f wire.Frame) {
 		} else {
 			body, _ = json.Marshal(map[string]int64{"issued": s.issued.Load()})
 		}
-		c.trySend(wire.Frame{Type: wire.TInfo, ID: f.ID, Data: body})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TInfo, ID: f.ID, Data: body}})
 	case wire.TInc, wire.TIncBatch:
 		k := int64(1)
 		batch := f.Type == wire.TIncBatch
@@ -629,21 +887,20 @@ func (c *conn) process(f wire.Frame) {
 			return
 		}
 		if k == 0 {
-			c.trySend(wire.Frame{Type: wire.TRanges, ID: f.ID, Rs: []wire.Range{}})
+			c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: f.ID, Rs: []wire.Range{}}})
 			return
 		}
 		if f.Mode == wire.ModeLIN || s.opt.ForceLIN {
 			c.processLIN(f.ID, int(f.Wire), k, batch)
 			return
 		}
-		r := req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: time.Now()}
-		select {
-		case s.mail <- r:
-		default:
+		c.outstanding.Add(1)
+		if !s.post(req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: time.Now()}) {
+			c.outstanding.Add(-1)
 			if st != nil {
 				st.backpressure.Add(1)
 			}
-			c.trySend(errFrame(f.ID, wire.ErrBackpressure))
+			c.trySend(outMsg{f: wire.Frame{ID: f.ID}, tmpl: s.tmplBackpressure})
 		}
 	default:
 		c.trySend(errFrame(f.ID, fmt.Errorf("%w: %v is not a request", wire.ErrBadFrame, f.Type)))
@@ -672,7 +929,7 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
 		st.latLIN.Record(w, time.Since(start))
 	}
 	if !batch {
-		c.trySend(wire.Frame{Type: wire.TValue, ID: id, Value: first})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: id, Value: first}})
 		return
 	}
 	out := make([]wire.Range, 0, len(rs))
@@ -682,26 +939,57 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
 	for _, r := range rs {
 		out = append(out, wire.Range{First: r.First, Stride: r.Stride, Count: r.Count})
 	}
-	c.trySend(wire.Frame{Type: wire.TRanges, ID: id, Rs: out})
+	c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: id, Rs: out}})
 }
 
+// writeLoop drains the connection's response queue into a buffered
+// encoder with adaptive flush batching: gather everything queued, flush
+// when the pipeline drains (immediately for request-response clients,
+// after a short companion wait for pipelined ones), on a byte threshold,
+// or on the deadline. Encoding reuses one scratch buffer, so the steady
+// state writes allocate nothing.
 func (c *conn) writeLoop() {
 	defer c.s.writerWg.Done()
 	bw := newFrameWriter(c.nc)
+	pol := c.s.opt.Flush
+	st := c.s.opt.Stats
 	var scratch []byte
 	broken := false
-	st := c.s.opt.Stats
-	write := func(f *wire.Frame) {
-		if broken {
+	unflushed := 0 // frames written into bw since the last flush
+	var timer *time.Timer
+	var timerC <-chan time.Time
+
+	disarm := func() {
+		if timerC != nil {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timerC = nil
+		}
+	}
+	flush := func(deadline bool) {
+		if broken || unflushed == 0 {
 			return
 		}
-		var err error
-		scratch, err = wire.AppendFrame(scratch[:0], f)
-		if err != nil {
-			// Server-built frames always encode; treat failure as fatal
-			// for this connection rather than corrupting the stream.
+		if err := bw.Flush(); err != nil {
 			broken = true
 			c.markDead()
+			return
+		}
+		if st != nil {
+			st.flushes.Add(1)
+			if deadline {
+				st.flushDeadline.Add(1)
+			}
+		}
+		unflushed = 0
+	}
+	// writeScratch ships the frame already encoded in scratch; split from
+	// write so a duplicate-frame fault re-sends the identical bytes
+	// without re-encoding (the reply's Rs slice is recycled into the pool
+	// at encode time, exactly once).
+	writeScratch := func() {
+		if broken || len(scratch) == 0 {
 			return
 		}
 		if _, err := bw.Write(scratch); err != nil {
@@ -709,45 +997,113 @@ func (c *conn) writeLoop() {
 			c.markDead()
 			return
 		}
+		unflushed++
 		if st != nil {
 			st.framesOut.Add(1)
+			st.bytesOut.Add(uint64(len(scratch)))
+		}
+		if bw.Buffered() >= pol.MaxBytes {
+			if st != nil {
+				st.flushThreshold.Add(1)
+			}
+			flush(false)
 		}
 	}
-	for {
-		select {
-		case f, ok := <-c.out:
-			if !ok {
-				// Server Close: flush what was queued and finish.
-				if !broken {
-					_ = bw.Flush()
-				}
+	write := func(m *outMsg) {
+		if broken {
+			return
+		}
+		if m.tmpl != nil {
+			scratch = m.tmpl.AppendFrame(scratch[:0], m.f.ID)
+		} else {
+			var err error
+			scratch, err = wire.AppendFrame(scratch[:0], &m.f)
+			if m.f.Rs != nil {
+				putRanges(m.f.Rs) // encoded (or fatally broken); recycle
+				m.f.Rs = nil
+			}
+			if err != nil {
+				// Server-built frames always encode; treat failure as fatal
+				// for this connection rather than corrupting the stream.
+				broken = true
+				c.markDead()
 				return
 			}
-			if ff := c.s.opt.Faults; ff != nil {
-				fa := ff.Frame(c.id, false, c.outSeq)
-				c.outSeq++
-				c.noteFault(fa)
-				if fa.Delay > 0 {
-					c.s.sleepDone(fa.Delay)
-				}
-				if fa.Drop {
-					continue
-				}
-				write(&f)
-				if fa.Duplicate {
-					write(&f)
-				}
-			} else {
-				write(&f)
+		}
+		writeScratch()
+	}
+	handle := func(m outMsg) {
+		if ff := c.s.opt.Faults; ff != nil {
+			fa := ff.Frame(c.id, false, c.outSeq)
+			c.outSeq++
+			c.noteFault(fa)
+			if fa.Delay > 0 {
+				c.s.sleepDone(fa.Delay)
 			}
-			if len(c.out) == 0 && !broken {
-				if err := bw.Flush(); err != nil {
-					broken = true
-					c.markDead()
+			if fa.Drop {
+				return
+			}
+			write(&m)
+			if fa.Duplicate {
+				writeScratch()
+			}
+			return
+		}
+		write(&m)
+	}
+
+	for {
+		select {
+		case m, ok := <-c.out:
+			if !ok {
+				// Server Close: flush what was queued and finish.
+				disarm()
+				flush(false)
+				return
+			}
+			handle(m)
+		gather:
+			for !broken {
+				select {
+				case m2, ok2 := <-c.out:
+					if !ok2 {
+						disarm()
+						flush(false)
+						return
+					}
+					handle(m2)
+				default:
+					break gather
 				}
 			}
+			if broken || unflushed == 0 {
+				disarm()
+				continue
+			}
+			// Adaptive decision: wait for companions only when requests
+			// are still in flight through the combiners for this
+			// connection — their responses are guaranteed to arrive within
+			// a sweep. With nothing outstanding the client is blocked on
+			// this buffer, so it goes out now.
+			if pol.MaxDelay <= 0 || c.outstanding.Load() == 0 {
+				disarm()
+				flush(false)
+				continue
+			}
+			if timerC == nil {
+				if timer == nil {
+					timer = time.NewTimer(pol.MaxDelay)
+				} else {
+					timer.Reset(pol.MaxDelay)
+				}
+				timerC = timer.C
+			}
+		case <-timerC:
+			timerC = nil
+			flush(true)
 		case <-c.dead:
 			// Abandoned connection: discard whatever is still queued.
+			disarm()
 			return
 		}
 	}

@@ -42,6 +42,19 @@ type Stats struct {
 	faultDuplicated atomic.Uint64 // frames duplicated by injected faults
 	faultDelayed    atomic.Uint64 // frames delayed by injected faults
 
+	steals atomic.Uint64 // requests stolen by idle combiners from sibling shards
+
+	flushes        atomic.Uint64 // writer flush syscalls
+	flushDeadline  atomic.Uint64 // flushes forced by the FlushPolicy deadline
+	flushThreshold atomic.Uint64 // flushes forced by the byte threshold
+	bytesOut       atomic.Uint64 // response bytes written
+
+	// Per-combining-shard counters, sized once by the server before its
+	// combiners start (sizeShards); index = shard id.
+	shardSweeps   []atomic.Uint64 // sweeps executed by this shard
+	shardReqs     []atomic.Uint64 // requests folded by this shard
+	shardQueueMax []atomic.Int64  // high-water mark of this shard's mailbox
+
 	latSC  *telemetry.Histogram // mailbox-entry to response-enqueue
 	latLIN *telemetry.Histogram // linearizing-section round trip
 }
@@ -65,6 +78,38 @@ func (st *Stats) observeQueue(depth int) {
 	for {
 		cur := st.queueMax.Load()
 		if d <= cur || st.queueMax.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// sizeShards allocates the per-shard counters. The server calls it once,
+// before any combiner runs; a sink reused across servers keeps the larger
+// size.
+func (st *Stats) sizeShards(n int) {
+	if n <= len(st.shardSweeps) {
+		return
+	}
+	st.shardSweeps = make([]atomic.Uint64, n)
+	st.shardReqs = make([]atomic.Uint64, n)
+	st.shardQueueMax = make([]atomic.Int64, n)
+}
+
+// observeShard records one combiner sweep: the shard's current mailbox
+// depth and how many requests the sweep folded. Also feeds the global
+// queue high-water mark.
+func (st *Stats) observeShard(shard, depth int, reqs uint64) {
+	st.observeQueue(depth)
+	if shard < 0 || shard >= len(st.shardSweeps) {
+		return
+	}
+	st.shardSweeps[shard].Add(1)
+	st.shardReqs[shard].Add(reqs)
+	d := int64(depth)
+	hw := &st.shardQueueMax[shard]
+	for {
+		cur := hw.Load()
+		if d <= cur || hw.CompareAndSwap(cur, d) {
 			return
 		}
 	}
@@ -98,6 +143,17 @@ type Snapshot struct {
 	FaultDropped    uint64 `json:"faultDropped"`
 	FaultDuplicated uint64 `json:"faultDuplicated"`
 	FaultDelayed    uint64 `json:"faultDelayed"`
+
+	Steals uint64 `json:"steals"`
+
+	Flushes        uint64 `json:"flushes"`
+	FlushDeadline  uint64 `json:"flushDeadline"`
+	FlushThreshold uint64 `json:"flushThreshold"`
+	BytesOut       uint64 `json:"bytesOut"`
+
+	ShardSweeps   []uint64 `json:"shardSweeps,omitempty"`
+	ShardReqs     []uint64 `json:"shardReqs,omitempty"`
+	ShardQueueMax []int64  `json:"shardQueueMax,omitempty"`
 
 	LatencySC  telemetry.LatencySummary `json:"latencySC"`
 	LatencyLIN telemetry.LatencySummary `json:"latencyLIN"`
@@ -133,9 +189,42 @@ func (st *Stats) Snapshot() Snapshot {
 		FaultDuplicated: st.faultDuplicated.Load(),
 		FaultDelayed:    st.faultDelayed.Load(),
 
+		Steals: st.steals.Load(),
+
+		Flushes:        st.flushes.Load(),
+		FlushDeadline:  st.flushDeadline.Load(),
+		FlushThreshold: st.flushThreshold.Load(),
+		BytesOut:       st.bytesOut.Load(),
+
+		ShardSweeps:   loadShardU64(st.shardSweeps),
+		ShardReqs:     loadShardU64(st.shardReqs),
+		ShardQueueMax: loadShardI64(st.shardQueueMax),
+
 		LatencySC:  st.latSC.Summary(),
 		LatencyLIN: st.latLIN.Summary(),
 	}
+}
+
+func loadShardU64(src []atomic.Uint64) []uint64 {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(src))
+	for i := range src {
+		out[i] = src[i].Load()
+	}
+	return out
+}
+
+func loadShardI64(src []atomic.Int64) []int64 {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]int64, len(src))
+	for i := range src {
+		out[i] = src[i].Load()
+	}
+	return out
 }
 
 // CoalescingFactor reports the mean number of requests folded into one
@@ -178,6 +267,25 @@ func (st *Stats) AppendMetrics(w io.Writer) {
 	counter("countd_fault_dropped_total", "frames dropped by fault injection", s.FaultDropped)
 	counter("countd_fault_duplicated_total", "frames duplicated by fault injection", s.FaultDuplicated)
 	counter("countd_fault_delayed_total", "frames delayed by fault injection", s.FaultDelayed)
+	counter("countd_steals_total", "requests stolen by idle combiner shards", s.Steals)
+	counter("countd_flush_total", "response writer flush syscalls", s.Flushes)
+	counter("countd_flush_deadline_total", "flushes forced by the flush deadline", s.FlushDeadline)
+	counter("countd_flush_threshold_total", "flushes forced by the byte threshold", s.FlushThreshold)
+	counter("countd_bytes_out_total", "response bytes written", s.BytesOut)
+	if len(s.ShardSweeps) > 0 {
+		fmt.Fprintf(w, "# HELP countd_shard_sweeps_total sweeps executed per combining shard\n# TYPE countd_shard_sweeps_total counter\n")
+		for i, v := range s.ShardSweeps {
+			fmt.Fprintf(w, "countd_shard_sweeps_total{shard=\"%d\"} %d\n", i, v)
+		}
+		fmt.Fprintf(w, "# HELP countd_shard_requests_total requests folded per combining shard\n# TYPE countd_shard_requests_total counter\n")
+		for i, v := range s.ShardReqs {
+			fmt.Fprintf(w, "countd_shard_requests_total{shard=\"%d\"} %d\n", i, v)
+		}
+		fmt.Fprintf(w, "# HELP countd_shard_queue_high_water mailbox depth high-water per shard\n# TYPE countd_shard_queue_high_water gauge\n")
+		for i, v := range s.ShardQueueMax {
+			fmt.Fprintf(w, "countd_shard_queue_high_water{shard=\"%d\"} %d\n", i, v)
+		}
+	}
 	writeHist(w, "countd_latency_sc", "SC increment latency", s.LatencySC)
 	writeHist(w, "countd_latency_lin", "LIN increment latency", s.LatencyLIN)
 }

@@ -39,6 +39,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/network"
@@ -237,13 +239,67 @@ type Frame struct {
 	Data  []byte        // TInfo
 }
 
-// AppendFrame encodes f and appends the bytes to dst.
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// varintLen is the encoded size of v as a zigzag varint.
+func varintLen(v int64) int {
+	ux := uint64(v) << 1
+	if v < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+// payloadSize computes the exact encoded payload length of f without
+// encoding anything, and carries all of the encoder's validation, so
+// AppendFrame can write straight into the caller's buffer with no
+// intermediate payload allocation.
+func payloadSize(f *Frame) (int, error) {
+	n := uvarintLen(f.ID)
+	switch f.Type {
+	case TInc:
+		n += varintLen(f.Wire)
+	case TIncBatch:
+		if f.K < 0 {
+			return 0, fmt.Errorf("%w: negative batch size %d", ErrBadFrame, f.K)
+		}
+		n += varintLen(f.Wire) + uvarintLen(uint64(f.K))
+	case TRead, THello, TSnapshot:
+		// id only
+	case TValue:
+		n += varintLen(f.Value)
+	case TRanges:
+		n += uvarintLen(uint64(len(f.Rs)))
+		for _, r := range f.Rs {
+			if r.Stride < 0 || r.Count < 0 {
+				return 0, fmt.Errorf("%w: negative range stride/count", ErrBadFrame)
+			}
+			n += varintLen(r.First) + uvarintLen(uint64(r.Stride)) + uvarintLen(uint64(r.Count))
+		}
+	case TShape:
+		n += uvarintLen(uint64(f.Shape.Width)) + uvarintLen(uint64(f.Shape.Sinks)) +
+			uvarintLen(uint64(f.Shape.Balancers)) + uvarintLen(uint64(f.Shape.Depth))
+	case TInfo:
+		n += uvarintLen(uint64(len(f.Data))) + len(f.Data)
+	case TError:
+		n += uvarintLen(uint64(f.Code)) + uvarintLen(uint64(len(f.Msg))) + len(f.Msg)
+	default:
+		return 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, f.Type)
+	}
+	return n, nil
+}
+
+// AppendFrame encodes f and appends the bytes to dst. The payload is
+// sized first (payloadSize) and written directly into dst, so steady-state
+// encoding into a buffer with capacity performs zero allocations
+// (TestCodecZeroAllocs / BenchmarkWireEncode assert it).
 func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
-	payload, err := appendPayload(nil, f)
+	psize, err := payloadSize(f)
 	if err != nil {
 		return dst, err
 	}
-	if len(payload) > MaxPayload {
+	if psize > MaxPayload {
 		return dst, ErrTooBig
 	}
 	start := len(dst)
@@ -252,8 +308,8 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		flags |= flagLIN
 	}
 	dst = append(dst, magic0, magic1, Version, byte(f.Type), flags)
-	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	dst = append(dst, payload...)
+	dst = binary.AppendUvarint(dst, uint64(psize))
+	dst = appendPayload(dst, f)
 	crc := crc32.Checksum(dst[start:], castagnoli)
 	return binary.LittleEndian.AppendUint32(dst, crc), nil
 }
@@ -261,16 +317,14 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 // EncodeFrame encodes f into a fresh buffer.
 func EncodeFrame(f *Frame) ([]byte, error) { return AppendFrame(nil, f) }
 
-// appendPayload writes f's per-type payload fields.
-func appendPayload(p []byte, f *Frame) ([]byte, error) {
+// appendPayload writes f's per-type payload fields. Validation already
+// happened in payloadSize; this only emits bytes.
+func appendPayload(p []byte, f *Frame) []byte {
 	p = binary.AppendUvarint(p, f.ID)
 	switch f.Type {
 	case TInc:
 		p = binary.AppendVarint(p, f.Wire)
 	case TIncBatch:
-		if f.K < 0 {
-			return p, fmt.Errorf("%w: negative batch size %d", ErrBadFrame, f.K)
-		}
 		p = binary.AppendVarint(p, f.Wire)
 		p = binary.AppendUvarint(p, uint64(f.K))
 	case TRead, THello, TSnapshot:
@@ -280,9 +334,6 @@ func appendPayload(p []byte, f *Frame) ([]byte, error) {
 	case TRanges:
 		p = binary.AppendUvarint(p, uint64(len(f.Rs)))
 		for _, r := range f.Rs {
-			if r.Stride < 0 || r.Count < 0 {
-				return p, fmt.Errorf("%w: negative range stride/count", ErrBadFrame)
-			}
 			p = binary.AppendVarint(p, r.First)
 			p = binary.AppendUvarint(p, uint64(r.Stride))
 			p = binary.AppendUvarint(p, uint64(r.Count))
@@ -299,10 +350,44 @@ func appendPayload(p []byte, f *Frame) ([]byte, error) {
 		p = binary.AppendUvarint(p, uint64(f.Code))
 		p = binary.AppendUvarint(p, uint64(len(f.Msg)))
 		p = append(p, f.Msg...)
-	default:
-		return p, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, f.Type)
 	}
-	return p, nil
+	return p
+}
+
+// ErrorTemplate is a pre-encoded TError response body for one canonical
+// service error. The server builds one per sentinel (backpressure,
+// timeout, closed) at start; per response only the request id and the CRC
+// differ, so AppendFrame is a handful of appends into the caller's buffer
+// with zero allocations — the common shed-at-the-door reply no longer
+// costs an encode of the error string.
+type ErrorTemplate struct {
+	code ErrCode
+	tail []byte // pre-encoded payload after the id: code, msg length, msg
+}
+
+// NewErrorTemplate pre-encodes the canonical TError body for err.
+func NewErrorTemplate(err error) *ErrorTemplate {
+	code := CodeOf(err)
+	msg := err.Error()
+	tail := binary.AppendUvarint(nil, uint64(code))
+	tail = binary.AppendUvarint(tail, uint64(len(msg)))
+	tail = append(tail, msg...)
+	return &ErrorTemplate{code: code, tail: tail}
+}
+
+// Code returns the template's error code.
+func (t *ErrorTemplate) Code() ErrCode { return t.code }
+
+// AppendFrame appends the complete TError frame answering request id.
+func (t *ErrorTemplate) AppendFrame(dst []byte, id uint64) []byte {
+	psize := uvarintLen(id) + len(t.tail)
+	start := len(dst)
+	dst = append(dst, magic0, magic1, Version, byte(TError), 0)
+	dst = binary.AppendUvarint(dst, uint64(psize))
+	dst = binary.AppendUvarint(dst, id)
+	dst = append(dst, t.tail...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
 }
 
 // DecodeFrame decodes the first frame in b, returning it and the number of
@@ -311,14 +396,29 @@ func appendPayload(p []byte, f *Frame) ([]byte, error) {
 // connection should be dropped.
 func DecodeFrame(b []byte) (Frame, int, error) {
 	var f Frame
+	n, err := DecodeInto(&f, b)
+	return f, n, err
+}
+
+// DecodeInto decodes the first frame in b into f, reusing f's Rs and Data
+// capacity so steady-state decoding into a recycled Frame performs zero
+// allocations. Every other field of f is reset first.
+//
+// Aliasing contract: the decoded frame never aliases b — range values are
+// parsed out, Msg is copied into a string, and Data is copied into f's own
+// buffer — so callers may reuse or overwrite b immediately (the server's
+// UDP read loop decodes every datagram out of one recycled buffer on the
+// strength of this; TestDecodeDoesNotAliasInput pins it).
+func DecodeInto(f *Frame, b []byte) (int, error) {
+	*f = Frame{Rs: f.Rs[:0], Data: f.Data[:0]}
 	if len(b) < headerSize {
-		return f, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	if b[0] != magic0 || b[1] != magic1 {
-		return f, 0, ErrBadMagic
+		return 0, ErrBadMagic
 	}
 	if b[2] != Version {
-		return f, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
 	}
 	f.Type = Type(b[3])
 	if b[4]&flagLIN != 0 {
@@ -326,24 +426,24 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	}
 	plen, n := binary.Uvarint(b[headerSize:])
 	if n == 0 {
-		return f, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	if n < 0 || plen > MaxPayload {
-		return f, 0, ErrTooBig
+		return 0, ErrTooBig
 	}
 	total := headerSize + n + int(plen) + crcSize
 	if len(b) < total {
-		return f, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	body := b[:total-crcSize]
 	want := binary.LittleEndian.Uint32(b[total-crcSize : total])
 	if crc32.Checksum(body, castagnoli) != want {
-		return f, 0, ErrCRC
+		return 0, ErrCRC
 	}
-	if err := parsePayload(&f, b[headerSize+n:total-crcSize]); err != nil {
-		return f, 0, err
+	if err := parsePayload(f, b[headerSize+n:total-crcSize]); err != nil {
+		return 0, err
 	}
-	return f, total, nil
+	return total, nil
 }
 
 // parsePayload fills f's typed fields from the payload bytes; the whole
@@ -379,7 +479,11 @@ func parsePayload(f *Frame, p []byte) error {
 		if n > uint64(len(p)) {
 			return fmt.Errorf("%w: %d ranges in %d bytes", ErrBadFrame, n, len(p))
 		}
-		f.Rs = make([]Range, n)
+		if cap(f.Rs) >= int(n) {
+			f.Rs = f.Rs[:n]
+		} else {
+			f.Rs = make([]Range, n)
+		}
 		for i := range f.Rs {
 			var s, c uint64
 			if f.Rs[i].First, p, err = getVarint(p); err != nil {
@@ -423,7 +527,7 @@ func parsePayload(f *Frame, p []byte) error {
 		if n != uint64(len(p)) {
 			return fmt.Errorf("%w: info length %d vs %d", ErrBadFrame, n, len(p))
 		}
-		f.Data = append([]byte(nil), p...)
+		f.Data = append(f.Data[:0], p...)
 		p = nil
 	case TError:
 		var code, n uint64
@@ -475,12 +579,31 @@ func getVarint(p []byte) (int64, []byte, error) {
 // a frame returns io.ErrUnexpectedEOF.
 func ReadFrame(br *bufio.Reader) (Frame, error) {
 	var f Frame
+	scratch := GetBuf()
+	err := ReadFrameInto(br, &f, scratch)
+	PutBuf(scratch)
+	return f, err
+}
+
+// ReadFrameInto reads one frame from a buffered stream into f, reusing
+// both f's capacity (see DecodeInto) and *scratch as the raw-byte staging
+// buffer, so a long-lived reader loop performs zero steady-state
+// allocations. *scratch is grown as needed and handed back with its
+// (possibly larger) capacity; the decoded frame does not alias it.
+func ReadFrameInto(br *bufio.Reader, f *Frame, scratch *[]byte) error {
+	// The header is read byte-wise on the concrete reader: an io.ReadFull
+	// into a stack array would force the array to escape (one allocation
+	// per frame, exactly what this path exists to avoid).
 	var raw [headerSize + binary.MaxVarintLen64]byte
-	if _, err := io.ReadFull(br, raw[:headerSize]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return f, io.ErrUnexpectedEOF
+	for i := 0; i < headerSize; i++ {
+		c, err := br.ReadByte()
+		if err != nil {
+			if i == 0 {
+				return err // clean EOF at a frame boundary
+			}
+			return unexpected(err)
 		}
-		return f, err
+		raw[i] = c
 	}
 	n := headerSize
 	// Read the payload-length uvarint byte by byte, keeping the raw bytes
@@ -488,11 +611,11 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 	plen := uint64(0)
 	for shift := 0; ; shift += 7 {
 		if shift >= 64 || n == len(raw) {
-			return f, ErrTooBig
+			return ErrTooBig
 		}
 		c, err := br.ReadByte()
 		if err != nil {
-			return f, unexpected(err)
+			return unexpected(err)
 		}
 		raw[n] = c
 		n++
@@ -502,21 +625,64 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 		}
 	}
 	if plen > MaxPayload {
-		return f, ErrTooBig
+		return ErrTooBig
 	}
-	buf := make([]byte, n+int(plen)+crcSize)
+	total := n + int(plen) + crcSize
+	if cap(*scratch) < total {
+		*scratch = make([]byte, total)
+	}
+	buf := (*scratch)[:total]
 	copy(buf, raw[:n])
 	if _, err := io.ReadFull(br, buf[n:]); err != nil {
-		return f, unexpected(err)
+		return unexpected(err)
 	}
-	f, consumed, err := DecodeFrame(buf)
+	consumed, err := DecodeInto(f, buf)
 	if err != nil {
-		return f, err
+		return err
 	}
 	if consumed != len(buf) {
-		return f, ErrBadFrame
+		return ErrBadFrame
 	}
-	return f, nil
+	return nil
+}
+
+// Scratch pooling: frame and byte buffers recycled across the serving hot
+// path, shared by server and client so encode/decode steady state stays at
+// zero allocations. PutBuf/PutFrame drop oversized buffers instead of
+// pinning a rare huge frame's memory in the pool forever.
+const (
+	maxPooledBuf    = 64 << 10
+	maxPooledRanges = 4096
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// GetBuf returns a pooled length-zero scratch buffer.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf recycles a buffer obtained from GetBuf (or any buffer).
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a pooled zeroed Frame whose Rs and Data retain capacity
+// from earlier use, ready for DecodeInto/ReadFrameInto.
+func GetFrame() *Frame { return framePool.Get().(*Frame) }
+
+// PutFrame recycles f. The caller must no longer hold references into
+// f.Rs or f.Data.
+func PutFrame(f *Frame) {
+	if f == nil || cap(f.Rs) > maxPooledRanges || cap(f.Data) > maxPooledBuf {
+		return
+	}
+	*f = Frame{Rs: f.Rs[:0], Data: f.Data[:0]}
+	framePool.Put(f)
 }
 
 func unexpected(err error) error {
