@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke experiments examples lint clean
+.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke sim sim-replay experiments examples lint clean
 
 all: build test
 
@@ -71,9 +71,31 @@ netsmoke:
 	$(GO) run ./cmd/countload -addr 127.0.0.1:9701 -g 4 -duration 2s -json BENCH_throughput.json && \
 	wait
 
+# Deterministic whole-system simulation: sweep SIM_SEEDS seeds through
+# the real client/wire/server stack on the virtual clock, checking the
+# protocol invariants on every one. Failing seeds leave replayable
+# traces in sim-artifacts/.
+SIM_SEEDS ?= 1000
+sim:
+	$(GO) run ./cmd/countsim -seeds $(SIM_SEEDS) -artifacts sim-artifacts
+
+# Replay one seed with its full scheduler trace: make sim-replay SEED=1234
+sim-replay:
+	@test -n "$(SEED)" || { echo "usage: make sim-replay SEED=<n>"; exit 2; }
+	$(GO) run ./cmd/countsim -seed $(SEED) -trace
+
 lint:
 	$(GO) vet ./...
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	@# The serving path must be simulation-ready: no direct wall-clock use
+	@# outside tests — everything goes through the internal/clock seam.
+	@bad="$$(grep -REn '\btime\.(Now|Sleep|After|AfterFunc|NewTimer|NewTicker|Since|Tick)\(' \
+		internal/client internal/server internal/fault --include='*.go' \
+		| grep -v '_test\.go:' || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "direct wall-clock calls on the serving path (use the clock.Clock seam):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 clean:
 	$(GO) clean ./...

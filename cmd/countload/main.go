@@ -12,10 +12,16 @@
 //
 //	{"name": "Countload/mode=sc/g=4", "nsPerOp": ..., "metrics": {"ops/s": ...}}
 //
+// -sim N runs deterministic whole-system simulation seed N
+// (internal/dst) with this driver's client-side configuration (-g,
+// -mode, -adaptive) against a simulated server — no live countd needed —
+// and audits the protocol invariants over the outcome.
+//
 // Usage:
 //
 //	countload -addr 127.0.0.1:9701 -g 4 -duration 2s
 //	countload -addr 127.0.0.1:9701 -g 64 -mode lin -json BENCH_throughput.json
+//	countload -g 8 -mode lin -sim 42
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	countingnet "repro"
 	"repro/internal/benchfmt"
 	"repro/internal/client"
+	"repro/internal/dst"
 	"repro/internal/telemetry"
 )
 
@@ -45,6 +52,7 @@ type options struct {
 	jsonOut  string        // benchmark-report path ("" disables, "-" stdout)
 	adaptive bool          // RTT-adaptive in-flight window
 	cpuprof  string        // write a CPU profile here ("" disables)
+	sim      uint64        // deterministic-simulation seed (0: drive a live countd)
 }
 
 func main() {
@@ -57,7 +65,16 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "merge results into this benchmark report file (- for stdout)")
 	flag.BoolVar(&o.adaptive, "adaptive", false, "tune each connection's in-flight window to measured RTT (AIMD)")
 	flag.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile to this file (empty: off)")
+	flag.Uint64Var(&o.sim, "sim", 0, "run this deterministic-simulation seed with the client-side configuration instead of driving a live server (0: off)")
 	flag.Parse()
+
+	if o.sim != 0 {
+		if err := runSim(o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "countload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if o.cpuprof != "" {
 		f, err := os.Create(o.cpuprof)
@@ -76,6 +93,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "countload:", err)
 		os.Exit(1)
 	}
+}
+
+// runSim executes one deterministic whole-system simulation seed with
+// this driver's client-side configuration — worker count from -g,
+// consistency mode from -mode, AIMD window from -adaptive — against a
+// simulated server on the virtual clock and in-memory transport. The
+// per-op outcomes get the same uniqueness audit the live driver applies,
+// plus the full dst invariant set (step property, LIN order, retry
+// budgets, clean drain).
+func runSim(o options, out io.Writer) error {
+	if _, err := countingnet.ParseConsistencyMode(o.mode); err != nil {
+		return err
+	}
+	if o.clients <= 0 {
+		return fmt.Errorf("need at least one client, got %d", o.clients)
+	}
+	ov := dst.Overrides{Workers: o.clients, Adaptive: &o.adaptive}
+	if o.mode == "lin" {
+		ov.Mode = "lin"
+	} else {
+		ov.Mode = "sc"
+	}
+	res, err := dst.RunScenario(dst.GenScenarioWith(o.sim, ov), dst.RunOptions{})
+	if err != nil {
+		return err
+	}
+	var ops, errs int
+	for _, op := range res.Ops {
+		if op.Err == "" {
+			ops++
+		} else {
+			errs++
+		}
+	}
+	fmt.Fprintf(out, "countload: sim seed %d (%s), %d clients, mode %s, adaptive %v\n",
+		o.sim, res.Scenario.Flavor, o.clients, o.mode, o.adaptive)
+	fmt.Fprintf(out, "  ops %d ok / %d failed, values delivered %d, issued %d, %d steps\n",
+		ops, errs, res.Delivered, res.Issued, res.Steps)
+	for _, v := range res.Violations {
+		fmt.Fprintf(out, "  violation: %s\n", v)
+	}
+	if res.Failed() {
+		return fmt.Errorf("sim seed %d: %d invariant violations", o.sim, len(res.Violations))
+	}
+	fmt.Fprintf(out, "countload: sim seed %d ok\n", o.sim)
+	return nil
 }
 
 // result is what one load run measured.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/fault"
 	"repro/internal/runtime"
 )
@@ -30,6 +31,9 @@ type ResilientOptions struct {
 	FailAfter int
 	// Seed seeds the backoff jitter (default 1).
 	Seed int64
+	// Clock times attempt deadlines and retry backoff; nil means the wall
+	// clock (the simulation harness injects its virtual clock here).
+	Clock clock.Clock
 }
 
 func (o ResilientOptions) withDefaults() ResilientOptions {
@@ -77,6 +81,8 @@ type ResilientCounter struct {
 	backup  runtime.Counter
 	opt     ResilientOptions
 
+	clk clock.Clock
+
 	mu     sync.RWMutex // guards the primary→backup transition
 	failed bool
 	base   int64 // backup range start, set at failover
@@ -99,7 +105,8 @@ func NewResilientCounter(primary runtime.CtxCounter, backup runtime.Counter, opt
 		opt:     opt.withDefaults(),
 	}
 	r.maxSeen.Store(-1)
-	r.bo = fault.Backoff{Base: r.opt.BackoffBase, Cap: r.opt.BackoffCap, Seed: r.opt.Seed}
+	r.clk = clock.Or(r.opt.Clock)
+	r.bo = fault.Backoff{Base: r.opt.BackoffBase, Cap: r.opt.BackoffCap, Seed: r.opt.Seed, Clock: r.opt.Clock}
 	return r
 }
 
@@ -185,7 +192,7 @@ func (r *ResilientCounter) IncCtx(ctx context.Context, wire int) (int64, error) 
 		if r.FailedOver() {
 			return r.backupInc(ctx, wire)
 		}
-		actx, cancel := context.WithTimeout(ctx, r.opt.Timeout)
+		actx, cancel := r.clk.WithTimeout(ctx, r.opt.Timeout)
 		v, err := r.primary.IncCtx(actx, wire)
 		cancel()
 		if err == nil {
@@ -217,9 +224,9 @@ func (r *ResilientCounter) IncCtx(ctx context.Context, wire int) (int64, error) 
 		if attempt >= r.opt.MaxRetries {
 			return 0, err
 		}
-		t := time.NewTimer(r.backoff(attempt))
+		t := r.clk.NewTimer(r.backoff(attempt))
 		select {
-		case <-t.C:
+		case <-t.C():
 		case <-ctx.Done():
 			t.Stop()
 			return 0, fault.FromContext(ctx.Err())

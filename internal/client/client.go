@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/runtime"
@@ -74,6 +75,15 @@ type Options struct {
 	// absorbing the extra in-flight — and grow by one when it sits near
 	// the floor). Window stays the hard cap.
 	AdaptiveWindow bool
+	// Clock times attempt deadlines, retry backoff and RTT measurement;
+	// nil means the wall clock. The deterministic simulation harness
+	// (internal/dst) injects its virtual clock here.
+	Clock clock.Clock
+	// Dialer, when non-nil, replaces net.DialTimeout("tcp", ...) — the
+	// transport seam the simulation harness uses to splice in its
+	// in-memory network. The timeout argument is advisory for dialers
+	// whose connect cannot block (memnet's never does).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -93,7 +103,7 @@ func (o Options) withDefaults() Options {
 		o.DialTimeout = 5 * time.Second
 	}
 	if o.Backoff == nil {
-		o.Backoff = &fault.Backoff{}
+		o.Backoff = &fault.Backoff{Clock: o.Clock}
 	}
 	return o
 }
@@ -102,6 +112,7 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	addr  string
 	opt   Options
+	clk   clock.Clock
 	shape network.Shape
 
 	idSeq atomic.Uint64
@@ -124,6 +135,7 @@ func Dial(addr string, opt Options) (*Client, error) {
 	c := &Client{
 		addr: addr,
 		opt:  opt.withDefaults(),
+		clk:  clock.Or(opt.Clock),
 		done: make(chan struct{}),
 	}
 	c.pool = make([]*cconn, c.opt.Conns)
@@ -141,7 +153,7 @@ func Dial(addr string, opt Options) (*Client, error) {
 		c.mu.Lock()
 		c.pool[0] = cc
 		c.mu.Unlock()
-		hctx, cancel := context.WithTimeout(context.Background(), c.opt.DialTimeout)
+		hctx, cancel := c.clk.WithTimeout(context.Background(), c.opt.DialTimeout)
 		f, err := c.roundTrip(hctx, cc, wire.Frame{Type: wire.THello})
 		cancel()
 		if err != nil {
@@ -357,7 +369,7 @@ func (c *Client) request(ctx context.Context, f wire.Frame) (wire.Frame, error) 
 		}
 		attemptCtx, cancel := ctx, context.CancelFunc(nil)
 		if c.opt.OpTimeout > 0 {
-			attemptCtx, cancel = context.WithTimeout(ctx, c.opt.OpTimeout)
+			attemptCtx, cancel = c.clk.WithTimeout(ctx, c.opt.OpTimeout)
 		}
 		rf, err := c.roundTrip(attemptCtx, cc, f)
 		if cancel != nil {
@@ -427,12 +439,19 @@ func (c *Client) conn() (*cconn, error) {
 }
 
 func (c *Client) dial() (*cconn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
+	dial := c.opt.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(c.addr, c.opt.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	cc := &cconn{
 		nc:       nc,
+		clk:      c.clk,
 		window:   make(chan struct{}, c.opt.Window),
 		pending:  make(map[uint64]chan wire.Frame),
 		dead:     make(chan struct{}),
@@ -445,7 +464,8 @@ func (c *Client) dial() (*cconn, error) {
 // cconn is one pooled connection: pipelined writes under a mutex, a
 // reader goroutine matching responses to waiters by request id.
 type cconn struct {
-	nc net.Conn
+	nc  net.Conn
+	clk clock.Clock
 
 	wmu  sync.Mutex // serializes frame writes
 	wbuf []byte
@@ -586,7 +606,7 @@ func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
 
 	var start time.Time
 	if cc.adaptive {
-		start = time.Now()
+		start = cc.clk.Now()
 	}
 	cc.wmu.Lock()
 	var err error
@@ -611,7 +631,7 @@ func (cc *cconn) do(ctx context.Context, f *wire.Frame) (wire.Frame, error) {
 		}
 		respChPool.Put(ch)
 		if cc.adaptive {
-			cc.observeRTT(time.Since(start))
+			cc.observeRTT(cc.clk.Since(start))
 		}
 		return rf, nil
 	case <-ctx.Done():

@@ -1,0 +1,181 @@
+package clock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if !s.Now().Equal(SimEpoch) {
+		t.Fatalf("Now = %v, want %v", s.Now(), SimEpoch)
+	}
+	if _, ok := s.NextWake(); ok {
+		t.Fatal("fresh clock reports a pending wake")
+	}
+}
+
+func TestSimAdvanceFiresTimersInOrder(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	s.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	s.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	// Same deadline as the 20ms timer, armed later: must fire after it.
+	s.AfterFunc(20*time.Millisecond, func() { order = append(order, 4) })
+
+	if n := s.Advance(25 * time.Millisecond); n != 3 {
+		t.Fatalf("Advance fired %d timers, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 4 {
+		t.Fatalf("fire order = %v, want [1 2 4]", order)
+	}
+	if n := s.Advance(10 * time.Millisecond); n != 1 {
+		t.Fatalf("second Advance fired %d, want 1", n)
+	}
+	if order[3] != 3 {
+		t.Fatalf("late timer fired out of order: %v", order)
+	}
+}
+
+func TestSimTimerChannelAndStop(t *testing.T) {
+	s := NewSim()
+	tm := s.NewTimer(time.Second)
+	if tm.Stop() != true {
+		t.Fatal("Stop on armed timer returned false")
+	}
+	if tm.Stop() != false {
+		t.Fatal("second Stop returned true")
+	}
+	tm.Reset(time.Millisecond)
+	s.Advance(time.Millisecond)
+	select {
+	case at := <-tm.C():
+		want := SimEpoch.Add(time.Millisecond)
+		if !at.Equal(want) {
+			t.Fatalf("fire time = %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire after Advance past deadline")
+	}
+}
+
+func TestSimAfterFuncChainWithinWindow(t *testing.T) {
+	// A callback arming a new timer inside the advance window must be
+	// honoured in deadline order within the same AdvanceTo call.
+	s := NewSim()
+	var got []time.Duration
+	s.AfterFunc(10*time.Millisecond, func() {
+		got = append(got, s.Since(SimEpoch))
+		s.AfterFunc(5*time.Millisecond, func() {
+			got = append(got, s.Since(SimEpoch))
+		})
+	})
+	s.Advance(time.Second)
+	if len(got) != 2 || got[0] != 10*time.Millisecond || got[1] != 15*time.Millisecond {
+		t.Fatalf("chained fires = %v, want [10ms 15ms]", got)
+	}
+}
+
+func TestSimSleepBlocksUntilAdvance(t *testing.T) {
+	s := NewSim()
+	var wg sync.WaitGroup
+	woke := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Sleep(50 * time.Millisecond)
+		close(woke)
+	}()
+	// Wait for the sleeper to register.
+	for s.Sleepers() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-woke:
+		t.Fatal("Sleep returned before clock advanced")
+	default:
+	}
+	s.Advance(50 * time.Millisecond)
+	wg.Wait()
+}
+
+func TestSimWithTimeoutExpiresAsDeadlineExceeded(t *testing.T) {
+	s := NewSim()
+	ctx, cancel := s.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("premature Err: %v", err)
+	}
+	s.Advance(20 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not done after deadline")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(SimEpoch.Add(20*time.Millisecond)) {
+		t.Fatalf("Deadline = %v,%v", dl, ok)
+	}
+}
+
+func TestSimWithTimeoutCancel(t *testing.T) {
+	s := NewSim()
+	ctx, cancel := s.WithTimeout(context.Background(), time.Hour)
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", ctx.Err())
+	}
+	// The timer must be released: no pending wake remains.
+	if _, ok := s.NextWake(); ok {
+		t.Fatal("cancelled timeout left a pending timer")
+	}
+}
+
+func TestSimWithTimeoutParentCancellation(t *testing.T) {
+	s := NewSim()
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := s.WithTimeout(parent, time.Hour)
+	defer cancel()
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("child not cancelled by parent")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", ctx.Err())
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Or(nil)
+	t0 := c.Now()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if c.Since(t0) <= 0 {
+		t.Fatal("Since went backward")
+	}
+	ctx, cancel := c.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v", ctx.Err())
+	}
+}
+
+func TestOrPassesThrough(t *testing.T) {
+	s := NewSim()
+	if Or(s) != Clock(s) {
+		t.Fatal("Or(non-nil) did not return the given clock")
+	}
+}

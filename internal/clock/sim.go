@@ -1,0 +1,321 @@
+package clock
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SimEpoch is the instant a fresh Sim clock reads. It is a fixed,
+// round date so simulated timestamps in traces are stable across runs
+// and machines — determinism forbids seeding the clock from time.Now.
+var SimEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Sim is a virtual clock for deterministic simulation. Time never
+// advances on its own: goroutines that Sleep or wait on timers block
+// until a driver calls AdvanceTo (or Advance), which fires every timer
+// whose deadline has been reached in (deadline, arming-sequence) order.
+// That ordering depends only on the program's timer deadlines, not on
+// which goroutine armed first in wall time, which is what makes
+// simulated schedules replayable.
+//
+// The driver is typically the internal/dst scheduler: it waits for the
+// system to go quiescent, asks NextWake for the earliest pending
+// deadline, and advances the clock there.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers simHeap
+	seq    uint64 // arming order tiebreak, monotonically increasing
+
+	// activity counts state transitions observable by a quiescence
+	// detector: timer arms/fires/stops and sleep entries/exits. The dst
+	// scheduler polls it to decide whether the system has settled.
+	activity atomic.Uint64
+
+	// sleepers counts goroutines currently blocked in Sleep or waiting
+	// on an armed timer; exposed for deadlock diagnostics.
+	sleepers atomic.Int64
+}
+
+// NewSim returns a virtual clock reading SimEpoch.
+func NewSim() *Sim { return &Sim{now: SimEpoch} }
+
+// Activity returns a counter that increments on every observable clock
+// state change. Two equal readings bracketing a yield mean no timer
+// was armed, fired or stopped in between.
+func (s *Sim) Activity() uint64 { return s.activity.Load() }
+
+// Sleepers returns how many goroutines are blocked on this clock.
+func (s *Sim) Sleepers() int64 { return s.sleepers.Load() }
+
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep blocks until the driver advances the clock past d from now.
+// Sleep(0) and negative durations return immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	done := make(chan struct{})
+	s.sleepers.Add(1)
+	s.AfterFunc(d, func() { close(done) })
+	<-done
+	s.sleepers.Add(-1)
+	s.activity.Add(1)
+}
+
+// NewTimer arms a timer that delivers the fire time on C once the
+// clock reaches now+d.
+func (s *Sim) NewTimer(d time.Duration) Timer {
+	t := &simTimer{clk: s, ch: make(chan time.Time, 1)}
+	s.mu.Lock()
+	s.arm(t, d)
+	s.mu.Unlock()
+	s.activity.Add(1)
+	return t
+}
+
+// AfterFunc arms a timer that runs f on the advancing goroutine once
+// the clock reaches now+d.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	t := &simTimer{clk: s, f: f}
+	s.mu.Lock()
+	s.arm(t, d)
+	s.mu.Unlock()
+	s.activity.Add(1)
+	return t
+}
+
+// WithTimeout derives a context cancelled with context.DeadlineExceeded
+// after d of simulated time, mirroring context.WithTimeout. The
+// returned CancelFunc releases the timer early.
+func (s *Sim) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx := &simDeadlineCtx{
+		Context:  parent,
+		deadline: s.Now().Add(d),
+		done:     make(chan struct{}),
+	}
+	t := s.AfterFunc(d, func() { ctx.cancel(context.DeadlineExceeded) })
+	if pd := parent.Done(); pd != nil {
+		go func() {
+			select {
+			case <-pd:
+				ctx.cancel(parent.Err())
+				t.Stop()
+			case <-ctx.done:
+			}
+		}()
+	}
+	return ctx, func() {
+		ctx.cancel(context.Canceled)
+		t.Stop()
+	}
+}
+
+// NextWake reports the earliest pending timer deadline, if any.
+func (s *Sim) NextWake() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.timers) == 0 {
+		return time.Time{}, false
+	}
+	return s.timers[0].when, true
+}
+
+// AdvanceTo moves the clock forward to t (never backward) and fires
+// every timer whose deadline is ≤ t, in (deadline, arming-order)
+// sequence. AfterFunc callbacks run synchronously on the caller's
+// goroutine between fires, so a callback that arms a new timer within
+// the window is honoured in order. Returns the number of timers fired.
+func (s *Sim) AdvanceTo(t time.Time) int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.timers) == 0 || s.timers[0].when.After(t) {
+			if t.After(s.now) {
+				s.now = t
+			}
+			s.mu.Unlock()
+			return fired
+		}
+		tm := heap.Pop(&s.timers).(*simTimer)
+		if tm.when.After(s.now) {
+			s.now = tm.when
+		}
+		tm.armed = false
+		now := s.now
+		s.mu.Unlock()
+
+		s.activity.Add(1)
+		if tm.f != nil {
+			tm.f()
+		} else {
+			select {
+			case tm.ch <- now:
+			default:
+			}
+		}
+		fired++
+	}
+}
+
+// Advance is AdvanceTo(Now()+d).
+func (s *Sim) Advance(d time.Duration) int { return s.AdvanceTo(s.Now().Add(d)) }
+
+// FireNext advances the clock to the earliest pending timer's deadline
+// and fires exactly that one timer. The deterministic scheduler uses it
+// instead of AdvanceTo so each wake-up gets its own settle window even
+// when several timers share a deadline. Reports the fire time, or false
+// when no timer is pending.
+func (s *Sim) FireNext() (time.Time, bool) {
+	s.mu.Lock()
+	if len(s.timers) == 0 {
+		s.mu.Unlock()
+		return time.Time{}, false
+	}
+	tm := heap.Pop(&s.timers).(*simTimer)
+	if tm.when.After(s.now) {
+		s.now = tm.when
+	}
+	tm.armed = false
+	now := s.now
+	s.mu.Unlock()
+	s.activity.Add(1)
+	if tm.f != nil {
+		tm.f()
+	} else {
+		select {
+		case tm.ch <- now:
+		default:
+		}
+	}
+	return now, true
+}
+
+// SetNow advances the clock to t (never backward) without firing any
+// timer — the scheduler's tool for aligning the clock with a transport
+// delivery that precedes or ties every pending deadline. Callers must
+// ensure no pending timer deadline is strictly before t.
+func (s *Sim) SetNow(t time.Time) {
+	s.mu.Lock()
+	if t.After(s.now) {
+		s.now = t
+	}
+	s.mu.Unlock()
+}
+
+// arm inserts t with deadline now+d. Caller holds s.mu.
+func (s *Sim) arm(t *simTimer, d time.Duration) {
+	t.when = s.now.Add(d)
+	t.seq = s.seq
+	s.seq++
+	t.armed = true
+	heap.Push(&s.timers, t)
+}
+
+type simTimer struct {
+	clk   *Sim
+	when  time.Time
+	seq   uint64
+	index int // heap index, -1 when popped
+	armed bool
+	ch    chan time.Time // nil for AfterFunc timers
+	f     func()
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+func (t *simTimer) Stop() bool {
+	s := t.clk
+	s.mu.Lock()
+	was := t.armed
+	if was {
+		heap.Remove(&s.timers, t.index)
+		t.armed = false
+	}
+	s.mu.Unlock()
+	s.activity.Add(1)
+	return was
+}
+
+func (t *simTimer) Reset(d time.Duration) bool {
+	s := t.clk
+	s.mu.Lock()
+	was := t.armed
+	if was {
+		heap.Remove(&s.timers, t.index)
+	}
+	s.arm(t, d)
+	s.mu.Unlock()
+	s.activity.Add(1)
+	return was
+}
+
+type simHeap []*simTimer
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *simHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *simHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// simDeadlineCtx is a deadline context driven by a Sim timer. Err
+// returns context.DeadlineExceeded on expiry so downstream code that
+// maps context errors (fault.FromContext) behaves identically to a
+// context.WithTimeout built on the wall clock.
+type simDeadlineCtx struct {
+	context.Context
+	deadline time.Time
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+func (c *simDeadlineCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+func (c *simDeadlineCtx) Done() <-chan struct{}       { return c.done }
+
+func (c *simDeadlineCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *simDeadlineCtx) cancel(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+}

@@ -1,0 +1,516 @@
+package dst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/construct"
+	"repro/internal/fault"
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// RunOptions tunes one simulation run.
+type RunOptions struct {
+	// Bug injects the deliberate duplicate-mint defect into the backend —
+	// the canary proving the invariant checker catches real bugs. A Bug
+	// run is expected to produce violations.
+	Bug bool
+	// SettleRounds overrides the quiescence-detection window (0 = default).
+	SettleRounds int
+	// MaxSteps bounds the scheduler (0 = default 50000); exceeding it is
+	// reported as a violation rather than hanging.
+	MaxSteps int
+	// Backend substitutes a pre-compiled counting network for the default
+	// bitonic one — cmd/countd plumbs its -net/-w selection through here.
+	// Its fan-in must match the scenario width.
+	Backend *runtime.Network
+}
+
+// OpRecord is one completed workload operation with its simulated-time
+// span and outcome.
+type OpRecord struct {
+	Worker, Index int
+	Kind          OpKind
+	Mode          wire.Mode
+	Wire, K       int
+	Start, End    time.Duration // offsets from clock.SimEpoch
+	Vals          []int64       // values delivered to the caller
+	Err           string        // classified error category, "" = success
+}
+
+// Result is one simulation run's full outcome: the scenario, every
+// operation, the invariant violations (empty = pass) and the replayable
+// trace (same seed ⇒ byte-identical bytes).
+type Result struct {
+	Seed       uint64
+	Scenario   Scenario
+	Ops        []OpRecord
+	Violations []string
+	Trace      []byte
+	Issued     int64
+	Delivered  int
+	Steps      int
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Run executes one seed: expand the scenario, build the world, run the
+// real client/server stack to completion under the deterministic
+// scheduler, then check every protocol invariant.
+func Run(seed uint64, opts RunOptions) (*Result, error) {
+	return RunScenario(GenScenario(seed), opts)
+}
+
+// RunScenario executes an explicit scenario (tests hand-build these to
+// target one failure mode); Run is RunScenario over GenScenario(seed).
+func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
+	seed := sc.Seed
+	res := &Result{Seed: seed, Scenario: sc}
+
+	w := NewWorld(seed, sc.JitterMin, sc.JitterMax, sc.Partitions, opts.SettleRounds)
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 50000
+	}
+
+	inner := opts.Backend
+	if inner == nil {
+		spec, _, err := construct.Bitonic(sc.Width)
+		if err != nil {
+			return nil, fmt.Errorf("dst: construct: %w", err)
+		}
+		inner, err = runtime.Compile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dst: compile: %w", err)
+		}
+	} else if inner.Width() != sc.Width {
+		return nil, fmt.Errorf("dst: backend width %d != scenario width %d", inner.Width(), sc.Width)
+	}
+	be := &simBackend{
+		inner:  inner,
+		clk:    w.Clk,
+		seed:   seed,
+		latMin: sc.BackendLatMin,
+		latMax: sc.BackendLatMax,
+		bug:    opts.Bug,
+	}
+
+	var faults wire.FrameFaults
+	if sc.faultsActive() {
+		plan := &chaos.FaultPlan{
+			Seed:         int64(seed%((1<<62)-1)) + 1,
+			NetDropProb:  sc.DropProb,
+			NetDupProb:   sc.DupProb,
+			NetDelayProb: sc.DelayProb,
+			NetDelayMin:  sc.DelayMin,
+			NetDelayMax:  sc.DelayMax,
+		}
+		faults = gridFaults{inner: plan.Frames()}
+	}
+
+	srv := server.New(be, server.Options{
+		Mailbox:   sc.Mailbox,
+		Shards:    sc.Shards,
+		OpTimeout: sc.SrvOpTimeout,
+		Faults:    faults,
+		Clock:     w.Clk,
+	})
+	const addr = "sim"
+	ln := w.Listen(addr)
+	go srv.Serve(ln)
+
+	// Workers: one client per worker — client-internal state (request ids,
+	// the per-wire combiner, the backoff rng) then only ever sees one
+	// goroutine, so its behaviour is a pure function of simulated time.
+	recs := make([][]OpRecord, sc.Workers)
+	var remaining atomic.Int64
+	remaining.Store(int64(sc.Workers))
+	for wk := 0; wk < sc.Workers; wk++ {
+		recs[wk] = make([]OpRecord, len(sc.Plans[wk]))
+		go w.runWorker(wk, &sc, recs[wk], &remaining)
+	}
+
+	// Phase 1: drive the world until every worker has finished. Each step
+	// performs exactly one wake-up — the earliest transport delivery or,
+	// when no delivery precedes it, the earliest timer (net-before-timer
+	// on ties) — then waits for quiescence.
+	stuck := 0
+	for remaining.Load() > 0 {
+		w.Settle()
+		if remaining.Load() <= 0 {
+			break
+		}
+		if !w.step() {
+			if stuck++; stuck > 40 {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("deadlock: %d workers stuck with no pending event or timer", remaining.Load()))
+				break
+			}
+			continue
+		}
+		stuck = 0
+		if res.Steps++; res.Steps > maxSteps {
+			res.Violations = append(res.Violations, fmt.Sprintf("runaway: exceeded %d scheduler steps", maxSteps))
+			break
+		}
+	}
+
+	// Phase 2: graceful drain. Close stops accepting, lets readers finish
+	// their current frame, sweeps the mailboxes and flushes every pending
+	// response; the scheduler keeps delivering until the world is empty.
+	w.note("C %d\n", w.Clk.Now().Sub(clock.SimEpoch).Nanoseconds())
+	closeDone := make(chan struct{})
+	go func() { _ = srv.Close(); close(closeDone) }()
+	stuck = 0
+	for len(res.Violations) == 0 {
+		w.Settle()
+		if w.step() {
+			stuck = 0
+			if res.Steps++; res.Steps > maxSteps {
+				res.Violations = append(res.Violations, fmt.Sprintf("runaway: exceeded %d scheduler steps", maxSteps))
+			}
+			continue
+		}
+		select {
+		case <-closeDone:
+		default:
+			if stuck++; stuck > 40 {
+				res.Violations = append(res.Violations, "drain: server Close stuck with no pending event or timer")
+			}
+			continue
+		}
+		break
+	}
+
+	res.Issued = srv.Issued()
+	for _, rs := range recs {
+		res.Ops = append(res.Ops, rs...)
+	}
+	checkInvariants(res, w)
+	res.Trace = buildTrace(res, w)
+	return res, nil
+}
+
+// step performs one scheduler wake-up: the earliest pending transport
+// delivery, or the earliest timer when no delivery precedes it
+// (net-before-timer on exact ties — a fixed policy, so replays agree).
+// Reports false when the world is empty.
+func (w *World) step() bool {
+	evAt, evOk := w.peekEvent()
+	twAt, twOk := w.Clk.NextWake()
+	switch {
+	case evOk && (!twOk || !twAt.Before(evAt)):
+		w.deliverNext()
+		return true
+	case twOk:
+		return w.fireNextTimer()
+	default:
+		return false
+	}
+}
+
+// runWorker is one worker's life: stagger in, dial (with bounded
+// re-dial attempts — connects are refused during partitions), run the
+// planned operations with think time between them, close the client.
+func (w *World) runWorker(wk int, sc *Scenario, out []OpRecord, remaining *atomic.Int64) {
+	defer remaining.Add(-1)
+	for i, op := range sc.Plans[wk] {
+		out[i] = OpRecord{Worker: wk, Index: i, Kind: op.Kind, Mode: op.Mode, Wire: op.Wire, K: op.K, Err: "unstarted"}
+	}
+	w.Clk.Sleep(time.Duration(wk+1)*100*time.Microsecond + time.Duration(wk*1009)*time.Nanosecond)
+
+	var cl *client.Client
+	var err error
+	for attempt := 0; attempt < 6; attempt++ {
+		cl, err = client.Dial("sim", client.Options{
+			Conns:          1,
+			Retries:        sc.Retries,
+			OpTimeout:      sc.OpTimeout,
+			DialTimeout:    sc.DialTimeout,
+			AdaptiveWindow: sc.AdaptiveWindow,
+			Clock:          w.Clk,
+			Dialer:         w.Dialer(wk),
+			Backoff: &fault.Backoff{
+				Base:  sc.BackoffBase,
+				Cap:   sc.BackoffCap,
+				Seed:  int64(wk) + 1,
+				Clock: w.Clk,
+			},
+		})
+		if err == nil {
+			break
+		}
+		w.Clk.Sleep(time.Duration(attempt+1)*4*time.Millisecond + time.Duration(wk*1009)*time.Nanosecond)
+	}
+	if err != nil {
+		for i := range out {
+			out[i].Err = "dial:" + classify(err)
+		}
+		return
+	}
+	defer cl.Close()
+
+	for i, op := range sc.Plans[wk] {
+		w.Clk.Sleep(op.Think)
+		rec := &out[i]
+		rec.Start = w.Clk.Now().Sub(clock.SimEpoch)
+		switch op.Kind {
+		case OpInc:
+			v, err := cl.IncMode(context.Background(), op.Wire, op.Mode)
+			if err == nil {
+				rec.Vals = []int64{v}
+			}
+			rec.Err = classify(err)
+		case OpBatch:
+			rs, err := cl.IncBatchCtx(context.Background(), op.Wire, op.K, op.Mode)
+			if err == nil {
+				for _, r := range rs {
+					for off := int64(0); off < r.Count; off++ {
+						rec.Vals = append(rec.Vals, r.First+off*r.Stride)
+					}
+				}
+			}
+			rec.Err = classify(err)
+		case OpRead:
+			v, err := cl.Read(context.Background())
+			if err == nil {
+				rec.Vals = []int64{v}
+			}
+			rec.Err = classify(err)
+		}
+		rec.End = w.Clk.Now().Sub(clock.SimEpoch)
+	}
+}
+
+// classify folds an operation error into its stable category for the
+// trace and the error-whitelist invariant.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, wire.ErrBackpressure):
+		return "backpressure"
+	case errors.Is(err, fault.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, client.ErrClosed) || errors.Is(err, fault.ErrClosed):
+		return "closed"
+	case strings.Contains(err.Error(), "connection refused"),
+		strings.Contains(err.Error(), "connection failed"):
+		return "transport"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+// allowedErr reports whether an error category may appear in a scenario
+// that injects adversity. "other:*" is never allowed.
+func allowedErr(cat string) bool {
+	cat = strings.TrimPrefix(cat, "dial:")
+	switch cat {
+	case "backpressure", "timeout", "transport":
+		return true
+	}
+	return false
+}
+
+// checkInvariants audits one finished run. Violations are appended to
+// res.Violations; an empty list is a pass.
+func checkInvariants(res *Result, w *World) {
+	sc := &res.Scenario
+	adversity := !sc.CleanRun()
+
+	// Values delivered to callers by increment ops. Reads are audited
+	// separately.
+	type owner struct{ wk, idx int }
+	seen := make(map[int64]owner)
+	var delivered []int64
+	for _, op := range res.Ops {
+		if op.Kind == OpRead {
+			continue
+		}
+		for _, v := range op.Vals {
+			// Burn, never mint: a value is handed to at most one caller.
+			if prev, dup := seen[v]; dup {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("duplicate value %d delivered to w%d/op%d and w%d/op%d", v, prev.wk, prev.idx, op.Worker, op.Index))
+				continue
+			}
+			seen[v] = owner{op.Worker, op.Index}
+			delivered = append(delivered, v)
+			if v < 0 || v >= res.Issued {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("value %d outside issued range [0,%d) at w%d/op%d", v, res.Issued, op.Worker, op.Index))
+			}
+		}
+	}
+	res.Delivered = len(delivered)
+
+	// Errors: none on a clean run; only whitelisted categories otherwise.
+	for _, op := range res.Ops {
+		if op.Err == "" {
+			continue
+		}
+		if !adversity {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("error %q on clean run at w%d/op%d", op.Err, op.Worker, op.Index))
+		} else if !allowedErr(op.Err) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("unexpected error category %q at w%d/op%d", op.Err, op.Worker, op.Index))
+		}
+	}
+
+	// Clean runs deliver exactly [0, issued): nothing lost, nothing
+	// minted — and therefore satisfy the remote step property (values
+	// deal round-robin over the width, per-residue counts differ by ≤1).
+	if !adversity {
+		sort.Slice(delivered, func(i, j int) bool { return delivered[i] < delivered[j] })
+		if int64(len(delivered)) != res.Issued {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("clean run delivered %d values, issued %d", len(delivered), res.Issued))
+		} else {
+			for i, v := range delivered {
+				if v != int64(i) {
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("clean run gap: expected %d at position %d, got %d", i, i, v))
+					break
+				}
+			}
+		}
+	}
+	// Remote step property over whatever was delivered, duplicates
+	// excluded: counts per residue class may differ by at most... the
+	// number of values still in flight. On a clean, fully-delivered run
+	// the bound is exactly 1; with burns (retries, drops) a residue can
+	// fall behind by the number of burned values, so the step check is
+	// only sound when nothing burned.
+	if !adversity && sc.Width > 0 && len(delivered) > 0 {
+		counts := make([]int, sc.Width)
+		for _, v := range delivered {
+			counts[int(v)%sc.Width]++
+		}
+		lo, hi := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("step property violated: residue counts %v", counts))
+		}
+	}
+
+	// Linearizability of LIN increments: if op a completed before op b
+	// began (simulated real time), a's value precedes b's. This is the
+	// F_nl = 0 condition — the whole point of the LIN mode.
+	var lins []OpRecord
+	for _, op := range res.Ops {
+		if op.Kind != OpRead && op.Mode == wire.ModeLIN && op.Err == "" && len(op.Vals) > 0 {
+			lins = append(lins, op)
+		}
+	}
+	for i := 0; i < len(lins); i++ {
+		for j := 0; j < len(lins); j++ {
+			a, b := lins[i], lins[j]
+			if a.End < b.Start && a.Vals[len(a.Vals)-1] >= b.Vals[0] {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("LIN non-linearizable: w%d/op%d (val %d, ended %d) before w%d/op%d (val %d, started %d)",
+						a.Worker, a.Index, a.Vals[len(a.Vals)-1], a.End.Nanoseconds(),
+						b.Worker, b.Index, b.Vals[0], b.Start.Nanoseconds()))
+			}
+		}
+	}
+
+	// Reads are monotone per worker (a worker's reads are sequential, and
+	// the issued count never decreases) and bounded by the final count.
+	lastRead := make(map[int]int64)
+	for _, op := range res.Ops {
+		if op.Kind != OpRead || op.Err != "" || len(op.Vals) == 0 {
+			continue
+		}
+		v := op.Vals[0]
+		if v < 0 || v > res.Issued {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("read %d outside [0,%d] at w%d/op%d", v, res.Issued, op.Worker, op.Index))
+		}
+		if prev, ok := lastRead[op.Worker]; ok && v < prev {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("read went backward on w%d: %d after %d", op.Worker, v, prev))
+		}
+		lastRead[op.Worker] = v
+	}
+
+	// Retry/backoff budget: with a per-attempt timeout every operation is
+	// bounded by (Retries+1) attempts plus the backoff between them.
+	if sc.OpTimeout > 0 {
+		budget := time.Duration(sc.Retries+1)*(sc.OpTimeout+sc.BackoffCap+5*grid) + 2*time.Millisecond
+		for _, op := range res.Ops {
+			if op.Err == "unstarted" || strings.HasPrefix(op.Err, "dial:") {
+				continue
+			}
+			if d := op.End - op.Start; d > budget {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("op budget exceeded at w%d/op%d: took %d ns, budget %d ns", op.Worker, op.Index, d.Nanoseconds(), budget.Nanoseconds()))
+			}
+		}
+	}
+
+	// Drain: after Close completes nothing may still be parked on the
+	// virtual clock — no orphaned in-flight op survives shutdown.
+	if n := w.Clk.Sleepers(); n != 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("drain left %d goroutines parked on the simulated clock", n))
+	}
+}
+
+// buildTrace assembles the canonical replayable trace: scenario header,
+// the scheduler's delivery/timer log, the per-op outcome log, footer.
+// Every byte derives from the seed, so equal seeds produce equal traces.
+func buildTrace(res *Result, w *World) []byte {
+	var b strings.Builder
+	b.WriteString(res.Scenario.Header())
+	b.WriteString(w.trace.String())
+	ops := append([]OpRecord(nil), res.Ops...)
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Worker != ops[j].Worker {
+			return ops[i].Worker < ops[j].Worker
+		}
+		return ops[i].Index < ops[j].Index
+	})
+	for _, op := range ops {
+		mode := "sc"
+		if op.Mode == wire.ModeLIN {
+			mode = "lin"
+		}
+		fmt.Fprintf(&b, "O w%d i%d %s %s wire=%d k=%d s=%d e=%d err=%q vals=",
+			op.Worker, op.Index, op.Kind, mode, op.Wire, op.K,
+			op.Start.Nanoseconds(), op.End.Nanoseconds(), op.Err)
+		for vi, v := range op.Vals {
+			if vi > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "# issued=%d delivered=%d steps=%d violations=%d\n",
+		res.Issued, res.Delivered, res.Steps, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "V %s\n", v)
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,298 @@
+package dst
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// errRefused is the deterministic dial failure (listener gone, backlog
+// full, or a partition window active).
+var errRefused = errors.New("dst: connection refused")
+
+// errConnClosed reports I/O on a locally closed simulated connection.
+var errConnClosed = errors.New("dst: use of closed connection")
+
+// timeoutError satisfies net.Error with Timeout() true — what a read
+// deadline expiry surfaces, mirroring the kernel's behaviour.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "dst: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// memAddr is the trivial net.Addr of the simulated transport.
+type memAddr string
+
+func (a memAddr) Network() string { return "sim" }
+func (a memAddr) String() string  { return string(a) }
+
+// stream is one direction of a simulated connection: a monotone chunk
+// sequence with FIFO delivery. seq and lastAt are guarded by World.mu.
+type stream struct {
+	id     int
+	seq    int
+	lastAt time.Time
+}
+
+// connBuf is the inbound side of a simulated connection: bytes the
+// scheduler has delivered but the reader has not consumed.
+type connBuf struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	data    []byte
+	window  int  // receive-window bytes (0: unlimited)
+	unread  int  // bytes written by the peer but not yet consumed here
+	eof     bool // peer's close has been delivered
+	closed  bool // local side closed; reads and writes fail
+	expired bool // read deadline passed
+	dlTimer interface{ Stop() bool }
+}
+
+// reserve blocks the peer's writer until the receive window has room
+// for n more bytes — a reader that stops consuming exerts backpressure
+// on the writer, exactly like a full TCP window. A write larger than
+// the whole window is admitted alone. Returns false once either side is
+// gone (the write then proceeds unaccounted; the connection is dying).
+func (b *connBuf) reserve(n int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed || b.eof {
+			return false
+		}
+		if b.window <= 0 || b.unread+n <= b.window || b.unread == 0 {
+			b.unread += n
+			return true
+		}
+		b.cond.Wait()
+	}
+}
+
+func newConnBuf() *connBuf {
+	b := &connBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// deliver appends a scheduled chunk (scheduler goroutine only).
+func (b *connBuf) deliver(data []byte, eof bool) {
+	b.mu.Lock()
+	if len(data) > 0 {
+		b.data = append(b.data, data...)
+	}
+	if eof {
+		b.eof = true
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *connBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return 0, errConnClosed
+		}
+		if len(b.data) > 0 {
+			n := copy(p, b.data)
+			b.data = b.data[n:]
+			if b.unread -= n; b.unread < 0 {
+				b.unread = 0
+			}
+			b.cond.Broadcast() // window opened: wake a writer parked in reserve
+			return n, nil
+		}
+		if b.eof {
+			return 0, io.EOF
+		}
+		if b.expired {
+			return 0, timeoutError{}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *connBuf) closeLocal() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// memConn is one end of a simulated duplex connection. Writes enqueue
+// chunks through the world's scheduler; reads block on the inbound
+// buffer until the scheduler delivers.
+type memConn struct {
+	w      *World
+	local  memAddr
+	remote memAddr
+	in     *connBuf
+	out    *stream
+	peer   *connBuf // the other end's inbound buffer
+	closed sync.Once
+	dead   bool
+	mu     sync.Mutex
+}
+
+func (c *memConn) Read(p []byte) (int, error) { return c.in.read(p) }
+
+func (c *memConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, errConnClosed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	_ = c.peer.reserve(len(p))
+	c.w.send(c.out, p, false, c.peer)
+	return len(p), nil
+}
+
+// Close fails local I/O immediately and schedules an EOF to the peer
+// through the same FIFO stream as the data, so every chunk written
+// before the close is delivered before the peer sees EOF — exactly a
+// graceful TCP shutdown.
+func (c *memConn) Close() error {
+	c.closed.Do(func() {
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		c.in.closeLocal()
+		c.w.send(c.out, nil, true, c.peer)
+	})
+	return nil
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return c.local }
+func (c *memConn) RemoteAddr() net.Addr { return c.remote }
+
+// SetReadDeadline supports the server's shutdown idiom — a deadline at
+// (or before) the simulated now unblocks pending reads with a timeout
+// error. Future deadlines arm a virtual timer.
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	b := c.in
+	b.mu.Lock()
+	if b.dlTimer != nil {
+		b.dlTimer.Stop()
+		b.dlTimer = nil
+	}
+	switch {
+	case t.IsZero():
+		b.expired = false
+	case !t.After(c.w.Clk.Now()):
+		b.expired = true
+		b.cond.Broadcast()
+	default:
+		b.expired = false
+		b.dlTimer = c.w.Clk.AfterFunc(t.Sub(c.w.Clk.Now()), func() {
+			b.mu.Lock()
+			b.expired = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+func (c *memConn) SetDeadline(t time.Time) error    { return c.SetReadDeadline(t) }
+func (c *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// memListener is a simulated accept queue.
+type memListener struct {
+	w    *World
+	addr memAddr
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, errConnClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.w.mu.Lock()
+		delete(l.w.listeners, string(l.addr))
+		l.w.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return l.addr }
+
+// Listen registers a simulated listener at addr; pass it to
+// server.Serve.
+func (w *World) Listen(addr string) *memListener {
+	l := &memListener{w: w, addr: memAddr(addr), ch: make(chan net.Conn, 256), done: make(chan struct{})}
+	w.mu.Lock()
+	w.listeners[addr] = l
+	w.mu.Unlock()
+	return l
+}
+
+// Dialer returns a client.Options.Dialer for one worker. The connect
+// costs a seeded, grid-aligned latency whose sub-grid offset is unique
+// to the worker, so no two workers' connects ever complete at the same
+// simulated instant (the accept queue is shared state). Dials during a
+// partition window are refused.
+func (w *World) Dialer(worker int) func(addr string, timeout time.Duration) (net.Conn, error) {
+	var dials int
+	return func(addr string, _ time.Duration) (net.Conn, error) {
+		dials++
+		steps := 1 + time.Duration(mix3(w.seed, 0xd1a1, uint64(worker), uint64(dials))%4)
+		w.Clk.Sleep(steps*grid + time.Duration(8192+worker*16)*time.Nanosecond)
+		if _, cut := w.inPartition(w.Clk.Now()); cut {
+			return nil, errRefused
+		}
+		w.mu.Lock()
+		l := w.listeners[addr]
+		w.mu.Unlock()
+		if l == nil {
+			return nil, errRefused
+		}
+		cl, sv := w.newPair(worker)
+		select {
+		case l.ch <- sv:
+		default:
+			cl.Close()
+			return nil, errRefused
+		}
+		return cl, nil
+	}
+}
+
+// newPair builds both ends of a simulated connection, assigning the two
+// directed streams their ids. Callers are serialized through simulated
+// time (each dial completes at a distinct instant), which is what makes
+// the id assignment deterministic.
+func (w *World) newPair(worker int) (clientEnd, serverEnd *memConn) {
+	w.mu.Lock()
+	c2s := &stream{id: w.streamSeq}
+	s2c := &stream{id: w.streamSeq + 1}
+	w.streamSeq += 2
+	w.mu.Unlock()
+
+	cbuf, sbuf := newConnBuf(), newConnBuf()
+	cbuf.window, sbuf.window = w.recvWindow, w.recvWindow
+	la := memAddr(fmt.Sprintf("sim-client-%d", worker))
+	ra := memAddr(fmt.Sprintf("sim-server-s%d", c2s.id))
+	clientEnd = &memConn{w: w, local: la, remote: ra, in: cbuf, out: c2s, peer: sbuf}
+	serverEnd = &memConn{w: w, local: ra, remote: la, in: sbuf, out: s2c, peer: cbuf}
+	return clientEnd, serverEnd
+}

@@ -1,0 +1,304 @@
+package dst
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// OpKind is one workload operation type.
+type OpKind int
+
+const (
+	OpInc   OpKind = iota // one increment (SC or LIN)
+	OpBatch               // one k-value batch reservation
+	OpRead                // read the issued count
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInc:
+		return "inc"
+	case OpBatch:
+		return "batch"
+	default:
+		return "read"
+	}
+}
+
+// opSpec is one planned operation of one worker: what to issue and how
+// long to think before issuing it.
+type opSpec struct {
+	Kind  OpKind
+	Mode  wire.Mode
+	Wire  int
+	K     int
+	Think time.Duration
+}
+
+// Scenario is the full expansion of one seed: topology, workload,
+// tuning and fault schedule. Everything the harness needs to run — and
+// everything the trace header needs to record — lives here, derived
+// purely from the seed.
+type Scenario struct {
+	Seed    uint64
+	Flavor  string // clean | faulty | partition | pressure | mixed
+	Width   int
+	Workers int
+	Plans   [][]opSpec
+
+	// Server tuning.
+	Mailbox      int
+	Shards       int
+	SrvOpTimeout time.Duration
+
+	// Client tuning.
+	Retries        int
+	OpTimeout      time.Duration
+	DialTimeout    time.Duration
+	BackoffBase    time.Duration
+	BackoffCap     time.Duration
+	AdaptiveWindow bool
+
+	// Transport.
+	JitterMin, JitterMax time.Duration
+	Partitions           []Partition
+
+	// Frame faults (server-side seam, both directions).
+	DropProb, DupProb, DelayProb float64
+	DelayMin, DelayMax           time.Duration
+
+	// Backend latency (pressure scenarios only; forces SC-only workload).
+	BackendLatMin, BackendLatMax time.Duration
+}
+
+// CleanRun reports whether the scenario injects no adversity at all — in
+// which case every operation must succeed and the delivered values must
+// be exactly [0, issued), gap-free.
+func (s *Scenario) CleanRun() bool {
+	return s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0 &&
+		len(s.Partitions) == 0 && s.BackendLatMax == 0 && s.SrvOpTimeout == 0
+}
+
+// faultsActive reports whether the frame-fault seam is installed.
+func (s *Scenario) faultsActive() bool {
+	return s.DropProb > 0 || s.DupProb > 0 || s.DelayProb > 0
+}
+
+// Overrides pins scenario fields that normally come from the seed — the
+// seam cmd/countd and cmd/countload use to push their own flag-derived
+// configuration through the simulation while the rest of the scenario
+// (jitter, faults, partitions, think times) still varies per seed.
+// Zero-valued fields defer to the seed.
+type Overrides struct {
+	Width   int // network fan (power of two)
+	Workers int // concurrent workload workers (clamped to [1, 16])
+	Mailbox int // server SC mailbox depth
+	Shards  int // server combining shards
+	// SrvOpTimeout arms the server-side mailbox deadline. Setting it also
+	// forces a client OpTimeout: a server that sheds stale requests needs
+	// clients that bound and retry them.
+	SrvOpTimeout time.Duration
+	// Mode "lin" makes every operation linearizable (and zeroes any
+	// injected backend latency — the LIN invariant is only sound when the
+	// linearizing section cannot sleep); "sc" makes every operation
+	// sequentially consistent; "" lets the seed choose the mix.
+	Mode     string
+	Adaptive *bool // RTT-adaptive client window (nil: from seed)
+}
+
+// GenScenario expands a seed into a scenario. The generator enforces the
+// determinism constraints the simulation's scheduling discipline needs:
+//
+//   - LIN operations only appear when the backend has zero injected
+//     latency (a combiner asleep inside the linearizing section would
+//     hand the section over in goroutine-arrival order, not simulated
+//     order).
+//   - Pressure scenarios (backend latency, tiny mailboxes) run one
+//     combining shard and an SC-only workload.
+//   - Any scenario that can lose frames or black-hole the transport
+//     gives the client a positive OpTimeout, sized well above the worst
+//     healthy round trip, so a lost frame means a bounded retry instead
+//     of a hung worker.
+func GenScenario(seed uint64) Scenario {
+	return GenScenarioWith(seed, Overrides{})
+}
+
+// GenScenarioWith is GenScenario with daemon-supplied overrides applied
+// between the seed's flavor expansion and the workload plan generation,
+// so plans respect the pinned width, worker count and mode.
+func GenScenarioWith(seed uint64, ov Overrides) Scenario {
+	r := func(k, a uint64) uint64 { return mix3(seed, k, a, 0) }
+	sc := Scenario{Seed: seed}
+
+	switch f := r(0x01, 0) % 100; {
+	case f < 30:
+		sc.Flavor = "clean"
+	case f < 55:
+		sc.Flavor = "faulty"
+	case f < 75:
+		sc.Flavor = "partition"
+	case f < 90:
+		sc.Flavor = "pressure"
+	default:
+		sc.Flavor = "mixed"
+	}
+
+	sc.Width = []int{2, 4, 8}[r(0x02, 0)%3]
+	sc.Workers = 2 + int(r(0x03, 0)%4)
+	ops := 3 + int(r(0x04, 0)%6)
+
+	sc.JitterMin = 5*time.Microsecond + time.Duration(r(0x05, 0)%20)*time.Microsecond
+	sc.JitterMax = sc.JitterMin + 20*time.Microsecond + time.Duration(r(0x06, 0)%300)*time.Microsecond
+
+	sc.Mailbox = 64
+	sc.Shards = 1 + int(r(0x07, 0)%3)
+	sc.Retries = 2 + int(r(0x08, 0)%4)
+	sc.DialTimeout = 50 * time.Millisecond
+	sc.BackoffBase = 200*time.Microsecond + time.Duration(r(0x09, 0)%800)*time.Microsecond
+	sc.BackoffCap = 4*sc.BackoffBase + time.Duration(r(0x0a, 0)%4000)*time.Microsecond
+	sc.AdaptiveWindow = r(0x0b, 0)%2 == 0
+
+	switch sc.Flavor {
+	case "faulty", "mixed":
+		sc.DropProb = float64(1+r(0x10, 0)%7) / 100
+		sc.DupProb = float64(1+r(0x11, 0)%7) / 100
+		sc.DelayProb = float64(10+r(0x12, 0)%25) / 100
+		sc.DelayMin = 50 * time.Microsecond
+		sc.DelayMax = 200*time.Microsecond + time.Duration(r(0x13, 0)%1300)*time.Microsecond
+	case "pressure":
+		sc.BackendLatMin = 500 * time.Microsecond
+		sc.BackendLatMax = sc.BackendLatMin + time.Duration(r(0x14, 0)%1500)*time.Microsecond
+		sc.Mailbox = 1 + int(r(0x15, 0)%2)
+		sc.Shards = 1
+		sc.Workers = 4 + int(r(0x17, 0)%2)
+		if r(0x16, 0)%2 == 0 {
+			sc.SrvOpTimeout = 2 * sc.BackendLatMax
+		}
+	}
+	if sc.Flavor == "partition" || sc.Flavor == "mixed" {
+		n := 1 + int(r(0x18, 0)%2)
+		at := 2*time.Millisecond + time.Duration(r(0x19, 0)%20)*time.Millisecond
+		for i := 0; i < n; i++ {
+			dur := 2*time.Millisecond + time.Duration(r(0x1a, uint64(i))%15)*time.Millisecond
+			sc.Partitions = append(sc.Partitions, Partition{Start: at, End: at + dur})
+			at += dur + 5*time.Millisecond + time.Duration(r(0x1b, uint64(i))%10)*time.Millisecond
+		}
+	}
+
+	// Daemon overrides land here: after the flavor expansion (so they win)
+	// and before the timeout sizing and plan generation (so both respect
+	// the pinned values).
+	if ov.Width > 0 {
+		sc.Width = ov.Width
+	}
+	if ov.Workers > 0 {
+		sc.Workers = min(max(ov.Workers, 1), 16)
+	}
+	if ov.Mailbox > 0 {
+		sc.Mailbox = ov.Mailbox
+	}
+	if ov.Shards > 0 {
+		sc.Shards = ov.Shards
+	}
+	if ov.SrvOpTimeout > 0 {
+		sc.SrvOpTimeout = ov.SrvOpTimeout
+	}
+	if ov.Mode == "lin" {
+		sc.BackendLatMin, sc.BackendLatMax = 0, 0
+	}
+	if ov.Adaptive != nil {
+		sc.AdaptiveWindow = *ov.Adaptive
+	}
+
+	// OpTimeout: mandatory whenever a request or response can vanish
+	// (dropped frame, black-holed transport) or stall behind a saturated
+	// backend or a server-side deadline; sized so a healthy round trip
+	// never trips it.
+	minOp := 3*sc.JitterMax + 3*sc.DelayMax + 8*grid + time.Millisecond +
+		time.Duration(sc.Workers)*(sc.BackendLatMax+2*grid)
+	switch {
+	case sc.faultsActive() || len(sc.Partitions) > 0 || sc.BackendLatMax > 0 || sc.SrvOpTimeout > 0:
+		sc.OpTimeout = minOp + time.Duration(r(0x1c, 0)%uint64(2*minOp))
+	case r(0x1d, 0)%2 == 0:
+		sc.OpTimeout = minOp // clean run, timeout armed but never expected to fire
+	}
+
+	// LIN fraction (percent). Zero whenever the backend sleeps.
+	linFrac := uint64(0)
+	if sc.BackendLatMax == 0 {
+		linFrac = []uint64{0, 30, 100}[r(0x1e, 0)%3]
+	}
+	switch ov.Mode {
+	case "lin":
+		linFrac = 100
+	case "sc":
+		linFrac = 0
+	}
+
+	// Pressure scenarios think briefly so requests pile up behind the
+	// stalled backend — that pile-up is what makes the tiny mailbox shed.
+	thinkCap := uint64(1400)
+	if sc.Flavor == "pressure" {
+		thinkCap = 150
+	}
+	sc.Plans = make([][]opSpec, sc.Workers)
+	for w := 0; w < sc.Workers; w++ {
+		plan := make([]opSpec, ops)
+		for i := range plan {
+			d := func(k uint64) uint64 { return mix3(seed, k, uint64(w), uint64(i)) }
+			op := opSpec{
+				Mode:  wire.ModeSC,
+				Wire:  int(d(0x20) % uint64(sc.Width)),
+				Think: 50*time.Microsecond + time.Duration(d(0x21)%thinkCap)*time.Microsecond + time.Duration(w*1009+i*13)*time.Nanosecond,
+			}
+			switch k := d(0x22) % 100; {
+			case k < 60:
+				op.Kind = OpInc
+			case k < 85:
+				op.Kind = OpBatch
+				op.K = 2 + int(d(0x23)%5)
+			default:
+				op.Kind = OpRead
+			}
+			if op.Kind != OpRead && d(0x24)%100 < linFrac {
+				op.Mode = wire.ModeLIN
+			}
+			plan[i] = op
+		}
+		sc.Plans[w] = plan
+	}
+	return sc
+}
+
+// Header renders the scenario as deterministic trace-header lines, one
+// field per line, so a trace is self-describing and byte-stable.
+func (s *Scenario) Header() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# seed=%d flavor=%s width=%d workers=%d\n", s.Seed, s.Flavor, s.Width, s.Workers)
+	fmt.Fprintf(&b, "# server mailbox=%d shards=%d optimeout=%d\n", s.Mailbox, s.Shards, s.SrvOpTimeout.Nanoseconds())
+	fmt.Fprintf(&b, "# client retries=%d optimeout=%d dialtimeout=%d backoff=%d/%d adaptive=%v\n",
+		s.Retries, s.OpTimeout.Nanoseconds(), s.DialTimeout.Nanoseconds(),
+		s.BackoffBase.Nanoseconds(), s.BackoffCap.Nanoseconds(), s.AdaptiveWindow)
+	fmt.Fprintf(&b, "# net jitter=%d..%d drop=%.2f dup=%.2f delay=%.2f@%d..%d\n",
+		s.JitterMin.Nanoseconds(), s.JitterMax.Nanoseconds(),
+		s.DropProb, s.DupProb, s.DelayProb, s.DelayMin.Nanoseconds(), s.DelayMax.Nanoseconds())
+	fmt.Fprintf(&b, "# backend lat=%d..%d\n", s.BackendLatMin.Nanoseconds(), s.BackendLatMax.Nanoseconds())
+	for _, p := range s.Partitions {
+		fmt.Fprintf(&b, "# partition %d..%d\n", p.Start.Nanoseconds(), p.End.Nanoseconds())
+	}
+	for w, plan := range s.Plans {
+		fmt.Fprintf(&b, "# plan w%d:", w)
+		for _, op := range plan {
+			mode := "sc"
+			if op.Mode == wire.ModeLIN {
+				mode = "lin"
+			}
+			fmt.Fprintf(&b, " %s/%s/w%d/k%d/t%d", op.Kind, mode, op.Wire, op.K, op.Think.Nanoseconds())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+package dst
+
+// The wall-clock-sensitive server tests, converted to the simulated
+// clock: slow-consumer eviction (a reader that stops consuming must get
+// its connection dropped without stalling anyone else) and the adaptive
+// FlushPolicy MaxDelay hold (a response gathered while companions are
+// still in flight is held exactly MaxDelay, no longer). On the wall
+// clock these depended on scheduler luck — polling loops with generous
+// deadlines, timing asserted only as "not absurdly late". Here the
+// timing assertions are exact in simulated nanoseconds.
+
+import (
+	"bufio"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/construct"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// driveWhile runs the scheduler until stop() reports true, failing the
+// test on deadlock or runaway instead of hanging.
+func driveWhile(t *testing.T, w *World, stop func() bool) {
+	t.Helper()
+	stuck, steps := 0, 0
+	for !stop() {
+		w.Settle()
+		if stop() {
+			return
+		}
+		if !w.step() {
+			if stuck++; stuck > 40 {
+				t.Fatal("simulation deadlocked")
+			}
+			continue
+		}
+		stuck = 0
+		if steps++; steps > 50000 {
+			t.Fatal("runaway simulation")
+		}
+	}
+}
+
+// drainServer closes the server and steps the world until both the
+// close completes and the event/timer queues are empty.
+func drainServer(t *testing.T, w *World, srv *server.Server) {
+	t.Helper()
+	closeDone := make(chan struct{})
+	go func() { _ = srv.Close(); close(closeDone) }()
+	stuck := 0
+	for {
+		w.Settle()
+		if w.step() {
+			stuck = 0
+			continue
+		}
+		select {
+		case <-closeDone:
+		default:
+			if stuck++; stuck > 40 {
+				t.Fatal("drain stuck")
+			}
+			continue
+		}
+		break
+	}
+}
+
+// compileBitonic is the shared test backend constructor.
+func compileBitonic(t *testing.T, width int) *runtime.Network {
+	t.Helper()
+	spec, _, err := construct.Bitonic(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := runtime.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inner
+}
+
+// TestSlowConsumerEvictionSimClock: a client that floods requests and
+// never reads a response fills its bounded receive window, which parks
+// the server's per-connection writer, which fills the out queue, which
+// evicts the connection — while a well-behaved connection on the same
+// shards keeps strict request/response service the whole time. The
+// wall-clock original polled a stats counter under a 5-second deadline;
+// here eviction is reached purely through scheduler steps.
+func TestSlowConsumerEvictionSimClock(t *testing.T) {
+	w := NewWorld(2024, 5*time.Microsecond, 25*time.Microsecond, nil, 0)
+	// A tiny receive window: ~20 response frames fit, the flood sends 256.
+	w.SetRecvWindow(256)
+	st := server.NewStats(0)
+	srv := server.New(compileBitonic(t, 4), server.Options{
+		OutQueue: 4,
+		Shards:   1,
+		Stats:    st,
+		Clock:    w.Clk,
+		// Flush eagerly: every response is its own transport write, so the
+		// window fills write by write and the writer parks deterministically.
+		Flush: server.FlushPolicy{MaxDelay: -1},
+	})
+	ln := w.Listen("sim")
+	go srv.Serve(ln)
+
+	var done atomic.Bool
+	var liveOK atomic.Int64
+	var workerErr atomic.Value
+	fail := func(format string, args ...any) {
+		workerErr.Store(fmt.Sprintf(format, args...))
+	}
+	go func() {
+		defer done.Store(true)
+		w.Clk.Sleep(100 * time.Microsecond)
+		stuck, err := w.Dialer(0)("sim", 0)
+		if err != nil {
+			fail("stuck dial: %v", err)
+			return
+		}
+		var buf []byte
+		for i := 0; i < 256; i++ {
+			f := wire.Frame{Type: wire.TInc, ID: uint64(i + 1), Wire: int64(i % 4)}
+			if buf, err = wire.AppendFrame(buf, &f); err != nil {
+				fail("append: %v", err)
+				return
+			}
+		}
+		if _, err := stuck.Write(buf); err != nil {
+			fail("stuck write: %v", err)
+			return
+		}
+		// Never read from stuck. Meanwhile strict request/response on a
+		// second connection must keep working during the eviction.
+		live, err := w.Dialer(1)("sim", 0)
+		if err != nil {
+			fail("live dial: %v", err)
+			return
+		}
+		br := bufio.NewReader(live)
+		var wbuf []byte
+		for i := 0; i < 50; i++ {
+			id := uint64(1000 + i)
+			f := wire.Frame{Type: wire.TInc, ID: id, Wire: int64(i % 4)}
+			if wbuf, err = wire.AppendFrame(wbuf[:0], &f); err != nil {
+				fail("append: %v", err)
+				return
+			}
+			if _, err := live.Write(wbuf); err != nil {
+				fail("live write %d: %v", i, err)
+				return
+			}
+			rf, err := wire.ReadFrame(br)
+			if err != nil {
+				fail("live read %d: %v", i, err)
+				return
+			}
+			if rf.Type != wire.TValue || rf.ID != id {
+				fail("live op %d answered %+v", i, rf)
+				return
+			}
+			liveOK.Add(1)
+		}
+		_ = live.Close()
+		_ = stuck.Close()
+	}()
+
+	driveWhile(t, w, func() bool { return done.Load() && st.Snapshot().Evictions > 0 })
+	drainServer(t, w, srv)
+
+	if msg := workerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if got := st.Snapshot().Evictions; got == 0 {
+		t.Fatal("slow consumer was never evicted")
+	}
+	if got := liveOK.Load(); got != 50 {
+		t.Fatalf("live connection completed %d/50 ops during the eviction", got)
+	}
+	if n := w.Clk.Sleepers(); n != 0 {
+		t.Errorf("%d goroutines left parked on the sim clock", n)
+	}
+}
+
+// stallBackend delays wire-0 increments by a fixed simulated duration —
+// how the flush test keeps one request in flight while another's
+// response sits in the write buffer.
+type stallBackend struct {
+	inner *runtime.Network
+	clk   *clock.Sim
+	delay time.Duration
+}
+
+func (b *stallBackend) Inc(w int) int64 {
+	if w == 0 {
+		b.clk.Sleep(b.delay)
+	}
+	return b.inner.Inc(w)
+}
+
+func (b *stallBackend) IncBatch(w, k int) []runtime.Range {
+	if w == 0 {
+		b.clk.Sleep(b.delay)
+	}
+	return b.inner.IncBatch(w, k)
+}
+
+func (b *stallBackend) Shape() network.Shape { return b.inner.Shape() }
+
+// TestFlushMaxDelayHoldSimClock pins the adaptive FlushPolicy MaxDelay
+// timing exactly: a response whose connection still has a request in
+// flight is held for companions, and the hold is released by the
+// MaxDelay timer — in simulated time, between MaxDelay and MaxDelay
+// plus the transport jitter, not a nanosecond class more. The in-flight
+// request's own response then flushes eagerly (nothing outstanding).
+// The wall-clock original could only assert "Close delivers everything
+// eventually"; the actual MaxDelay bound was untestable.
+func TestFlushMaxDelayHoldSimClock(t *testing.T) {
+	const (
+		maxDelay = 5 * time.Millisecond
+		stall    = 20 * time.Millisecond
+	)
+	w := NewWorld(3030, 5*time.Microsecond, 25*time.Microsecond, nil, 0)
+	be := &stallBackend{inner: compileBitonic(t, 2), clk: w.Clk, delay: stall}
+	srv := server.New(be, server.Options{
+		// One shard per wire: the stalled wire-0 sweep cannot delay wire 1.
+		Shards: 2,
+		Clock:  w.Clk,
+		Flush:  server.FlushPolicy{MaxDelay: maxDelay, MaxBytes: 1 << 20},
+	})
+	ln := w.Listen("sim")
+	go srv.Serve(ln)
+
+	type timing struct {
+		sent           time.Duration
+		fastAt, slowAt time.Duration
+		fastID, slowID uint64
+		err            string
+	}
+	var tm timing
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		w.Clk.Sleep(100 * time.Microsecond)
+		nc, err := w.Dialer(0)("sim", 0)
+		if err != nil {
+			tm.err = fmt.Sprintf("dial: %v", err)
+			return
+		}
+		defer nc.Close()
+		var buf []byte
+		// One pipelined write: the slow op (wire 0, stalls 20ms in the
+		// backend) keeps the connection "outstanding" while the fast op's
+		// response is gathered — forcing the MaxDelay hold.
+		for _, f := range []wire.Frame{
+			{Type: wire.TInc, ID: 1, Wire: 0},
+			{Type: wire.TInc, ID: 2, Wire: 1},
+		} {
+			f := f
+			if buf, err = wire.AppendFrame(buf, &f); err != nil {
+				tm.err = fmt.Sprintf("append: %v", err)
+				return
+			}
+		}
+		tm.sent = w.Clk.Since(clock.SimEpoch)
+		if _, err := nc.Write(buf); err != nil {
+			tm.err = fmt.Sprintf("write: %v", err)
+			return
+		}
+		br := bufio.NewReader(nc)
+		first, err := wire.ReadFrame(br)
+		if err != nil {
+			tm.err = fmt.Sprintf("read 1: %v", err)
+			return
+		}
+		tm.fastAt, tm.fastID = w.Clk.Since(clock.SimEpoch), first.ID
+		second, err := wire.ReadFrame(br)
+		if err != nil {
+			tm.err = fmt.Sprintf("read 2: %v", err)
+			return
+		}
+		tm.slowAt, tm.slowID = w.Clk.Since(clock.SimEpoch), second.ID
+	}()
+
+	driveWhile(t, w, done.Load)
+	drainServer(t, w, srv)
+
+	if tm.err != "" {
+		t.Fatal(tm.err)
+	}
+	if tm.fastID != 2 || tm.slowID != 1 {
+		t.Fatalf("response order: got ids %d then %d, want 2 (held) then 1 (stalled)", tm.fastID, tm.slowID)
+	}
+	// The held response is released by the MaxDelay timer: after the full
+	// hold, but within transport jitter + a settle quantum of it.
+	hold := tm.fastAt - tm.sent
+	if hold < maxDelay {
+		t.Fatalf("held response released after %v, before MaxDelay %v — timer never held it", hold, maxDelay)
+	}
+	if hold > maxDelay+time.Millisecond {
+		t.Fatalf("held response released after %v; MaxDelay is %v — flush timer fired late", hold, maxDelay)
+	}
+	// The stalled op completes after its backend sleep and flushes
+	// eagerly (nothing else outstanding): no extra MaxDelay tax.
+	slow := tm.slowAt - tm.sent
+	if slow < stall {
+		t.Fatalf("stalled response arrived at %v, before its %v backend stall", slow, stall)
+	}
+	if slow > stall+time.Millisecond {
+		t.Fatalf("stalled response arrived at %v; want %v plus jitter only (eager flush)", slow, stall)
+	}
+	if n := w.Clk.Sleepers(); n != 0 {
+		t.Errorf("%d goroutines left parked on the sim clock", n)
+	}
+}

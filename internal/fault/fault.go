@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 var (
@@ -56,6 +58,10 @@ type Backoff struct {
 	Base, Cap time.Duration
 	Seed      int64
 
+	// Clock times the Sleep waits; nil means the wall clock. Under the
+	// deterministic simulation harness it is the shared virtual clock.
+	Clock clock.Clock
+
 	once sync.Once
 	mu   sync.Mutex
 	rng  *rand.Rand
@@ -93,10 +99,10 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 // Sleep waits out the attempt-th retry delay or returns early with ctx's
 // converted error; a nil return means the full delay elapsed.
 func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
-	t := time.NewTimer(b.Delay(attempt))
+	t := clock.Or(b.Clock).NewTimer(b.Delay(attempt))
 	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-t.C():
 		return nil
 	case <-ctx.Done():
 		return FromContext(ctx.Err())

@@ -2,8 +2,12 @@ package fault
 
 import (
 	"context"
+	"errors"
+	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // TestBackoffBoundedAndJittered: delays grow exponentially from Base,
@@ -35,17 +39,83 @@ func TestBackoffZeroValue(t *testing.T) {
 }
 
 // TestBackoffSleepHonoursContext: Sleep returns early with the converted
-// context error.
+// context error. On the simulated clock the assertion is exact — the
+// sleeper parks on the virtual timer, the context fires, and not one
+// nanosecond of simulated time passes.
 func TestBackoffSleepHonoursContext(t *testing.T) {
-	b := &Backoff{Base: time.Second, Cap: time.Second}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	clk := clock.NewSim()
+	b := &Backoff{Base: time.Second, Cap: time.Second, Clock: clk}
+	ctx, cancel := clk.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	start := time.Now()
-	err := b.Sleep(ctx, 3)
-	if err != ErrTimeout {
+	errc := make(chan error, 1)
+	go func() { errc <- b.Sleep(ctx, 3) }()
+	// Both the backoff timer (1s) and the context deadline (1ms) are on
+	// the virtual clock; the context deadline is armed synchronously by
+	// WithTimeout, so firing the earliest wake-up expires the context.
+	if _, ok := clk.FireNext(); !ok {
+		t.Fatal("no virtual timer to fire")
+	}
+	if err := <-errc; err != ErrTimeout {
 		t.Fatalf("Sleep under expired deadline: %v", err)
 	}
-	if time.Since(start) > 500*time.Millisecond {
-		t.Fatal("Sleep ignored the deadline")
+	if got := clk.Since(clock.SimEpoch); got != time.Millisecond {
+		t.Fatalf("context fired at %v, want exactly 1ms", got)
+	}
+}
+
+// TestBackoffSleepCancelImmediate: a cancellation unblocks Sleep with no
+// simulated time passing at all.
+func TestBackoffSleepCancelImmediate(t *testing.T) {
+	clk := clock.NewSim()
+	b := &Backoff{Base: time.Second, Cap: time.Second, Clock: clk}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- b.Sleep(ctx, 3) }()
+	// The backoff timer appearing on the virtual clock means the sleeper
+	// reached its select — cancel from a known-parked state.
+	for {
+		if _, ok := clk.NextWake(); ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancellation: %v", err)
+	}
+	if got := clk.Since(clock.SimEpoch); got != 0 {
+		t.Fatalf("cancellation cost %v simulated time", got)
+	}
+}
+
+// TestBackoffSleepExactJitteredDelay pins that Sleep sleeps exactly the
+// jittered delay the rng produced — assertable only on a virtual clock,
+// where elapsed time is read back with nanosecond precision.
+func TestBackoffSleepExactJitteredDelay(t *testing.T) {
+	clk := clock.NewSim()
+	b := &Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Seed: 7, Clock: clk}
+	// A twin with the same seed replays the same jitter sequence, which
+	// is the expected duration of each simulated sleep.
+	twin := &Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Seed: 7}
+	for attempt := 0; attempt < 5; attempt++ {
+		want := twin.Delay(attempt)
+		start := clk.Now()
+		errc := make(chan error, 1)
+		go func() { errc <- b.Sleep(context.Background(), attempt) }()
+		for {
+			if _, ok := clk.NextWake(); ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		if _, ok := clk.FireNext(); !ok {
+			t.Fatalf("attempt %d: no timer armed", attempt)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if got := clk.Now().Sub(start); got != want {
+			t.Fatalf("attempt %d: slept %v of simulated time, want exactly %v", attempt, got, want)
+		}
 	}
 }

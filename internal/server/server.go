@@ -64,6 +64,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/runtime"
@@ -145,6 +146,10 @@ type Options struct {
 	// override for running a linearizable-by-default daemon. Clients still
 	// see their requests answered normally; they just pay LIN latency.
 	ForceLIN bool
+	// Clock times mailbox residency (OpTimeout), flush deadlines and
+	// injected frame delays; nil means the wall clock. The deterministic
+	// simulation harness (internal/dst) injects its virtual clock here.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -186,6 +191,7 @@ type Server struct {
 	be    Backend
 	shape network.Shape
 	opt   Options
+	clk   clock.Clock
 
 	shards []chan req    // one combining mailbox per wire-range shard
 	done   chan struct{} // closed when Close begins
@@ -225,6 +231,7 @@ func New(be Backend, opt Options) *Server {
 		be:               be,
 		shape:            be.Shape(),
 		opt:              opt.withDefaults(),
+		clk:              clock.Or(opt.Clock),
 		done:             make(chan struct{}),
 		closed:           make(chan struct{}),
 		conns:            make(map[*conn]struct{}),
@@ -401,7 +408,7 @@ func (s *Server) packetLoop(pc net.PacketConn) {
 		if k <= 0 {
 			continue
 		}
-		if !s.post(req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: time.Now()}) {
+		if !s.post(req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: s.clk.Now()}) {
 			if st != nil {
 				st.udpDropped.Add(1)
 			}
@@ -435,7 +442,7 @@ func (s *Server) Close() error {
 	// Unblock readers parked in ReadFrame; they notice closing and exit
 	// without killing their connection.
 	for _, c := range conns {
-		_ = c.nc.SetReadDeadline(time.Now())
+		_ = c.nc.SetReadDeadline(s.clk.Now())
 	}
 	s.readerWg.Wait()
 	// Readers were the only mailbox senders; the combiners sweep the rest
@@ -479,10 +486,10 @@ func (s *Server) sleepDone(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	t := time.NewTimer(d)
+	t := s.clk.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-t.C():
 	case <-s.done:
 	}
 }
@@ -628,7 +635,7 @@ func putRanges(rs []wire.Range) {
 func (sw *sweeper) sweep(pending []req) {
 	s := sw.s
 	st := s.opt.Stats
-	now := time.Now()
+	now := s.clk.Now()
 
 	// Expire requests that overstayed the mailbox.
 	live := pending[:0]
@@ -725,7 +732,7 @@ func (sw *sweeper) sweep(pending []req) {
 			}
 			if st != nil {
 				st.scOps.Add(1)
-				st.latSC.Record(r.wire, time.Since(r.enq))
+				st.latSC.Record(r.wire, s.clk.Since(r.enq))
 			}
 			if r.c == nil {
 				continue // fire-and-forget
@@ -895,7 +902,7 @@ func (c *conn) process(f *wire.Frame) {
 			return
 		}
 		c.outstanding.Add(1)
-		if !s.post(req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: time.Now()}) {
+		if !s.post(req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: s.clk.Now()}) {
 			c.outstanding.Add(-1)
 			if st != nil {
 				st.backpressure.Add(1)
@@ -912,7 +919,7 @@ func (c *conn) process(f *wire.Frame) {
 // real-time order — the waiting the condition demands, paid per request.
 func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
 	s := c.s
-	start := time.Now()
+	start := s.clk.Now()
 	s.linMu.Lock()
 	var first int64
 	var rs []runtime.Range
@@ -926,7 +933,7 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
 	s.linMu.Unlock()
 	if st := s.opt.Stats; st != nil {
 		st.linOps.Add(1)
-		st.latLIN.Record(w, time.Since(start))
+		st.latLIN.Record(w, s.clk.Since(start))
 	}
 	if !batch {
 		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: id, Value: first}})
@@ -956,13 +963,13 @@ func (c *conn) writeLoop() {
 	var scratch []byte
 	broken := false
 	unflushed := 0 // frames written into bw since the last flush
-	var timer *time.Timer
+	var timer clock.Timer
 	var timerC <-chan time.Time
 
 	disarm := func() {
 		if timerC != nil {
 			if !timer.Stop() {
-				<-timer.C
+				<-timer.C()
 			}
 			timerC = nil
 		}
@@ -1092,11 +1099,11 @@ func (c *conn) writeLoop() {
 			}
 			if timerC == nil {
 				if timer == nil {
-					timer = time.NewTimer(pol.MaxDelay)
+					timer = c.s.clk.NewTimer(pol.MaxDelay)
 				} else {
 					timer.Reset(pol.MaxDelay)
 				}
-				timerC = timer.C
+				timerC = timer.C()
 			}
 		case <-timerC:
 			timerC = nil
