@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke sim sim-replay experiments examples lint clean
+.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke tracesmoke sim sim-replay experiments examples lint clean
 
 all: build test
 
@@ -69,6 +69,18 @@ netsmoke:
 	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9701 -duration 4s & \
 	sleep 1 && \
 	$(GO) run ./cmd/countload -addr 127.0.0.1:9701 -g 4 -duration 2s -json BENCH_throughput.json && \
+	wait
+
+# End-to-end tracing smoke: countd with server-side sampling and the
+# black-box dump, countload sampling 1 in 50 increments and merging both
+# sides into trace.json (it validates the export by re-reading it).
+# Load trace.json into chrome://tracing or Perfetto. Mirrors the CI job.
+tracesmoke:
+	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9702 -telemetry 127.0.0.1:8082 \
+		-trace-sample 64 -flight-out flight.json -duration 5s & \
+	sleep 1 && \
+	$(GO) run ./cmd/countload -addr 127.0.0.1:9702 -g 4 -duration 2s \
+		-trace-sample 50 -trace-from http://127.0.0.1:8082 -trace-out trace.json && \
 	wait
 
 # Deterministic whole-system simulation: sweep SIM_SEEDS seeds through

@@ -11,8 +11,18 @@
 //	-listen  TCP service address (the wire protocol; countload/client.Dial)
 //	-udp     optional UDP datagram endpoint: fire-and-forget SC increments
 //	-telemetry  optional HTTP address serving /metrics (balancer toggles,
-//	            per-mode latency histograms, coalescing factor, queue
-//	            high-water marks), /debug/countingnet and pprof
+//	            per-mode latency histograms, per-stage countd_stage_seconds,
+//	            coalescing factor, queue high-water marks),
+//	            /debug/countingnet, /debug/flight and pprof
+//
+// Tracing: -trace-sample N samples one in N untraced requests into the
+// flight recorder under a server-minted trace id (requests that arrive
+// already traced by a client always record); -flight N sizes the
+// recorder's span ring and enables /debug/flight, the JSON black box
+// countload merges with its client-side spans into one Chrome timeline.
+// -flight-out FILE additionally dumps the black box on anomaly bursts
+// (backpressure sheds, mailbox timeouts, evictions, error frames) and at
+// exit — the post-mortem artifact for a misbehaving deployment.
 //
 // With -duration 0 countd serves until interrupted (SIGINT drains in
 // flight requests and closes connections cleanly); a positive -duration
@@ -34,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	countingnet "repro"
@@ -64,6 +76,9 @@ type options struct {
 	duration time.Duration // run length (0: serve until interrupted)
 	cpuprof  string        // write a CPU profile here ("" disables)
 	sim      uint64        // deterministic-simulation seed (0: serve normally)
+	sample   int           // server-side trace sampling: 1 in N untraced requests (0: off)
+	flight   int           // flight-recorder span capacity (0: off unless -trace-sample)
+	flOut    string        // dump the black box here on anomalies and at exit ("" disables)
 }
 
 func main() {
@@ -83,6 +98,9 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 0, "run length (0: serve until interrupted)")
 	flag.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile to this file (empty: off)")
 	flag.Uint64Var(&o.sim, "sim", 0, "run this deterministic-simulation seed through the daemon's configuration instead of serving (0: off)")
+	flag.IntVar(&o.sample, "trace-sample", 0, "sample 1 in N untraced requests into the flight recorder with a server-minted trace id (0: off; client-traced requests always record)")
+	flag.IntVar(&o.flight, "flight", 0, "flight recorder span capacity; serves /debug/flight on the telemetry endpoint (0: off, or 4096 when -trace-sample is set)")
+	flag.StringVar(&o.flOut, "flight-out", "", "write the flight recorder's black box to this file on each anomaly burst and at exit (empty: off)")
 	flag.Parse()
 
 	if o.sim != 0 {
@@ -195,17 +213,52 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		col = countingnet.NewTelemetryCollectorFor(spec)
 		ctr.SetObserver(col)
 	}
+	// Flight recorder: an explicit -flight capacity, or a default when
+	// server-side sampling is on. A nil recorder is inert, so the serving
+	// path stays on its zero-cost branch with tracing off.
+	flCap := o.flight
+	if flCap == 0 && o.sample > 0 {
+		flCap = 4096
+	}
+	rec := countingnet.NewFlightRecorder(flCap)
 	stats := countingnet.NewServerStats(0)
 	srv := countingnet.NewServer(ctr, countingnet.ServerOptions{
-		Mailbox:    o.mailbox,
-		Shards:     o.shards,
-		BatchLimit: o.batch,
-		OpTimeout:  o.opTime,
-		Flush:      countingnet.ServerFlushPolicy{MaxDelay: o.flushDur, MaxBytes: o.flushBy},
-		Stats:      stats,
-		ForceLIN:   mode == countingnet.ModeLIN,
+		Mailbox:     o.mailbox,
+		Shards:      o.shards,
+		BatchLimit:  o.batch,
+		OpTimeout:   o.opTime,
+		Flush:       countingnet.ServerFlushPolicy{MaxDelay: o.flushDur, MaxBytes: o.flushBy},
+		Stats:       stats,
+		ForceLIN:    mode == countingnet.ModeLIN,
+		Flight:      rec,
+		TraceSample: o.sample,
 	})
 	defer srv.Close()
+
+	// -flight-out turns the recorder into a black box on disk: each
+	// anomaly burst rewrites the dump (rate-limited so an anomaly storm
+	// cannot turn into an I/O storm), and exit writes the final state.
+	if o.flOut != "" && rec != nil {
+		dump := func() {
+			f, err := os.Create(o.flOut)
+			if err != nil {
+				return
+			}
+			snap, _ := json.Marshal(stats.Snapshot())
+			_ = rec.WriteDump(f, snap)
+			_ = f.Close()
+		}
+		var lastDump atomic.Int64
+		rec.SetSink(func(string) {
+			now := time.Now().UnixNano()
+			last := lastDump.Load()
+			if now-last < int64(2*time.Second) || !lastDump.CompareAndSwap(last, now) {
+				return
+			}
+			dump()
+		})
+		defer dump()
+	}
 
 	addr, err := srv.Listen(o.listen)
 	if err != nil {
@@ -224,10 +277,26 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		hsrv := &http.Server{Handler: countingnet.TelemetryHandler(col, nil, stats.AppendMetrics)}
+		mux := http.NewServeMux()
+		mux.Handle("/", countingnet.TelemetryHandler(col, nil, stats.AppendMetrics))
+		if rec != nil {
+			mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				snap, _ := json.Marshal(stats.Snapshot())
+				_ = rec.WriteDump(w, snap)
+			})
+		}
+		hsrv := &http.Server{Handler: mux}
 		defer hsrv.Close()
 		go hsrv.Serve(ln)
 		fmt.Fprintf(out, "countd: telemetry http://%s/metrics\n", ln.Addr())
+		if rec != nil {
+			how := "client-traced requests only"
+			if o.sample > 0 {
+				how = fmt.Sprintf("sampling 1 in %d", o.sample)
+			}
+			fmt.Fprintf(out, "countd: flight recorder http://%s/debug/flight (%s)\n", ln.Addr(), how)
+		}
 	}
 
 	if o.duration > 0 {

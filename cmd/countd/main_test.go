@@ -3,13 +3,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	countingnet "repro"
 	"repro/internal/client"
 	"repro/internal/wire"
 )
@@ -134,6 +138,69 @@ func TestDaemonForceLIN(t *testing.T) {
 	}
 	if got := out.String(); !strings.Contains(got, "lin 10") || !strings.Contains(got, "sc 0,") {
 		t.Errorf("forced-LIN daemon should report 10 lin ops, 0 sc:\n%s", got)
+	}
+}
+
+// TestDaemonFlightEndpoint boots countd with server-side trace sampling
+// and the black-box dump file, drives untraced increments, and checks the
+// /debug/flight endpoint serves recorded spans and the exit dump lands on
+// disk as valid JSON.
+func TestDaemonFlightEndpoint(t *testing.T) {
+	flOut := filepath.Join(t.TempDir(), "flight.json")
+	out, addr, cancel, done := startDaemon(t, options{
+		kind: "bitonic", width: 4,
+		listen: "127.0.0.1:0", telem: "127.0.0.1:0", mode: "sc",
+		sample: 2, flOut: flOut,
+	})
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		c.Inc(i % 4)
+	}
+	c.Close()
+
+	m := telemRe.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no telemetry address in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "flight recorder http://") {
+		t.Errorf("startup output missing flight recorder line:\n%s", out.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/flight")
+	if err != nil {
+		t.Fatalf("GET /debug/flight: %v", err)
+	}
+	var dump countingnet.FlightDump
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/flight is not valid JSON: %v", err)
+	}
+	if dump.Recorded == 0 || len(dump.Spans) == 0 {
+		t.Errorf("sampling 1 in 2 over 40 increments recorded no spans: recorded=%d spans=%d",
+			dump.Recorded, len(dump.Spans))
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	b, err := os.ReadFile(flOut)
+	if err != nil {
+		t.Fatalf("exit dump missing: %v", err)
+	}
+	var exitDump countingnet.FlightDump
+	if err := json.Unmarshal(b, &exitDump); err != nil {
+		t.Fatalf("-flight-out artifact is not valid JSON: %v", err)
+	}
+	if exitDump.Recorded == 0 {
+		t.Error("-flight-out exit dump recorded no spans")
+	}
+	if len(exitDump.Stats) == 0 {
+		t.Error("-flight-out exit dump carries no server stats snapshot")
 	}
 }
 

@@ -17,21 +17,34 @@
 // -mode, -adaptive) against a simulated server — no live countd needed —
 // and audits the protocol invariants over the outcome.
 //
+// -trace-sample N traces one in N increments end to end: the client
+// stamps the request with a trace id the server propagates, both sides
+// record stage spans, and -trace-out merges them into one Chrome
+// trace-event timeline (chrome://tracing, Perfetto). Point -trace-from
+// at the countd telemetry endpoint to pull the server half from its
+// /debug/flight black box; without it the timeline holds the client
+// part only.
+//
 // Usage:
 //
 //	countload -addr 127.0.0.1:9701 -g 4 -duration 2s
 //	countload -addr 127.0.0.1:9701 -g 64 -mode lin -json BENCH_throughput.json
 //	countload -g 8 -mode lin -sim 42
+//	countload -addr 127.0.0.1:9701 -trace-sample 100 \
+//	    -trace-from http://127.0.0.1:8080 -trace-out trace.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime/pprof"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +66,9 @@ type options struct {
 	adaptive bool          // RTT-adaptive in-flight window
 	cpuprof  string        // write a CPU profile here ("" disables)
 	sim      uint64        // deterministic-simulation seed (0: drive a live countd)
+	sample   int           // trace 1 in N increments end to end (0: off)
+	traceOut string        // merged Chrome timeline output path ("" disables)
+	traceSrc string        // countd telemetry base URL for the server-side spans ("" skips)
 }
 
 func main() {
@@ -66,6 +82,9 @@ func main() {
 	flag.BoolVar(&o.adaptive, "adaptive", false, "tune each connection's in-flight window to measured RTT (AIMD)")
 	flag.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile to this file (empty: off)")
 	flag.Uint64Var(&o.sim, "sim", 0, "run this deterministic-simulation seed with the client-side configuration instead of driving a live server (0: off)")
+	flag.IntVar(&o.sample, "trace-sample", 0, "trace 1 in N increments through the serving path (0: off)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the sampled requests as Chrome trace-event JSON here (requires -trace-sample)")
+	flag.StringVar(&o.traceSrc, "trace-from", "", "countd telemetry base URL (e.g. http://127.0.0.1:8080); its /debug/flight spans merge into -trace-out as the server part")
 	flag.Parse()
 
 	if o.sim != 0 {
@@ -149,7 +168,8 @@ type result struct {
 	Lat      telemetry.LatencySummary
 	Dup      int64 // values handed to two callers (must be 0)
 	MaxValue int64
-	Windows  []client.WindowStats // per-client adaptive-window state at end of run
+	Windows  []client.WindowStats        // per-client adaptive-window state at end of run
+	Flight   *countingnet.FlightRecorder // client-side spans (nil: tracing off)
 }
 
 func (r result) opsPerSec() float64 {
@@ -196,6 +216,17 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		return fmt.Errorf("no operation completed (errors %d) — is countd up at %s?", res.Errors, o.addr)
 	}
 
+	if o.traceOut != "" {
+		if res.Flight == nil {
+			return fmt.Errorf("-trace-out requires -trace-sample")
+		}
+		n, err := writeTimeline(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  trace: %d span events -> %s\n", n, o.traceOut)
+	}
+
 	if o.jsonOut != "" {
 		if err := writeJSON(o.jsonOut, o, res); err != nil {
 			return err
@@ -207,6 +238,60 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	return nil
 }
 
+// writeTimeline merges the run's client-side spans with the server's
+// /debug/flight dump (when -trace-from names a countd telemetry
+// endpoint) into one Chrome trace-event timeline, then re-reads the
+// artifact to prove the export round-trips before reporting success.
+func writeTimeline(o options, res result) (int, error) {
+	parts := []countingnet.FlightPart{{Name: "countload", Spans: res.Flight.Snapshot()}}
+	if o.traceSrc != "" {
+		spans, err := fetchServerSpans(strings.TrimSuffix(o.traceSrc, "/") + "/debug/flight")
+		if err != nil {
+			return 0, err
+		}
+		parts = append(parts, countingnet.FlightPart{Name: "countd", Spans: spans})
+	}
+	f, err := os.Create(o.traceOut)
+	if err != nil {
+		return 0, err
+	}
+	if err := countingnet.WriteFlightChrome(f, parts...); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	rf, err := os.Open(o.traceOut)
+	if err != nil {
+		return 0, err
+	}
+	defer rf.Close()
+	evs, err := countingnet.ReadFlightChrome(rf)
+	if err != nil {
+		return 0, fmt.Errorf("trace round-trip: %w", err)
+	}
+	return len(evs), nil
+}
+
+// fetchServerSpans pulls the server half of the timeline from countd's
+// flight-recorder endpoint.
+func fetchServerSpans(url string) ([]countingnet.FlightSpan, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("fetch server spans: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch server spans: %s: status %d", url, resp.StatusCode)
+	}
+	var d countingnet.FlightDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("fetch server spans: %w", err)
+	}
+	return d.Spans, nil
+}
+
 // drive runs the measurement: o.clients connections, each with o.window
 // fixed worker goroutines looping sequential increments (the worker count
 // is the pipelining — no goroutine is spawned per op, and no global lock
@@ -216,6 +301,14 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 	var res result
 	ctx, cancel := context.WithTimeout(ctx, o.duration)
 	defer cancel()
+
+	// Tracing: one shared recorder for all clients, each client its own
+	// actor namespace (g+1) so merged ids never collide. Capacity scales
+	// with the expected sampled volume; ring wraparound just drops the
+	// oldest spans.
+	if o.sample > 0 {
+		res.Flight = countingnet.NewFlightRecorder(1 << 16)
+	}
 
 	lat := telemetry.NewHistogram(o.clients * o.window)
 	type workerOut struct {
@@ -243,6 +336,9 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 				Mode:           mode,
 				OpTimeout:      time.Second,
 				AdaptiveWindow: o.adaptive,
+				Flight:         res.Flight,
+				TraceSample:    o.sample,
+				TraceActor:     uint64(g) + 1,
 			})
 			if err != nil {
 				outs[g*o.window].errs++

@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -100,6 +103,100 @@ func TestLoadJSONMerges(t *testing.T) {
 	if len(rep2.Benchmarks) != len(rep.Benchmarks) {
 		t.Errorf("re-run grew the report from %d to %d rows; want in-place replace",
 			len(rep.Benchmarks), len(rep2.Benchmarks))
+	}
+}
+
+// startTracedService serves B(width) on loopback with a flight recorder
+// attached, plus an HTTP endpoint exposing its black box at /debug/flight
+// the way countd's telemetry surface does.
+func startTracedService(t *testing.T, width int) (addr, telem string) {
+	t.Helper()
+	rec := countingnet.NewFlightRecorder(1 << 14)
+	rt := countingnet.MustCompile(countingnet.MustBitonic(width))
+	srv := server.New(rt, server.Options{Stats: server.NewStats(0), Flight: rec})
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/flight" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.WriteDump(w, nil)
+	}))
+	t.Cleanup(ts.Close)
+	return a.String(), ts.URL
+}
+
+// TestLoadTraceExport runs a sampled load against a traced service and
+// checks the merged Chrome timeline: both the client and server parts are
+// present, and at least one trace id appears on both sides — the property
+// that lets the viewer line up a request's journey end to end.
+func TestLoadTraceExport(t *testing.T) {
+	addr, telem := startTracedService(t, 8)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	err := run(context.Background(), options{
+		addr: addr, clients: 2, window: 8, mode: "sc",
+		duration: 300 * time.Millisecond,
+		sample:   8, traceOut: path, traceSrc: telem,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "span events -> "+path) {
+		t.Errorf("report missing trace line:\n%s", out.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := countingnet.ReadFlightChrome(f)
+	if err != nil {
+		t.Fatalf("parse exported timeline: %v", err)
+	}
+	traces := map[string]map[string]bool{} // part -> trace ids seen
+	for _, ev := range evs {
+		if ev.End < ev.Start {
+			t.Errorf("span %s/%s trace %s ends before it starts (%d < %d)",
+				ev.Part, ev.Stage, ev.Trace, ev.End, ev.Start)
+		}
+		if traces[ev.Part] == nil {
+			traces[ev.Part] = map[string]bool{}
+		}
+		traces[ev.Part][ev.Trace] = true
+	}
+	for _, part := range []string{"countload", "countd"} {
+		if len(traces[part]) == 0 {
+			t.Errorf("merged timeline has no spans for part %q (parts: %v)", part, traces)
+		}
+	}
+	shared := false
+	for id := range traces["countload"] {
+		if traces["countd"][id] {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		t.Error("no trace id appears in both the client and server parts — the merge is vacuous")
+	}
+}
+
+func TestLoadTraceOutRequiresSample(t *testing.T) {
+	addr := startService(t, 4)
+	err := run(context.Background(), options{
+		addr: addr, clients: 1, window: 4, mode: "sc",
+		duration: 100 * time.Millisecond,
+		traceOut: filepath.Join(t.TempDir(), "trace.json"),
+	}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "-trace-sample") {
+		t.Fatalf("want -trace-out-without-sample error, got %v", err)
 	}
 }
 

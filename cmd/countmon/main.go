@@ -9,6 +9,8 @@
 //	                    live F_nl / F_nsc inconsistency fractions
 //	/debug/countingnet  the same snapshot as JSON
 //	/heatmap            ASCII balancer-traffic heatmap by network layer
+//	/flight             a countd's flight-recorder black box, proxied from
+//	                    the -flight-from telemetry endpoint
 //	/debug/pprof/       the standard Go profiler endpoints
 //
 // With -duration 0 it serves until interrupted; with a positive -duration
@@ -49,6 +51,7 @@ type options struct {
 	duration time.Duration // run length (0: serve until interrupted)
 	trace    string        // Chrome trace-event output path ("" disables)
 	sample   int           // record every k-th balancer hop in the trace
+	flight   string        // countd telemetry base URL proxied at /flight ("" disables)
 }
 
 func main() {
@@ -61,6 +64,7 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 0, "run length (0: serve until interrupted)")
 	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON here on exit")
 	flag.IntVar(&o.sample, "sample", 0, "trace every k-th balancer hop (0: none)")
+	flag.StringVar(&o.flight, "flight-from", "", "countd telemetry base URL; its /debug/flight black box is proxied at this monitor's /flight (empty: off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -119,6 +123,24 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, countingnet.Heatmap(spec, col.Snapshot().Toggles))
+	})
+	// /flight relays a countd's flight-recorder black box, so one monitor
+	// address serves both the in-process telemetry and the serving-path
+	// trace spans and anomaly ledger.
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		if o.flight == "" {
+			http.Error(w, "countmon: start with -flight-from <countd telemetry URL> to proxy its /debug/flight here", http.StatusNotFound)
+			return
+		}
+		resp, err := http.Get(strings.TrimSuffix(o.flight, "/") + "/debug/flight")
+		if err != nil {
+			http.Error(w, "countmon: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
 	})
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

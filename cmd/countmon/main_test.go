@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -61,6 +68,119 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := countingnet.VerifyValues(vals); err != nil {
 		t.Errorf("traced values violate the counting property: %v", err)
 	}
+}
+
+// lockedBuffer lets the test read countmon's output while run is still
+// writing it from another goroutine.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *lockedBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *lockedBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var monServingRe = regexp.MustCompile(`serving http://([0-9.]+:\d+)/metrics`)
+
+// startMonitor runs countmon in-process and waits for its HTTP address.
+func startMonitor(t *testing.T, o options) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	out := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, out) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := monServingRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1], cancel, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("countmon exited before serving: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("countmon never reported a serving address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFlightProxy checks the /flight relay: with -flight-from it serves the
+// countd black box verbatim, turns a dead backend into 502, and without the
+// flag it serves a 404 hint.
+func TestFlightProxy(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/flight" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"spans":[],"recorded":7,"dropped":0}`)
+	}))
+	defer backend.Close()
+
+	addr, cancel, done := startMonitor(t, options{
+		kind: "bitonic", width: 4, addr: "127.0.0.1:0", workers: 2,
+		flight: backend.URL,
+	})
+	body, status := getFlight(t, addr)
+	if status != http.StatusOK {
+		t.Fatalf("/flight status %d, want 200 (body %q)", status, body)
+	}
+	if !strings.Contains(body, `"recorded":7`) {
+		t.Errorf("/flight did not relay the backend dump: %q", body)
+	}
+
+	backend.Close()
+	if _, status := getFlight(t, addr); status != http.StatusBadGateway {
+		t.Errorf("/flight with dead backend: status %d, want 502", status)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestFlightProxyUnconfigured(t *testing.T) {
+	addr, cancel, done := startMonitor(t, options{
+		kind: "bitonic", width: 4, addr: "127.0.0.1:0", workers: 2,
+	})
+	body, status := getFlight(t, addr)
+	if status != http.StatusNotFound {
+		t.Errorf("/flight without -flight-from: status %d, want 404", status)
+	}
+	if !strings.Contains(body, "-flight-from") {
+		t.Errorf("404 body should hint at -flight-from: %q", body)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func getFlight(t *testing.T, addr string) (string, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/flight")
+	if err != nil {
+		t.Fatalf("GET /flight: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
 }
 
 func TestRunRejectsUnknownNetwork(t *testing.T) {

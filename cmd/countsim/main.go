@@ -20,11 +20,18 @@
 // how CI proves the harness detects real protocol violations rather
 // than vacuously passing.
 //
+// -flight traces every simulated request through the flight recorder
+// (internal/flightrec): the span-tree invariants join the audit, and a
+// failing seed's black-box dump lands next to its trace. Replaying one
+// seed with -flight -artifacts persists the dump unconditionally — the
+// same seed must produce byte-identical flight output on every run.
+//
 // Usage:
 //
 //	countsim -seeds 1000 -par 8 -artifacts /tmp/sim
 //	countsim -seeds 200 -bug -expect-bug
 //	countsim -seed 42 -trace
+//	countsim -seed 42 -flight -artifacts /tmp/sim
 package main
 
 import (
@@ -48,6 +55,7 @@ type options struct {
 	bug       bool   // inject the duplicate-mint canary into the backend
 	expectBug bool   // succeed only if the canary is caught (CI self-check)
 	trace     bool   // print the deterministic trace (single-seed mode)
+	flight    bool   // trace every request into the flight recorder
 	artifacts string // write failing-seed traces into this directory
 }
 
@@ -60,6 +68,7 @@ func main() {
 	flag.BoolVar(&o.bug, "bug", false, "inject a duplicate-mint bug into the backend")
 	flag.BoolVar(&o.expectBug, "expect-bug", false, "succeed only if the injected bug is caught (use with -bug)")
 	flag.BoolVar(&o.trace, "trace", false, "print the deterministic trace (with -seed)")
+	flag.BoolVar(&o.flight, "flight", false, "record every request's stage spans; failing seeds also dump seed-N.flight.json (with -artifacts) and the span-tree invariants join the audit")
 	flag.StringVar(&o.artifacts, "artifacts", "", "write failing-seed traces into this directory")
 	flag.Parse()
 
@@ -93,7 +102,7 @@ func run(o options, out *os.File) (int, error) {
 // violations, and (with -trace) the byte-stable trace a failing sweep
 // told the operator to come look at.
 func replay(o options, out *os.File) (int, error) {
-	res, err := dst.Run(o.seed, dst.RunOptions{Bug: o.bug})
+	res, err := dst.Run(o.seed, dst.RunOptions{Bug: o.bug, Flight: o.flight})
 	if err != nil {
 		return 2, fmt.Errorf("seed %d: %w", o.seed, err)
 	}
@@ -105,6 +114,16 @@ func replay(o options, out *os.File) (int, error) {
 		for _, v := range res.Violations {
 			fmt.Fprintf(out, "  violation: %s\n", v)
 		}
+	}
+	// Traced replays always persist the flight dump when an artifact
+	// directory is given — diffing two runs of the same seed is how the
+	// byte-identical tracing contract is checked from the command line.
+	if o.flight && o.artifacts != "" {
+		fpath := filepath.Join(o.artifacts, fmt.Sprintf("seed-%d.flight.json", o.seed))
+		if err := os.WriteFile(fpath, res.Flight, 0o644); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "countsim: flight dump written to %s\n", fpath)
 	}
 	if saved, err := saveArtifact(o.artifacts, res); err != nil {
 		return 2, err
@@ -129,6 +148,7 @@ type sweepResult struct {
 	violations []string
 	dupCaught  bool
 	trace      []byte
+	flight     []byte
 	err        error
 }
 
@@ -147,7 +167,7 @@ func sweep(o options, out *os.File) (int, error) {
 			for seed := range seeds {
 				r := &results[seed-o.start]
 				r.seed = seed
-				res, err := dst.Run(seed, dst.RunOptions{Bug: o.bug})
+				res, err := dst.Run(seed, dst.RunOptions{Bug: o.bug, Flight: o.flight})
 				if err != nil {
 					r.err = err
 					continue
@@ -155,6 +175,7 @@ func sweep(o options, out *os.File) (int, error) {
 				r.flavor = res.Scenario.Flavor
 				r.violations = res.Violations
 				r.trace = res.Trace
+				r.flight = res.Flight
 				for _, v := range res.Violations {
 					if strings.Contains(v, "duplicate") {
 						r.dupCaught = true
@@ -213,8 +234,15 @@ func sweep(o options, out *os.File) (int, error) {
 				return 2, err
 			}
 			fmt.Fprintf(out, "  trace: %s\n", path)
+			if len(r.flight) > 0 {
+				fpath := filepath.Join(o.artifacts, fmt.Sprintf("seed-%d.flight.json", seed))
+				if err := os.WriteFile(fpath, r.flight, 0o644); err != nil {
+					return 2, err
+				}
+				fmt.Fprintf(out, "  flight: %s\n", fpath)
+			}
 		}
-		fmt.Fprintf(out, "  replay: countsim -seed %d -trace%s\n", seed, bugFlag(o.bug))
+		fmt.Fprintf(out, "  replay: countsim -seed %d -trace%s%s\n", seed, bugFlag(o.bug), flightFlag(o.flight))
 	}
 
 	if o.expectBug {
@@ -239,11 +267,28 @@ func bugFlag(bug bool) string {
 	return ""
 }
 
-// saveArtifact writes the trace for a failing single-seed replay.
+func flightFlag(flight bool) string {
+	if flight {
+		return " -flight"
+	}
+	return ""
+}
+
+// saveArtifact writes the trace (and, for traced runs, the flight
+// recorder's black box) for a failing single-seed replay.
 func saveArtifact(dir string, res *dst.Result) (string, error) {
 	if dir == "" || !res.Failed() {
 		return "", nil
 	}
 	path := filepath.Join(dir, fmt.Sprintf("seed-%d.trace", res.Seed))
-	return path, os.WriteFile(path, res.Trace, 0o644)
+	if err := os.WriteFile(path, res.Trace, 0o644); err != nil {
+		return "", err
+	}
+	if len(res.Flight) > 0 {
+		fpath := filepath.Join(dir, fmt.Sprintf("seed-%d.flight.json", res.Seed))
+		if err := os.WriteFile(fpath, res.Flight, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return path, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/flightrec"
 	"repro/internal/wire"
 )
 
@@ -25,6 +26,12 @@ type batchGroup struct {
 	vals     []int64 // dealt values by arrival index, valid after done
 	err      error   // group-wide failure, valid after done
 	done     chan struct{}
+
+	// trace, when nonzero, marks the group sampled: its combined frame
+	// carries the id and both sides record stage spans for it. born is
+	// the group's creation stamp (ns), the client_combine span's start.
+	trace uint64
+	born  int64
 }
 
 const sealBit = int32(1) << 30
@@ -54,7 +61,7 @@ func (c *Client) incBatched(ctx context.Context, w int) (int64, error) {
 		w %= len(c.batchers)
 	}
 	b := &c.batchers[w]
-	g, idx := b.join(c.opt.BatchLimit)
+	g, idx := b.join(c.opt.BatchLimit, c.newGroup)
 	if b.inflight.CompareAndSwap(false, true) {
 		b.settle()
 		c.flushOnce(w, b)
@@ -62,14 +69,26 @@ func (c *Client) incBatched(ctx context.Context, w int) (int64, error) {
 	return waitInc(ctx, g, idx)
 }
 
+// newGroup builds a fresh batch group and samples it: the group is the
+// unit that crosses the wire, so it is also the unit of tracing. With
+// sampling off this is one nil check beyond the old allocation.
+func (c *Client) newGroup() *batchGroup {
+	g := &batchGroup{done: make(chan struct{})}
+	if id := c.sampler.Sample(); id != 0 {
+		g.trace = id
+		g.born = c.clk.Now().UnixNano()
+	}
+	return g
+}
+
 // join claims an arrival slot in the wire's open group, installing a
-// fresh group when none is open and retrying when a concurrent sealer
-// won the race for the slot.
-func (b *wireBatcher) join(limit int) (*batchGroup, int) {
+// fresh group (built by mk) when none is open and retrying when a
+// concurrent sealer won the race for the slot.
+func (b *wireBatcher) join(limit int, mk func() *batchGroup) (*batchGroup, int) {
 	for {
 		g := b.open.Load()
 		if g == nil {
-			ng := &batchGroup{done: make(chan struct{})}
+			ng := mk()
 			if !b.open.CompareAndSwap(nil, ng) {
 				continue
 			}
@@ -234,12 +253,27 @@ func (b *wireBatcher) take(limit int) *batchGroup {
 // only submitted after this one's value arrives, so its batch is issued
 // strictly later.
 func (c *Client) sendGroup(w int, g *batchGroup) {
-	f, err := c.request(context.Background(), wire.Frame{
-		Type: wire.TIncBatch,
-		Wire: int64(w),
-		K:    int64(g.n),
-		Mode: wire.ModeSC,
-	})
+	req := wire.Frame{
+		Type:  wire.TIncBatch,
+		Wire:  int64(w),
+		K:     int64(g.n),
+		Mode:  wire.ModeSC,
+		Trace: g.trace,
+	}
+	// Traced groups record their three client stages: combine (birth →
+	// handed to the connection), RPC (transport + server), complete
+	// (response decoded → values dealt).
+	var sendNS int64
+	if g.trace != 0 {
+		sendNS = c.clk.Now().UnixNano()
+		c.flight.RecordNS(g.trace, flightrec.StageClientCombine, 0, int64(w), g.born, sendNS)
+	}
+	f, err := c.request(context.Background(), req)
+	var doneNS int64
+	if g.trace != 0 {
+		doneNS = c.clk.Now().UnixNano()
+		c.flight.RecordNS(g.trace, flightrec.StageClientRPC, 0, int64(w), sendNS, doneNS)
+	}
 	if err != nil {
 		g.err = err
 		close(g.done)
@@ -253,6 +287,9 @@ func (c *Client) sendGroup(w int, g *batchGroup) {
 	}
 	if len(g.vals) < g.n {
 		g.err = wire.ErrBadFrame
+	}
+	if g.trace != 0 {
+		c.flight.RecordNS(g.trace, flightrec.StageClientComplete, 0, int64(w), doneNS, c.clk.Now().UnixNano())
 	}
 	close(g.done)
 }

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/fault"
+	"repro/internal/flightrec"
 	"repro/internal/network"
 	"repro/internal/runtime"
 	"repro/internal/wire"
@@ -84,6 +85,19 @@ type Options struct {
 	// in-memory network. The timeout argument is advisory for dialers
 	// whose connect cannot block (memnet's never does).
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Flight, when non-nil, records the client-side stage spans (combine,
+	// RPC, complete) of sampled requests; merge them with the server's
+	// spans via flightrec.WriteChrome for one end-to-end timeline.
+	Flight *flightrec.Recorder
+	// TraceSample, when positive, stamps one in every TraceSample
+	// increments with a trace id the server propagates and records
+	// against. Zero disables client-side sampling. For SC increments the
+	// sampled unit is the combined batch group — the thing that actually
+	// crosses the wire.
+	TraceSample int
+	// TraceActor namespaces this client's trace ids (flightrec.Sampler);
+	// give each client its own actor when merging multi-client traces.
+	TraceActor uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +138,9 @@ type Client struct {
 
 	batchers []wireBatcher // per-wire SC flat-combining points
 	done     chan struct{}
+
+	flight  *flightrec.Recorder // nil: tracing off
+	sampler *flightrec.Sampler  // nil: never sample
 }
 
 // ErrClosed reports an operation on a closed client.
@@ -137,6 +154,10 @@ func Dial(addr string, opt Options) (*Client, error) {
 		opt:  opt.withDefaults(),
 		clk:  clock.Or(opt.Clock),
 		done: make(chan struct{}),
+	}
+	c.flight = c.opt.Flight
+	if c.opt.TraceSample > 0 {
+		c.sampler = flightrec.NewSampler(c.opt.TraceSample, c.opt.TraceActor)
 	}
 	c.pool = make([]*cconn, c.opt.Conns)
 	// The handshake is bounded by DialTimeout and retried like any other
@@ -185,6 +206,10 @@ func Dial(addr string, opt Options) (*Client, error) {
 
 // Shape returns the served network's topology, learned at handshake.
 func (c *Client) Shape() network.Shape { return c.shape }
+
+// Flight returns the client's flight recorder (nil unless Options.Flight
+// was set).
+func (c *Client) Flight() *flightrec.Recorder { return c.flight }
 
 // Width returns the served network's input width.
 func (c *Client) Width() int { return c.shape.Width }
@@ -246,7 +271,19 @@ func (c *Client) IncMode(ctx context.Context, w int, mode wire.Mode) (int64, err
 	if mode == wire.ModeSC {
 		return c.incBatched(ctx, w)
 	}
-	f, err := c.request(ctx, wire.Frame{Type: wire.TInc, Wire: int64(w), Mode: wire.ModeLIN})
+	// LIN increments never combine, so the sampled unit is the request
+	// itself; the trace id is set before request so retried attempts keep
+	// it (one logical request, one trace).
+	req := wire.Frame{Type: wire.TInc, Wire: int64(w), Mode: wire.ModeLIN}
+	var t0 int64
+	if id := c.sampler.Sample(); id != 0 {
+		req.Trace = id
+		t0 = c.clk.Now().UnixNano()
+	}
+	f, err := c.request(ctx, req)
+	if req.Trace != 0 {
+		c.flight.RecordNS(req.Trace, flightrec.StageClientRPC, 1, req.Wire, t0, c.clk.Now().UnixNano())
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -272,7 +309,20 @@ func (c *Client) IncBatchCtx(ctx context.Context, w, k int, mode wire.Mode) ([]r
 	if k <= 0 {
 		return nil, nil
 	}
-	f, err := c.request(ctx, wire.Frame{Type: wire.TIncBatch, Wire: int64(c.wireFor(w)), K: int64(k), Mode: mode})
+	req := wire.Frame{Type: wire.TIncBatch, Wire: int64(c.wireFor(w)), K: int64(k), Mode: mode}
+	var t0 int64
+	if id := c.sampler.Sample(); id != 0 {
+		req.Trace = id
+		t0 = c.clk.Now().UnixNano()
+	}
+	f, err := c.request(ctx, req)
+	if req.Trace != 0 {
+		var m uint8
+		if mode == wire.ModeLIN {
+			m = 1
+		}
+		c.flight.RecordNS(req.Trace, flightrec.StageClientRPC, m, req.Wire, t0, c.clk.Now().UnixNano())
+	}
 	if err != nil {
 		return nil, err
 	}

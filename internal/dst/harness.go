@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/construct"
 	"repro/internal/fault"
+	"repro/internal/flightrec"
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -34,6 +35,14 @@ type RunOptions struct {
 	// bitonic one — cmd/countd plumbs its -net/-w selection through here.
 	// Its fan-in must match the scenario width.
 	Backend *runtime.Network
+	// Flight turns on end-to-end request tracing inside the simulation:
+	// every worker samples all of its requests (each worker its own actor
+	// namespace) into one shared flight recorder the server also records
+	// into. The run then audits the span trees — on clean runs every
+	// sampled operation must leave its complete stage trail with monotone
+	// simulated timestamps and no orphans — and Result.Flight carries the
+	// canonical black-box dump (same seed ⇒ byte-identical bytes).
+	Flight bool
 }
 
 // OpRecord is one completed workload operation with its simulated-time
@@ -57,6 +66,7 @@ type Result struct {
 	Ops        []OpRecord
 	Violations []string
 	Trace      []byte
+	Flight     []byte // canonical flight-recorder dump (RunOptions.Flight)
 	Issued     int64
 	Delivered  int
 	Steps      int
@@ -119,12 +129,20 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 		faults = gridFaults{inner: plan.Frames()}
 	}
 
+	// One shared recorder for both sides of the wire: client and server
+	// spans land in the same rings, stamped from the same virtual clock,
+	// so the dump is one merged timeline. Capacity is sized far past any
+	// scenario's span count — a dropped span would hole the trees.
+	if opts.Flight {
+		w.flight = flightrec.New(1 << 14)
+	}
 	srv := server.New(be, server.Options{
 		Mailbox:   sc.Mailbox,
 		Shards:    sc.Shards,
 		OpTimeout: sc.SrvOpTimeout,
 		Faults:    faults,
 		Clock:     w.Clk,
+		Flight:    w.flight,
 	})
 	const addr = "sim"
 	ln := w.Listen(addr)
@@ -198,6 +216,10 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 		res.Ops = append(res.Ops, rs...)
 	}
 	checkInvariants(res, w)
+	if w.flight != nil {
+		checkFlight(res, w.flight)
+		res.Flight = flightDump(w.flight)
+	}
 	res.Trace = buildTrace(res, w)
 	return res, nil
 }
@@ -230,6 +252,14 @@ func (w *World) runWorker(wk int, sc *Scenario, out []OpRecord, remaining *atomi
 	}
 	w.Clk.Sleep(time.Duration(wk+1)*100*time.Microsecond + time.Duration(wk*1009)*time.Nanosecond)
 
+	// With tracing on, every request is sampled (every=1) and each worker
+	// owns actor namespace wk+1 — disjoint from the other workers and
+	// from the server's minting namespace — so trace ids are
+	// deterministic and collision-free across the run.
+	traceSample := 0
+	if w.flight != nil {
+		traceSample = 1
+	}
 	var cl *client.Client
 	var err error
 	for attempt := 0; attempt < 6; attempt++ {
@@ -241,6 +271,9 @@ func (w *World) runWorker(wk int, sc *Scenario, out []OpRecord, remaining *atomi
 			AdaptiveWindow: sc.AdaptiveWindow,
 			Clock:          w.Clk,
 			Dialer:         w.Dialer(wk),
+			Flight:         w.flight,
+			TraceSample:    traceSample,
+			TraceActor:     uint64(wk) + 1,
 			Backoff: &fault.Backoff{
 				Base:  sc.BackoffBase,
 				Cap:   sc.BackoffCap,

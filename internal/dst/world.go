@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/flightrec"
 )
 
 // grid is the quantum all injected sleeps are aligned to. Offsets
@@ -82,6 +83,10 @@ type World struct {
 	netAct atomic.Uint64 // transport activity, for quiescence detection
 
 	recvWindow int // per-connection receive window in bytes (0: unlimited)
+
+	// flight, when non-nil, is the run's shared flight recorder: every
+	// worker samples all of its requests into it (RunOptions.Flight).
+	flight *flightrec.Recorder
 
 	// trace is written only from the scheduler goroutine.
 	trace strings.Builder

@@ -1,0 +1,232 @@
+package flightrec
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func ts(ns int64) time.Time { return time.Unix(0, ns) }
+
+// TestSamplerDeterministic: the counter sampler picks exactly 1-in-every
+// requests, mints unique nonzero ids, and replays identically.
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		s := NewSampler(4, 9)
+		var ids []uint64
+		for i := 0; i < 40; i++ {
+			ids = append(ids, s.Sample())
+		}
+		return ids
+	}
+	a, b := run(), run()
+	sampled := 0
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampler not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] != 0 {
+			sampled++
+			if seen[a[i]] {
+				t.Fatalf("duplicate trace id %d", a[i])
+			}
+			seen[a[i]] = true
+			if a[i]>>40 != 9 {
+				t.Fatalf("id %x not in actor 9's namespace", a[i])
+			}
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 40, want 10", sampled)
+	}
+	if NewSampler(0, 1) != nil {
+		t.Fatal("every=0 should disable sampling")
+	}
+	var nilS *Sampler
+	if nilS.Sample() != 0 {
+		t.Fatal("nil sampler sampled")
+	}
+}
+
+// TestRecorderSnapshotCanonical: identical span sets recorded in
+// different orders snapshot to identical slices.
+func TestRecorderSnapshotCanonical(t *testing.T) {
+	spans := []Span{
+		{Trace: 3, Stage: StageServerTraverse, Wire: 1, Start: 30, End: 40},
+		{Trace: 1, Stage: StageClientRPC, Wire: 0, Start: 10, End: 50},
+		{Trace: 1, Stage: StageClientCombine, Wire: 0, Start: 5, End: 10},
+		{Trace: 2, Stage: StageServerMailbox, Mode: 1, Wire: 2, Start: 10, End: 20},
+	}
+	a, b := New(64), New(64)
+	for _, s := range spans {
+		a.RecordNS(s.Trace, s.Stage, s.Mode, s.Wire, s.Start, s.End)
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		s := spans[i]
+		b.RecordNS(s.Trace, s.Stage, s.Mode, s.Wire, s.Start, s.End)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if len(sa) != len(spans) || len(sb) != len(spans) {
+		t.Fatalf("snapshot sizes %d/%d, want %d", len(sa), len(sb), len(spans))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("canonical order differs at %d: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	for i := 1; i < len(sa); i++ {
+		if sa[i].Start < sa[i-1].Start {
+			t.Fatalf("snapshot not time-ordered at %d", i)
+		}
+	}
+}
+
+// TestRecorderWraparound: a full ring overwrites oldest spans and counts
+// the drops; trace 0 and nil recorders record nothing.
+func TestRecorderWraparound(t *testing.T) {
+	r := New(8) // one slot per shard
+	for i := 0; i < 100; i++ {
+		r.RecordNS(uint64(i+1), StageClientRPC, 0, 0, int64(i), int64(i+1))
+	}
+	if got := len(r.Snapshot()); got > 8 {
+		t.Fatalf("ring holds %d spans, capacity 8", got)
+	}
+	if r.Recorded() != 100 {
+		t.Fatalf("recorded %d, want 100", r.Recorded())
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no drops counted after 100 records into 8 slots")
+	}
+
+	r.RecordNS(0, StageClientRPC, 0, 0, 1, 2) // unsampled: no-op
+	if r.Recorded() != 100 {
+		t.Fatal("trace 0 was recorded")
+	}
+	var nilR *Recorder
+	nilR.RecordNS(1, StageClientRPC, 0, 0, 1, 2)
+	nilR.Record(1, StageClientRPC, 0, 0, ts(1), ts(2))
+	nilR.NoteAnomaly("x", ts(1), 0)
+	if nilR.Snapshot() != nil || nilR.Recorded() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	if New(0) != nil {
+		t.Fatal("capacity 0 should return the nil recorder")
+	}
+}
+
+// TestAnomalies: counts accumulate per kind, the recent log is bounded
+// and ordered, and the sink fires outside the locks.
+func TestAnomalies(t *testing.T) {
+	r := New(16)
+	var fired []string
+	r.SetSink(func(kind string) { fired = append(fired, kind) })
+	for i := 0; i < maxAnomalyLog+10; i++ {
+		r.NoteAnomaly("backpressure", ts(int64(i)), 0)
+	}
+	r.NoteAnomaly("eviction", ts(999), 42)
+	counts, recent := r.Anomalies()
+	if counts["backpressure"] != maxAnomalyLog+10 || counts["eviction"] != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	if len(recent) != maxAnomalyLog {
+		t.Fatalf("recent log %d, want %d", len(recent), maxAnomalyLog)
+	}
+	last := recent[len(recent)-1]
+	if last.Kind != "eviction" || last.Trace != 42 {
+		t.Fatalf("last recent anomaly %+v", last)
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].At < recent[i-1].At {
+			t.Fatalf("recent log out of order at %d", i)
+		}
+	}
+	if len(fired) != maxAnomalyLog+11 {
+		t.Fatalf("sink fired %d times", len(fired))
+	}
+}
+
+// TestOffPathZeroAllocs: with tracing off (nil recorder/sampler or
+// trace 0) the call sites allocate nothing.
+func TestOffPathZeroAllocs(t *testing.T) {
+	var r *Recorder
+	var s *Sampler
+	live := New(8)
+	if n := testing.AllocsPerRun(200, func() {
+		if id := s.Sample(); id != 0 {
+			t.Fatal("nil sampler sampled")
+		}
+		r.RecordNS(1, StageClientRPC, 0, 0, 1, 2)
+		live.RecordNS(0, StageClientRPC, 0, 0, 1, 2)
+	}); n != 0 {
+		t.Fatalf("off path allocates %.1f/op", n)
+	}
+}
+
+// TestChromeRoundTrip: a merged two-part timeline survives write+read
+// with ids, stages, parts and rebased stamps intact.
+func TestChromeRoundTrip(t *testing.T) {
+	client := Part{Name: "client", Spans: []Span{
+		{Trace: 7, Stage: StageClientCombine, Wire: 1, Start: 1000, End: 2000},
+		{Trace: 7, Stage: StageClientRPC, Wire: 1, Start: 2000, End: 9000},
+	}}
+	server := Part{Name: "countd", Spans: []Span{
+		{Trace: 7, Stage: StageServerMailbox, Wire: 1, Start: 3000, End: 4000},
+		{Trace: 7, Stage: StageServerTraverse, Wire: 1, Start: 4000, End: 5000},
+		{Trace: 7, Stage: StageServerFlush, Wire: 1, Start: 5000, End: 6000},
+	}}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, client, server); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("%d events, want 5", len(evs))
+	}
+	parts := map[string]int{}
+	for _, ev := range evs {
+		parts[ev.Part]++
+		if ev.Trace != "0000000000000007" {
+			t.Fatalf("trace id %q", ev.Trace)
+		}
+		if ev.End < ev.Start || ev.Start < 0 {
+			t.Fatalf("bad rebased stamps %+v", ev)
+		}
+	}
+	if parts["client"] != 2 || parts["countd"] != 3 {
+		t.Fatalf("per-part events: %v", parts)
+	}
+}
+
+// TestDumpDeterministic: two recorders fed the same spans and anomalies
+// dump byte-identical JSON — the property the DST same-seed check rests
+// on.
+func TestDumpDeterministic(t *testing.T) {
+	build := func(order []int) []byte {
+		r := New(64)
+		spans := []Span{
+			{Trace: 1, Stage: StageClientRPC, Start: 10, End: 20},
+			{Trace: 2, Stage: StageServerMailbox, Start: 12, End: 14},
+			{Trace: 3, Stage: StageServerFlush, Start: 15, End: 16},
+		}
+		for _, i := range order {
+			s := spans[i]
+			r.RecordNS(s.Trace, s.Stage, s.Mode, s.Wire, s.Start, s.End)
+		}
+		r.NoteAnomaly("timeout", ts(30), 2)
+		r.NoteAnomaly("backpressure", ts(31), 0)
+		var buf bytes.Buffer
+		if err := r.WriteDump(&buf, []byte(`{"ops":9}`)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dumps differ:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -52,6 +52,20 @@
 // Options.Faults installs a wire.FrameFaults at the transport seam: every
 // frame read and written consults it, so a chaos.FaultPlan can drop,
 // delay or duplicate traffic without touching the protocol or the kernel.
+//
+// # Tracing and the flight recorder
+//
+// Options.Flight plugs in a flightrec.Recorder: requests carrying a
+// trace id in their wire header (and, with Options.TraceSample, a
+// deterministic 1-in-N of the untraced ones) get stage spans recorded at
+// every hop — mailbox wait, sweep grouping, traversal (LIN additionally
+// records its linearizing-section wait), and the reply's flush hold —
+// and replies echo the trace id so the client can merge its own spans
+// onto the same timeline. The recorder doubles as a black box: shed,
+// expired, evicted and failed requests are noted as anomalies. All
+// stamps come from Options.Clock, so under internal/dst the spans are
+// deterministic. With Flight nil and TraceSample zero the serving path
+// pays only nil checks and stays allocation-free.
 package server
 
 import (
@@ -66,6 +80,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/fault"
+	"repro/internal/flightrec"
 	"repro/internal/network"
 	"repro/internal/runtime"
 	"repro/internal/wire"
@@ -150,6 +165,15 @@ type Options struct {
 	// injected frame delays; nil means the wall clock. The deterministic
 	// simulation harness (internal/dst) injects its virtual clock here.
 	Clock clock.Clock
+	// Flight, when non-nil, records stage spans for traced requests and
+	// anomaly black-box events (see the package doc's tracing section).
+	// Expose it with telemetry tooling or dump it on anomalies via its
+	// sink hook.
+	Flight *flightrec.Recorder
+	// TraceSample, when positive, server-samples one in every TraceSample
+	// untraced increments (requests already carrying a trace id are
+	// always honored). Zero records only client-traced requests.
+	TraceSample int
 }
 
 func (o Options) withDefaults() Options {
@@ -177,13 +201,17 @@ type req struct {
 	k     int64
 	batch bool // answer with TRanges (TIncBatch) vs TValue (TInc)
 	enq   time.Time
+	trace uint64 // nonzero: record stage spans for this request
 }
 
 // outMsg is one queued response: either a frame to encode, or a
-// pre-encoded canonical error template plus the request id to patch in.
+// pre-encoded canonical error template plus the request id (and trace)
+// to patch in.
 type outMsg struct {
-	f    wire.Frame
-	tmpl *wire.ErrorTemplate // when set, only f.ID is used
+	f     wire.Frame
+	tmpl  *wire.ErrorTemplate // when set, only f.ID and f.Trace are used
+	enqNS int64               // traced replies: when the reply was enqueued (flush span start)
+	mode  uint8               // traced replies: 0 = SC, 1 = LIN
 }
 
 // Server serves one Backend over TCP (and optionally UDP).
@@ -201,6 +229,9 @@ type Server struct {
 	// shed/expire paths never encode an error string per response.
 	tmplBackpressure *wire.ErrorTemplate
 	tmplTimeout      *wire.ErrorTemplate
+
+	flight  *flightrec.Recorder // nil: tracing off
+	sampler *flightrec.Sampler  // nil: no server-side sampling
 
 	mu    sync.Mutex
 	lns   []net.Listener
@@ -238,6 +269,10 @@ func New(be Backend, opt Options) *Server {
 		tmplBackpressure: wire.NewErrorTemplate(wire.ErrBackpressure),
 		tmplTimeout:      wire.NewErrorTemplate(fault.ErrTimeout),
 	}
+	s.flight = s.opt.Flight
+	if s.opt.TraceSample > 0 {
+		s.sampler = flightrec.NewSampler(s.opt.TraceSample, serverTraceActor)
+	}
 	nsh := s.opt.Shards
 	if s.shape.Width > 0 && nsh > s.shape.Width {
 		nsh = s.shape.Width
@@ -261,6 +296,20 @@ func New(be Backend, opt Options) *Server {
 		go s.combine(i)
 	}
 	return s
+}
+
+// serverTraceActor namespaces server-minted trace ids (untraced
+// requests caught by Options.TraceSample). Clients number their actors
+// from zero; this high id keeps the two namespaces disjoint.
+const serverTraceActor = 0xC0DE00
+
+// anomaly notes one black-box event on the flight recorder; a no-op
+// without one. The recorder's sink hook is what turns these into
+// artifact dumps.
+func (s *Server) anomaly(kind string, trace uint64) {
+	if s.flight != nil {
+		s.flight.NoteAnomaly(kind, s.clk.Now(), trace)
+	}
 }
 
 // shardOf maps an input wire onto its combining shard: contiguous wire
@@ -292,6 +341,10 @@ func (s *Server) Issued() int64 { return s.issued.Load() }
 
 // Stats returns the server's stats sink (nil unless Options.Stats was set).
 func (s *Server) Stats() *Stats { return s.opt.Stats }
+
+// Flight returns the server's flight recorder (nil unless Options.Flight
+// was set).
+func (s *Server) Flight() *flightrec.Recorder { return s.flight }
 
 // Shards returns the number of combining shards the server runs.
 func (s *Server) Shards() int { return len(s.shards) }
@@ -408,10 +461,15 @@ func (s *Server) packetLoop(pc net.PacketConn) {
 		if k <= 0 {
 			continue
 		}
-		if !s.post(req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: s.clk.Now()}) {
+		trace := f.Trace
+		if trace == 0 {
+			trace = s.sampler.Sample()
+		}
+		if !s.post(req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: s.clk.Now(), trace: trace}) {
 			if st != nil {
 				st.udpDropped.Add(1)
 			}
+			s.anomaly("udp_drop", trace)
 		}
 	}
 }
@@ -635,6 +693,8 @@ func putRanges(rs []wire.Range) {
 func (sw *sweeper) sweep(pending []req) {
 	s := sw.s
 	st := s.opt.Stats
+	fl := s.flight
+	timed := st != nil || fl != nil
 	now := s.clk.Now()
 
 	// Expire requests that overstayed the mailbox.
@@ -644,9 +704,14 @@ func (sw *sweeper) sweep(pending []req) {
 			if st != nil {
 				st.timeouts.Add(1)
 			}
+			s.anomaly("mailbox_timeout", r.trace)
 			if r.c != nil {
 				r.c.outstanding.Add(-1)
-				r.c.trySend(outMsg{f: wire.Frame{ID: r.id}, tmpl: s.tmplTimeout})
+				m := outMsg{f: wire.Frame{ID: r.id, Trace: r.trace}, tmpl: s.tmplTimeout}
+				if r.trace != 0 {
+					m.enqNS = now.UnixNano()
+				}
+				r.c.trySend(m)
 			}
 			continue
 		}
@@ -679,13 +744,24 @@ func (sw *sweeper) sweep(pending []req) {
 	}
 	sw.order = order
 
+	nowNS := int64(0)
+	if timed {
+		nowNS = now.UnixNano()
+	}
 	for _, g := range order {
+		var t0, t1 time.Time
+		if timed {
+			t0 = s.clk.Now()
+		}
 		var rs []runtime.Range
 		if sw.ba != nil {
 			sw.rsbuf = sw.ba.IncBatchAppend(sw.rsbuf[:0], g.wire, int(g.total))
 			rs = sw.rsbuf
 		} else {
 			rs = s.be.IncBatch(g.wire, int(g.total))
+		}
+		if timed {
+			t1 = s.clk.Now()
 		}
 		s.issued.Add(g.total)
 		if st != nil {
@@ -696,6 +772,15 @@ func (sw *sweeper) sweep(pending []req) {
 		// Ranges are materialized only for batch requests with a live
 		// connection; plain TInc replies need just the first value and
 		// UDP requests need nothing at all.
+		var per time.Duration
+		var t0NS, t1NS int64
+		if timed {
+			// Amortized: the sweep traversed once for the whole group, so
+			// each request's traverse share is the group cost split evenly.
+			per = t1.Sub(t0) / time.Duration(len(g.reqs))
+			t0NS = t0.UnixNano()
+			t1NS = t1.UnixNano()
+		}
 		ri, off := 0, int64(0)
 		for _, idx := range g.reqs {
 			r := live[idx]
@@ -733,16 +818,28 @@ func (sw *sweeper) sweep(pending []req) {
 			if st != nil {
 				st.scOps.Add(1)
 				st.latSC.Record(r.wire, s.clk.Since(r.enq))
+				st.stageRecord(stageScMailbox, r.wire, now.Sub(r.enq))
+				st.stageRecord(stageScSweep, r.wire, t0.Sub(now))
+				st.stageRecord(stageScTraverse, r.wire, per)
+			}
+			if fl != nil && r.trace != 0 {
+				w := int64(r.wire)
+				fl.RecordNS(r.trace, flightrec.StageServerMailbox, 0, w, r.enq.UnixNano(), nowNS)
+				fl.RecordNS(r.trace, flightrec.StageServerSweep, 0, w, nowNS, t0NS)
+				fl.RecordNS(r.trace, flightrec.StageServerTraverse, 0, w, t0NS, t1NS)
 			}
 			if r.c == nil {
 				continue // fire-and-forget
 			}
 			r.c.outstanding.Add(-1)
+			m := outMsg{f: wire.Frame{Type: wire.TValue, ID: r.id, Trace: r.trace, Value: first}}
 			if r.batch {
-				r.c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: r.id, Rs: out}})
-			} else {
-				r.c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: r.id, Value: first}})
+				m = outMsg{f: wire.Frame{Type: wire.TRanges, ID: r.id, Trace: r.trace, Rs: out}}
 			}
+			if r.trace != 0 {
+				m.enqNS = t1NS
+			}
+			r.c.trySend(m)
 		}
 		// Reset the group for the next sweep, keeping its capacity.
 		g.total = 0
@@ -752,8 +849,8 @@ func (sw *sweeper) sweep(pending []req) {
 
 // errFrame builds the TError response for err (non-canonical errors whose
 // message is dynamic; the canonical sentinels use pre-encoded templates).
-func errFrame(id uint64, err error) outMsg {
-	return outMsg{f: wire.Frame{Type: wire.TError, ID: id, Code: wire.CodeOf(err), Msg: err.Error()}}
+func errFrame(id, trace uint64, err error) outMsg {
+	return outMsg{f: wire.Frame{Type: wire.TError, ID: id, Trace: trace, Code: wire.CodeOf(err), Msg: err.Error()}}
 }
 
 // conn is one TCP connection: a reader goroutine parsing request frames
@@ -804,6 +901,7 @@ func (c *conn) trySend(m outMsg) {
 		if st := c.s.opt.Stats; st != nil {
 			st.evictions.Add(1)
 		}
+		c.s.anomaly("eviction", m.f.Trace)
 		c.markDead()
 	}
 }
@@ -869,9 +967,9 @@ func (c *conn) process(f *wire.Frame) {
 	st := s.opt.Stats
 	switch f.Type {
 	case wire.THello:
-		c.trySend(outMsg{f: wire.Frame{Type: wire.TShape, ID: f.ID, Shape: s.shape}})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TShape, ID: f.ID, Trace: f.Trace, Shape: s.shape}})
 	case wire.TRead:
-		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: f.ID, Value: s.issued.Load()}})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: f.ID, Trace: f.Trace, Value: s.issued.Load()}})
 	case wire.TSnapshot:
 		var body []byte
 		if st != nil {
@@ -879,7 +977,7 @@ func (c *conn) process(f *wire.Frame) {
 		} else {
 			body, _ = json.Marshal(map[string]int64{"issued": s.issued.Load()})
 		}
-		c.trySend(outMsg{f: wire.Frame{Type: wire.TInfo, ID: f.ID, Data: body}})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TInfo, ID: f.ID, Trace: f.Trace, Data: body}})
 	case wire.TInc, wire.TIncBatch:
 		k := int64(1)
 		batch := f.Type == wire.TIncBatch
@@ -890,37 +988,59 @@ func (c *conn) process(f *wire.Frame) {
 			if st != nil {
 				st.badWire.Add(1)
 			}
-			c.trySend(errFrame(f.ID, fmt.Errorf("%w: wire %d, width %d", wire.ErrBadWire, f.Wire, s.shape.Width)))
+			s.anomaly("error_frame", f.Trace)
+			c.trySend(errFrame(f.ID, f.Trace, fmt.Errorf("%w: wire %d, width %d", wire.ErrBadWire, f.Wire, s.shape.Width)))
 			return
 		}
+		// Propagate the client's trace context, or server-sample one for
+		// untraced increments when the operator turned that on.
+		trace := f.Trace
+		if trace == 0 {
+			trace = s.sampler.Sample()
+		}
 		if k == 0 {
-			c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: f.ID, Rs: []wire.Range{}}})
+			c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: f.ID, Trace: trace, Rs: []wire.Range{}}})
 			return
 		}
 		if f.Mode == wire.ModeLIN || s.opt.ForceLIN {
-			c.processLIN(f.ID, int(f.Wire), k, batch)
+			c.processLIN(f.ID, int(f.Wire), k, batch, trace)
 			return
 		}
 		c.outstanding.Add(1)
-		if !s.post(req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: s.clk.Now()}) {
+		if !s.post(req{c: c, id: f.ID, wire: int(f.Wire), k: k, batch: batch, enq: s.clk.Now(), trace: trace}) {
 			c.outstanding.Add(-1)
 			if st != nil {
 				st.backpressure.Add(1)
 			}
-			c.trySend(outMsg{f: wire.Frame{ID: f.ID}, tmpl: s.tmplBackpressure})
+			s.anomaly("backpressure", trace)
+			m := outMsg{f: wire.Frame{ID: f.ID, Trace: trace}, tmpl: s.tmplBackpressure}
+			if trace != 0 {
+				m.enqNS = s.clk.Now().UnixNano()
+			}
+			c.trySend(m)
 		}
 	default:
-		c.trySend(errFrame(f.ID, fmt.Errorf("%w: %v is not a request", wire.ErrBadFrame, f.Type)))
+		s.anomaly("error_frame", f.Trace)
+		c.trySend(errFrame(f.ID, f.Trace, fmt.Errorf("%w: %v is not a request", wire.ErrBadFrame, f.Type)))
 	}
 }
 
 // processLIN serves one linearizable increment: the whole traversal runs
 // inside the linearizing section, so values are handed to LIN requests in
 // real-time order — the waiting the condition demands, paid per request.
-func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
+func (c *conn) processLIN(id uint64, w int, k int64, batch bool, trace uint64) {
 	s := c.s
-	start := s.clk.Now()
+	st := s.opt.Stats
+	fl := s.flight
+	timed := st != nil || (fl != nil && trace != 0)
+	var start, locked, end time.Time
+	if timed {
+		start = s.clk.Now()
+	}
 	s.linMu.Lock()
+	if timed {
+		locked = s.clk.Now()
+	}
 	var first int64
 	var rs []runtime.Range
 	if k == 1 {
@@ -931,12 +1051,25 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
 	}
 	s.issued.Add(k)
 	s.linMu.Unlock()
-	if st := s.opt.Stats; st != nil {
+	if timed {
+		end = s.clk.Now()
+	}
+	if st != nil {
 		st.linOps.Add(1)
-		st.latLIN.Record(w, s.clk.Since(start))
+		st.latLIN.Record(w, end.Sub(start))
+		st.stageRecord(stageLinWait, w, locked.Sub(start))
+		st.stageRecord(stageLinTraverse, w, end.Sub(locked))
+	}
+	if fl != nil && trace != 0 {
+		fl.RecordNS(trace, flightrec.StageServerLINWait, 1, int64(w), start.UnixNano(), locked.UnixNano())
+		fl.RecordNS(trace, flightrec.StageServerTraverse, 1, int64(w), locked.UnixNano(), end.UnixNano())
+	}
+	var enq int64
+	if trace != 0 && timed {
+		enq = end.UnixNano()
 	}
 	if !batch {
-		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: id, Value: first}})
+		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: id, Trace: trace, Value: first}, enqNS: enq, mode: 1})
 		return
 	}
 	out := make([]wire.Range, 0, len(rs))
@@ -946,7 +1079,7 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool) {
 	for _, r := range rs {
 		out = append(out, wire.Range{First: r.First, Stride: r.Stride, Count: r.Count})
 	}
-	c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: id, Rs: out}})
+	c.trySend(outMsg{f: wire.Frame{Type: wire.TRanges, ID: id, Trace: trace, Rs: out}, enqNS: enq, mode: 1})
 }
 
 // writeLoop drains the connection's response queue into a buffered
@@ -960,11 +1093,23 @@ func (c *conn) writeLoop() {
 	bw := newFrameWriter(c.nc)
 	pol := c.s.opt.Flush
 	st := c.s.opt.Stats
+	fl := c.s.flight
 	var scratch []byte
 	broken := false
 	unflushed := 0 // frames written into bw since the last flush
 	var timer clock.Timer
 	var timerC <-chan time.Time
+
+	// Flush-stage accounting: when the batch's first frame landed in the
+	// buffer (histogram), and which traced replies are waiting in it (one
+	// server_flush span each, closed when the flush happens).
+	type flushPend struct {
+		trace uint64
+		mode  uint8
+		enq   int64
+	}
+	var batchStart time.Time
+	var tpend []flushPend
 
 	disarm := func() {
 		if timerC != nil {
@@ -989,6 +1134,20 @@ func (c *conn) writeLoop() {
 				st.flushDeadline.Add(1)
 			}
 		}
+		if st != nil || len(tpend) > 0 {
+			fnow := c.s.clk.Now()
+			if st != nil && !batchStart.IsZero() {
+				st.stageRecord(stageFlush, c.id, fnow.Sub(batchStart))
+			}
+			if len(tpend) > 0 {
+				fNS := fnow.UnixNano()
+				for _, p := range tpend {
+					fl.RecordNS(p.trace, flightrec.StageServerFlush, p.mode, -1, p.enq, fNS)
+				}
+				tpend = tpend[:0]
+			}
+		}
+		batchStart = time.Time{}
 		unflushed = 0
 	}
 	// writeScratch ships the frame already encoded in scratch; split from
@@ -1005,6 +1164,9 @@ func (c *conn) writeLoop() {
 			return
 		}
 		unflushed++
+		if st != nil && unflushed == 1 {
+			batchStart = c.s.clk.Now()
+		}
 		if st != nil {
 			st.framesOut.Add(1)
 			st.bytesOut.Add(uint64(len(scratch)))
@@ -1020,8 +1182,11 @@ func (c *conn) writeLoop() {
 		if broken {
 			return
 		}
+		if fl != nil && m.f.Trace != 0 && m.enqNS != 0 {
+			tpend = append(tpend, flushPend{m.f.Trace, m.mode, m.enqNS})
+		}
 		if m.tmpl != nil {
-			scratch = m.tmpl.AppendFrame(scratch[:0], m.f.ID)
+			scratch = m.tmpl.AppendFrameTraced(scratch[:0], m.f.ID, m.f.Trace)
 		} else {
 			var err error
 			scratch, err = wire.AppendFrame(scratch[:0], &m.f)

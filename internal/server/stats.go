@@ -57,6 +57,34 @@ type Stats struct {
 
 	latSC  *telemetry.Histogram // mailbox-entry to response-enqueue
 	latLIN *telemetry.Histogram // linearizing-section round trip
+
+	// stage holds one histogram per serving-path stage (stageDefs): where
+	// a request's time goes, split by the stage's consistency mode. SC
+	// traverse is recorded amortized (sweep duration / requests folded),
+	// so the per-request numbers stay comparable with LIN's serialized
+	// traversal — the paper's cost gap, as a metric.
+	stage [numStageHists]*telemetry.Histogram
+}
+
+// Stage-histogram indices and their Prometheus labels. The flush stage
+// is shared by both modes (one writer per connection).
+const (
+	stageScMailbox = iota
+	stageScSweep
+	stageScTraverse
+	stageLinWait
+	stageLinTraverse
+	stageFlush
+	numStageHists
+)
+
+var stageDefs = [numStageHists]struct{ stage, mode string }{
+	{"mailbox", "sc"},
+	{"sweep", "sc"},
+	{"traverse", "sc"},
+	{"lin_wait", "lin"},
+	{"traverse", "lin"},
+	{"flush", "all"},
 }
 
 // NewStats returns a ready-to-use sink; shards sizes the latency
@@ -65,10 +93,28 @@ func NewStats(shards int) *Stats {
 	if shards <= 0 {
 		shards = 8
 	}
-	return &Stats{
+	st := &Stats{
 		latSC:  telemetry.NewHistogram(shards),
 		latLIN: telemetry.NewHistogram(shards),
 	}
+	for i := range st.stage {
+		st.stage[i] = telemetry.NewHistogram(shards)
+	}
+	return st
+}
+
+// stageRecord folds one stage duration into its histogram. Durations
+// are clamped at zero (coarse clocks can make a stage read negative)
+// and a missing histogram (a Stats not built by NewStats) is skipped.
+func (st *Stats) stageRecord(idx, key int, d time.Duration) {
+	h := st.stage[idx]
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Record(key, d)
 }
 
 // observeQueue folds one mailbox-depth observation into the high-water
@@ -157,10 +203,28 @@ type Snapshot struct {
 
 	LatencySC  telemetry.LatencySummary `json:"latencySC"`
 	LatencyLIN telemetry.LatencySummary `json:"latencyLIN"`
+
+	// Stages maps "stage/mode" (e.g. "traverse/lin") to that serving-path
+	// stage's latency summary; empty until the server has timed requests.
+	Stages map[string]telemetry.LatencySummary `json:"stages,omitempty"`
 }
 
 // Snapshot merges the counters and histograms into a Snapshot.
 func (st *Stats) Snapshot() Snapshot {
+	var stages map[string]telemetry.LatencySummary
+	for i, h := range st.stage {
+		if h == nil {
+			continue
+		}
+		ls := h.Summary()
+		if ls.Count == 0 {
+			continue
+		}
+		if stages == nil {
+			stages = make(map[string]telemetry.LatencySummary, numStageHists)
+		}
+		stages[stageDefs[i].stage+"/"+stageDefs[i].mode] = ls
+	}
 	return Snapshot{
 		ConnsTotal:  st.connsTotal.Load(),
 		ConnsActive: st.connsActive.Load(),
@@ -202,6 +266,8 @@ func (st *Stats) Snapshot() Snapshot {
 
 		LatencySC:  st.latSC.Summary(),
 		LatencyLIN: st.latLIN.Summary(),
+
+		Stages: stages,
 	}
 }
 
@@ -288,6 +354,31 @@ func (st *Stats) AppendMetrics(w io.Writer) {
 	}
 	writeHist(w, "countd_latency_sc", "SC increment latency", s.LatencySC)
 	writeHist(w, "countd_latency_lin", "LIN increment latency", s.LatencyLIN)
+	fmt.Fprintf(w, "# HELP countd_stage_seconds serving-path stage latency by stage and mode\n# TYPE countd_stage_seconds histogram\n")
+	for _, def := range stageDefs {
+		ls, ok := s.Stages[def.stage+"/"+def.mode]
+		if !ok {
+			continue
+		}
+		writeStageHist(w, fmt.Sprintf("stage=%q,mode=%q", def.stage, def.mode), ls)
+	}
+}
+
+// writeStageHist writes one labeled series of the countd_stage_seconds
+// histogram family.
+func writeStageHist(w io.Writer, labels string, ls telemetry.LatencySummary) {
+	var cum uint64
+	for i, c := range ls.Buckets {
+		cum += c
+		bound := ls.Bounds[i]
+		if bound < 0 {
+			continue // overflow bucket is the +Inf line below
+		}
+		fmt.Fprintf(w, "countd_stage_seconds_bucket{%s,le=\"%g\"} %d\n", labels, float64(bound)/1e9, cum)
+	}
+	fmt.Fprintf(w, "countd_stage_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, ls.Count)
+	fmt.Fprintf(w, "countd_stage_seconds_sum{%s} %g\n", labels, time.Duration(ls.Sum).Seconds())
+	fmt.Fprintf(w, "countd_stage_seconds_count{%s} %d\n", labels, ls.Count)
 }
 
 // writeHist writes one latency summary as a Prometheus histogram.

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/wire"
+)
+
+// spansFor filters a snapshot down to one trace id.
+func spansFor(spans []flightrec.Span, trace uint64) []flightrec.Span {
+	var out []flightrec.Span
+	for _, s := range spans {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// stageSet maps which stages a span set covers.
+func stageSet(spans []flightrec.Span) map[flightrec.Stage]bool {
+	m := map[flightrec.Stage]bool{}
+	for _, s := range spans {
+		m[s.Stage] = true
+	}
+	return m
+}
+
+// TestTracedRequestStages: a traced SC batch and a traced LIN increment
+// each leave their full server-side stage trail in the flight recorder,
+// with the trace id echoed on the reply and every span well-formed.
+func TestTracedRequestStages(t *testing.T) {
+	fr := flightrec.New(1024)
+	_, _, addr := startServer(t, 4, Options{Stats: NewStats(0), Flight: fr})
+	c := dialT(t, addr)
+
+	const scTrace, linTrace = 0xA1, 0xB2
+	c.send(wire.Frame{Type: wire.TIncBatch, ID: 1, Wire: 1, K: 3, Trace: scTrace})
+	if f := c.recv(); f.Type != wire.TRanges || f.Trace != scTrace {
+		t.Fatalf("traced SC reply: %+v", f)
+	}
+	c.send(wire.Frame{Type: wire.TInc, ID: 2, Wire: 0, Mode: wire.ModeLIN, Trace: linTrace})
+	if f := c.recv(); f.Type != wire.TValue || f.Trace != linTrace {
+		t.Fatalf("traced LIN reply: %+v", f)
+	}
+
+	// The flush span is recorded by the writer after the reply bytes go
+	// out, so it can trail the recv by a beat.
+	deadline := time.Now().Add(2 * time.Second)
+	var sc, lin []flightrec.Span
+	for {
+		all := fr.Snapshot()
+		sc, lin = spansFor(all, scTrace), spansFor(all, linTrace)
+		if len(sc) >= 4 && len(lin) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("incomplete span trails: sc=%+v lin=%+v", sc, lin)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	wantSC := []flightrec.Stage{
+		flightrec.StageServerMailbox, flightrec.StageServerSweep,
+		flightrec.StageServerTraverse, flightrec.StageServerFlush,
+	}
+	got := stageSet(sc)
+	for _, st := range wantSC {
+		if !got[st] {
+			t.Fatalf("SC trace missing stage %v: %+v", st, sc)
+		}
+	}
+	wantLIN := []flightrec.Stage{
+		flightrec.StageServerLINWait, flightrec.StageServerTraverse,
+		flightrec.StageServerFlush,
+	}
+	got = stageSet(lin)
+	for _, st := range wantLIN {
+		if !got[st] {
+			t.Fatalf("LIN trace missing stage %v: %+v", st, lin)
+		}
+	}
+	for _, s := range append(sc, lin...) {
+		if s.End < s.Start {
+			t.Fatalf("span ends before it starts: %+v", s)
+		}
+		if s.Mode != 0 && s.Mode != 1 {
+			t.Fatalf("bad span mode: %+v", s)
+		}
+	}
+	for _, s := range lin {
+		if s.Mode != 1 {
+			t.Fatalf("LIN span not marked LIN: %+v", s)
+		}
+	}
+}
+
+// TestServerSideSampling: with TraceSample set, untraced increments get
+// a server-minted trace id (in the server's actor namespace) echoed on
+// the reply and recorded against.
+func TestServerSideSampling(t *testing.T) {
+	fr := flightrec.New(256)
+	_, _, addr := startServer(t, 4, Options{Stats: NewStats(0), Flight: fr, TraceSample: 1})
+	c := dialT(t, addr)
+
+	c.send(wire.Frame{Type: wire.TInc, ID: 1, Wire: 2})
+	f := c.recv()
+	if f.Type != wire.TValue {
+		t.Fatalf("inc: %+v", f)
+	}
+	if f.Trace == 0 {
+		t.Fatal("server-side sampling minted no trace id")
+	}
+	if f.Trace>>40 != serverTraceActor {
+		t.Fatalf("trace %#x not in the server's actor namespace", f.Trace)
+	}
+	if spans := spansFor(fr.Snapshot(), f.Trace); len(spans) == 0 {
+		t.Fatal("no spans recorded for server-sampled request")
+	}
+}
+
+// TestUDPLatencyRecorded pins the regression the tracing work audited:
+// UDP-ingested increments must flow through the same per-mode latency
+// histogram and stage histograms as TCP SC traffic (they ride the same
+// mailbox and sweep), even though they get no reply.
+func TestUDPLatencyRecorded(t *testing.T) {
+	st := NewStats(0)
+	s, _, _ := startServer(t, 4, Options{Stats: st})
+	ua, err := s.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.Dial("udp", ua.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		enc, err := wire.EncodeFrame(&wire.Frame{Type: wire.TInc, ID: uint64(i), Wire: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pc.Write(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Issued() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("served %d of %d UDP increments", s.Issued(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := st.Snapshot()
+	if snap.UDPDatagrams != n {
+		t.Fatalf("accepted %d datagrams, want %d", snap.UDPDatagrams, n)
+	}
+	if snap.LatencySC.Count < n {
+		t.Fatalf("UDP ops missing from the SC latency histogram: count %d, want >= %d", snap.LatencySC.Count, n)
+	}
+	for _, key := range []string{"mailbox/sc", "sweep/sc", "traverse/sc"} {
+		if snap.Stages[key].Count < n {
+			t.Fatalf("UDP ops missing from stage histogram %q: %+v", key, snap.Stages[key])
+		}
+	}
+}
+
+// TestStageHistogramsLINPaysMore: the metric the tracing exists to show.
+// Pipelined SC traffic amortizes one traversal across the whole combined
+// group, while every LIN request pays a full serialized traversal plus
+// the linearizing-section wait — so the per-increment serialization cost
+// (lin_wait + traverse time divided by LIN ops) must exceed SC's (sweep
+// traversal time divided by the SC ops it amortized over). A deliberately
+// slow backend makes the separation structural rather than a timing
+// accident: while one sweep stalls, the pipelined SC requests pile into
+// the mailbox and the next sweep takes them all, whereas the pipelined
+// LIN requests serialize and each one also sits in lin_wait behind its
+// predecessors' traversals. Note SC's traverse samples are per sweep,
+// not per op, which is why the division is by op counts rather than
+// sample counts.
+func TestStageHistogramsLINPaysMore(t *testing.T) {
+	st := NewStats(0)
+	s := New(&slowBackend{delay: time.Millisecond}, Options{Stats: st})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := dialT(t, addr.String())
+
+	const rounds, pipe = 5, 16
+	id := uint64(1)
+	for r := 0; r < rounds; r++ {
+		fs := make([]wire.Frame, pipe)
+		for i := range fs {
+			fs[i] = wire.Frame{Type: wire.TInc, ID: id, Wire: int64(i % 2)}
+			id++
+		}
+		c.send(fs...)
+		for range fs {
+			c.recv()
+		}
+		for i := range fs {
+			fs[i] = wire.Frame{Type: wire.TInc, ID: id, Wire: int64(i % 2), Mode: wire.ModeLIN}
+			id++
+		}
+		c.send(fs...)
+		for range fs {
+			c.recv()
+		}
+	}
+
+	snap := st.Snapshot()
+	scT, linT, linW := snap.Stages["traverse/sc"], snap.Stages["traverse/lin"], snap.Stages["lin_wait/lin"]
+	if scT.Count == 0 || linT.Count == 0 || linW.Count == 0 {
+		t.Fatalf("stage histograms empty: %+v", snap.Stages)
+	}
+	if snap.SCOps == 0 || snap.LINOps == 0 {
+		t.Fatalf("no ops served: %+v", snap)
+	}
+	scPerOp := float64(scT.Sum) / float64(snap.SCOps)
+	linPerOp := (float64(linT.Sum) + float64(linW.Sum)) / float64(snap.LINOps)
+	if linPerOp <= scPerOp {
+		t.Fatalf("LIN serialization cost %.0fns/op not above SC's amortized %.0fns/op", linPerOp, scPerOp)
+	}
+}
+
+// TestStageMetricsExposition: the labeled countd_stage_seconds family
+// shows up in the Prometheus text output once stages have samples.
+func TestStageMetricsExposition(t *testing.T) {
+	st := NewStats(0)
+	_, _, addr := startServer(t, 4, Options{Stats: st})
+	c := dialT(t, addr)
+	c.send(wire.Frame{Type: wire.TInc, ID: 1, Wire: 0})
+	c.recv()
+	c.send(wire.Frame{Type: wire.TInc, ID: 2, Wire: 0, Mode: wire.ModeLIN})
+	c.recv()
+
+	var sb strings.Builder
+	st.AppendMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE countd_stage_seconds histogram",
+		`countd_stage_seconds_bucket{stage="traverse",mode="sc",le="+Inf"}`,
+		`countd_stage_seconds_bucket{stage="traverse",mode="lin",le="+Inf"}`,
+		`countd_stage_seconds_count{stage="lin_wait",mode="lin"}`,
+		`countd_stage_seconds_count{stage="mailbox",mode="sc"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnomalyNotes: shed requests land in the flight recorder's black
+// box with their trace attached.
+func TestAnomalyNotes(t *testing.T) {
+	fr := flightrec.New(64)
+	// One-slot mailbox on one shard with a scripted-slow backend would be
+	// elaborate; a bad-wire error frame is the cheap deterministic anomaly.
+	_, _, addr := startServer(t, 4, Options{Flight: fr})
+	c := dialT(t, addr)
+	c.send(wire.Frame{Type: wire.TInc, ID: 1, Wire: 99, Trace: 0xEE})
+	if f := c.recv(); f.Type != wire.TError || f.Trace != 0xEE {
+		t.Fatalf("bad-wire reply: %+v", f)
+	}
+	counts, recent := fr.Anomalies()
+	if counts["error_frame"] == 0 {
+		t.Fatalf("no error_frame anomaly noted: %v", counts)
+	}
+	found := false
+	for _, a := range recent {
+		if a.Kind == "error_frame" && a.Trace == 0xEE {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("anomaly log lost the trace id: %+v", recent)
+	}
+}

@@ -25,6 +25,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Type: TRanges, ID: 7, Rs: []Range{{First: 5, Stride: 8, Count: 128}, {First: 6, Stride: 8, Count: 1}}},
 		{Type: TError, ID: 8, Code: CodeBackpressure, Msg: "queue full"},
 		{Type: TInfo, ID: 9, Data: []byte(`{"ok":true}`)},
+		// Trace-extension corpus: sampled frames of the shapes the
+		// serving path actually emits.
+		{Type: TInc, ID: 10, Wire: 1, Trace: 0x1122334455667788},
+		{Type: TIncBatch, ID: 11, Wire: 2, K: 64, Mode: ModeLIN, Trace: 1},
+		{Type: TRanges, ID: 12, Trace: ^uint64(0), Rs: []Range{{First: 3, Stride: 4, Count: 2}}},
+		{Type: TError, ID: 13, Trace: 0xcafe, Code: CodeTimeout, Msg: "late"},
 		randFrame(rng),
 		randFrame(rng),
 	}

@@ -9,8 +9,10 @@
 //	0       2     magic 0x43 0x4E ("CN")
 //	2       1     protocol version (currently 1)
 //	3       1     frame type (TInc, TIncBatch, ...)
-//	4       1     flags (bit 0: consistency mode, 0 = SC, 1 = LIN)
-//	5       1-10  payload length (uvarint)
+//	4       1     flags (bit 0: consistency mode, 0 = SC, 1 = LIN;
+//	              bit 1: traced — an 8-byte trace id follows the flags)
+//	5       0|8   trace id (little-endian, present iff bit 1 of flags)
+//	...     1-10  payload length (uvarint)
 //	...     n     payload (per-type varint fields, see below)
 //	...     4     CRC-32C (little-endian) over everything before it
 //
@@ -30,6 +32,13 @@
 // and answered with purely local latency, LIN requests are serialized
 // through the server's linearizing section — the protocol-level form of
 // the paper's sequentially-consistent-versus-linearizable tradeoff.
+//
+// The trace extension (flag bit 1) is backward compatible by
+// construction: a frame with Frame.Trace == 0 encodes to exactly the
+// pre-extension bytes, and a peer that never sets the flag never emits
+// the extra header bytes. A sampled request carries a nonzero trace id;
+// the server echoes it on the response so both sides of the RPC record
+// stage spans under one id (internal/flightrec).
 package wire
 
 import (
@@ -53,6 +62,7 @@ const (
 	magic0, magic1 = 0x43, 0x4E // "CN"
 
 	headerSize = 5
+	traceSize  = 8 // trace-id extension bytes (present iff flagTraced)
 	crcSize    = 4
 
 	// MaxPayload bounds a frame's payload; DecodeFrame rejects larger
@@ -146,7 +156,10 @@ func (t Type) String() string {
 func (t Type) IsRequest() bool { return t >= TInc && t <= TSnapshot }
 
 // flag bits.
-const flagLIN = 0x01
+const (
+	flagLIN    = 0x01 // consistency mode: 0 = SC, 1 = LIN
+	flagTraced = 0x02 // an 8-byte trace id follows the flags byte
+)
 
 // Decode failures: the frame bytes themselves are unusable.
 var (
@@ -229,6 +242,12 @@ type Frame struct {
 	Mode Mode
 	ID   uint64
 
+	// Trace is the sampled distributed-tracing context: zero means the
+	// request is untraced (and the frame encodes to the pre-extension
+	// byte layout); nonzero rides the header's trace extension and is
+	// echoed by the server on the response.
+	Trace uint64
+
 	Wire  int64         // TInc, TIncBatch
 	K     int64         // TIncBatch
 	Value int64         // TValue
@@ -307,7 +326,13 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if f.Mode == ModeLIN {
 		flags |= flagLIN
 	}
+	if f.Trace != 0 {
+		flags |= flagTraced
+	}
 	dst = append(dst, magic0, magic1, Version, byte(f.Type), flags)
+	if f.Trace != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, f.Trace)
+	}
 	dst = binary.AppendUvarint(dst, uint64(psize))
 	dst = appendPayload(dst, f)
 	crc := crc32.Checksum(dst[start:], castagnoli)
@@ -380,9 +405,23 @@ func (t *ErrorTemplate) Code() ErrCode { return t.code }
 
 // AppendFrame appends the complete TError frame answering request id.
 func (t *ErrorTemplate) AppendFrame(dst []byte, id uint64) []byte {
+	return t.AppendFrameTraced(dst, id, 0)
+}
+
+// AppendFrameTraced is AppendFrame with the request's trace id echoed on
+// the reply (trace == 0 emits the untraced layout, byte-identical to
+// AppendFrame).
+func (t *ErrorTemplate) AppendFrameTraced(dst []byte, id, trace uint64) []byte {
 	psize := uvarintLen(id) + len(t.tail)
 	start := len(dst)
-	dst = append(dst, magic0, magic1, Version, byte(TError), 0)
+	flags := byte(0)
+	if trace != 0 {
+		flags |= flagTraced
+	}
+	dst = append(dst, magic0, magic1, Version, byte(TError), flags)
+	if trace != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, trace)
+	}
 	dst = binary.AppendUvarint(dst, uint64(psize))
 	dst = binary.AppendUvarint(dst, id)
 	dst = append(dst, t.tail...)
@@ -424,14 +463,22 @@ func DecodeInto(f *Frame, b []byte) (int, error) {
 	if b[4]&flagLIN != 0 {
 		f.Mode = ModeLIN
 	}
-	plen, n := binary.Uvarint(b[headerSize:])
+	hdr := headerSize
+	if b[4]&flagTraced != 0 {
+		if len(b) < headerSize+traceSize {
+			return 0, ErrTruncated
+		}
+		f.Trace = binary.LittleEndian.Uint64(b[headerSize:])
+		hdr += traceSize
+	}
+	plen, n := binary.Uvarint(b[hdr:])
 	if n == 0 {
 		return 0, ErrTruncated
 	}
 	if n < 0 || plen > MaxPayload {
 		return 0, ErrTooBig
 	}
-	total := headerSize + n + int(plen) + crcSize
+	total := hdr + n + int(plen) + crcSize
 	if len(b) < total {
 		return 0, ErrTruncated
 	}
@@ -440,7 +487,7 @@ func DecodeInto(f *Frame, b []byte) (int, error) {
 	if crc32.Checksum(body, castagnoli) != want {
 		return 0, ErrCRC
 	}
-	if err := parsePayload(f, b[headerSize+n:total-crcSize]); err != nil {
+	if err := parsePayload(f, b[hdr+n:total-crcSize]); err != nil {
 		return 0, err
 	}
 	return total, nil
@@ -594,7 +641,8 @@ func ReadFrameInto(br *bufio.Reader, f *Frame, scratch *[]byte) error {
 	// The header is read byte-wise on the concrete reader: an io.ReadFull
 	// into a stack array would force the array to escape (one allocation
 	// per frame, exactly what this path exists to avoid).
-	var raw [headerSize + binary.MaxVarintLen64]byte
+	var raw [headerSize + traceSize + binary.MaxVarintLen64]byte
+	hdr := headerSize
 	for i := 0; i < headerSize; i++ {
 		c, err := br.ReadByte()
 		if err != nil {
@@ -605,7 +653,17 @@ func ReadFrameInto(br *bufio.Reader, f *Frame, scratch *[]byte) error {
 		}
 		raw[i] = c
 	}
-	n := headerSize
+	if raw[4]&flagTraced != 0 {
+		hdr += traceSize
+		for i := headerSize; i < hdr; i++ {
+			c, err := br.ReadByte()
+			if err != nil {
+				return unexpected(err)
+			}
+			raw[i] = c
+		}
+	}
+	n := hdr
 	// Read the payload-length uvarint byte by byte, keeping the raw bytes
 	// for the CRC.
 	plen := uint64(0)

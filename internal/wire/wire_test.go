@@ -20,6 +20,10 @@ func randFrame(rng *rand.Rand) Frame {
 		Mode: Mode(rng.Intn(2)),
 		ID:   rng.Uint64() >> uint(rng.Intn(64)),
 	}
+	// A quarter of frames carry the sampled-trace header extension.
+	if rng.Intn(4) == 0 {
+		f.Trace = rng.Uint64() | 1 // nonzero: zero means untraced
+	}
 	switch f.Type {
 	case TInc:
 		f.Wire = rng.Int63n(1<<40) - 1<<39
@@ -63,7 +67,7 @@ func randFrame(rng *rand.Rand) Frame {
 }
 
 func framesEqual(a, b Frame) bool {
-	if a.Type != b.Type || a.Mode != b.Mode || a.ID != b.ID ||
+	if a.Type != b.Type || a.Mode != b.Mode || a.ID != b.ID || a.Trace != b.Trace ||
 		a.Wire != b.Wire || a.K != b.K || a.Value != b.Value ||
 		a.Shape != b.Shape || a.Code != b.Code || a.Msg != b.Msg {
 		return false

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/client"
+	"repro/internal/flightrec"
 	"repro/internal/network"
 	"repro/internal/runtime"
 	"repro/internal/server"
@@ -43,6 +44,17 @@ type (
 	RemoteCounter = client.Client
 	// RemoteOptions tunes the client pool, window, mode and retries.
 	RemoteOptions = client.Options
+	// FlightRecorder holds the stage spans and anomaly black box of
+	// sampled requests (ServerOptions.Flight / RemoteOptions.Flight).
+	FlightRecorder = flightrec.Recorder
+	// FlightSpan is one recorded stage of one sampled request.
+	FlightSpan = flightrec.Span
+	// FlightPart is one side's span set in a merged Chrome timeline.
+	FlightPart = flightrec.Part
+	// FlightDump is the flight recorder's black-box artifact shape.
+	FlightDump = flightrec.Dump
+	// FlightEvent is one parsed span event from a merged Chrome timeline.
+	FlightEvent = flightrec.ChromeEvent
 )
 
 const (
@@ -61,6 +73,14 @@ var (
 	DialCounter = client.Dial
 	// ParseConsistencyMode parses "sc" or "lin".
 	ParseConsistencyMode = wire.ParseMode
+	// NewFlightRecorder builds a flight recorder keeping roughly the last
+	// capacity spans (<= 0 returns the inert nil recorder).
+	NewFlightRecorder = flightrec.New
+	// WriteFlightChrome merges client/server span parts onto one Chrome
+	// trace-event timeline (chrome://tracing, Perfetto).
+	WriteFlightChrome = flightrec.WriteChrome
+	// ReadFlightChrome parses a merged timeline back into its span events.
+	ReadFlightChrome = flightrec.ReadChrome
 )
 
 // NetDrillReport summarises one loopback service drill under injected
