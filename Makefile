@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke tracesmoke sim sim-replay experiments examples lint clean
+.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke udpsmoke crossbuild tracesmoke sim sim-replay experiments examples lint clean
 
 all: build test
 
@@ -32,14 +32,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -time 100ms \
 		-bench . -o BENCH_runtime.json \
-		-bench 'Throughput|WireEncode|WireDecode|ServerLoopback' -o BENCH_throughput.json
+		-bench 'Throughput|WireEncode|WireDecode|ServerLoopback|UDPIngest' -o BENCH_throughput.json
 
-# Serving-path benchmarks: wire codec (asserted zero-allocation) and the
-# in-process server loopback across modes and client counts, merged into
-# the throughput trajectory file.
+# Serving-path benchmarks: wire codec (asserted zero-allocation), the
+# in-process server loopback across modes and client counts, and the UDP
+# ingest before/after rows (portable ReadFrom loop vs recvmmsg ring),
+# merged into the throughput trajectory file.
 servebench:
 	$(GO) run ./cmd/benchjson -time 300ms \
-		-bench 'WireEncode|WireDecode|ServerLoopback' -o BENCH_throughput.json
+		-bench 'WireEncode|WireDecode|ServerLoopback|UDPIngest' -o BENCH_throughput.json
 
 # The full paper-reproduction report; non-zero exit if any experiment fails.
 experiments:
@@ -70,6 +71,25 @@ netsmoke:
 	sleep 1 && \
 	$(GO) run ./cmd/countload -addr 127.0.0.1:9701 -g 4 -duration 2s -json BENCH_throughput.json && \
 	wait
+
+# Loopback UDP smoke: countd's fire-and-forget endpoint driven open loop
+# at sendmmsg batch 1, 16 and 64; throughput rows merge into
+# BENCH_throughput.json under Countload/udp/. Mirrors the CI job.
+udpsmoke:
+	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9711 -udp 127.0.0.1:9712 -duration 12s & \
+	sleep 1 && \
+	for b in 1 16 64; do \
+		$(GO) run ./cmd/countload -addr 127.0.0.1:9711 -udp 127.0.0.1:9712 \
+			-udp-batch $$b -udp-wires 8 -g 2 -duration 2s -json BENCH_throughput.json || exit 1; \
+	done && \
+	wait
+
+# The packetio build-tag matrix must cover every platform: Linux gets the
+# recvmmsg/sendmmsg fast path, everything else the portable ReadFrom loop.
+crossbuild:
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
+	GOOS=windows GOARCH=amd64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
 
 # End-to-end tracing smoke: countd with server-side sampling and the
 # black-box dump, countload sampling 1 in 50 increments and merging both

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/construct"
+	"repro/internal/packetio"
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -131,5 +132,105 @@ func BenchmarkServerLoopback(b *testing.B) {
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 			})
 		}
+	}
+}
+
+// BenchmarkUDPIngest — the UDP ingest side's syscall economics over a
+// real loopback socket: datagrams carrying SC increments are burst into
+// the receive buffer untimed, then the timed section drains and admits
+// them exactly as the server's ingest loop does (socket read, prefix
+// filter, CRC decode, replay window, aggregated post). The
+// portable/batch=1 row is the classic one-ReadFrom-per-datagram loop —
+// the "before" — and the fast rows are the recvmmsg ring at increasing
+// batch, where one syscall fills the whole ring. The before/after rows
+// recorded into BENCH_throughput.json by `make servebench` are the UDP
+// fast path's headline numbers: datagrams/s is the wall-clock gain
+// (bounded below by the kernel's per-message udp_recvmsg work, which
+// recvmmsg cannot amortize — expect modest ratios on small hosts) and
+// datagrams/syscall is the 64x syscall amortization itself, which is
+// what scales with syscall entry cost (mitigations, virtualization).
+func BenchmarkUDPIngest(b *testing.B) {
+	configs := []struct {
+		name     string
+		portable bool
+		batch    int
+	}{
+		{"path=portable/batch=1", true, 1},
+		{"path=fast/batch=1", false, 1},
+		{"path=fast/batch=16", false, 16},
+		{"path=fast/batch=64", false, 64},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := runtime.MustCompile(construct.MustBitonic(8))
+			st := server.NewStats(0)
+			srv := server.New(rt, server.Options{Stats: st})
+			defer srv.Close()
+			o := packetio.Options{Portable: cfg.portable, Sockets: 1}
+			conns, err := packetio.Listen("127.0.0.1:0", o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rx := conns[0]
+			defer rx.Close()
+			tx, err := packetio.Dial(rx.LocalAddr().String(), o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tx.Close()
+
+			pi := srv.NewPacketIngest()
+			wb := packetio.NewBatch(packetio.MaxBatch)
+			rb := packetio.NewBatch(cfg.batch)
+			var f wire.Frame
+			enc := func(dst []byte) []byte {
+				p, err := wire.AppendFrame(dst, &f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return p
+			}
+
+			// Burst size is bounded by what the socket's receive buffer
+			// reliably holds — a dropped datagram would hang the drain.
+			const burst = packetio.MaxBatch
+			b.ReportAllocs()
+			b.ResetTimer()
+			var id uint64
+			reads := 0
+			for done := 0; done < b.N; {
+				k := burst
+				if left := b.N - done; left < k {
+					k = left
+				}
+				b.StopTimer()
+				wb.Reset()
+				for i := 0; i < k; i++ {
+					id++
+					f = wire.Frame{Type: wire.TInc, ID: id, Wire: int64(id % 8)}
+					wb.AppendWith(enc)
+				}
+				if _, err := tx.WriteBatch(wb); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for got := 0; got < k; {
+					n, err := rx.ReadBatch(rb)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pi.IngestBatch(rb)
+					got += n
+					reads++
+				}
+				done += k
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "datagrams/s")
+			b.ReportMetric(float64(b.N)/float64(reads), "datagrams/syscall")
+			if snap := st.Snapshot(); snap.UDPDatagrams != uint64(b.N) {
+				b.Fatalf("admitted %d datagrams, sent %d", snap.UDPDatagrams, b.N)
+			}
+		})
 	}
 }

@@ -73,6 +73,9 @@ type options struct {
 	opTime   time.Duration // per-request mailbox deadline (0: none)
 	flushDur time.Duration // writer flush deadline (0: default, <0: flush eagerly)
 	flushBy  int           // writer flush byte threshold (0: default)
+	udpSocks int           // SO_REUSEPORT socket count for -udp (0: server default)
+	udpBatch int           // datagrams per recvmmsg syscall (0: server default)
+	udpPort  bool          // force the portable single-datagram UDP read loop
 	duration time.Duration // run length (0: serve until interrupted)
 	cpuprof  string        // write a CPU profile here ("" disables)
 	sim      uint64        // deterministic-simulation seed (0: serve normally)
@@ -87,6 +90,9 @@ func main() {
 	flag.IntVar(&o.width, "w", 8, "network fan (power of two)")
 	flag.StringVar(&o.listen, "listen", ":9701", "TCP service address")
 	flag.StringVar(&o.udp, "udp", "", "UDP datagram address for fire-and-forget SC increments (empty: off)")
+	flag.IntVar(&o.udpSocks, "udp-sockets", 0, "UDP sockets sharing the port via SO_REUSEPORT, one batched read loop each (0: default, min(GOMAXPROCS,4) on Linux)")
+	flag.IntVar(&o.udpBatch, "udp-batch", 0, "datagrams read per recvmmsg syscall on the UDP endpoint, up to 64 (0: default)")
+	flag.BoolVar(&o.udpPort, "udp-portable", false, "force the portable single-datagram UDP read loop (benchmarking baseline)")
 	flag.StringVar(&o.telem, "telemetry", "", "HTTP telemetry address (empty: off)")
 	flag.StringVar(&o.mode, "mode", "sc", "default consistency: sc coalesces, lin serializes every increment")
 	flag.IntVar(&o.mailbox, "mailbox", 0, "SC request mailbox depth (0: default)")
@@ -232,6 +238,9 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		ForceLIN:    mode == countingnet.ModeLIN,
 		Flight:      rec,
 		TraceSample: o.sample,
+		UDPSockets:  o.udpSocks,
+		UDPBatch:    o.udpBatch,
+		UDPPortable: o.udpPort,
 	})
 	defer srv.Close()
 

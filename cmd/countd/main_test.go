@@ -15,6 +15,7 @@ import (
 
 	countingnet "repro"
 	"repro/internal/client"
+	"repro/internal/packetio"
 	"repro/internal/wire"
 )
 
@@ -113,6 +114,160 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if got := out.String(); !strings.Contains(got, "drained; issued 20") {
 		t.Errorf("drain report missing issued count:\n%s", got)
+	}
+}
+
+var udpRe = regexp.MustCompile(`udp endpoint ([0-9.]+:\d+)`)
+
+// TestDaemonUDPEndpoint boots countd with the UDP endpoint tuned by the
+// new flags (-udp-sockets, -udp-batch, -udp-portable), fires batched
+// fire-and-forget increments at it — including one replayed dedup id —
+// and checks the minted count and the per-reason reject metrics.
+func TestDaemonUDPEndpoint(t *testing.T) {
+	out, addr, cancel, done := startDaemon(t, options{
+		kind: "bitonic", width: 4,
+		listen: "127.0.0.1:0", udp: "127.0.0.1:0", telem: "127.0.0.1:0",
+		mode: "sc", udpSocks: 2, udpBatch: 16,
+	})
+	m := udpRe.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no udp endpoint address in output:\n%s", out.String())
+	}
+	conn, err := packetio.Dial(m[1], packetio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	b := packetio.NewBatch(16)
+	var f wire.Frame
+	enc := func(dst []byte) []byte {
+		p, err := wire.AppendFrame(dst, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for i := 0; i < 16; i++ {
+		id := uint64(i + 1)
+		if i == 15 {
+			id = 1 // replayed dedup id: must burn, not mint
+		}
+		f = wire.Frame{Type: wire.TInc, ID: id, Wire: int64(i % 4)}
+		b.AppendWith(enc)
+	}
+	if _, err := conn.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// UDP is fire-and-forget: poll the TCP read until the unique
+	// datagrams have minted.
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := c.Read(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= 15 {
+			if v > 15 {
+				t.Fatalf("issued %d from 15 unique datagrams — a replay minted", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("issued %d, want 15 — datagrams not ingested", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+
+	tm := telemRe.FindStringSubmatch(out.String())
+	if tm == nil {
+		t.Fatalf("no telemetry address in output:\n%s", out.String())
+	}
+	resp, err := http.Get("http://" + tm[1] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	metrics := string(body[:n])
+	for _, want := range []string{
+		"countd_udp_datagrams_total 15",
+		`countd_udp_reject_reason_total{reason="replay"} 1`,
+		"countd_udp_batch_size_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+// TestDaemonUDPPortableLoop pins the portable fallback behind
+// -udp-portable: a single classic ReadFrom loop serving the same
+// protocol.
+func TestDaemonUDPPortableLoop(t *testing.T) {
+	out, addr, cancel, done := startDaemon(t, options{
+		kind: "bitonic", width: 4,
+		listen: "127.0.0.1:0", udp: "127.0.0.1:0",
+		mode: "sc", udpPort: true,
+	})
+	m := udpRe.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no udp endpoint address in output:\n%s", out.String())
+	}
+	conn, err := packetio.Dial(m[1], packetio.Options{Portable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var f wire.Frame
+	b := packetio.NewBatch(8)
+	for i := 0; i < 8; i++ {
+		f = wire.Frame{Type: wire.TInc, ID: uint64(i + 1), Wire: 0}
+		b.AppendWith(func(dst []byte) []byte {
+			p, err := wire.AppendFrame(dst, &f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		})
+		if _, err := conn.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+	}
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := c.Read(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("issued %d, want 8", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 }
 

@@ -25,10 +25,18 @@
 // /debug/flight black box; without it the timeline holds the client
 // part only.
 //
+// -udp ADDR switches to open-loop fire-and-forget mode against countd's
+// UDP endpoint: -g senders blast batched SC increment datagrams (one
+// sendmmsg syscall per -udp-batch datagrams on Linux) with unique dedup
+// ids, no response path, while the TCP endpoint's Read supplies the
+// issued-count delta that audits how much actually minted — never more
+// than was sent, or the service duplicated a fire-and-forget increment.
+//
 // Usage:
 //
 //	countload -addr 127.0.0.1:9701 -g 4 -duration 2s
 //	countload -addr 127.0.0.1:9701 -g 64 -mode lin -json BENCH_throughput.json
+//	countload -addr 127.0.0.1:9701 -udp 127.0.0.1:9702 -udp-batch 64 -duration 2s
 //	countload -g 8 -mode lin -sim 42
 //	countload -addr 127.0.0.1:9701 -trace-sample 100 \
 //	    -trace-from http://127.0.0.1:8080 -trace-out trace.json
@@ -53,7 +61,9 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/client"
 	"repro/internal/dst"
+	"repro/internal/packetio"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 type options struct {
@@ -69,6 +79,9 @@ type options struct {
 	sample   int           // trace 1 in N increments end to end (0: off)
 	traceOut string        // merged Chrome timeline output path ("" disables)
 	traceSrc string        // countd telemetry base URL for the server-side spans ("" skips)
+	udp      string        // countd UDP endpoint: open-loop fire-and-forget mode ("" disables)
+	udpBatch int           // datagrams per sendmmsg batch in UDP mode
+	udpWires int           // spread UDP increments across this many input wires
 }
 
 func main() {
@@ -85,6 +98,9 @@ func main() {
 	flag.IntVar(&o.sample, "trace-sample", 0, "trace 1 in N increments through the serving path (0: off)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the sampled requests as Chrome trace-event JSON here (requires -trace-sample)")
 	flag.StringVar(&o.traceSrc, "trace-from", "", "countd telemetry base URL (e.g. http://127.0.0.1:8080); its /debug/flight spans merge into -trace-out as the server part")
+	flag.StringVar(&o.udp, "udp", "", "countd UDP endpoint: open-loop fire-and-forget SC increments instead of the TCP workload (empty: off)")
+	flag.IntVar(&o.udpBatch, "udp-batch", 64, "datagrams per sendmmsg batch in -udp mode (1..64)")
+	flag.IntVar(&o.udpWires, "udp-wires", 1, "spread -udp increments across this many input wires (must not exceed the served width)")
 	flag.Parse()
 
 	if o.sim != 0 {
@@ -189,6 +205,9 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if o.clients <= 0 {
 		return fmt.Errorf("need at least one client, got %d", o.clients)
 	}
+	if o.udp != "" {
+		return runUDP(ctx, o, out)
+	}
 
 	res, err := drive(ctx, o, mode)
 	if err != nil {
@@ -234,6 +253,155 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		if o.jsonOut != "-" {
 			fmt.Fprintf(out, "  json: merged into %s\n", o.jsonOut)
 		}
+	}
+	return nil
+}
+
+// runUDP drives the fire-and-forget endpoint open loop: -g senders each
+// own a UDP flow (the kernel's SO_REUSEPORT hash pins a flow to one
+// server socket, so a flow's dedup ids always meet the same replay
+// window) and blast -udp-batch datagrams per WriteBatch — one sendmmsg
+// syscall on Linux. There is no response path, so the TCP endpoint
+// audits the outcome: the issued-count delta across the run is how much
+// actually minted, and it may never exceed the datagrams sent.
+func runUDP(ctx context.Context, o options, out io.Writer) error {
+	if o.mode != "sc" {
+		return fmt.Errorf("the UDP endpoint serves SC increments only, got -mode %s", o.mode)
+	}
+	if o.udpBatch < 1 || o.udpBatch > packetio.MaxBatch {
+		return fmt.Errorf("-udp-batch must be in [1,%d], got %d", packetio.MaxBatch, o.udpBatch)
+	}
+	if o.udpWires < 1 {
+		return fmt.Errorf("-udp-wires must be positive, got %d", o.udpWires)
+	}
+	aud, err := client.Dial(o.addr, client.Options{OpTimeout: time.Second})
+	if err != nil {
+		return fmt.Errorf("dial %s for the issued-count audit: %w", o.addr, err)
+	}
+	defer aud.Close()
+	before, err := aud.Read(ctx)
+	if err != nil {
+		return fmt.Errorf("read issued count: %w", err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, o.duration)
+	defer cancel()
+	var stop atomic.Bool
+	defer context.AfterFunc(runCtx, func() { stop.Store(true) })()
+
+	sent := make([]int64, o.clients)
+	werrs := make([]int64, o.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < o.clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := packetio.Dial(o.udp, packetio.Options{})
+			if err != nil {
+				werrs[g]++
+				return
+			}
+			defer conn.Close()
+			b := packetio.NewBatch(o.udpBatch)
+			var f wire.Frame
+			enc := func(dst []byte) []byte {
+				p, err := wire.AppendFrame(dst, &f)
+				if err != nil {
+					return dst
+				}
+				return p
+			}
+			// Dedup ids are globally unique across senders — (g+1) in the
+			// high bits, a per-sender sequence below — so two flows hashed
+			// onto one server socket can never replay each other.
+			for seq := uint64(0); !stop.Load(); {
+				b.Reset()
+				for b.Len() < b.Cap() {
+					f = wire.Frame{Type: wire.TInc, ID: uint64(g+1)<<40 | seq, Wire: int64(seq % uint64(o.udpWires))}
+					seq++
+					b.AppendWith(enc)
+				}
+				n, err := conn.WriteBatch(b)
+				sent[g] += int64(n)
+				if err != nil {
+					werrs[g]++
+					if n == 0 {
+						time.Sleep(time.Millisecond) // persistent send failure: don't spin
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total, errs int64
+	for g := range sent {
+		total += sent[g]
+		errs += werrs[g]
+	}
+
+	// Drain: fire-and-forget has no completion signal, so poll the issued
+	// count until it stops moving (or a bounded wait elapses) before
+	// taking the delta.
+	after := before
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		time.Sleep(50 * time.Millisecond)
+		v, err := aud.Read(ctx)
+		if err != nil {
+			return fmt.Errorf("read issued count: %w", err)
+		}
+		if v == after {
+			break
+		}
+		after = v
+	}
+	minted := after - before
+
+	fmt.Fprintf(out, "countload: udp %s open loop, %d senders x batch %d, %v\n",
+		o.udp, o.clients, o.udpBatch, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  datagrams %d (%.0f/s), write errors %d, minted %d (issued %d -> %d)\n",
+		total, float64(total)/elapsed.Seconds(), errs, minted, before, after)
+	if total == 0 {
+		return fmt.Errorf("no datagram sent (errors %d) — is the countd UDP endpoint up at %s?", errs, o.udp)
+	}
+	if minted > total {
+		return fmt.Errorf("issued delta %d exceeds %d datagrams sent — the service minted duplicates", minted, total)
+	}
+	if minted == 0 {
+		return fmt.Errorf("nothing minted from %d datagrams — is %s countd's UDP endpoint?", total, o.udp)
+	}
+
+	if o.jsonOut != "" {
+		name := fmt.Sprintf("Countload/udp/mode=%s/batch=%d", o.mode, o.udpBatch)
+		rep := &benchfmt.Report{
+			Date: time.Now().UTC().Format(time.RFC3339),
+			Pkg:  "repro/cmd/countload",
+			Benchmarks: []benchfmt.Result{{
+				Name:       name,
+				Iterations: total,
+				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(total),
+				Metrics: map[string]float64{
+					"datagrams/s":  float64(total) / elapsed.Seconds(),
+					"minted":       float64(minted),
+					"write-errors": float64(errs),
+					"senders":      float64(o.clients),
+				},
+			}},
+		}
+		if o.jsonOut == "-" {
+			return benchfmt.Write("-", rep)
+		}
+		prev, err := benchfmt.Load(o.jsonOut)
+		if err != nil {
+			return err
+		}
+		benchfmt.Merge(prev, rep)
+		if err := benchfmt.Write(o.jsonOut, prev); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  json: merged into %s\n", o.jsonOut)
 	}
 	return nil
 }

@@ -28,6 +28,78 @@ func startService(t *testing.T, width int) string {
 	return addr.String()
 }
 
+// startUDPService serves B(width) on loopback with both the TCP and UDP
+// endpoints up, returning both addresses.
+func startUDPService(t *testing.T, width int) (tcp, udp string) {
+	t.Helper()
+	rt := countingnet.MustCompile(countingnet.MustBitonic(width))
+	srv := server.New(rt, server.Options{Stats: server.NewStats(0)})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := srv.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), ua.String()
+}
+
+// TestLoadUDPRun drives the open-loop UDP mode against a live service:
+// datagrams must flow, the issued-count audit must reconcile (minted
+// never exceeds sent), and the JSON row must land under the udp group.
+func TestLoadUDPRun(t *testing.T) {
+	tcp, udp := startUDPService(t, 4)
+	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	var out strings.Builder
+	err := run(context.Background(), options{
+		addr: tcp, udp: udp, clients: 2, mode: "sc",
+		udpBatch: 16, udpWires: 4,
+		duration: 200 * time.Millisecond, jsonOut: path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"udp", "datagrams ", "minted "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	rep, err := benchfmt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range rep.Benchmarks {
+		if b.Name == "Countload/udp/mode=sc/batch=16" {
+			found = true
+			if b.Metrics["datagrams/s"] <= 0 {
+				t.Errorf("udp row has no datagrams/s: %+v", b)
+			}
+			if b.Metrics["minted"] <= 0 || b.Metrics["minted"] > float64(b.Iterations) {
+				t.Errorf("udp row minted %v outside (0, sent=%d]", b.Metrics["minted"], b.Iterations)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("udp row missing from %s: %+v", path, rep.Benchmarks)
+	}
+}
+
+// TestLoadUDPRejectsLIN pins the mode gate: the UDP endpoint is SC-only.
+func TestLoadUDPRejectsLIN(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), options{
+		addr: "127.0.0.1:1", udp: "127.0.0.1:1", clients: 1, mode: "lin",
+		udpBatch: 8, udpWires: 1, duration: 50 * time.Millisecond,
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "SC increments only") {
+		t.Fatalf("want SC-only error, got %v", err)
+	}
+}
+
 func TestLoadRun(t *testing.T) {
 	addr := startService(t, 8)
 	var out strings.Builder

@@ -27,7 +27,7 @@ func TestSeedsPass(t *testing.T) {
 		flavors[res.Scenario.Flavor]++
 	}
 	t.Logf("flavors over %d seeds: %v", *seedCount, flavors)
-	for _, f := range []string{"clean", "faulty", "partition", "pressure", "mixed"} {
+	for _, f := range []string{"clean", "faulty", "partition", "pressure", "mixed", "udp"} {
 		if flavors[f] == 0 {
 			t.Errorf("flavor %q never generated in %d seeds", f, *seedCount)
 		}

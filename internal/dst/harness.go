@@ -15,6 +15,7 @@ import (
 	"repro/internal/construct"
 	"repro/internal/fault"
 	"repro/internal/flightrec"
+	"repro/internal/packetio"
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -70,6 +71,13 @@ type Result struct {
 	Issued     int64
 	Delivered  int
 	Steps      int
+
+	// UDP ingest accounting (udp flavor only), from the server's stats
+	// sink: datagrams admitted, retransmits rejected by the replay
+	// window, and aggregated posts shed at the mailbox (in datagrams).
+	UDPAccepted uint64
+	UDPReplays  uint64
+	UDPDropped  uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -136,6 +144,14 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 	if opts.Flight {
 		w.flight = flightrec.New(1 << 14)
 	}
+	// UDP scenarios need the server's stats sink: the invariant checker
+	// reconciles issued values against the admission counters (accepted,
+	// replay-rejected, shed). Non-UDP scenarios keep it nil so their
+	// traces stay byte-identical with earlier builds.
+	var st *server.Stats
+	if len(sc.UDP) > 0 {
+		st = server.NewStats(sc.Shards)
+	}
 	srv := server.New(be, server.Options{
 		Mailbox:   sc.Mailbox,
 		Shards:    sc.Shards,
@@ -143,6 +159,7 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 		Faults:    faults,
 		Clock:     w.Clk,
 		Flight:    w.flight,
+		Stats:     st,
 	})
 	const addr = "sim"
 	ln := w.Listen(addr)
@@ -157,6 +174,14 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 	for wk := 0; wk < sc.Workers; wk++ {
 		recs[wk] = make([]OpRecord, len(sc.Plans[wk]))
 		go w.runWorker(wk, &sc, recs[wk], &remaining)
+	}
+
+	// The UDP injector is one more planned actor: it drives the datagram
+	// plan through the server's real admission path on the simulated
+	// clock and counts toward phase-1 completion like any worker.
+	if len(sc.UDP) > 0 {
+		remaining.Add(1)
+		go w.runUDPInjector(&sc, srv, &remaining)
 	}
 
 	// Phase 1: drive the world until every worker has finished. Each step
@@ -212,6 +237,12 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 	}
 
 	res.Issued = srv.Issued()
+	if st != nil {
+		snap := st.Snapshot()
+		res.UDPAccepted = snap.UDPDatagrams
+		res.UDPReplays = snap.UDPRejects["replay"]
+		res.UDPDropped = snap.UDPDropped
+	}
 	for _, rs := range recs {
 		res.Ops = append(res.Ops, rs...)
 	}
@@ -326,6 +357,37 @@ func (w *World) runWorker(wk int, sc *Scenario, out []OpRecord, remaining *atomi
 	}
 }
 
+// runUDPInjector replays the scenario's datagram plan through the
+// server's real UDP admission path — prefix filter, CRC decode, replay
+// window, aggregated post — with no kernel sockets in the way: frames
+// are encoded into a packetio ring slot and handed to the server's
+// PacketIngest exactly as an ingest loop would. One datagram per batch,
+// so each post lands at its planned simulated time.
+func (w *World) runUDPInjector(sc *Scenario, srv *server.Server, remaining *atomic.Int64) {
+	defer remaining.Add(-1)
+	pi := srv.NewPacketIngest()
+	b := packetio.NewBatch(1)
+	for _, d := range sc.UDP {
+		target := clock.SimEpoch.Add(d.At)
+		if dt := target.Sub(w.Clk.Now()); dt > 0 {
+			w.Clk.Sleep(dt)
+		}
+		f := wire.Frame{Type: wire.TInc, ID: d.ID, Wire: int64(d.Wire)}
+		if d.K > 1 {
+			f.Type, f.K = wire.TIncBatch, d.K
+		}
+		b.Reset()
+		b.AppendWith(func(dst []byte) []byte {
+			enc, err := wire.AppendFrame(dst, &f)
+			if err != nil {
+				return dst // plan frames always encode; an empty packet would be rejected downstream
+			}
+			return enc
+		})
+		pi.IngestBatch(b)
+	}
+}
+
 // classify folds an operation error into its stable category for the
 // trace and the error-whitelist invariant.
 func classify(err error) string {
@@ -362,6 +424,7 @@ func allowedErr(cat string) bool {
 func checkInvariants(res *Result, w *World) {
 	sc := &res.Scenario
 	adversity := !sc.CleanRun()
+	hasUDP := len(sc.UDP) > 0
 
 	// Values delivered to callers by increment ops. Reads are audited
 	// separately.
@@ -406,7 +469,10 @@ func checkInvariants(res *Result, w *World) {
 	// Clean runs deliver exactly [0, issued): nothing lost, nothing
 	// minted — and therefore satisfy the remote step property (values
 	// deal round-robin over the width, per-residue counts differ by ≤1).
-	if !adversity {
+	// UDP scenarios mint fire-and-forget values no caller ever sees, so
+	// the gap-free and step checks give way to the UDP reconciliation
+	// below.
+	if !adversity && !hasUDP {
 		sort.Slice(delivered, func(i, j int) bool { return delivered[i] < delivered[j] })
 		if int64(len(delivered)) != res.Issued {
 			res.Violations = append(res.Violations,
@@ -427,7 +493,7 @@ func checkInvariants(res *Result, w *World) {
 	// the bound is exactly 1; with burns (retries, drops) a residue can
 	// fall behind by the number of burned values, so the step check is
 	// only sound when nothing burned.
-	if !adversity && sc.Width > 0 && len(delivered) > 0 {
+	if !adversity && !hasUDP && sc.Width > 0 && len(delivered) > 0 {
 		counts := make([]int, sc.Width)
 		for _, v := range delivered {
 			counts[int(v)%sc.Width]++
@@ -444,6 +510,35 @@ func checkInvariants(res *Result, w *World) {
 		if hi-lo > 1 {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("step property violated: residue counts %v", counts))
+		}
+	}
+
+	// UDP reconciliation — the burn-never-mint contract end to end. Every
+	// unique datagram was admitted, every planned retransmit was rejected
+	// by the replay window, and the issued counter accounts for exactly
+	// the TCP-delivered values plus the plan's unique increments: one
+	// value more would mean a replay minted, one less a unique datagram
+	// silently lost. When the mailbox shed an aggregated post the exact
+	// equality degrades to an upper bound (shed values are burned, never
+	// minted).
+	if hasUDP {
+		expected := sc.UDPExpected()
+		uniqDGs := uint64(len(sc.UDP) - sc.UDPReplays())
+		if res.UDPAccepted != uniqDGs {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("udp: %d datagrams admitted, plan has %d unique", res.UDPAccepted, uniqDGs))
+		}
+		if res.UDPReplays != uint64(sc.UDPReplays()) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("udp: replay window rejected %d retransmits, plan injected %d", res.UDPReplays, sc.UDPReplays()))
+		}
+		switch {
+		case res.UDPDropped == 0 && res.Issued != int64(res.Delivered)+expected:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("udp: issued %d != delivered %d + udp-minted %d", res.Issued, res.Delivered, expected))
+		case res.Issued > int64(res.Delivered)+expected:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("udp: issued %d exceeds delivered %d + udp plan %d — a replay minted", res.Issued, res.Delivered, expected))
 		}
 	}
 
@@ -539,6 +634,10 @@ func buildTrace(res *Result, w *World) []byte {
 			fmt.Fprintf(&b, "%d", v)
 		}
 		b.WriteByte('\n')
+	}
+	if len(res.Scenario.UDP) > 0 {
+		fmt.Fprintf(&b, "# udp accepted=%d replays=%d dropped=%d expected=%d\n",
+			res.UDPAccepted, res.UDPReplays, res.UDPDropped, res.Scenario.UDPExpected())
 	}
 	fmt.Fprintf(&b, "# issued=%d delivered=%d steps=%d violations=%d\n",
 		res.Issued, res.Delivered, res.Steps, len(res.Violations))

@@ -38,16 +38,33 @@ type opSpec struct {
 	Think time.Duration
 }
 
+// UDPDatagram is one planned fire-and-forget increment: when to inject
+// it, the dedup id and payload it carries, and whether it is a seeded
+// retransmission of an earlier datagram (same id, wire and k — the
+// replay window must reject it).
+type UDPDatagram struct {
+	At     time.Duration // injection time, offset from clock.SimEpoch
+	ID     uint64        // dedup id (replays reuse their original's)
+	Wire   int
+	K      int64
+	Replay bool
+}
+
 // Scenario is the full expansion of one seed: topology, workload,
 // tuning and fault schedule. Everything the harness needs to run — and
 // everything the trace header needs to record — lives here, derived
 // purely from the seed.
 type Scenario struct {
 	Seed    uint64
-	Flavor  string // clean | faulty | partition | pressure | mixed
+	Flavor  string // clean | faulty | partition | pressure | mixed | udp
 	Width   int
 	Workers int
 	Plans   [][]opSpec
+
+	// UDP is the fire-and-forget datagram plan (udp flavor): the harness
+	// replays it through the server's real admission path on the
+	// simulated clock, duplicates and all.
+	UDP []UDPDatagram
 
 	// Server tuning.
 	Mailbox      int
@@ -80,6 +97,32 @@ type Scenario struct {
 func (s *Scenario) CleanRun() bool {
 	return s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0 &&
 		len(s.Partitions) == 0 && s.BackendLatMax == 0 && s.SrvOpTimeout == 0
+}
+
+// UDPExpected returns the total count the plan's unique datagrams mint.
+// When nothing is shed, the server's issued counter must exceed the
+// TCP-delivered values by exactly this much — any more and a replay
+// minted, any less and a unique datagram was lost.
+func (s *Scenario) UDPExpected() int64 {
+	var n int64
+	for _, d := range s.UDP {
+		if !d.Replay {
+			n += d.K
+		}
+	}
+	return n
+}
+
+// UDPReplays returns the number of planned retransmissions; the replay
+// window must reject every one of them.
+func (s *Scenario) UDPReplays() int {
+	n := 0
+	for _, d := range s.UDP {
+		if d.Replay {
+			n++
+		}
+	}
+	return n
 }
 
 // faultsActive reports whether the frame-fault seam is installed.
@@ -142,8 +185,10 @@ func GenScenarioWith(seed uint64, ov Overrides) Scenario {
 		sc.Flavor = "partition"
 	case f < 90:
 		sc.Flavor = "pressure"
-	default:
+	case f < 95:
 		sc.Flavor = "mixed"
+	default:
+		sc.Flavor = "udp"
 	}
 
 	sc.Width = []int{2, 4, 8}[r(0x02, 0)%3]
@@ -238,6 +283,43 @@ func GenScenarioWith(seed uint64, ov Overrides) Scenario {
 		linFrac = 0
 	}
 
+	// The udp flavor rides a clean TCP base — its adversity is the
+	// datagram plan itself: fire-and-forget SC increments with seeded
+	// retransmissions, replayed through the server's real UDP admission
+	// path by the harness. Generated after the overrides so wires respect
+	// a pinned width. Each replay copies an earlier unique datagram
+	// verbatim (a retransmit is byte-identical on the wire), and every
+	// injection time is snapped onto the scheduling grid plus the
+	// injector's own sub-grid offset so no other actor family shares a
+	// wake-up deadline with it.
+	if sc.Flavor == "udp" {
+		const udpInjectOffset = 14741 * time.Nanosecond
+		n := 24 + int(r(0x30, 0)%36)
+		at := 400 * time.Microsecond
+		var uniq []UDPDatagram
+		for i := 0; i < n; i++ {
+			u := uint64(i)
+			at += 40*time.Microsecond + time.Duration(r(0x31, u)%900)*time.Microsecond
+			var d UDPDatagram
+			if len(uniq) > 0 && r(0x32, u)%100 < 25 {
+				d = uniq[int(r(0x33, u)%uint64(len(uniq)))]
+				d.Replay = true
+			} else {
+				d = UDPDatagram{
+					ID:   uint64(len(uniq)) + 1,
+					Wire: int(r(0x34, u) % uint64(sc.Width)),
+					K:    1,
+				}
+				if r(0x35, u)%100 < 25 {
+					d.K = 2 + int64(r(0x36, u)%4)
+				}
+				uniq = append(uniq, d)
+			}
+			d.At = at - at%grid + udpInjectOffset
+			sc.UDP = append(sc.UDP, d)
+		}
+	}
+
 	// Pressure scenarios think briefly so requests pile up behind the
 	// stalled backend — that pile-up is what makes the tiny mailbox shed.
 	thinkCap := uint64(1400)
@@ -288,6 +370,13 @@ func (s *Scenario) Header() string {
 	fmt.Fprintf(&b, "# backend lat=%d..%d\n", s.BackendLatMin.Nanoseconds(), s.BackendLatMax.Nanoseconds())
 	for _, p := range s.Partitions {
 		fmt.Fprintf(&b, "# partition %d..%d\n", p.Start.Nanoseconds(), p.End.Nanoseconds())
+	}
+	if len(s.UDP) > 0 {
+		fmt.Fprintf(&b, "# udp n=%d replays=%d expected=%d\n", len(s.UDP), s.UDPReplays(), s.UDPExpected())
+		for i, d := range s.UDP {
+			fmt.Fprintf(&b, "# udp %d at=%d id=%d wire=%d k=%d replay=%v\n",
+				i, d.At.Nanoseconds(), d.ID, d.Wire, d.K, d.Replay)
+		}
 	}
 	for w, plan := range s.Plans {
 		fmt.Fprintf(&b, "# plan w%d:", w)

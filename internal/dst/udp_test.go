@@ -1,0 +1,185 @@
+package dst
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// udpSeeds returns the first n seeds whose scenarios carry a UDP
+// datagram plan, skipping none.
+func udpSeeds(t *testing.T, n int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for seed := uint64(1); seed <= 2000 && len(out) < n; seed++ {
+		if GenScenario(seed).Flavor == "udp" {
+			out = append(out, seed)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("only %d udp-flavor seeds in 2000, want %d", len(out), n)
+	}
+	return out
+}
+
+// TestUDPPlanWellFormed audits the generator: injection times strictly
+// increase, every replay copies an earlier unique datagram verbatim,
+// and the plan space actually produces retransmits.
+func TestUDPPlanWellFormed(t *testing.T) {
+	withReplays := 0
+	for _, seed := range udpSeeds(t, 20) {
+		sc := GenScenario(seed)
+		if len(sc.UDP) == 0 {
+			t.Fatalf("seed %d: udp flavor with empty plan", seed)
+		}
+		uniq := map[uint64]UDPDatagram{}
+		var last time.Duration
+		for i, d := range sc.UDP {
+			if d.At <= last {
+				t.Errorf("seed %d: datagram %d at %v not after %v", seed, i, d.At, last)
+			}
+			last = d.At
+			if d.K < 1 {
+				t.Errorf("seed %d: datagram %d has k=%d", seed, i, d.K)
+			}
+			if d.Wire < 0 || d.Wire >= sc.Width {
+				t.Errorf("seed %d: datagram %d wire %d outside width %d", seed, i, d.Wire, sc.Width)
+			}
+			if d.Replay {
+				orig, ok := uniq[d.ID]
+				if !ok {
+					t.Errorf("seed %d: replay %d references unseen id %d", seed, i, d.ID)
+				} else if orig.Wire != d.Wire || orig.K != d.K {
+					t.Errorf("seed %d: replay %d not byte-identical to original: %+v vs %+v", seed, i, d, orig)
+				}
+			} else {
+				if _, dup := uniq[d.ID]; dup {
+					t.Errorf("seed %d: unique datagram %d reuses id %d", seed, i, d.ID)
+				}
+				uniq[d.ID] = d
+			}
+		}
+		if sc.UDPReplays() > 0 {
+			withReplays++
+		}
+		if !sc.CleanRun() {
+			t.Errorf("seed %d: udp flavor must ride a clean TCP base", seed)
+		}
+	}
+	if withReplays == 0 {
+		t.Error("no udp plan with replays in 20 seeds — retransmission never exercised")
+	}
+}
+
+// TestUDPFlavorSeedsPass runs udp-flavor seeds end to end: the invariant
+// audit must pass, every unique datagram must be admitted and every
+// retransmit rejected, and issued must reconcile exactly against the
+// TCP-delivered values plus the plan's unique increments.
+func TestUDPFlavorSeedsPass(t *testing.T) {
+	for _, seed := range udpSeeds(t, 10) {
+		res, err := Run(seed, RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Errorf("seed %d violations:\n  %s\ntrace:\n%s",
+				seed, strings.Join(res.Violations, "\n  "), res.Trace)
+			continue
+		}
+		sc := &res.Scenario
+		if res.UDPAccepted == 0 {
+			t.Errorf("seed %d: no datagrams admitted", seed)
+		}
+		if res.UDPReplays != uint64(sc.UDPReplays()) {
+			t.Errorf("seed %d: %d replays rejected, plan has %d", seed, res.UDPReplays, sc.UDPReplays())
+		}
+		if res.UDPDropped == 0 && res.Issued != int64(res.Delivered)+sc.UDPExpected() {
+			t.Errorf("seed %d: issued %d != delivered %d + udp %d",
+				seed, res.Issued, res.Delivered, sc.UDPExpected())
+		}
+		if !bytes.Contains(res.Trace, []byte("# udp ")) {
+			t.Errorf("seed %d: trace missing udp plan lines", seed)
+		}
+	}
+}
+
+// TestUDPFlavorByteIdentical pins the determinism contract on udp
+// scenarios, with and without tracing: same seed, same bytes.
+func TestUDPFlavorByteIdentical(t *testing.T) {
+	seeds := udpSeeds(t, 3)
+	for _, seed := range seeds {
+		a, err := Run(seed, RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(seed, RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(a.Trace, b.Trace) {
+			t.Fatalf("seed %d: udp traces differ between runs\nrun1:\n%s\nrun2:\n%s", seed, a.Trace, b.Trace)
+		}
+		fa, err := Run(seed, RunOptions{Flight: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fb, err := Run(seed, RunOptions{Flight: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fa.Failed() {
+			t.Errorf("seed %d traced violations:\n  %s", seed, strings.Join(fa.Violations, "\n  "))
+		}
+		if !bytes.Equal(fa.Flight, fb.Flight) {
+			t.Fatalf("seed %d: udp flight dumps differ between runs", seed)
+		}
+	}
+}
+
+// TestUDPBurnNotMint drives a hand-built plan — three unique datagrams,
+// two retransmits, no TCP workload to hide behind — and proves the
+// replay window burns the duplicates: exactly the unique values are
+// minted, both replays are rejected, nothing is shed.
+func TestUDPBurnNotMint(t *testing.T) {
+	const off = 14741 * time.Nanosecond
+	sc := Scenario{
+		Seed:      42,
+		Flavor:    "udp",
+		Width:     2,
+		Workers:   1,
+		Plans:     [][]opSpec{{}},
+		Mailbox:   64,
+		Shards:    1,
+		Retries:   1,
+		JitterMin: 5 * time.Microsecond,
+		JitterMax: 25 * time.Microsecond,
+		UDP: []UDPDatagram{
+			{At: 1*time.Millisecond + off, ID: 1, Wire: 0, K: 1},
+			{At: 2*time.Millisecond + off, ID: 2, Wire: 1, K: 3},
+			{At: 3*time.Millisecond + off, ID: 1, Wire: 0, K: 1, Replay: true},
+			{At: 4*time.Millisecond + off, ID: 3, Wire: 0, K: 1},
+			{At: 5*time.Millisecond + off, ID: 2, Wire: 1, K: 3, Replay: true},
+		},
+		DialTimeout: 50 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+	}
+	res, err := RunScenario(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations:\n  %s\ntrace:\n%s", strings.Join(res.Violations, "\n  "), res.Trace)
+	}
+	if res.Issued != 5 {
+		t.Errorf("issued %d, want 5 (1+3+1, replays burned)", res.Issued)
+	}
+	if res.Delivered != 0 {
+		t.Errorf("delivered %d values over TCP, want 0", res.Delivered)
+	}
+	if res.UDPAccepted != 3 || res.UDPReplays != 2 || res.UDPDropped != 0 {
+		t.Errorf("accepted/replays/dropped = %d/%d/%d, want 3/2/0",
+			res.UDPAccepted, res.UDPReplays, res.UDPDropped)
+	}
+}

@@ -1,0 +1,50 @@
+package packetio
+
+import "net"
+
+// portableConn is the classic one-syscall-per-datagram UDP path: ReadBatch
+// fills exactly one slot per call, WriteBatch issues one Write per packet.
+// It is the only implementation on platforms without the mmsg fast path
+// and the forced implementation under Options.Portable — which is also how
+// the before/after benchmark rows isolate the syscall-batching win.
+type portableConn struct {
+	uc *net.UDPConn
+}
+
+func (c *portableConn) ReadBatch(b *Batch) (int, error) {
+	n, _, err := c.uc.ReadFrom(b.slot(0))
+	if err != nil {
+		return 0, err
+	}
+	b.lens[0] = n
+	b.n = 1
+	return 1, nil
+}
+
+func (c *portableConn) WriteBatch(b *Batch) (int, error) {
+	for i := 0; i < b.n; i++ {
+		if _, err := c.uc.Write(b.Packet(i)); err != nil {
+			return i, err
+		}
+	}
+	return b.n, nil
+}
+
+func (c *portableConn) Close() error        { return c.uc.Close() }
+func (c *portableConn) LocalAddr() net.Addr { return c.uc.LocalAddr() }
+
+func listenPortable(addr string) (Conn, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &portableConn{uc: pc.(*net.UDPConn)}, nil
+}
+
+func dialPortable(addr string) (Conn, error) {
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &portableConn{uc: c.(*net.UDPConn)}, nil
+}

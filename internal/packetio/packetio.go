@@ -1,0 +1,246 @@
+// Package packetio is the kernel-fast UDP datapath of the counting
+// service: batched datagram I/O over preallocated packet-buffer rings,
+// plus the bounded replay window that makes fire-and-forget increments
+// safe to retransmit.
+//
+// # Why a separate package
+//
+// The paper's contrast — sequentially consistent counting is
+// coordination-free while linearizable counting pays for serialization —
+// only becomes a systems headline when the cheapest SC path actually runs
+// at hardware speed. A UDP increment carries no response, so its entire
+// server-side cost is ingest: one syscall, one validation, one mailbox
+// post. This package collapses the syscall term: on Linux, ReadBatch and
+// WriteBatch move up to a whole Batch of datagrams per recvmmsg/sendmmsg
+// syscall, and Listen can open several sockets sharing one port via
+// SO_REUSEPORT so the kernel shards flows across ingest loops. Everywhere
+// else (and with Options.Portable) the same API degrades to the classic
+// one-ReadFrom-per-datagram loop, so non-Linux builds are unchanged in
+// behaviour — only slower.
+//
+// # Ring layout
+//
+// A Batch owns one contiguous byte array carved into fixed-size slots
+// (SlotSize each) plus a parallel length array. The slots, the iovec and
+// mmsghdr scaffolding (on Linux) and the length array are all allocated
+// once; steady-state batched reads and writes touch no allocator. A
+// datagram larger than SlotSize is truncated by the kernel and will fail
+// frame validation downstream — the wire protocol's UDP frames are tens
+// of bytes, so the slot size is generous by three orders of magnitude.
+//
+// # Replay window
+//
+// Window remembers the last N datagram ids seen by one ingest loop.
+// Fire-and-forget delivery means retransmission is the client's only
+// recourse, and a retransmitted increment must not count twice: a fresh
+// id passes, a recent duplicate is dropped. The window is bounded, so a
+// retransmit arriving after N fresher datagrams can still slip through —
+// that burns a counter value nobody observes, but can never mint the same
+// value for two observers, which is the invariant the chaos drills pin.
+package packetio
+
+import "net"
+
+const (
+	// SlotSize is the per-packet buffer size in a Batch. Datagrams longer
+	// than this are truncated on read (and rejected by frame validation);
+	// Append refuses payloads that do not fit.
+	SlotSize = 2048
+
+	// MaxBatch caps how many datagrams one ReadBatch/WriteBatch moves per
+	// syscall. 64 matches the kernel's UIO_MAXIOV sweet spot and keeps a
+	// Batch's ring at 128 KiB.
+	MaxBatch = 64
+)
+
+// Options tunes Listen and Dial.
+type Options struct {
+	// Sockets is how many sockets Listen opens on the same address via
+	// SO_REUSEPORT, each with its own ring and ingest loop, sharded by
+	// the kernel's flow hash (default 1). Ignored — clamped to one
+	// socket — on platforms without the fast path.
+	Sockets int
+	// Portable forces the single-socket ReadFrom/WriteTo implementation
+	// even where the batched-syscall fast path exists. The before/after
+	// benchmark rows and the cross-platform tests run through this.
+	Portable bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sockets <= 0 {
+		o.Sockets = 1
+	}
+	return o
+}
+
+// Conn is one batched datagram socket. Implementations are safe for one
+// reader and one writer goroutine; a Batch must not be shared between
+// concurrent calls.
+type Conn interface {
+	// ReadBatch blocks until at least one datagram is available, fills
+	// b's slots with as many as one syscall returns (up to b.Cap()), and
+	// reports how many. After it returns, b.Packet(i) for i < n views
+	// datagram i.
+	ReadBatch(b *Batch) (int, error)
+	// WriteBatch sends b.Len() packets (appended with Append/AppendWith)
+	// in as few syscalls as the platform allows and reports how many
+	// were handed to the kernel. Only valid on connected sockets (Dial).
+	WriteBatch(b *Batch) (int, error)
+	// Close unblocks any pending ReadBatch and releases the socket.
+	Close() error
+	// LocalAddr reports the bound address.
+	LocalAddr() net.Addr
+}
+
+// Listen opens o.Sockets UDP sockets bound to addr and returns one Conn
+// per socket. With more than one socket the kernel load-balances flows
+// across them (SO_REUSEPORT); a platform without that fast path gets
+// exactly one portable socket regardless of o.Sockets.
+func Listen(addr string, o Options) ([]Conn, error) {
+	o = o.withDefaults()
+	if o.Portable {
+		c, err := listenPortable(addr)
+		if err != nil {
+			return nil, err
+		}
+		return []Conn{c}, nil
+	}
+	return listenOS(addr, o.Sockets)
+}
+
+// Dial opens a connected UDP socket to addr — the client side of the
+// fire-and-forget path. Connected, so WriteBatch needs no per-packet
+// destination and ICMP errors surface as send errors.
+func Dial(addr string, o Options) (Conn, error) {
+	if o.Portable {
+		return dialPortable(addr)
+	}
+	return dialOS(addr)
+}
+
+// Batch is a preallocated ring of packet buffers: the unit one syscall
+// fills (ReadBatch) or drains (WriteBatch). All state is allocated by
+// NewBatch; reusing one Batch per loop keeps the datapath allocation-free.
+type Batch struct {
+	slots int
+	base  []byte
+	lens  []int
+	n     int // packets currently held (write side) or last read count
+
+	sys sysBatch // per-platform syscall scaffolding (empty on portable builds)
+}
+
+// NewBatch allocates a ring of n packet slots (clamped to [1, MaxBatch]).
+func NewBatch(n int) *Batch {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxBatch {
+		n = MaxBatch
+	}
+	b := &Batch{
+		slots: n,
+		base:  make([]byte, n*SlotSize),
+		lens:  make([]int, n),
+	}
+	b.sysInit()
+	return b
+}
+
+// Cap reports the ring's slot count.
+func (b *Batch) Cap() int { return b.slots }
+
+// Len reports how many packets the batch currently holds.
+func (b *Batch) Len() int { return b.n }
+
+// Reset empties the batch (the backing buffers are retained).
+func (b *Batch) Reset() { b.n = 0 }
+
+// Packet views packet i's bytes in place. The view is valid until the
+// slot is reused by the next ReadBatch/Append cycle.
+func (b *Batch) Packet(i int) []byte {
+	return b.base[i*SlotSize : i*SlotSize+b.lens[i]]
+}
+
+// slot returns packet i's full backing slot.
+func (b *Batch) slot(i int) []byte {
+	return b.base[i*SlotSize : (i+1)*SlotSize]
+}
+
+// Append copies p into the next free slot; false means the ring is full
+// or p exceeds SlotSize.
+func (b *Batch) Append(p []byte) bool {
+	if b.n == b.slots || len(p) > SlotSize {
+		return false
+	}
+	copy(b.slot(b.n), p)
+	b.lens[b.n] = len(p)
+	b.n++
+	return true
+}
+
+// AppendWith hands the next free slot (length 0, capacity SlotSize) to
+// fn, which appends one encoded packet into it and returns the result —
+// the zero-copy form of Append for encoders in the AppendFrame style.
+// The packet is dropped (and AppendWith returns false) if fn outgrows
+// the slot or the ring is full.
+func (b *Batch) AppendWith(fn func(dst []byte) []byte) bool {
+	if b.n == b.slots {
+		return false
+	}
+	s := b.slot(b.n)
+	p := fn(s[:0])
+	if len(p) > SlotSize || (len(p) > 0 && &p[0] != &s[0]) {
+		return false // fn outgrew the slot and the encoder reallocated
+	}
+	b.lens[b.n] = len(p)
+	b.n++
+	return true
+}
+
+// Window is a bounded replay filter over datagram ids: it remembers the
+// last cap ids observed and reports whether an id is fresh. One Window
+// serves one ingest loop — flows hash to a stable socket under
+// SO_REUSEPORT, so a retransmit meets the same window that saw the
+// original. Not safe for concurrent use.
+type Window struct {
+	capacity int
+	ring     []uint64
+	pos      int
+	full     bool
+	seen     map[uint64]struct{}
+}
+
+// NewWindow builds a window remembering the last capacity ids (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{
+		capacity: capacity,
+		ring:     make([]uint64, capacity),
+		seen:     make(map[uint64]struct{}, capacity),
+	}
+}
+
+// Cap reports the window's capacity.
+func (w *Window) Cap() int { return w.capacity }
+
+// Observe records id and reports whether it was fresh: true admits the
+// datagram, false means a duplicate of a recently seen id (a replay).
+// The oldest remembered id is evicted once the window is full.
+func (w *Window) Observe(id uint64) bool {
+	if _, dup := w.seen[id]; dup {
+		return false
+	}
+	if w.full {
+		delete(w.seen, w.ring[w.pos])
+	}
+	w.ring[w.pos] = id
+	w.seen[id] = struct{}{}
+	w.pos++
+	if w.pos == w.capacity {
+		w.pos, w.full = 0, true
+	}
+	return true
+}

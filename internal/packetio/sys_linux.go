@@ -1,0 +1,197 @@
+//go:build linux && (amd64 || arm64)
+
+// Linux fast path: recvmmsg/sendmmsg move a whole Batch per syscall, and
+// SO_REUSEPORT lets several sockets share one port with kernel flow
+// sharding. Everything here uses the frozen stdlib syscall package
+// directly — mmsghdr and the sendmmsg syscall number postdate that
+// freeze, so both are defined locally (per arch for the number). The
+// build tag is arch-gated because the code assigns Msghdr.Iovlen as a
+// uint64 field, which only holds on 64-bit layouts.
+package packetio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+const soReusePort = 0xf // unix.SO_REUSEPORT; absent from frozen syscall
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>: one per-packet
+// header plus the kernel-reported datagram length, padded to 8 bytes.
+type mmsghdr struct {
+	Hdr syscall.Msghdr
+	Len uint32
+	_   [4]byte
+}
+
+// sysBatch is the preallocated syscall scaffolding for one Batch: one
+// iovec per slot, one mmsghdr chaining to it. Built once in sysInit —
+// batched reads and writes only patch lengths.
+type sysBatch struct {
+	iovs []syscall.Iovec
+	hdrs []mmsghdr
+}
+
+func (b *Batch) sysInit() {
+	b.sys.iovs = make([]syscall.Iovec, b.slots)
+	b.sys.hdrs = make([]mmsghdr, b.slots)
+	for i := range b.sys.iovs {
+		b.sys.iovs[i].Base = &b.base[i*SlotSize]
+		b.sys.hdrs[i].Hdr.Iov = &b.sys.iovs[i]
+		b.sys.hdrs[i].Hdr.Iovlen = 1
+	}
+}
+
+// FastPath reports whether this build batches syscalls (recvmmsg/sendmmsg).
+func FastPath() bool { return true }
+
+// mmsgConn is a UDP socket driven through RawConn callbacks so the
+// batched syscalls stay integrated with the runtime netpoller: EAGAIN
+// parks the goroutine instead of spinning.
+type mmsgConn struct {
+	uc *net.UDPConn
+	rc syscall.RawConn
+}
+
+func newMmsgConn(uc *net.UDPConn) (*mmsgConn, error) {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		uc.Close()
+		return nil, err
+	}
+	return &mmsgConn{uc: uc, rc: rc}, nil
+}
+
+func (c *mmsgConn) ReadBatch(b *Batch) (int, error) {
+	for i := 0; i < b.slots; i++ {
+		b.sys.iovs[i].SetLen(SlotSize)
+	}
+	var (
+		got  int
+		serr error
+	)
+	err := c.rc.Read(func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&b.sys.hdrs[0])), uintptr(b.slots),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park on the netpoller until readable
+		}
+		if e != 0 {
+			serr = e
+		} else {
+			got = int(n)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if serr != nil {
+		return 0, serr
+	}
+	for i := 0; i < got; i++ {
+		b.lens[i] = int(b.sys.hdrs[i].Len)
+	}
+	b.n = got
+	return got, nil
+}
+
+func (c *mmsgConn) WriteBatch(b *Batch) (int, error) {
+	for i := 0; i < b.n; i++ {
+		b.sys.iovs[i].SetLen(b.lens[i])
+	}
+	sent := 0
+	for sent < b.n {
+		var (
+			got  int
+			serr error
+		)
+		off := sent
+		err := c.rc.Write(func(fd uintptr) bool {
+			n, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&b.sys.hdrs[off])), uintptr(b.n-off),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			if e != 0 {
+				serr = e
+			} else {
+				got = int(n)
+			}
+			return true
+		})
+		if err != nil {
+			return sent, err
+		}
+		if serr != nil {
+			return sent, serr
+		}
+		sent += got
+	}
+	return sent, nil
+}
+
+func (c *mmsgConn) Close() error        { return c.uc.Close() }
+func (c *mmsgConn) LocalAddr() net.Addr { return c.uc.LocalAddr() }
+
+// reusePortConfig returns a ListenConfig whose sockets opt into
+// SO_REUSEPORT, so several binds of the same port shard by flow hash.
+func reusePortConfig() net.ListenConfig {
+	return net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+}
+
+func listenOS(addr string, sockets int) ([]Conn, error) {
+	var lc net.ListenConfig
+	if sockets > 1 {
+		lc = reusePortConfig()
+	}
+	conns := make([]Conn, 0, sockets)
+	fail := func(err error) ([]Conn, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	bind := addr
+	for i := 0; i < sockets; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bind)
+		if err != nil {
+			return fail(err)
+		}
+		uc, ok := pc.(*net.UDPConn)
+		if !ok {
+			pc.Close()
+			return fail(fmt.Errorf("packetio: listen %s: not a UDP socket", bind))
+		}
+		mc, err := newMmsgConn(uc)
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, mc)
+		// A ":0" request resolves on the first bind; siblings must join
+		// that concrete port or REUSEPORT sharding never engages.
+		bind = mc.LocalAddr().String()
+	}
+	return conns, nil
+}
+
+func dialOS(addr string) (Conn, error) {
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newMmsgConn(c.(*net.UDPConn))
+}

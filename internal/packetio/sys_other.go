@@ -1,0 +1,24 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable builds: no batched syscalls, no SO_REUSEPORT sharding. Listen
+// and Dial fall through to the single-socket ReadFrom/WriteTo conn, so
+// the server's UDP endpoint behaves exactly as it did before the fast
+// path existed — one syscall per datagram.
+package packetio
+
+type sysBatch struct{}
+
+func (b *Batch) sysInit() {}
+
+// FastPath reports whether this build batches syscalls (recvmmsg/sendmmsg).
+func FastPath() bool { return false }
+
+func listenOS(addr string, sockets int) ([]Conn, error) {
+	c, err := listenPortable(addr)
+	if err != nil {
+		return nil, err
+	}
+	return []Conn{c}, nil
+}
+
+func dialOS(addr string) (Conn, error) { return dialPortable(addr) }

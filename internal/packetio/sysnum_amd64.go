@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package packetio
+
+// sendmmsg postdates the frozen stdlib syscall tables; SYS_RECVMMSG made
+// it in, SYS_SENDMMSG did not.
+const sysSendmmsg = 307

@@ -82,6 +82,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flightrec"
 	"repro/internal/network"
+	"repro/internal/packetio"
 	"repro/internal/runtime"
 	"repro/internal/wire"
 )
@@ -174,6 +175,22 @@ type Options struct {
 	// untraced increments (requests already carrying a trace id are
 	// always honored). Zero records only client-traced requests.
 	TraceSample int
+	// UDPSockets is how many kernel-sharded sockets ListenPacket opens per
+	// address via SO_REUSEPORT, each with its own batched ingest loop
+	// (default min(GOMAXPROCS, 4)). One socket on platforms without the
+	// fast path.
+	UDPSockets int
+	// UDPBatch is how many datagrams one ingest syscall may return
+	// (default packetio.MaxBatch; clamped to it).
+	UDPBatch int
+	// UDPWindow sizes each ingest loop's replay-dedup window: how many
+	// recent datagram ids are remembered to reject retransmits (default
+	// 4096).
+	UDPWindow int
+	// UDPPortable forces the classic one-ReadFrom-per-datagram UDP loop
+	// even where the batched fast path exists — the before/after lever for
+	// benchmarking the fast path against its predecessor.
+	UDPPortable bool
 }
 
 func (o Options) withDefaults() Options {
@@ -189,6 +206,15 @@ func (o Options) withDefaults() Options {
 	if o.OutQueue <= 0 {
 		o.OutQueue = 8192
 	}
+	if o.UDPSockets <= 0 {
+		o.UDPSockets = min(stdruntime.GOMAXPROCS(0), 4)
+	}
+	if o.UDPBatch <= 0 || o.UDPBatch > packetio.MaxBatch {
+		o.UDPBatch = packetio.MaxBatch
+	}
+	if o.UDPWindow <= 0 {
+		o.UDPWindow = 4096
+	}
 	o.Flush = o.Flush.withDefaults()
 	return o
 }
@@ -199,9 +225,20 @@ type req struct {
 	id    uint64
 	wire  int
 	k     int64
-	batch bool // answer with TRanges (TIncBatch) vs TValue (TInc)
+	folds uint32 // >1: UDP datagrams aggregated into this post (stats weight)
+	batch bool   // answer with TRanges (TIncBatch) vs TValue (TInc)
 	enq   time.Time
 	trace uint64 // nonzero: record stage spans for this request
+}
+
+// weight is how many client operations r stands for — 1 for TCP requests,
+// the folded datagram count for aggregated UDP posts — so per-op counters
+// and latency histograms keep per-datagram semantics under aggregation.
+func (r req) weight() int {
+	if r.folds > 1 {
+		return int(r.folds)
+	}
+	return 1
 }
 
 // outMsg is one queued response: either a frame to encode, or a
@@ -235,7 +272,7 @@ type Server struct {
 
 	mu    sync.Mutex
 	lns   []net.Listener
-	pcs   []net.PacketConn
+	udps  []packetio.Conn
 	conns map[*conn]struct{}
 
 	readerWg sync.WaitGroup // accept loops, connection readers, packet loops
@@ -364,23 +401,6 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// ListenPacket starts the optional UDP endpoint on addr: datagrams
-// carrying SC TInc/TIncBatch frames are folded into the combining loop
-// fire-and-forget — no response, at-most-once (a datagram that misses the
-// mailbox is dropped and counted).
-func (s *Server) ListenPacket(addr string) (net.Addr, error) {
-	pc, err := net.ListenPacket("udp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.pcs = append(s.pcs, pc)
-	s.mu.Unlock()
-	s.readerWg.Add(1)
-	go s.packetLoop(pc)
-	return pc.LocalAddr(), nil
-}
-
 // Serve accepts connections from ln until the server closes. Most callers
 // want Listen; Serve exists for custom listeners.
 func (s *Server) Serve(ln net.Listener) {
@@ -423,57 +443,6 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// packetLoop serves one UDP socket. The 64 KiB read buffer is reused for
-// every datagram; that reuse is safe because wire.DecodeInto guarantees
-// the decoded frame never aliases its input (see the wire package's
-// aliasing contract, pinned by TestDecodeDoesNotAliasInput and exercised
-// end-to-end by TestUDPBufferReuse).
-func (s *Server) packetLoop(pc net.PacketConn) {
-	defer s.readerWg.Done()
-	buf := make([]byte, 64<<10)
-	var f wire.Frame
-	for {
-		n, _, err := pc.ReadFrom(buf)
-		if err != nil {
-			return // socket closed
-		}
-		st := s.opt.Stats
-		_, derr := wire.DecodeInto(&f, buf[:n])
-		if derr != nil || (f.Type != wire.TInc && f.Type != wire.TIncBatch) || f.Mode != wire.ModeSC {
-			if st != nil {
-				st.udpRejected.Add(1)
-			}
-			continue
-		}
-		if st != nil {
-			st.udpDatagrams.Add(1)
-		}
-		if !s.shape.Contains(f.Wire) {
-			if st != nil {
-				st.badWire.Add(1)
-			}
-			continue
-		}
-		k := int64(1)
-		if f.Type == wire.TIncBatch {
-			k = f.K
-		}
-		if k <= 0 {
-			continue
-		}
-		trace := f.Trace
-		if trace == 0 {
-			trace = s.sampler.Sample()
-		}
-		if !s.post(req{c: nil, id: f.ID, wire: int(f.Wire), k: k, enq: s.clk.Now(), trace: trace}) {
-			if st != nil {
-				st.udpDropped.Add(1)
-			}
-			s.anomaly("udp_drop", trace)
-		}
-	}
-}
-
 // Close drains and stops the server: stop accepting, let readers finish
 // their current frame, sweep the mailboxes, flush every pending response,
 // then close the connections. Idempotent; concurrent calls wait for the
@@ -485,7 +454,7 @@ func (s *Server) Close() error {
 	}
 	close(s.done)
 	s.mu.Lock()
-	lns, pcs := s.lns, s.pcs
+	lns, udps := s.lns, s.udps
 	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -494,8 +463,8 @@ func (s *Server) Close() error {
 	for _, ln := range lns {
 		_ = ln.Close()
 	}
-	for _, pc := range pcs {
-		_ = pc.Close()
+	for _, uc := range udps {
+		_ = uc.Close()
 	}
 	// Unblock readers parked in ReadFrame; they notice closing and exit
 	// without killing their connection.
@@ -702,7 +671,7 @@ func (sw *sweeper) sweep(pending []req) {
 	for _, r := range pending {
 		if s.opt.OpTimeout > 0 && now.Sub(r.enq) > s.opt.OpTimeout {
 			if st != nil {
-				st.timeouts.Add(1)
+				st.timeouts.Add(uint64(r.weight()))
 			}
 			s.anomaly("mailbox_timeout", r.trace)
 			if r.c != nil {
@@ -816,11 +785,12 @@ func (sw *sweeper) sweep(pending []req) {
 				}
 			}
 			if st != nil {
-				st.scOps.Add(1)
-				st.latSC.Record(r.wire, s.clk.Since(r.enq))
-				st.stageRecord(stageScMailbox, r.wire, now.Sub(r.enq))
-				st.stageRecord(stageScSweep, r.wire, t0.Sub(now))
-				st.stageRecord(stageScTraverse, r.wire, per)
+				n := r.weight()
+				st.scOps.Add(uint64(n))
+				st.latSC.RecordN(r.wire, s.clk.Since(r.enq), n)
+				st.stageRecordN(stageScMailbox, r.wire, now.Sub(r.enq), n)
+				st.stageRecordN(stageScSweep, r.wire, t0.Sub(now), n)
+				st.stageRecordN(stageScTraverse, r.wire, per, n)
 			}
 			if fl != nil && r.trace != 0 {
 				w := int64(r.wire)

@@ -38,6 +38,15 @@ type Stats struct {
 	udpRejected  atomic.Uint64 // datagrams that failed decode/validation
 	udpDropped   atomic.Uint64 // datagrams shed because the mailbox was full
 
+	// udpReject splits udpRejected by reason (indices: udpRejectReason*).
+	udpReject [numUDPRejectReasons]atomic.Uint64
+
+	// udpBatch is a log2 histogram of datagrams-per-ReadBatch-syscall:
+	// bucket i counts syscalls that returned (2^(i-1), 2^i] datagrams.
+	// The batching win is legible here — a loaded fast-path server fills
+	// the top buckets, the portable loop never leaves bucket 0.
+	udpBatch [udpBatchBuckets]atomic.Uint64
+
 	faultDropped    atomic.Uint64 // frames dropped by injected faults
 	faultDuplicated atomic.Uint64 // frames duplicated by injected faults
 	faultDelayed    atomic.Uint64 // frames delayed by injected faults
@@ -78,6 +87,45 @@ const (
 	numStageHists
 )
 
+// UDP admission-rejection reasons, in check order: a frame whose prefix
+// fails (bad_frame) is never CRC-decoded; one asking for LIN or a
+// non-increment op is bad_mode; a valid increment naming a wire outside
+// the topology is bad_wire; a recently seen dedup id is a replay.
+const (
+	udpRejectBadFrame = iota
+	udpRejectBadMode
+	udpRejectBadWire
+	udpRejectReplay
+	numUDPRejectReasons
+)
+
+var udpRejectLabels = [numUDPRejectReasons]string{"bad_frame", "bad_mode", "bad_wire", "replay"}
+
+// udpBatchBuckets covers batch sizes 1 .. packetio.MaxBatch (64) in log2
+// buckets: 1, 2, 4, 8, 16, 32, 64.
+const udpBatchBuckets = 7
+
+// udpRejectReason counts one rejected datagram under its reason label and
+// in the total.
+func (st *Stats) udpRejectReason(reason int) {
+	st.udpRejected.Add(1)
+	if reason >= 0 && reason < numUDPRejectReasons {
+		st.udpReject[reason].Add(1)
+	}
+}
+
+// observeUDPBatch records one ReadBatch syscall that returned n datagrams.
+func (st *Stats) observeUDPBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	b := 0
+	for 1<<b < n && b < udpBatchBuckets-1 {
+		b++
+	}
+	st.udpBatch[b].Add(1)
+}
+
 var stageDefs = [numStageHists]struct{ stage, mode string }{
 	{"mailbox", "sc"},
 	{"sweep", "sc"},
@@ -107,6 +155,12 @@ func NewStats(shards int) *Stats {
 // are clamped at zero (coarse clocks can make a stage read negative)
 // and a missing histogram (a Stats not built by NewStats) is skipped.
 func (st *Stats) stageRecord(idx, key int, d time.Duration) {
+	st.stageRecordN(idx, key, d, 1)
+}
+
+// stageRecordN is stageRecord with a weight, for aggregated UDP posts
+// that stand for several datagrams.
+func (st *Stats) stageRecordN(idx, key int, d time.Duration, n int) {
 	h := st.stage[idx]
 	if h == nil {
 		return
@@ -114,7 +168,7 @@ func (st *Stats) stageRecord(idx, key int, d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.Record(key, d)
+	h.RecordN(key, d, n)
 }
 
 // observeQueue folds one mailbox-depth observation into the high-water
@@ -186,6 +240,14 @@ type Snapshot struct {
 	UDPRejected  uint64 `json:"udpRejected"`
 	UDPDropped   uint64 `json:"udpDropped"`
 
+	// UDPRejects splits UDPRejected by reason label; omitted while zero.
+	UDPRejects map[string]uint64 `json:"udpRejects,omitempty"`
+
+	// UDPBatchSizes[i] counts ReadBatch syscalls returning (2^(i-1), 2^i]
+	// datagrams (so index 0 is the one-datagram bucket); omitted until a
+	// UDP endpoint has read traffic.
+	UDPBatchSizes []uint64 `json:"udpBatchSizes,omitempty"`
+
 	FaultDropped    uint64 `json:"faultDropped"`
 	FaultDuplicated uint64 `json:"faultDuplicated"`
 	FaultDelayed    uint64 `json:"faultDelayed"`
@@ -249,6 +311,9 @@ func (st *Stats) Snapshot() Snapshot {
 		UDPRejected:  st.udpRejected.Load(),
 		UDPDropped:   st.udpDropped.Load(),
 
+		UDPRejects:    st.loadUDPRejects(),
+		UDPBatchSizes: st.loadUDPBatches(),
+
 		FaultDropped:    st.faultDropped.Load(),
 		FaultDuplicated: st.faultDuplicated.Load(),
 		FaultDelayed:    st.faultDelayed.Load(),
@@ -269,6 +334,32 @@ func (st *Stats) Snapshot() Snapshot {
 
 		Stages: stages,
 	}
+}
+
+func (st *Stats) loadUDPRejects() map[string]uint64 {
+	var out map[string]uint64
+	for i := range st.udpReject {
+		if v := st.udpReject[i].Load(); v > 0 {
+			if out == nil {
+				out = make(map[string]uint64, numUDPRejectReasons)
+			}
+			out[udpRejectLabels[i]] = v
+		}
+	}
+	return out
+}
+
+func (st *Stats) loadUDPBatches() []uint64 {
+	any := false
+	out := make([]uint64, udpBatchBuckets)
+	for i := range st.udpBatch {
+		out[i] = st.udpBatch[i].Load()
+		any = any || out[i] > 0
+	}
+	if !any {
+		return nil
+	}
+	return out
 }
 
 func loadShardU64(src []atomic.Uint64) []uint64 {
@@ -330,6 +421,25 @@ func (st *Stats) AppendMetrics(w io.Writer) {
 	counter("countd_udp_datagrams_total", "UDP increments accepted", s.UDPDatagrams)
 	counter("countd_udp_rejected_total", "UDP datagrams rejected", s.UDPRejected)
 	counter("countd_udp_dropped_total", "UDP datagrams shed under load", s.UDPDropped)
+	if len(s.UDPRejects) > 0 {
+		fmt.Fprintf(w, "# HELP countd_udp_reject_reason_total UDP datagrams rejected by reason\n# TYPE countd_udp_reject_reason_total counter\n")
+		for _, label := range udpRejectLabels {
+			if v, ok := s.UDPRejects[label]; ok {
+				fmt.Fprintf(w, "countd_udp_reject_reason_total{reason=\"%s\"} %d\n", label, v)
+			}
+		}
+	}
+	if len(s.UDPBatchSizes) > 0 {
+		fmt.Fprintf(w, "# HELP countd_udp_batch_size datagrams returned per UDP read syscall\n# TYPE countd_udp_batch_size histogram\n")
+		var cum uint64
+		for i, c := range s.UDPBatchSizes {
+			cum += c
+			fmt.Fprintf(w, "countd_udp_batch_size_bucket{le=\"%d\"} %d\n", 1<<i, cum)
+		}
+		fmt.Fprintf(w, "countd_udp_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "countd_udp_batch_size_sum %d\n", s.UDPDatagrams+s.UDPRejected)
+		fmt.Fprintf(w, "countd_udp_batch_size_count %d\n", cum)
+	}
 	counter("countd_fault_dropped_total", "frames dropped by fault injection", s.FaultDropped)
 	counter("countd_fault_duplicated_total", "frames duplicated by fault injection", s.FaultDuplicated)
 	counter("countd_fault_delayed_total", "frames delayed by fault injection", s.FaultDelayed)

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"net"
+
+	"repro/internal/packetio"
+	"repro/internal/wire"
+)
+
+// The UDP endpoint is the serving layer's fastest door: fire-and-forget
+// SC increments with no response path, so the entire per-datagram cost is
+// ingest. This file owns that path — batched socket reads (packetio),
+// a prefix admission filter that rejects garbage before the CRC decode
+// (wire.PeekHeader), a bounded replay window so retransmitted datagrams
+// burn values but never mint duplicates, and per-batch aggregation that
+// folds a whole syscall's worth of increments into one mailbox post per
+// wire.
+
+// ListenPacket starts the optional UDP endpoint on addr: datagrams
+// carrying SC TInc/TIncBatch frames are folded into the combining loop
+// fire-and-forget — no response, at-most-once (a datagram that misses the
+// mailbox is dropped and counted; a replayed dedup id is rejected).
+// On Linux this opens Options.UDPSockets kernel-sharded sockets, each
+// with its own batched read loop; elsewhere a single classic ReadFrom
+// loop serves the same protocol.
+func (s *Server) ListenPacket(addr string) (net.Addr, error) {
+	conns, err := packetio.Listen(addr, packetio.Options{
+		Sockets:  s.opt.UDPSockets,
+		Portable: s.opt.UDPPortable,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.udps = append(s.udps, conns...)
+	s.mu.Unlock()
+	for _, c := range conns {
+		s.readerWg.Add(1)
+		go s.ingestLoop(c)
+	}
+	return conns[0].LocalAddr(), nil
+}
+
+// ingestLoop serves one UDP socket: one ReadBatch syscall fills the
+// ring, one IngestBatch pass admits and posts it. The ring's slots are
+// reused for every batch; that reuse is safe because wire.DecodeInto
+// guarantees the decoded frame never aliases its input (see the wire
+// package's aliasing contract, pinned by TestDecodeDoesNotAliasInput and
+// exercised end-to-end by TestUDPBufferReuse).
+func (s *Server) ingestLoop(c packetio.Conn) {
+	defer s.readerWg.Done()
+	pi := s.NewPacketIngest()
+	b := packetio.NewBatch(s.opt.UDPBatch)
+	for {
+		if _, err := c.ReadBatch(b); err != nil {
+			return // socket closed
+		}
+		pi.IngestBatch(b)
+	}
+}
+
+// udpAgg accumulates one wire's increments across a batch: k values to
+// mint, how many datagrams contributed (drop accounting stays in
+// datagrams), and the first trace id seen (one trace rides an aggregated
+// post).
+type udpAgg struct {
+	wire      int
+	k         int64
+	datagrams uint64
+	trace     uint64
+}
+
+// PacketIngest is one ingest loop's per-batch admission state: a reusable
+// decode frame, the loop's replay window, and the per-wire aggregation
+// scratch. One PacketIngest serves one goroutine — under SO_REUSEPORT the
+// kernel hashes a flow to a stable socket, so a client's retransmit meets
+// the same replay window that saw the original. The deterministic
+// simulation harness drives this type directly (no kernel sockets) to
+// replay seeded duplicate/reorder scenarios through the real admission
+// path.
+type PacketIngest struct {
+	s   *Server
+	win *packetio.Window
+	f   wire.Frame
+	agg []udpAgg
+}
+
+// NewPacketIngest builds the admission state for one ingest loop.
+func (s *Server) NewPacketIngest() *PacketIngest {
+	return &PacketIngest{s: s, win: packetio.NewWindow(s.opt.UDPWindow)}
+}
+
+// IngestBatch admits every packet currently in b and posts the survivors
+// to the combining shards, aggregated per wire — one mailbox post covers
+// a whole batch's increments on that wire, so at batch 64 the combiners
+// see 1/64th the channel traffic. Steady state it allocates nothing.
+//
+// Admission order per packet: prefix filter (magic/version/known request
+// opcode — rejects garbage after five bytes), mode gate (UDP serves only
+// SC increments), full CRC decode, topology check, replay window. Every
+// rejection is counted under its reason; replays additionally note a
+// black-box anomaly, because a replayed id means a client retransmitted
+// into the dedup window — expected under loss, but worth a flight-record
+// breadcrumb when it clusters.
+func (pi *PacketIngest) IngestBatch(b *packetio.Batch) {
+	s := pi.s
+	st := s.opt.Stats
+	n := b.Len()
+	if st != nil {
+		st.observeUDPBatch(n)
+	}
+	pi.agg = pi.agg[:0]
+	for i := 0; i < n; i++ {
+		p := b.Packet(i)
+		typ, mode, perr := wire.PeekHeader(p)
+		if perr != nil {
+			if st != nil {
+				st.udpRejectReason(udpRejectBadFrame)
+			}
+			continue
+		}
+		if mode != wire.ModeSC || (typ != wire.TInc && typ != wire.TIncBatch) {
+			if st != nil {
+				st.udpRejectReason(udpRejectBadMode)
+			}
+			continue
+		}
+		if _, err := wire.DecodeInto(&pi.f, p); err != nil {
+			if st != nil {
+				st.udpRejectReason(udpRejectBadFrame)
+			}
+			continue
+		}
+		f := &pi.f
+		if !s.shape.Contains(f.Wire) {
+			if st != nil {
+				st.udpRejectReason(udpRejectBadWire)
+				st.badWire.Add(1)
+			}
+			continue
+		}
+		k := int64(1)
+		if f.Type == wire.TIncBatch {
+			k = f.K
+		}
+		if k <= 0 {
+			if st != nil {
+				st.udpRejectReason(udpRejectBadFrame)
+			}
+			continue
+		}
+		if !pi.win.Observe(f.ID) {
+			if st != nil {
+				st.udpRejectReason(udpRejectReplay)
+			}
+			s.anomaly("udp_replay", f.Trace)
+			continue
+		}
+		if st != nil {
+			st.udpDatagrams.Add(1)
+		}
+		trace := f.Trace
+		if trace == 0 {
+			trace = s.sampler.Sample()
+		}
+		w := int(f.Wire)
+		merged := false
+		for j := range pi.agg {
+			if pi.agg[j].wire == w {
+				pi.agg[j].k += k
+				pi.agg[j].datagrams++
+				if pi.agg[j].trace == 0 {
+					pi.agg[j].trace = trace
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			pi.agg = append(pi.agg, udpAgg{wire: w, k: k, datagrams: 1, trace: trace})
+		}
+	}
+	if len(pi.agg) == 0 {
+		return
+	}
+	now := s.clk.Now()
+	for j := range pi.agg {
+		a := &pi.agg[j]
+		if !s.post(req{c: nil, wire: a.wire, k: a.k, folds: uint32(a.datagrams), enq: now, trace: a.trace}) {
+			if st != nil {
+				st.udpDropped.Add(a.datagrams)
+			}
+			s.anomaly("udp_drop", a.trace)
+		}
+	}
+}

@@ -69,11 +69,21 @@ func NewHistogram(shards int) *Histogram {
 
 // Record folds one latency into the shard selected by key (any value that
 // spreads concurrent recorders, e.g. a worker or wire id).
-func (h *Histogram) Record(key int, d time.Duration) {
+func (h *Histogram) Record(key int, d time.Duration) { h.RecordN(key, d, 1) }
+
+// RecordN folds n identical latency observations in one wait-free pass —
+// the weighted form for paths that aggregate many operations into one
+// timed unit (the server's batched UDP ingest folds a syscall's worth of
+// datagrams into one mailbox post but still accounts latency per
+// datagram).
+func (h *Histogram) RecordN(key int, d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
 	ns := int64(d)
 	sh := &h.shards[uint32(key)&h.mask]
-	sh.counts[bucketIndex(ns)].Add(1)
-	sh.sum.Add(ns)
+	sh.counts[bucketIndex(ns)].Add(uint64(n))
+	sh.sum.Add(ns * int64(n))
 	for {
 		cur := h.max.Load()
 		if ns <= cur || h.max.CompareAndSwap(cur, ns) {

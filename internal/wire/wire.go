@@ -429,6 +429,39 @@ func (t *ErrorTemplate) AppendFrameTraced(dst []byte, id, trace uint64) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc)
 }
 
+// PeekHeader validates the fixed prefix of a frame — magic, version, a
+// known request opcode, and enough bytes to plausibly hold the smallest
+// complete encoding — and reports the frame's type and consistency mode
+// without touching the payload or the CRC. It is the admission filter for
+// the high-rate UDP ingest path: garbage and truncated datagrams are
+// rejected after reading five bytes, so only frames that look real pay
+// for the full CRC-32C decode. PeekHeader accepting a frame promises
+// nothing about the rest of it; DecodeInto remains the arbiter.
+func PeekHeader(b []byte) (Type, Mode, error) {
+	min := headerSize + 1 + crcSize // header + empty-payload uvarint + CRC
+	if len(b) >= headerSize && b[4]&flagTraced != 0 {
+		min += traceSize
+	}
+	if len(b) < min {
+		return 0, ModeSC, ErrTruncated
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return 0, ModeSC, ErrBadMagic
+	}
+	if b[2] != Version {
+		return 0, ModeSC, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	t := Type(b[3])
+	if !t.IsRequest() {
+		return 0, ModeSC, fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, uint8(b[3]))
+	}
+	mode := ModeSC
+	if b[4]&flagLIN != 0 {
+		mode = ModeLIN
+	}
+	return t, mode, nil
+}
+
 // DecodeFrame decodes the first frame in b, returning it and the number of
 // bytes consumed. A short buffer returns ErrTruncated (read more and call
 // again); any other error means the stream is unsynchronized and the

@@ -236,3 +236,65 @@ func TestModeFlag(t *testing.T) {
 		t.Fatal("ParseMode accepted junk")
 	}
 }
+
+// TestPeekHeader: the UDP admission filter agrees with the full decoder on
+// every random well-formed request frame and rejects prefix garbage with
+// the right sentinel, without ever claiming a frame the decoder would not
+// at least attempt.
+func TestPeekHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		f := randFrame(rng)
+		enc, err := EncodeFrame(&f)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		typ, mode, err := PeekHeader(enc)
+		if f.Type.IsRequest() {
+			if err != nil {
+				t.Fatalf("peek of valid request %v: %v", f.Type, err)
+			}
+			if typ != f.Type || mode != f.Mode {
+				t.Fatalf("peek %v/%v, want %v/%v", typ, mode, f.Type, f.Mode)
+			}
+		} else if err == nil {
+			t.Fatalf("peek admitted response frame %v", f.Type)
+		}
+	}
+
+	valid, _ := EncodeFrame(&Frame{Type: TInc, ID: 1, Wire: 0})
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", valid[:4], ErrTruncated},
+		{"one byte under minimum", valid[:len(valid)-1], nil}, // still ≥ min: peek cannot tell
+		{"bad magic", append([]byte{0x58}, valid[1:]...), ErrBadMagic},
+		{"bad version", append(append([]byte{}, valid[:2]...), append([]byte{9}, valid[3:]...)...), ErrBadVersion},
+		{"response type", append(append([]byte{}, valid[:3]...), append([]byte{byte(TValue)}, valid[4:]...)...), ErrBadFrame},
+		{"unknown type", append(append([]byte{}, valid[:3]...), append([]byte{0xEE}, valid[4:]...)...), ErrBadFrame},
+	}
+	for _, c := range cases {
+		_, _, err := PeekHeader(c.b)
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: peek = %v, want accept", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: peek = %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	// A traced frame needs eight more prefix bytes before peek admits it.
+	traced, _ := EncodeFrame(&Frame{Type: TInc, ID: 1, Wire: 0, Trace: 42})
+	if _, _, err := PeekHeader(traced); err != nil {
+		t.Fatalf("traced peek: %v", err)
+	}
+	if _, _, err := PeekHeader(traced[:headerSize+traceSize]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short traced peek = %v, want ErrTruncated", err)
+	}
+}
