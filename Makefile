@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke udpsmoke crossbuild tracesmoke sim sim-replay experiments examples lint clean
+.PHONY: all build test race cover bench bench-json servebench chaos countmon countd netsmoke udpsmoke clustersmoke crossbuild tracesmoke sim sim-replay experiments examples lint clean
 
 all: build test
 
@@ -84,6 +84,31 @@ udpsmoke:
 	done && \
 	wait
 
+# Three countd nodes as one logical counter on loopback: gossip
+# membership, epoch-fenced id blocks, LIN forwarded to the leader's
+# serialization point. Drives SC then LIN through cluster-aware clients
+# (a follower is killed mid-LIN-run; failover must keep the count moving
+# without errors) and merges Countload/cluster/n=3 rows into
+# BENCH_throughput.json. Mirrors the CI job.
+clustersmoke:
+	@rm -rf .clustersmoke && mkdir -p .clustersmoke
+	$(GO) build -o .clustersmoke/ ./cmd/countd ./cmd/countload
+	@set -e; \
+	JOIN=127.0.0.1:9801,127.0.0.1:9802,127.0.0.1:9803; \
+	for i in 1 2 3; do \
+		.clustersmoke/countd -listen 127.0.0.1:970$$i -cluster-listen 127.0.0.1:980$$i \
+			-node-id $$i -join $$JOIN -duration 60s > .clustersmoke/node$$i.log 2>&1 & \
+		eval P$$i=$$!; \
+	done; \
+	sleep 5; \
+	.clustersmoke/countload -cluster 127.0.0.1:9701,127.0.0.1:9702,127.0.0.1:9703 \
+		-g 6 -duration 2s -mode sc -json BENCH_throughput.json; \
+	( sleep 1; kill -INT $$P3 ) & \
+	.clustersmoke/countload -cluster 127.0.0.1:9701,127.0.0.1:9702,127.0.0.1:9703 \
+		-g 6 -duration 4s -mode lin -json BENCH_throughput.json; \
+	kill -INT $$P1 $$P2; wait $$P1 $$P2; \
+	cat .clustersmoke/node1.log .clustersmoke/node2.log .clustersmoke/node3.log
+
 # The packetio build-tag matrix must cover every platform: Linux gets the
 # recvmmsg/sendmmsg fast path, everything else the portable ReadFrom loop.
 crossbuild:
@@ -111,10 +136,18 @@ SIM_SEEDS ?= 1000
 sim:
 	$(GO) run ./cmd/countsim -seeds $(SIM_SEEDS) -artifacts sim-artifacts
 
+# Multi-daemon cluster simulation: whole clusters — gossip, elections,
+# block grants, LIN forwards, node kills, partitions, rolling restarts —
+# on the virtual clock, with the global no-duplicate-mint, gap-accounting
+# and cluster-wide LIN invariants checked on every seed.
+sim-cluster:
+	$(GO) run ./cmd/countsim -cluster -seeds $(SIM_SEEDS) -artifacts sim-artifacts
+
 # Replay one seed with its full scheduler trace: make sim-replay SEED=1234
+# (add CLUSTER=1 to replay a cluster universe)
 sim-replay:
 	@test -n "$(SEED)" || { echo "usage: make sim-replay SEED=<n>"; exit 2; }
-	$(GO) run ./cmd/countsim -seed $(SEED) -trace
+	$(GO) run ./cmd/countsim -seed $(SEED) -trace $(if $(CLUSTER),-cluster)
 
 lint:
 	$(GO) vet ./...
@@ -122,7 +155,7 @@ lint:
 	@# The serving path must be simulation-ready: no direct wall-clock use
 	@# outside tests — everything goes through the internal/clock seam.
 	@bad="$$(grep -REn '\btime\.(Now|Sleep|After|AfterFunc|NewTimer|NewTicker|Since|Tick)\(' \
-		internal/client internal/server internal/fault --include='*.go' \
+		internal/client internal/server internal/fault internal/cluster --include='*.go' \
 		| grep -v '_test\.go:' || true)"; \
 	if [ -n "$$bad" ]; then \
 		echo "direct wall-clock calls on the serving path (use the clock.Clock seam):"; \

@@ -24,6 +24,19 @@
 // (backpressure sheds, mailbox timeouts, evictions, error frames) and at
 // exit — the post-mortem artifact for a misbehaving deployment.
 //
+// Clustering: -cluster-listen starts the cluster half (internal/cluster)
+// and serves the daemon as one node of a multi-machine logical counter.
+// The node gossips membership with the -join seeds, mints SC increments
+// from epoch-fenced id blocks owned locally (zero cross-node RPCs on the
+// SC hot path), and forwards LIN increments to the elected leader's
+// serialization point so the remote step property holds cluster-wide.
+// -node-id must be unique per node. In cluster mode the network flags
+// (-net, -w) only shape the advertised wire fan; ids come from the
+// cluster's block allocator, not a compiled network.
+//
+//	countd -listen :9701 -cluster-listen 127.0.0.1:9801 -node-id 1 \
+//	       -join 127.0.0.1:9801,127.0.0.1:9802,127.0.0.1:9803
+//
 // With -duration 0 countd serves until interrupted (SIGINT drains in
 // flight requests and closes connections cleanly); a positive -duration
 // runs that long and exits, which is how the CI smoke job uses it.
@@ -53,10 +66,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	countingnet "repro"
+	"repro/internal/cluster"
 	"repro/internal/dst"
 )
 
@@ -82,6 +97,10 @@ type options struct {
 	sample   int           // server-side trace sampling: 1 in N untraced requests (0: off)
 	flight   int           // flight-recorder span capacity (0: off unless -trace-sample)
 	flOut    string        // dump the black box here on anomalies and at exit ("" disables)
+
+	clListen string // cluster transport address ("" : standalone daemon)
+	join     string // comma-separated cluster seed addresses to gossip with
+	nodeID   uint64 // cluster node id, unique per node
 }
 
 func main() {
@@ -107,7 +126,19 @@ func main() {
 	flag.IntVar(&o.sample, "trace-sample", 0, "sample 1 in N untraced requests into the flight recorder with a server-minted trace id (0: off; client-traced requests always record)")
 	flag.IntVar(&o.flight, "flight", 0, "flight recorder span capacity; serves /debug/flight on the telemetry endpoint (0: off, or 4096 when -trace-sample is set)")
 	flag.StringVar(&o.flOut, "flight-out", "", "write the flight recorder's black box to this file on each anomaly burst and at exit (empty: off)")
+	flag.StringVar(&o.clListen, "cluster-listen", "", "cluster transport address; joins this daemon to a multi-node counting cluster (empty: standalone)")
+	flag.StringVar(&o.join, "join", "", "comma-separated cluster addresses to gossip with (this node's own -cluster-listen may be included)")
+	flag.Uint64Var(&o.nodeID, "node-id", 0, "cluster node id, unique across the cluster")
 	flag.Parse()
+
+	if o.clListen == "" && (o.join != "" || o.nodeID != 0) {
+		fmt.Fprintln(os.Stderr, "countd: -join/-node-id need -cluster-listen")
+		os.Exit(2)
+	}
+	if o.clListen != "" && o.sim != 0 {
+		fmt.Fprintln(os.Stderr, "countd: -sim simulates a standalone daemon; cluster universes are countsim -cluster")
+		os.Exit(2)
+	}
 
 	if o.sim != 0 {
 		if err := runSim(o, os.Stdout); err != nil {
@@ -205,19 +236,49 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctr, err := countingnet.Compile(spec)
-	if err != nil {
-		return err
-	}
-
-	// Balancer-level telemetry feeds the same /metrics surface countmon
-	// serves; the server's own stats ride along as an extra section. The
-	// observer costs atomics on every balancer visit, so it is attached
-	// only when the telemetry endpoint is actually on.
-	var col *countingnet.TelemetryCollector
-	if o.telem != "" {
-		col = countingnet.NewTelemetryCollectorFor(spec)
-		ctr.SetObserver(col)
+	// The backend is either the compiled network (standalone) or the
+	// cluster node's block minter: in cluster mode ids come from
+	// epoch-fenced grants, so compiling a counting network would only
+	// build machinery nothing traverses.
+	var (
+		backend countingnet.ServerBackend
+		col     *countingnet.TelemetryCollector
+		node    *cluster.Node
+	)
+	clStats := cluster.NewStats()
+	if o.clListen != "" {
+		node, err = cluster.Start(cluster.Config{
+			NodeID: o.nodeID,
+			Addr:   o.clListen,
+			Seeds:  splitAddrs(o.join),
+			Width:  o.width,
+			Stats:  clStats,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		// Registered before srv's defer, so it runs after it: the server
+		// drains in-flight LIN forwards before the node hands its unminted
+		// blocks back to the cluster.
+		defer node.Close()
+		backend = node.Minter()
+	} else {
+		ctr, err := countingnet.Compile(spec)
+		if err != nil {
+			return err
+		}
+		// Balancer-level telemetry feeds the same /metrics surface countmon
+		// serves; the server's own stats ride along as an extra section. The
+		// observer costs atomics on every balancer visit, so it is attached
+		// only when the telemetry endpoint is actually on.
+		if o.telem != "" {
+			col = countingnet.NewTelemetryCollectorFor(spec)
+			ctr.SetObserver(col)
+		}
+		backend = ctr
 	}
 	// Flight recorder: an explicit -flight capacity, or a default when
 	// server-side sampling is on. A nil recorder is inert, so the serving
@@ -228,7 +289,7 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 	rec := countingnet.NewFlightRecorder(flCap)
 	stats := countingnet.NewServerStats(0)
-	srv := countingnet.NewServer(ctr, countingnet.ServerOptions{
+	sopt := countingnet.ServerOptions{
 		Mailbox:     o.mailbox,
 		Shards:      o.shards,
 		BatchLimit:  o.batch,
@@ -241,7 +302,12 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		UDPSockets:  o.udpSocks,
 		UDPBatch:    o.udpBatch,
 		UDPPortable: o.udpPort,
-	})
+	}
+	if node != nil {
+		sopt.LINForward = node.ForwardLIN
+		sopt.NodeInfo = node.Advertise
+	}
+	srv := countingnet.NewServer(backend, sopt)
 	defer srv.Close()
 
 	// -flight-out turns the recorder into a black box on disk: each
@@ -274,6 +340,10 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "countd: %s width %d, mode %s, serving %s\n", o.kind, o.width, o.mode, addr)
+	if node != nil {
+		fmt.Fprintf(out, "countd: cluster node %d on %s, %d seed(s)\n",
+			o.nodeID, o.clListen, len(splitAddrs(o.join)))
+	}
 	if o.udp != "" {
 		ua, err := srv.ListenPacket(o.udp)
 		if err != nil {
@@ -287,7 +357,11 @@ func run(ctx context.Context, o options, out io.Writer) error {
 			return err
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/", countingnet.TelemetryHandler(col, nil, stats.AppendMetrics))
+		extras := []func(io.Writer){stats.AppendMetrics}
+		if node != nil {
+			extras = append(extras, node.AppendMetrics)
+		}
+		mux.Handle("/", countingnet.TelemetryHandler(col, nil, extras...))
 		if rec != nil {
 			mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 				w.Header().Set("Content-Type", "application/json")
@@ -318,8 +392,31 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if err := srv.Close(); err != nil {
 		return err
 	}
+	if node != nil {
+		// After the server drained: in-flight LIN forwards are answered, so
+		// the node can hand its unminted blocks back to the cluster.
+		if err := node.Close(); err != nil {
+			return err
+		}
+	}
 	snap := stats.Snapshot()
 	fmt.Fprintf(out, "countd: drained; issued %d (sc %d, lin %d), %d conns, coalescing factor %.1f\n",
 		srv.Issued(), snap.SCOps, snap.LINOps, snap.ConnsTotal, snap.CoalescingFactor())
+	if node != nil {
+		cs := clStats.Snapshot()
+		fmt.Fprintf(out, "countd: cluster node %d epoch %d: %d grants, %d forwards, %d served, %d elections\n",
+			node.ID(), node.Epoch(), cs.Grants, cs.LinForwards, cs.LinServed, cs.Elections)
+	}
 	return nil
+}
+
+// splitAddrs parses the -join list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

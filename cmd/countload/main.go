@@ -32,10 +32,20 @@
 // issued-count delta that audits how much actually minted — never more
 // than was sent, or the service duplicated a fire-and-forget increment.
 //
+// -cluster A,B,C drives a multi-node counting cluster instead of a
+// single countd: each load client is a cluster-aware client
+// (client.DialCluster) bootstrapped from the full endpoint list, so it
+// fails over when a node dies mid-run and keeps counting. The uniqueness
+// audit then spans every node — a duplicate across machines is an
+// ownership-protocol violation, not just a server bug — and the JSON row
+// is named Countload/cluster/n=<nodes>/mode=<mode> so the SC-versus-LIN
+// gap at each cluster size lands side by side in BENCH_throughput.json.
+//
 // Usage:
 //
 //	countload -addr 127.0.0.1:9701 -g 4 -duration 2s
 //	countload -addr 127.0.0.1:9701 -g 64 -mode lin -json BENCH_throughput.json
+//	countload -cluster 127.0.0.1:9701,127.0.0.1:9711,127.0.0.1:9721 -mode lin
 //	countload -addr 127.0.0.1:9701 -udp 127.0.0.1:9702 -udp-batch 64 -duration 2s
 //	countload -g 8 -mode lin -sim 42
 //	countload -addr 127.0.0.1:9701 -trace-sample 100 \
@@ -82,6 +92,18 @@ type options struct {
 	udp      string        // countd UDP endpoint: open-loop fire-and-forget mode ("" disables)
 	udpBatch int           // datagrams per sendmmsg batch in UDP mode
 	udpWires int           // spread UDP increments across this many input wires
+	cluster  string        // comma-separated cluster endpoints ("" : single -addr daemon)
+}
+
+// clusterAddrs parses the -cluster endpoint list.
+func (o options) clusterAddrs() []string {
+	var out []string
+	for _, a := range strings.Split(o.cluster, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -101,7 +123,13 @@ func main() {
 	flag.StringVar(&o.udp, "udp", "", "countd UDP endpoint: open-loop fire-and-forget SC increments instead of the TCP workload (empty: off)")
 	flag.IntVar(&o.udpBatch, "udp-batch", 64, "datagrams per sendmmsg batch in -udp mode (1..64)")
 	flag.IntVar(&o.udpWires, "udp-wires", 1, "spread -udp increments across this many input wires (must not exceed the served width)")
+	flag.StringVar(&o.cluster, "cluster", "", "comma-separated cluster endpoints; drive the whole cluster with failover instead of one -addr daemon (empty: off)")
 	flag.Parse()
+
+	if o.cluster != "" && (o.udp != "" || o.sim != 0) {
+		fmt.Fprintln(os.Stderr, "countload: -cluster drives the TCP workload only (no -udp, no -sim)")
+		os.Exit(2)
+	}
 
 	if o.sim != 0 {
 		if err := runSim(o, os.Stdout); err != nil {
@@ -176,6 +204,13 @@ func runSim(o options, out io.Writer) error {
 	return nil
 }
 
+// counter is the slice of the client surface the load loop needs — both
+// the single-endpoint client and the cluster-aware one satisfy it.
+type counter interface {
+	IncCtx(ctx context.Context, w int) (int64, error)
+	Close() error
+}
+
 // result is what one load run measured.
 type result struct {
 	Ops      int64
@@ -214,8 +249,12 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		return err
 	}
 
+	target := o.addr
+	if o.cluster != "" {
+		target = fmt.Sprintf("cluster[%s]", o.cluster)
+	}
 	fmt.Fprintf(out, "countload: %s, %d clients x window %d, mode %s, %v\n",
-		o.addr, o.clients, o.window, o.mode, res.Elapsed.Round(time.Millisecond))
+		target, o.clients, o.window, o.mode, res.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  ops %d (%.0f ops/s), errors %d, duplicates %d, max value %d\n",
 		res.Ops, res.opsPerSec(), res.Errors, res.Dup, res.MaxValue)
 	fmt.Fprintf(out, "  latency p50 %v p95 %v p99 %v max %v\n",
@@ -232,7 +271,7 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		return fmt.Errorf("%d duplicate values observed — the service violated uniqueness", res.Dup)
 	}
 	if res.Ops == 0 {
-		return fmt.Errorf("no operation completed (errors %d) — is countd up at %s?", res.Errors, o.addr)
+		return fmt.Errorf("no operation completed (errors %d) — is countd up at %s?", res.Errors, target)
 	}
 
 	if o.traceOut != "" {
@@ -499,7 +538,7 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := client.Dial(o.addr, client.Options{
+			copt := client.Options{
 				Window:         o.window,
 				Mode:           mode,
 				OpTimeout:      time.Second,
@@ -507,7 +546,29 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 				Flight:         res.Flight,
 				TraceSample:    o.sample,
 				TraceActor:     uint64(g) + 1,
-			})
+			}
+			// In cluster mode every load client is cluster-aware: it
+			// bootstraps from the full endpoint list and fails an op over to
+			// the next endpoint when a node dies or refuses mid-run.
+			var (
+				c   counter
+				cc  *client.Client
+				err error
+			)
+			if addrs := o.clusterAddrs(); len(addrs) > 0 {
+				copt.Retries = 5
+				// Rotate the endpoint list per client so sticky cursors
+				// spread round-robin across the nodes: the measurement is the
+				// cluster's throughput, not one hot node's.
+				rot := make([]string, len(addrs))
+				for i := range addrs {
+					rot[i] = addrs[(g+i)%len(addrs)]
+				}
+				c, err = client.DialCluster(rot, copt)
+			} else {
+				cc, err = client.Dial(o.addr, copt)
+				c = cc
+			}
 			if err != nil {
 				outs[g*o.window].errs++
 				return
@@ -556,7 +617,9 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 				}(w)
 			}
 			cwg.Wait()
-			windows[g] = c.WindowStats()
+			if cc != nil {
+				windows[g] = cc.WindowStats()
+			}
 		}(g)
 	}
 	wg.Wait()
@@ -589,6 +652,9 @@ func drive(ctx context.Context, o options, mode countingnet.ConsistencyMode) (re
 // replace their previous rows.
 func writeJSON(path string, o options, res result) error {
 	name := fmt.Sprintf("Countload/mode=%s/g=%d", o.mode, o.clients)
+	if n := len(o.clusterAddrs()); n > 0 {
+		name = fmt.Sprintf("Countload/cluster/n=%d/mode=%s", n, o.mode)
+	}
 	nsPerOp := 0.0
 	if res.Ops > 0 {
 		nsPerOp = float64(res.Elapsed.Nanoseconds()) / float64(res.Ops)

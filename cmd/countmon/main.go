@@ -6,7 +6,11 @@
 //
 //	/metrics            Prometheus text: per-balancer toggles, per-wire and
 //	                    per-sink traffic, Inc latency histogram + quantiles,
-//	                    live F_nl / F_nsc inconsistency fractions
+//	                    live F_nl / F_nsc inconsistency fractions; with
+//	                    -metrics-from, a countd's countd_* families
+//	                    (serving-path and cluster metrics) are scraped per
+//	                    request and appended, so one scrape covers monitor
+//	                    and daemon
 //	/debug/countingnet  the same snapshot as JSON
 //	/heatmap            ASCII balancer-traffic heatmap by network layer
 //	/flight             a countd's flight-recorder black box, proxied from
@@ -52,6 +56,7 @@ type options struct {
 	trace    string        // Chrome trace-event output path ("" disables)
 	sample   int           // record every k-th balancer hop in the trace
 	flight   string        // countd telemetry base URL proxied at /flight ("" disables)
+	metrics  string        // countd telemetry base URL whose /metrics is appended to ours ("" disables)
 }
 
 func main() {
@@ -65,6 +70,7 @@ func main() {
 	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON here on exit")
 	flag.IntVar(&o.sample, "sample", 0, "trace every k-th balancer hop (0: none)")
 	flag.StringVar(&o.flight, "flight-from", "", "countd telemetry base URL; its /debug/flight black box is proxied at this monitor's /flight (empty: off)")
+	flag.StringVar(&o.metrics, "metrics-from", "", "countd telemetry base URL; its /metrics body (countd_* serving and cluster families) is scraped per request and appended to this monitor's /metrics (empty: off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -118,8 +124,27 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		ctr.SetObserver(col)
 	}
 
+	// With -metrics-from, every scrape of this monitor's /metrics also
+	// pulls the named countd's /metrics and appends its body: the daemon
+	// emits countd_* families (serving path and cluster state) and the
+	// monitor countingnet_* ones, so the union is collision-free and one
+	// scrape target covers both processes.
+	var extras []func(io.Writer)
+	if o.metrics != "" {
+		from := strings.TrimSuffix(o.metrics, "/") + "/metrics"
+		extras = append(extras, func(w io.Writer) {
+			resp, err := http.Get(from)
+			if err != nil {
+				fmt.Fprintf(w, "# countmon: scraping %s: %v\n", from, err)
+				return
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(w, resp.Body)
+		})
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", countingnet.TelemetryHandler(col, mon))
+	mux.Handle("/", countingnet.TelemetryHandler(col, mon, extras...))
 	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, countingnet.Heatmap(spec, col.Snapshot().Toggles))

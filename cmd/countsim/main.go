@@ -56,6 +56,7 @@ type options struct {
 	expectBug bool   // succeed only if the canary is caught (CI self-check)
 	trace     bool   // print the deterministic trace (single-seed mode)
 	flight    bool   // trace every request into the flight recorder
+	cluster   bool   // run the multi-daemon cluster flavor instead
 	artifacts string // write failing-seed traces into this directory
 }
 
@@ -69,6 +70,7 @@ func main() {
 	flag.BoolVar(&o.expectBug, "expect-bug", false, "succeed only if the injected bug is caught (use with -bug)")
 	flag.BoolVar(&o.trace, "trace", false, "print the deterministic trace (with -seed)")
 	flag.BoolVar(&o.flight, "flight", false, "record every request's stage spans; failing seeds also dump seed-N.flight.json (with -artifacts) and the span-tree invariants join the audit")
+	flag.BoolVar(&o.cluster, "cluster", false, "expand seeds into multi-daemon cluster scenarios (gossip, elections, kills, partitions) instead of single-server ones")
 	flag.StringVar(&o.artifacts, "artifacts", "", "write failing-seed traces into this directory")
 	flag.Parse()
 
@@ -87,6 +89,9 @@ func run(o options, out *os.File) (int, error) {
 	if o.expectBug && !o.bug {
 		return 2, fmt.Errorf("-expect-bug requires -bug")
 	}
+	if o.cluster && (o.bug || o.flight) {
+		return 2, fmt.Errorf("-cluster runs its own universe: it composes with neither -bug nor -flight")
+	}
 	if o.artifacts != "" {
 		if err := os.MkdirAll(o.artifacts, 0o755); err != nil {
 			return 2, err
@@ -102,6 +107,9 @@ func run(o options, out *os.File) (int, error) {
 // violations, and (with -trace) the byte-stable trace a failing sweep
 // told the operator to come look at.
 func replay(o options, out *os.File) (int, error) {
+	if o.cluster {
+		return replayCluster(o, out)
+	}
 	res, err := dst.Run(o.seed, dst.RunOptions{Bug: o.bug, Flight: o.flight})
 	if err != nil {
 		return 2, fmt.Errorf("seed %d: %w", o.seed, err)
@@ -141,6 +149,43 @@ func replay(o options, out *os.File) (int, error) {
 	return 0, nil
 }
 
+// replayCluster runs one cluster seed: a whole multi-daemon universe —
+// gossip, elections, grants, LIN forwards, the chaos schedule — on the
+// virtual clock, then the cluster-wide audit (global no-duplicate-mint,
+// grant coverage, gap accounting, LIN monotonicity, full drain).
+func replayCluster(o options, out *os.File) (int, error) {
+	res, err := dst.RunCluster(o.seed)
+	if err != nil {
+		return 2, fmt.Errorf("seed %d: %w", o.seed, err)
+	}
+	if o.trace {
+		out.Write(res.Trace)
+	} else {
+		fmt.Fprintf(out, "seed %d: flavor %s, %d nodes, %d ops, granted %d, issued %d, delivered %d, %d steps\n",
+			res.Seed, res.Scenario.Flavor, res.Scenario.Nodes, len(res.Ops),
+			res.Granted, res.Issued, res.Delivered, res.Steps)
+		for _, v := range res.Violations {
+			fmt.Fprintf(out, "  violation: %s\n", v)
+		}
+	}
+	if o.artifacts != "" && res.Failed() {
+		path := filepath.Join(o.artifacts, fmt.Sprintf("cluster-seed-%d.trace", res.Seed))
+		if err := os.WriteFile(path, res.Trace, 0o644); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "countsim: trace written to %s\n", path)
+	}
+	if res.Failed() {
+		if !o.trace {
+			fmt.Fprintf(out, "countsim: cluster seed %d FAILED (%d violations); rerun with -trace for the full schedule\n",
+				o.seed, len(res.Violations))
+		}
+		return 1, nil
+	}
+	fmt.Fprintf(out, "countsim: cluster seed %d ok\n", o.seed)
+	return 0, nil
+}
+
 // sweepResult is what one swept seed contributes to the report.
 type sweepResult struct {
 	seed       uint64
@@ -167,6 +212,17 @@ func sweep(o options, out *os.File) (int, error) {
 			for seed := range seeds {
 				r := &results[seed-o.start]
 				r.seed = seed
+				if o.cluster {
+					res, err := dst.RunCluster(seed)
+					if err != nil {
+						r.err = err
+						continue
+					}
+					r.flavor = res.Scenario.Flavor
+					r.violations = res.Violations
+					r.trace = res.Trace
+					continue
+				}
 				res, err := dst.Run(seed, dst.RunOptions{Bug: o.bug, Flight: o.flight})
 				if err != nil {
 					r.err = err
@@ -242,7 +298,11 @@ func sweep(o options, out *os.File) (int, error) {
 				fmt.Fprintf(out, "  flight: %s\n", fpath)
 			}
 		}
-		fmt.Fprintf(out, "  replay: countsim -seed %d -trace%s%s\n", seed, bugFlag(o.bug), flightFlag(o.flight))
+		replayFlags := bugFlag(o.bug) + flightFlag(o.flight)
+		if o.cluster {
+			replayFlags = " -cluster"
+		}
+		fmt.Fprintf(out, "  replay: countsim -seed %d -trace%s\n", seed, replayFlags)
 	}
 
 	if o.expectBug {

@@ -98,6 +98,10 @@ type Options struct {
 	// TraceActor namespaces this client's trace ids (flightrec.Sampler);
 	// give each client its own actor when merging multi-client traces.
 	TraceActor uint64
+
+	// nodeHello asks the handshake to request the cluster node
+	// advertisement (set by DialCluster; old servers ignore the flag).
+	nodeHello bool
 }
 
 func (o Options) withDefaults() Options {
@@ -139,6 +143,13 @@ type Client struct {
 	batchers []wireBatcher // per-wire SC flat-combining points
 	done     chan struct{}
 
+	// The node advertisement learned from an extended handshake (cluster
+	// servers only), guarded by mu: helloAd refreshes it in place.
+	adOK    bool
+	adNode  uint64
+	adEpoch uint64
+	adOwned []wire.Range
+
 	flight  *flightrec.Recorder // nil: tracing off
 	sampler *flightrec.Sampler  // nil: never sample
 }
@@ -175,7 +186,7 @@ func Dial(addr string, opt Options) (*Client, error) {
 		c.pool[0] = cc
 		c.mu.Unlock()
 		hctx, cancel := c.clk.WithTimeout(context.Background(), c.opt.DialTimeout)
-		f, err := c.roundTrip(hctx, cc, wire.Frame{Type: wire.THello})
+		f, err := c.roundTrip(hctx, cc, wire.Frame{Type: wire.THello, NodeAd: c.opt.nodeHello})
 		cancel()
 		if err != nil {
 			cc.kill(err)
@@ -190,6 +201,7 @@ func Dial(addr string, opt Options) (*Client, error) {
 			return nil, fmt.Errorf("client: handshake answered with %v", f.Type)
 		}
 		c.shape = f.Shape
+		c.setAd(&f)
 		last = nil
 		break
 	}
@@ -206,6 +218,43 @@ func Dial(addr string, opt Options) (*Client, error) {
 
 // Shape returns the served network's topology, learned at handshake.
 func (c *Client) Shape() network.Shape { return c.shape }
+
+// setAd caches a TShape reply's node advertisement, if it carries one.
+func (c *Client) setAd(f *wire.Frame) {
+	if !f.NodeAd {
+		return
+	}
+	c.mu.Lock()
+	c.adOK = true
+	c.adNode = f.Node
+	c.adEpoch = f.Epoch
+	c.adOwned = append([]wire.Range(nil), f.Rs...)
+	c.mu.Unlock()
+}
+
+// NodeAd reports the cluster node advertisement learned at handshake:
+// the serving node's id, its current epoch and the unminted ranges it
+// held. ok is false against a pre-cluster server (or when the handshake
+// did not ask — see DialCluster).
+func (c *Client) NodeAd() (node, epoch uint64, owned []wire.Range, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.adNode, c.adEpoch, append([]wire.Range(nil), c.adOwned...), c.adOK
+}
+
+// helloAd re-runs the node-advertising handshake, refreshing the cached
+// advertisement (DialCluster's epoch-invalidation path).
+func (c *Client) helloAd(ctx context.Context) error {
+	f, err := c.request(ctx, wire.Frame{Type: wire.THello, NodeAd: true})
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TShape {
+		return fmt.Errorf("client: hello answered with %v", f.Type)
+	}
+	c.setAd(&f)
+	return nil
+}
 
 // Flight returns the client's flight recorder (nil unless Options.Flight
 // was set).
@@ -390,10 +439,14 @@ func (c *Client) Snapshot(ctx context.Context, out any) error {
 // retryable reports whether a failed attempt may be re-issued: shed or
 // expired requests never executed, and transport errors re-issue at the
 // cost of a possible burned value (a gap, never a duplicate — the old
-// request id can no longer match a response).
+// request id can no longer match a response). Cluster refusals
+// (mid-election leaderlessness, a node briefly out of ranges) are
+// transient by construction and re-issue the same way.
 func retryable(err error) bool {
 	return errors.Is(err, wire.ErrBackpressure) ||
 		errors.Is(err, fault.ErrTimeout) ||
+		errors.Is(err, wire.ErrNotLeader) ||
+		errors.Is(err, wire.ErrNoRange) ||
 		errors.Is(err, errTransport)
 }
 

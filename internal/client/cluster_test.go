@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"slices"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// stripeBackend mints from a private id stripe, standing in for a
+// cluster node's minter: two servers with different bases can never
+// hand out the same id, just like two nodes minting from epoch-fenced
+// blocks.
+type stripeBackend struct {
+	shape network.Shape
+	next  atomic.Int64
+}
+
+func newStripeBackend(width int, base int64) *stripeBackend {
+	b := &stripeBackend{shape: network.Shape{Width: width, Sinks: width}}
+	b.next.Store(base)
+	return b
+}
+
+func (b *stripeBackend) Shape() network.Shape { return b.shape }
+func (b *stripeBackend) Inc(w int) int64      { return b.next.Add(1) - 1 }
+func (b *stripeBackend) IncBatch(w, k int) []runtime.Range {
+	first := b.next.Add(int64(k)) - int64(k)
+	return []runtime.Range{{First: first, Stride: 1, Count: int64(k)}}
+}
+
+// startNode serves one simulated cluster node: a stripe backend plus a
+// NodeInfo hook advertising the given identity.
+func startNode(t *testing.T, node, epoch uint64, base int64) (*server.Server, string) {
+	t.Helper()
+	be := newStripeBackend(4, base)
+	s := server.New(be, server.Options{
+		NodeInfo: func() (uint64, uint64, []wire.Range) {
+			return node, epoch, []wire.Range{{First: be.next.Load(), Stride: 1, Count: 64}}
+		},
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, addr.String()
+}
+
+// TestDialClusterLearnsAdvertisements: the extended handshake populates
+// the ownership map and the cluster epoch.
+func TestDialClusterLearnsAdvertisements(t *testing.T) {
+	_, a0 := startNode(t, 1, 1025, 0)
+	_, a1 := startNode(t, 2, 1025, 1<<20)
+	c, err := DialCluster([]string{a0, a1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	ads := c.Ownership()
+	if len(ads) != 2 {
+		t.Fatalf("ownership entries: %d", len(ads))
+	}
+	if !ads[0].Seen || ads[0].Node != 1 || ads[0].Epoch != 1025 || len(ads[0].Owned) != 1 {
+		t.Fatalf("endpoint 0 ad: %+v", ads[0])
+	}
+	if c.Epoch() != 1025 {
+		t.Fatalf("cluster epoch %d, want 1025", c.Epoch())
+	}
+}
+
+// TestClusterFailover: increments keep flowing when the sticky endpoint
+// dies, and the values observed across the failover stay unique.
+func TestClusterFailover(t *testing.T) {
+	s0, a0 := startNode(t, 1, 1025, 0)
+	_, a1 := startNode(t, 2, 1025, 1<<20)
+	c, err := DialCluster([]string{a0, a1}, Options{Retries: 1, OpTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	var vals []int64
+	for i := 0; i < 10; i++ {
+		v, err := c.IncCtx(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("pre-failover inc %d: %v", i, err)
+		}
+		vals = append(vals, v)
+	}
+	_ = s0.Close()
+	for i := 0; i < 10; i++ {
+		v, err := c.IncCtx(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("post-failover inc %d: %v", i, err)
+		}
+		vals = append(vals, v)
+	}
+	sorted := append([]int64(nil), vals...)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			t.Fatalf("duplicate value %d across failover", sorted[i])
+		}
+	}
+	// The failover must actually have moved traffic onto the stripe of
+	// the second node.
+	if !slices.ContainsFunc(vals, func(v int64) bool { return v >= 1<<20 }) {
+		t.Fatalf("no value from the surviving node's stripe: %v", vals)
+	}
+}
+
+// TestClusterEpochInvalidation: observing a higher epoch marks every
+// other endpoint's cached advertisement stale.
+func TestClusterEpochInvalidation(t *testing.T) {
+	s0, a0 := startNode(t, 1, 1025, 0)
+	_, a1 := startNode(t, 2, 2049, 1<<20) // a later term's epoch
+	c, err := DialCluster([]string{a0, a1}, Options{Retries: 1, OpTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if c.Epoch() != 1025 {
+		t.Fatalf("bootstrap epoch %d, want 1025", c.Epoch())
+	}
+
+	// Failing over to endpoint 1 dials it, learns epoch 2049, and that
+	// invalidates endpoint 0's cached view.
+	_ = s0.Close()
+	if _, err := c.IncCtx(context.Background(), 0); err != nil {
+		t.Fatalf("failover inc: %v", err)
+	}
+	if c.Epoch() != 2049 {
+		t.Fatalf("epoch after failover %d, want 2049", c.Epoch())
+	}
+	ads := c.Ownership()
+	if ads[0].Seen {
+		t.Fatal("endpoint 0 ad must be invalidated by the higher epoch")
+	}
+	if !ads[1].Seen || ads[1].Epoch != 2049 {
+		t.Fatalf("endpoint 1 ad: %+v", ads[1])
+	}
+}
+
+// TestClusterRetryableRefusals: cluster refusals (not-leader, no-range)
+// are retryable for the single client, so brief elections heal without
+// surfacing errors.
+func TestRetryableClusterErrors(t *testing.T) {
+	if !retryable(wire.ErrNotLeader) || !retryable(wire.ErrNoRange) {
+		t.Fatal("cluster refusals must be retryable")
+	}
+}

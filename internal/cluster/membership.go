@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// State classifies a member by heartbeat freshness.
+type State uint8
+
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	}
+	return "dead"
+}
+
+// Member is one node's gossiped identity: who it is, where its cluster
+// listener is, and how alive it claims to be. (Incarnation, Beat) orders
+// claims about the same node — a restarted node starts a strictly higher
+// incarnation, so its fresh heartbeats override anything the old life
+// left in peers' tables.
+type Member struct {
+	ID          uint64 `json:"id"`
+	Addr        string `json:"addr"`
+	Incarnation uint64 `json:"inc"`
+	Beat        uint64 `json:"beat"`
+}
+
+// newer reports whether m's claim supersedes o's.
+func (m Member) newer(o Member) bool {
+	if m.Incarnation != o.Incarnation {
+		return m.Incarnation > o.Incarnation
+	}
+	return m.Beat > o.Beat
+}
+
+// claim is a leadership assertion carried on every gossip digest. The
+// highest term wins; a tie goes to the lower node id (both rules are
+// deterministic, so every node converges on the same leader view given
+// the same information).
+type claim struct {
+	Term   uint64 `json:"term"`
+	Leader uint64 `json:"leader"`
+	Addr   string `json:"addr"` // the leader's cluster address
+}
+
+// better reports whether c supersedes o.
+func (c claim) better(o claim) bool {
+	if c.Term != o.Term {
+		return c.Term > o.Term
+	}
+	return c.Leader < o.Leader
+}
+
+// digest is the JSON body of TGossip and TGossipAck frames: the sender's
+// full member table plus its leadership view.
+type digest struct {
+	From    uint64   `json:"from"`
+	Members []Member `json:"members"`
+	Claim   claim    `json:"claim"`
+}
+
+// memberInfo is the local bookkeeping around one gossiped Member: when
+// this node last saw its heartbeat advance, on the local clock.
+type memberInfo struct {
+	Member
+	lastFresh time.Time
+}
+
+// endorsement records the leadership claim a peer most recently stated
+// DIRECTLY to this node (digests relayed through third parties don't
+// count — an endorsement is the peer's own signed statement, not a
+// rumour). first is when the peer began stating this exact claim, last
+// when it most recently restated it.
+type endorsement struct {
+	c           claim
+	first, last time.Time
+}
+
+// membership is one node's view of the cluster. It is not goroutine-safe;
+// the Node serializes access under its mutex.
+type membership struct {
+	self    uint64
+	members map[uint64]*memberInfo
+	endorse map[uint64]endorsement
+	claim   claim
+	suspect time.Duration
+	dead    time.Duration
+}
+
+func newMembership(self Member, now time.Time, suspect, dead time.Duration) *membership {
+	ms := &membership{
+		self:    self.ID,
+		members: map[uint64]*memberInfo{self.ID: {Member: self, lastFresh: now}},
+		endorse: map[uint64]endorsement{},
+		suspect: suspect,
+		dead:    dead,
+	}
+	return ms
+}
+
+// beat advances this node's own heartbeat.
+func (ms *membership) beat(now time.Time) {
+	me := ms.members[ms.self]
+	me.Beat++
+	me.lastFresh = now
+}
+
+// merge folds a peer's digest into the local table and returns whether
+// anything changed (used only for logging).
+func (ms *membership) merge(d digest, now time.Time) bool {
+	changed := false
+	for _, m := range d.Members {
+		if m.ID == ms.self {
+			// Nobody knows more about this node than itself, except a
+			// previous life: a higher incarnation in the wild means this
+			// node restarted faster than rumours of its death spread.
+			// Our own beats always win within our incarnation.
+			continue
+		}
+		cur, ok := ms.members[m.ID]
+		switch {
+		case !ok:
+			ms.members[m.ID] = &memberInfo{Member: m, lastFresh: now}
+			changed = true
+		case m.newer(cur.Member):
+			cur.Member = m
+			cur.lastFresh = now
+			changed = true
+		}
+	}
+	if d.From != 0 && d.From != ms.self {
+		// The digest is the sender's own statement of its leadership view:
+		// a direct endorsement of d.Claim, restated or begun now.
+		if e, ok := ms.endorse[d.From]; ok && e.c == d.Claim {
+			e.last = now
+			ms.endorse[d.From] = e
+		} else {
+			ms.endorse[d.From] = endorsement{c: d.Claim, first: now, last: now}
+		}
+	}
+	if d.Claim.Leader != 0 || d.Claim.Term != 0 {
+		if d.Claim.better(ms.claim) {
+			ms.claim = d.Claim
+			changed = true
+		}
+	}
+	return changed
+}
+
+// endorseCount counts peers whose direct statements currently back cl.
+// An endorsement counts only when it is mature — first stated at least
+// aging ago, long enough that any lease a previous claim's leader built
+// on this peer's earlier statements has provably lapsed — and fresh,
+// restated within window. Self is not counted; the leader accounts for
+// its own backing separately.
+func (ms *membership) endorseCount(cl claim, now time.Time, window, aging time.Duration) int {
+	n := 0
+	for _, id := range ms.sortedIDs() {
+		e, ok := ms.endorse[id]
+		if !ok || e.c != cl {
+			continue
+		}
+		if now.Sub(e.first) >= aging && now.Sub(e.last) < window {
+			n++
+		}
+	}
+	return n
+}
+
+// state classifies one member now.
+func (ms *membership) state(mi *memberInfo, now time.Time) State {
+	age := now.Sub(mi.lastFresh)
+	switch {
+	case age < ms.suspect:
+		return StateAlive
+	case age < ms.dead:
+		return StateSuspect
+	}
+	return StateDead
+}
+
+// sortedIDs returns every known member id in ascending order — the only
+// iteration order the cluster ever uses, so nothing depends on Go's
+// randomized map order.
+func (ms *membership) sortedIDs() []uint64 {
+	ids := make([]uint64, 0, len(ms.members))
+	for id := range ms.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// alive returns the ascending ids of members currently considered alive.
+func (ms *membership) alive(now time.Time) []uint64 {
+	var out []uint64
+	for _, id := range ms.sortedIDs() {
+		if ms.state(ms.members[id], now) == StateAlive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// freshCount counts members whose heartbeat advanced within the window —
+// the leader's quorum-lease measure.
+func (ms *membership) freshCount(now time.Time, window time.Duration) int {
+	n := 0
+	for _, id := range ms.sortedIDs() {
+		if now.Sub(ms.members[id].lastFresh) < window {
+			n++
+		}
+	}
+	return n
+}
+
+// counts tallies members by state for the metrics surface.
+func (ms *membership) counts(now time.Time) (alive, suspect, dead int) {
+	for _, id := range ms.sortedIDs() {
+		switch ms.state(ms.members[id], now) {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		default:
+			dead++
+		}
+	}
+	return
+}
+
+// maxTerm returns the highest election term this node has ever observed
+// (its own claim included).
+func (ms *membership) maxTerm() uint64 { return ms.claim.Term }
+
+// digest snapshots the table for one gossip exchange.
+func (ms *membership) digest() digest {
+	d := digest{From: ms.self, Claim: ms.claim}
+	for _, id := range ms.sortedIDs() {
+		d.Members = append(d.Members, ms.members[id].Member)
+	}
+	return d
+}
+
+// encode/decode keep the JSON round trip in one place.
+func (d digest) encode() []byte {
+	b, err := json.Marshal(d)
+	if err != nil {
+		// A digest is plain data; Marshal cannot fail on it.
+		panic("cluster: digest encode: " + err.Error())
+	}
+	return b
+}
+
+func decodeDigest(b []byte) (digest, error) {
+	var d digest
+	err := json.Unmarshal(b, &d)
+	return d, err
+}

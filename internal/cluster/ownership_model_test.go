@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestOwnershipModel drives the allocator through random histories of
+// grants, mints, graceful returns, crashes (burned blocks) and elections
+// (fresh allocators in fresh epochs), checking every step against a
+// map-based oracle: no id is ever minted twice, every minted id lies
+// inside an audited grant of its epoch's stripe, fresh grants are
+// strictly increasing within an epoch, and returns are only accepted
+// under the granting epoch.
+func TestOwnershipModel(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		audit := NewAudit()
+		minted := make(map[int64]bool)
+
+		term := uint64(1)
+		node := rng.Uint64() % MaxNodes
+		alloc := newAllocator(EpochOf(term, node), audit)
+		lastFresh := int64(-1) // highest fresh-grant start in the current epoch
+
+		type holding struct {
+			epoch uint64
+			r     wire.Range
+		}
+		var held []holding
+
+		mint := func(h *holding, m int64) {
+			for id := h.r.First; id < h.r.First+m; id++ {
+				if minted[id] {
+					t.Fatalf("seed %d: id %d minted twice", seed, id)
+				}
+				minted[id] = true
+			}
+			h.r.First += m
+			h.r.Count -= m
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(12) {
+			case 0: // election: a new leader, fresh allocator, fresh epoch
+				term++
+				node = rng.Uint64() % MaxNodes
+				alloc = newAllocator(EpochOf(term, node), audit)
+				lastFresh = -1
+			case 1, 2, 3: // grant a block to some node (freelist first)
+				k := 1 + rng.Int63n(64)
+				r, err := alloc.grant(rng.Uint64()%8, k)
+				if err != nil {
+					t.Fatalf("seed %d: grant: %v", seed, err)
+				}
+				if r.Count != k {
+					// A freelist remainder may be shorter than asked.
+					if r.Count <= 0 || r.Count > k {
+						t.Fatalf("seed %d: grant of %d returned %d ids", seed, k, r.Count)
+					}
+				}
+				held = append(held, holding{alloc.epoch, r})
+			case 4: // fresh grant (the LIN path): strictly increasing
+				k := 1 + rng.Int63n(16)
+				r, err := alloc.grantFresh(rng.Uint64()%8, k)
+				if err != nil {
+					t.Fatalf("seed %d: grantFresh: %v", seed, err)
+				}
+				if r.First <= lastFresh {
+					t.Fatalf("seed %d: fresh grant %d not above previous %d", seed, r.First, lastFresh)
+				}
+				lastFresh = r.First + r.Count - 1
+				held = append(held, holding{alloc.epoch, r})
+			case 5, 6, 7, 8: // mint a prefix of a held block
+				if len(held) == 0 {
+					continue
+				}
+				h := &held[rng.Intn(len(held))]
+				if h.r.Count == 0 {
+					continue
+				}
+				mint(h, 1+rng.Int63n(h.r.Count))
+			case 9, 10: // graceful return of a held remainder
+				if len(held) == 0 {
+					continue
+				}
+				i := rng.Intn(len(held))
+				h := held[i]
+				held = append(held[:i], held[i+1:]...)
+				if h.r.Count == 0 {
+					continue
+				}
+				accepted := alloc.acceptReturn(h.epoch, []wire.Range{h.r})
+				if accepted && h.epoch != alloc.epoch {
+					t.Fatalf("seed %d: return from epoch %d accepted by epoch %d",
+						seed, h.epoch, alloc.epoch)
+				}
+				if !accepted && h.epoch == alloc.epoch {
+					t.Fatalf("seed %d: own-epoch return refused: %+v", seed, h.r)
+				}
+				// Refused remainders are burned: simply dropped.
+			case 11: // crash: a held block's remainder is burned
+				if len(held) == 0 {
+					continue
+				}
+				i := rng.Intn(len(held))
+				held = append(held[:i], held[i+1:]...)
+			}
+		}
+
+		// Every minted id must lie inside some audited grant whose epoch
+		// stripe contains it.
+		grants := audit.Grants()
+		for _, g := range grants {
+			base, limit := StripeBase(g.Epoch), StripeBase(g.Epoch)+StripeSize
+			if g.R.First < base || g.R.First+g.R.Count > limit {
+				t.Fatalf("seed %d: grant %+v escapes epoch %d stripe", seed, g.R, g.Epoch)
+			}
+		}
+		for id := range minted {
+			ok := false
+			for _, g := range grants {
+				if id >= g.R.First && id < g.R.First+g.R.Count {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("seed %d: minted id %d not covered by any grant", seed, id)
+			}
+		}
+	}
+}
+
+// TestEpochStripesDisjoint pins the arithmetic the no-duplicate-mint
+// argument rests on: distinct epochs own disjoint stripes, and the
+// epoch encoding is injective over (term, node).
+func TestEpochStripesDisjoint(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for term := uint64(1); term <= 3; term++ {
+		for node := uint64(0); node < 5; node++ {
+			e := EpochOf(term, node)
+			if seen[e] {
+				t.Fatalf("epoch %d reused", e)
+			}
+			seen[e] = true
+			if TermOf(e) != term || NodeOf(e) != node {
+				t.Fatalf("epoch %d decodes to (%d,%d), want (%d,%d)",
+					e, TermOf(e), NodeOf(e), term, node)
+			}
+			if StripeBase(e+1)-StripeBase(e) != StripeSize {
+				t.Fatalf("stripe %d not %d wide", e, StripeSize)
+			}
+		}
+	}
+}

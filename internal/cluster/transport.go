@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// acceptLoop serves the cluster listener until Close.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closing.Load() {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.conns = append(n.conns, c)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.handleConn(c)
+	}
+}
+
+// handleConn answers cluster RPCs on one accepted connection until the
+// peer hangs up. Every exchange is one request frame, one reply frame.
+func (n *Node) handleConn(c net.Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	br := bufio.NewReader(c)
+	buf := make([]byte, 0, 1024)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		resp := n.handle(&f)
+		resp.ID = f.ID
+		buf = buf[:0]
+		buf, err = wire.AppendFrame(buf, &resp)
+		if err != nil {
+			return
+		}
+		if _, err := c.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one cluster request under the node mutex — which
+// makes the mutex the leader's per-epoch serialization point: LIN
+// forwards, grants and membership merges all pass through it in one
+// total order.
+func (n *Node) handle(f *wire.Frame) wire.Frame {
+	switch f.Type {
+	case wire.TGossip:
+		d, err := decodeDigest(f.Data)
+		if err != nil {
+			return errorFrame(wire.ErrBadFrame)
+		}
+		n.mu.Lock()
+		now := n.cfg.Clock.Now()
+		n.ms.merge(d, now)
+		ack := n.ms.digest()
+		n.mu.Unlock()
+		return wire.Frame{Type: wire.TGossipAck, Data: ack.encode()}
+
+	case wire.TRangeRequest:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if !n.leaseLocked(n.cfg.Clock.Now()) {
+			n.cfg.Stats.NotLeader.Add(1)
+			return errorFrame(wire.ErrNotLeader)
+		}
+		r, err := n.alloc.grant(f.Node, f.K)
+		if err != nil {
+			return errorFrame(wire.ErrNoRange)
+		}
+		n.cfg.Stats.Grants.Add(1)
+		return wire.Frame{Type: wire.TRangeGrant, Epoch: n.alloc.epoch, Rs: []wire.Range{r}}
+
+	case wire.TRangeReturn:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if !n.leaseLocked(n.cfg.Clock.Now()) {
+			n.cfg.Stats.NotLeader.Add(1)
+			return errorFrame(wire.ErrNotLeader)
+		}
+		if !n.alloc.acceptReturn(f.Epoch, f.Rs) {
+			// An epoch this allocator did not grant: refuse the handoff —
+			// the remainder stays burned rather than risk a double mint.
+			return errorFrame(wire.ErrNotLeader)
+		}
+		n.cfg.Stats.Reclaims.Add(1)
+		return wire.Frame{Type: wire.TRangeGrant, Epoch: n.alloc.epoch}
+
+	case wire.TLinForward:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if !n.leaseLocked(n.cfg.Clock.Now()) {
+			n.cfg.Stats.NotLeader.Add(1)
+			return errorFrame(wire.ErrNotLeader)
+		}
+		rs, err := n.linMintLocked(f.K)
+		if err != nil {
+			return errorFrame(wire.ErrNoRange)
+		}
+		out := wire.Frame{Type: wire.TRanges, Rs: make([]wire.Range, len(rs))}
+		for i, r := range rs {
+			out.Rs[i] = wire.Range{First: r.First, Stride: r.Stride, Count: r.Count}
+		}
+		return out
+	}
+	return errorFrame(wire.ErrBadFrame)
+}
+
+// errorFrame builds the TError reply for a sentinel.
+func errorFrame(err error) wire.Frame {
+	return wire.Frame{Type: wire.TError, Code: wire.CodeOf(err), Msg: err.Error()}
+}
+
+// rpc performs one synchronous request/reply exchange with a peer: dial,
+// write, read, close. Cluster RPCs are deliberately connection-per-call —
+// each call gets its own stream with its own deterministic identity under
+// DST, and the rates involved (gossip ticks, one grant per BlockSize
+// mints, LIN forwards) don't justify a pool. The read is bounded by
+// RPCTimeout on the node's clock.
+func (n *Node) rpc(dial Dialer, addr string, req *wire.Frame) (wire.Frame, error) {
+	req.ID = 1 // one exchange per conn: ids need not disambiguate
+	c, err := dial(addr)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	defer c.Close()
+	b, err := wire.EncodeFrame(req)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if _, err := c.Write(b); err != nil {
+		return wire.Frame{}, err
+	}
+	if err := c.SetReadDeadline(n.cfg.Clock.Now().Add(n.cfg.RPCTimeout)); err != nil {
+		return wire.Frame{}, err
+	}
+	resp, err := wire.ReadFrame(bufio.NewReader(c))
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if resp.Type == wire.TError {
+		return resp, fmt.Errorf("cluster: peer %s: %w", addr, resp.Code.Err())
+	}
+	return resp, nil
+}

@@ -400,6 +400,10 @@ func classify(err error) string {
 		return "timeout"
 	case errors.Is(err, client.ErrClosed) || errors.Is(err, fault.ErrClosed):
 		return "closed"
+	case errors.Is(err, wire.ErrNotLeader):
+		return "not_leader"
+	case errors.Is(err, wire.ErrNoRange):
+		return "no_range"
 	case strings.Contains(err.Error(), "connection refused"),
 		strings.Contains(err.Error(), "connection failed"):
 		return "transport"

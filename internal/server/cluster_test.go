@@ -1,0 +1,232 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/wire"
+)
+
+// mintStub is a fallible backend in the cluster-minter mold: an atomic
+// cursor instead of a counting network, with a switch that makes every
+// mint fail the way a node cut off from its range leader would.
+type mintStub struct {
+	shape network.Shape
+	next  atomic.Int64
+	fail  atomic.Bool
+}
+
+func newMintStub(width int) *mintStub {
+	return &mintStub{shape: network.Shape{Width: width, Sinks: width}}
+}
+
+func (m *mintStub) Shape() network.Shape { return m.shape }
+
+func (m *mintStub) Inc(w int) int64 { return m.next.Add(1) - 1 }
+
+func (m *mintStub) IncBatch(w, k int) []runtime.Range {
+	first := m.next.Add(int64(k)) - int64(k)
+	return []runtime.Range{{First: first, Stride: 1, Count: int64(k)}}
+}
+
+func (m *mintStub) TryIncBatch(w, k int) ([]runtime.Range, error) {
+	if m.fail.Load() {
+		return nil, wire.ErrNoRange
+	}
+	return m.IncBatch(w, k), nil
+}
+
+// TestHelloNodeAdvertisement pins the handshake extension: a THello
+// carrying the node flag gets the advertisement appended, a plain THello
+// gets the pre-cluster reply — against the same server.
+func TestHelloNodeAdvertisement(t *testing.T) {
+	owned := []wire.Range{{First: 1 << 34, Stride: 1, Count: 4096}}
+	opt := Options{NodeInfo: func() (uint64, uint64, []wire.Range) { return 7, 1031, owned }}
+	s, _, addr := startServer(t, 4, opt)
+	c := dialT(t, addr)
+
+	c.send(wire.Frame{Type: wire.THello, ID: 1, NodeAd: true})
+	f := c.recv()
+	if f.Type != wire.TShape || !f.NodeAd || f.Node != 7 || f.Epoch != 1031 {
+		t.Fatalf("extended hello: %+v", f)
+	}
+	if len(f.Rs) != 1 || f.Rs[0] != owned[0] {
+		t.Fatalf("extended hello ranges: %+v", f.Rs)
+	}
+	if f.Shape != s.Shape() {
+		t.Fatalf("extended hello shape: %+v", f.Shape)
+	}
+
+	c.send(wire.Frame{Type: wire.THello, ID: 2})
+	if f := c.recv(); f.Type != wire.TShape || f.NodeAd || len(f.Rs) != 0 {
+		t.Fatalf("plain hello must stay pre-extension shaped: %+v", f)
+	}
+}
+
+// TestFallibleBackendShedsAndRecovers drives the fail-fast backend seam
+// through both increment paths: while the backend cannot mint, SC and
+// LIN requests are answered with the retryable no-range error (nothing
+// issued), and both paths resume once blocks are available again.
+func TestFallibleBackendShedsAndRecovers(t *testing.T) {
+	m := newMintStub(4)
+	s := New(m, Options{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	c := dialT(t, addr.String())
+
+	m.fail.Store(true)
+	c.send(wire.Frame{Type: wire.TInc, ID: 1, Wire: 0})
+	if f := c.recv(); f.Type != wire.TError || f.Code != wire.CodeNoRange {
+		t.Fatalf("SC inc while out of ranges: %+v", f)
+	}
+	c.send(wire.Frame{Type: wire.TInc, ID: 2, Wire: 0, Mode: wire.ModeLIN})
+	if f := c.recv(); f.Type != wire.TError || f.Code != wire.CodeNoRange {
+		t.Fatalf("LIN inc while out of ranges: %+v", f)
+	}
+	if got := s.Issued(); got != 0 {
+		t.Fatalf("shed requests must not count as issued, got %d", got)
+	}
+
+	m.fail.Store(false)
+	c.send(wire.Frame{Type: wire.TIncBatch, ID: 3, Wire: 0, K: 3})
+	f := c.recv()
+	if f.Type != wire.TRanges {
+		t.Fatalf("SC after recovery: %+v", f)
+	}
+	c.send(wire.Frame{Type: wire.TInc, ID: 4, Wire: 0, Mode: wire.ModeLIN})
+	if f := c.recv(); f.Type != wire.TValue {
+		t.Fatalf("LIN after recovery: %+v", f)
+	}
+	if got := s.Issued(); got != 4 {
+		t.Fatalf("issued after recovery: got %d, want 4", got)
+	}
+}
+
+// TestLINForwardHook pins the cluster forwarding seam: with LINForward
+// set, LIN increments bypass the local backend entirely and answer from
+// whatever the hook minted, while SC increments still use the backend.
+func TestLINForwardHook(t *testing.T) {
+	m := newMintStub(4)
+	var base atomic.Int64
+	base.Store(1 << 40) // cluster stripe ids: disjoint from the stub's
+	opt := Options{
+		LINForward: func(connID uint64, w, k int64) ([]runtime.Range, error) {
+			first := base.Add(k) - k
+			return []runtime.Range{{First: first, Stride: 1, Count: k}}, nil
+		},
+	}
+	s := New(m, opt)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	c := dialT(t, addr.String())
+
+	c.send(wire.Frame{Type: wire.TInc, ID: 1, Wire: 0, Mode: wire.ModeLIN})
+	if f := c.recv(); f.Type != wire.TValue || f.Value != 1<<40 {
+		t.Fatalf("forwarded LIN inc: %+v", f)
+	}
+	c.send(wire.Frame{Type: wire.TIncBatch, ID: 2, Wire: 0, K: 5, Mode: wire.ModeLIN})
+	f := c.recv()
+	if f.Type != wire.TRanges || len(f.Rs) != 1 || f.Rs[0].First != 1<<40+1 || f.Rs[0].Count != 5 {
+		t.Fatalf("forwarded LIN batch: %+v", f)
+	}
+	c.send(wire.Frame{Type: wire.TInc, ID: 3, Wire: 0})
+	if f := c.recv(); f.Type != wire.TValue || f.Value != 0 {
+		t.Fatalf("SC inc must still use the local backend: %+v", f)
+	}
+	if got := s.Issued(); got != 7 {
+		t.Fatalf("issued: got %d, want 7", got)
+	}
+}
+
+// TestCloseDrainsInFlightLINForward is the drain regression: a server
+// closed while LIN forwards are mid-flight must deliver exactly one
+// reply per request — the minted value if the forward completed, the
+// forward's error if its target died — never zero, never two.
+func TestCloseDrainsInFlightLINForward(t *testing.T) {
+	m := newMintStub(4)
+	started := make(chan uint64, 2)
+	release := make(chan struct{})
+	opt := Options{
+		LINForward: func(connID uint64, w, k int64) ([]runtime.Range, error) {
+			started <- connID
+			<-release
+			if connID == 0 {
+				// The forward target was killed under this request.
+				return nil, wire.ErrNotLeader
+			}
+			return []runtime.Range{{First: 99, Stride: 1, Count: k}}, nil
+		},
+	}
+	s := New(m, opt)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c0 := dialT(t, addr.String())
+	c1 := dialT(t, addr.String())
+	c0.send(wire.Frame{Type: wire.TInc, ID: 10, Wire: 0, Mode: wire.ModeLIN})
+	c1.send(wire.Frame{Type: wire.TInc, ID: 20, Wire: 0, Mode: wire.ModeLIN})
+	<-started
+	<-started
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close is now draining; neither forward has resolved yet. Let them.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on in-flight LIN forwards")
+	}
+
+	// Each connection: exactly one reply, then EOF — nothing lost,
+	// nothing duplicated.
+	f0 := c0.recv()
+	if f0.Type != wire.TError || f0.ID != 10 || f0.Code != wire.CodeNotLeader {
+		t.Fatalf("failed forward reply: %+v", f0)
+	}
+	assertEOF(t, c0)
+	f1 := c1.recv()
+	if f1.Type != wire.TValue || f1.ID != 20 || f1.Value != 99 {
+		t.Fatalf("completed forward reply: %+v", f1)
+	}
+	assertEOF(t, c1)
+}
+
+// assertEOF checks the server closed the connection without sending
+// another frame.
+func assertEOF(t *testing.T, c *tconn) {
+	t.Helper()
+	_ = c.nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	f, err := wire.ReadFrame(c.br)
+	if err == nil {
+		t.Fatalf("unexpected extra frame after drain: %+v", f)
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		// A reset is acceptable too; only a timeout (meaning the server
+		// left the conn open with nothing to say) would also land here,
+		// and either way no duplicate frame arrived.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatalf("connection left open after Close: %v", err)
+		}
+	}
+}

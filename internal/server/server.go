@@ -162,6 +162,19 @@ type Options struct {
 	// override for running a linearizable-by-default daemon. Clients still
 	// see their requests answered normally; they just pay LIN latency.
 	ForceLIN bool
+	// LINForward, when set, routes LIN increments through the cluster
+	// forwarding hook instead of the local linearizing section: the hook
+	// returns ranges minted at the cluster leader's serialization point,
+	// or an error that is answered as a retryable TError — exactly one
+	// reply either way. connID names the requesting connection so
+	// concurrent forwards ride independent upstream streams with stable
+	// identities (the deterministic simulation depends on that).
+	LINForward func(connID uint64, wire int64, k int64) ([]runtime.Range, error)
+	// NodeInfo, when set, is the cluster advertisement hook: a THello
+	// carrying the node flag is answered with the node id, epoch and owned
+	// ranges appended to the TShape reply. Clients that don't set the flag
+	// get the pre-extension reply, byte for byte.
+	NodeInfo func() (node uint64, epoch uint64, rs []wire.Range)
 	// Clock times mailbox residency (OpTimeout), flush deadlines and
 	// injected frame delays; nil means the wall clock. The deterministic
 	// simulation harness (internal/dst) injects its virtual clock here.
@@ -251,9 +264,18 @@ type outMsg struct {
 	mode  uint8               // traced replies: 0 = SC, 1 = LIN
 }
 
+// fallible is the optional fail-fast form of Backend.IncBatch: a backend
+// that can run out of values (the cluster minter when it is cut off from
+// the range leader) reports the condition instead of blocking a combiner,
+// and the server answers the affected requests with a retryable error.
+type fallible interface {
+	TryIncBatch(wire, k int) ([]runtime.Range, error)
+}
+
 // Server serves one Backend over TCP (and optionally UDP).
 type Server struct {
 	be    Backend
+	fb    fallible // non-nil when the backend is fail-fast capable
 	shape network.Shape
 	opt   Options
 	clk   clock.Clock
@@ -290,6 +312,11 @@ type Server struct {
 	// step). SC traffic does not take it — that is exactly the freedom SC
 	// buys.
 	linMu sync.Mutex
+	// linWg counts LIN operations in flight (local or forwarded), so Close
+	// can drain them explicitly before the out queues shut: a reader mid
+	// forward to a cluster leader is not parked in ReadFrame, where the
+	// read-deadline nudge would reach it.
+	linWg sync.WaitGroup
 }
 
 // New builds a server for be. Call Listen/Serve to accept traffic and
@@ -306,6 +333,7 @@ func New(be Backend, opt Options) *Server {
 		tmplBackpressure: wire.NewErrorTemplate(wire.ErrBackpressure),
 		tmplTimeout:      wire.NewErrorTemplate(fault.ErrTimeout),
 	}
+	s.fb, _ = be.(fallible)
 	s.flight = s.opt.Flight
 	if s.opt.TraceSample > 0 {
 		s.sampler = flightrec.NewSampler(s.opt.TraceSample, serverTraceActor)
@@ -472,6 +500,11 @@ func (s *Server) Close() error {
 		_ = c.nc.SetReadDeadline(s.clk.Now())
 	}
 	s.readerWg.Wait()
+	// Readers also execute LIN operations; wait out any still in flight
+	// (a cluster forward can outlive the deadline nudge above) so their
+	// replies are enqueued before the out queues close — a graceful drain
+	// loses no LIN reply.
+	s.linWg.Wait()
 	// Readers were the only mailbox senders; the combiners sweep the rest
 	// and exit.
 	for _, mail := range s.shards {
@@ -723,7 +756,10 @@ func (sw *sweeper) sweep(pending []req) {
 			t0 = s.clk.Now()
 		}
 		var rs []runtime.Range
-		if sw.ba != nil {
+		var sweepErr error
+		if s.fb != nil {
+			rs, sweepErr = s.fb.TryIncBatch(g.wire, int(g.total))
+		} else if sw.ba != nil {
 			sw.rsbuf = sw.ba.IncBatchAppend(sw.rsbuf[:0], g.wire, int(g.total))
 			rs = sw.rsbuf
 		} else {
@@ -731,6 +767,22 @@ func (sw *sweeper) sweep(pending []req) {
 		}
 		if timed {
 			t1 = s.clk.Now()
+		}
+		if sweepErr != nil {
+			// The backend could not mint (a cluster node cut off from its
+			// range leader): shed the whole group with a retryable error —
+			// nothing was issued, nothing is lost, clients re-issue.
+			for _, idx := range g.reqs {
+				r := live[idx]
+				s.anomaly("no_range", r.trace)
+				if r.c != nil {
+					r.c.outstanding.Add(-1)
+					r.c.trySend(errFrame(r.id, r.trace, sweepErr))
+				}
+			}
+			g.total = 0
+			g.reqs = g.reqs[:0]
+			continue
 		}
 		s.issued.Add(g.total)
 		if st != nil {
@@ -937,7 +989,15 @@ func (c *conn) process(f *wire.Frame) {
 	st := s.opt.Stats
 	switch f.Type {
 	case wire.THello:
-		c.trySend(outMsg{f: wire.Frame{Type: wire.TShape, ID: f.ID, Trace: f.Trace, Shape: s.shape}})
+		m := outMsg{f: wire.Frame{Type: wire.TShape, ID: f.ID, Trace: f.Trace, Shape: s.shape}}
+		if f.NodeAd && s.opt.NodeInfo != nil {
+			node, epoch, rs := s.opt.NodeInfo()
+			m.f.NodeAd = true
+			m.f.Node = node
+			m.f.Epoch = epoch
+			m.f.Rs = rs
+		}
+		c.trySend(m)
 	case wire.TRead:
 		c.trySend(outMsg{f: wire.Frame{Type: wire.TValue, ID: f.ID, Trace: f.Trace, Value: s.issued.Load()}})
 	case wire.TSnapshot:
@@ -1000,6 +1060,8 @@ func (c *conn) process(f *wire.Frame) {
 // real-time order — the waiting the condition demands, paid per request.
 func (c *conn) processLIN(id uint64, w int, k int64, batch bool, trace uint64) {
 	s := c.s
+	s.linWg.Add(1)
+	defer s.linWg.Done()
 	st := s.opt.Stats
 	fl := s.flight
 	timed := st != nil || (fl != nil && trace != 0)
@@ -1007,20 +1069,46 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool, trace uint64) {
 	if timed {
 		start = s.clk.Now()
 	}
-	s.linMu.Lock()
-	if timed {
-		locked = s.clk.Now()
-	}
 	var first int64
 	var rs []runtime.Range
-	if k == 1 {
-		first = s.be.Inc(w)
-	} else {
-		rs = s.be.IncBatch(w, int(k))
+	if fwd := s.opt.LINForward; fwd != nil {
+		// Cluster mode: the leader's per-epoch serialization point is the
+		// linearizing section, so the local linMu is not taken — the whole
+		// forward round trip stands in for the traversal.
+		locked = start
+		var err error
+		rs, err = fwd(uint64(c.id), int64(w), k)
+		if err != nil {
+			s.anomaly("lin_forward_failed", trace)
+			c.trySend(errFrame(id, trace, err))
+			return
+		}
 		first = rs[0].First
+		s.issued.Add(k)
+	} else {
+		s.linMu.Lock()
+		if timed {
+			locked = s.clk.Now()
+		}
+		if s.fb != nil {
+			var err error
+			rs, err = s.fb.TryIncBatch(w, int(k))
+			if err != nil {
+				s.linMu.Unlock()
+				s.anomaly("no_range", trace)
+				c.trySend(errFrame(id, trace, err))
+				return
+			}
+			first = rs[0].First
+		} else if k == 1 {
+			first = s.be.Inc(w)
+		} else {
+			rs = s.be.IncBatch(w, int(k))
+			first = rs[0].First
+		}
+		s.issued.Add(k)
+		s.linMu.Unlock()
 	}
-	s.issued.Add(k)
-	s.linMu.Unlock()
 	if timed {
 		end = s.clk.Now()
 	}
@@ -1043,7 +1131,7 @@ func (c *conn) processLIN(id uint64, w int, k int64, batch bool, trace uint64) {
 		return
 	}
 	out := make([]wire.Range, 0, len(rs))
-	if k == 1 {
+	if len(rs) == 0 {
 		out = append(out, wire.Range{First: first, Stride: 1, Count: 1})
 	}
 	for _, r := range rs {

@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func shape8() network.Shape { return network.Shape{Width: 8, Sinks: 8, Balancers: 80, Depth: 20} }
+
+// rtrip encodes f and decodes it back, failing the test on any error.
+func rtrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	b, err := EncodeFrame(&f)
+	if err != nil {
+		t.Fatalf("encode %v: %v", f.Type, err)
+	}
+	got, n, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("decode %v: %v", f.Type, err)
+	}
+	if n != len(b) {
+		t.Fatalf("decode %v consumed %d of %d bytes", f.Type, n, len(b))
+	}
+	return got
+}
+
+func TestClusterOpcodesRoundTrip(t *testing.T) {
+	rs := []Range{{First: 1 << 40, Stride: 1, Count: 2048}, {First: 7, Stride: 1, Count: 1}}
+	for _, f := range []Frame{
+		{Type: TGossip, ID: 9, Data: []byte(`{"members":[{"id":1}]}`)},
+		{Type: TGossipAck, ID: 9, Data: []byte(`{"members":[]}`)},
+		{Type: TGossip, ID: 10}, // empty digest
+		{Type: TRangeRequest, ID: 11, Node: 3, Epoch: 5<<10 | 3, K: 2048},
+		{Type: TRangeGrant, ID: 11, Epoch: 5<<10 | 1, Rs: rs},
+		{Type: TRangeGrant, ID: 12, Epoch: 1}, // rejection carries no ranges
+		{Type: TRangeReturn, ID: 13, Node: 2, Epoch: 5<<10 | 1, Rs: rs[:1]},
+		{Type: TLinForward, ID: 14, Wire: 6, K: 3, Epoch: 9<<10 | 2, Mode: ModeLIN},
+		{Type: TLinForward, ID: 15, Wire: 0, K: 1, Epoch: 0},
+	} {
+		got := rtrip(t, f)
+		want := f
+		if want.Data == nil {
+			want.Data = []byte{}
+		}
+		if got.Rs == nil {
+			got.Rs = []Range{}
+		}
+		if want.Rs == nil {
+			want.Rs = []Range{}
+		}
+		if got.Data == nil {
+			got.Data = []byte{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", f.Type, got, want)
+		}
+	}
+}
+
+func TestClusterOpcodesAreRequests(t *testing.T) {
+	for _, typ := range []Type{TGossip, TRangeRequest, TRangeReturn, TLinForward} {
+		if !typ.IsRequest() {
+			t.Errorf("%v should be a request opcode", typ)
+		}
+		b, err := EncodeFrame(&Frame{Type: typ, ID: 1})
+		if err != nil {
+			t.Fatalf("encode %v: %v", typ, err)
+		}
+		if _, _, err := PeekHeader(b); err != nil {
+			t.Errorf("PeekHeader rejects %v: %v", typ, err)
+		}
+	}
+	for _, typ := range []Type{TGossipAck, TRangeGrant} {
+		if typ.IsRequest() {
+			t.Errorf("%v should be a response opcode", typ)
+		}
+	}
+}
+
+// A THello asking for the node advertisement sets only a flag bit: the
+// payload is unchanged, so a pre-extension server that masks unknown
+// flags would still parse the request (and simply not answer the
+// extension — the flag, not the payload, carries the ask).
+func TestHelloNodeExtensionRequest(t *testing.T) {
+	plain, err := EncodeFrame(&Frame{Type: THello, ID: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asking, err := EncodeFrame(&Frame{Type: THello, ID: 42, NodeAd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(asking) {
+		t.Fatalf("node-ad flag changed the frame length: %d vs %d", len(plain), len(asking))
+	}
+	got, _, err := DecodeFrame(asking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.NodeAd {
+		t.Fatal("decoded THello lost the node-ad flag")
+	}
+	got, _, err = DecodeFrame(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeAd {
+		t.Fatal("plain THello grew a node-ad flag")
+	}
+}
+
+// A TShape without the extension must encode byte-identically to the
+// pre-extension layout — old clients keep seeing exactly the bytes they
+// always did.
+func TestShapeWithoutNodeAdIsPreExtensionLayout(t *testing.T) {
+	f := Frame{Type: TShape, ID: 7}
+	f.Shape.Width, f.Shape.Sinks, f.Shape.Balancers, f.Shape.Depth = 8, 8, 80, 20
+	b, err := EncodeFrame(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the pre-extension encoding by hand: header, plen, id,
+	// four shape uvarints, CRC. All values here are single-byte uvarints.
+	want := []byte{0x43, 0x4E, 1, byte(TShape), 0, 5, 7, 8, 8, 80, 20}
+	if !bytes.Equal(b[:len(b)-4], want) {
+		t.Fatalf("plain TShape layout changed:\n got % x\nwant % x", b[:len(b)-4], want)
+	}
+}
+
+func TestShapeNodeExtensionRoundTrip(t *testing.T) {
+	f := Frame{Type: TShape, ID: 7, NodeAd: true, Node: 2, Epoch: 3<<10 | 2,
+		Rs: []Range{{First: 100, Stride: 1, Count: 50}}}
+	f.Shape.Width = 8
+	got := rtrip(t, f)
+	if !got.NodeAd || got.Node != 2 || got.Epoch != 3<<10|2 {
+		t.Fatalf("extension fields lost: %+v", got)
+	}
+	if len(got.Rs) != 1 || got.Rs[0] != f.Rs[0] {
+		t.Fatalf("owned ranges lost: %+v", got.Rs)
+	}
+	if got.Shape != f.Shape {
+		t.Fatalf("shape fields lost: %+v", got.Shape)
+	}
+}
+
+// Old/new interop: a new server answering an old client (no flag) emits a
+// frame an old decoder accepts, and a new decoder treats the same bytes
+// identically. A TShape carrying the extension without the flag set is
+// rejected as trailing garbage — the flag is the only gate.
+func TestShapeNodeExtensionInterop(t *testing.T) {
+	// New decoder on plain bytes: no phantom extension.
+	plain, err := EncodeFrame(&Frame{Type: TShape, ID: 1, Shape: shape8()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrame(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeAd || got.Node != 0 || got.Epoch != 0 || len(got.Rs) != 0 {
+		t.Fatalf("plain TShape decoded with extension fields: %+v", got)
+	}
+
+	// Extension bytes without the flag bit: an old client's strict parser
+	// (same code path) must reject them rather than misread the shape.
+	ext, err := EncodeFrame(&Frame{Type: TShape, ID: 1, Shape: shape8(),
+		NodeAd: true, Node: 4, Epoch: 1<<10 | 4, Rs: []Range{{First: 0, Stride: 1, Count: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := append([]byte(nil), ext...)
+	stripped[4] &^= 0x04 // clear flagNode, fix the CRC
+	body := stripped[:len(stripped)-4]
+	crc := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(stripped[len(stripped)-4:], crc)
+	if _, _, err := DecodeFrame(stripped); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unflagged extension bytes decoded: %v", err)
+	}
+}

@@ -21,24 +21,34 @@
 // zigzag varints. Every payload starts with the request id, so responses
 // can be matched to pipelined requests in any order:
 //
-//	TInc       id, wire               →  TValue  id, value
-//	TIncBatch  id, wire, k            →  TRanges id, n, n×(first, stride, count)
-//	TRead      id                     →  TValue  id, issued
-//	THello     id                     →  TShape  id, width, sinks, balancers, depth
-//	TSnapshot  id                     →  TInfo   id, len, bytes (JSON)
-//	any        —                      →  TError  id, code, len, message
+//	TInc          id, wire               →  TValue  id, value
+//	TIncBatch     id, wire, k            →  TRanges id, n, n×(first, stride, count)
+//	TRead         id                     →  TValue  id, issued
+//	THello        id                     →  TShape  id, width, sinks, balancers, depth
+//	TSnapshot     id                     →  TInfo   id, len, bytes (JSON)
+//	TGossip       id, len, bytes (JSON)  →  TGossipAck  id, len, bytes (JSON)
+//	TRangeRequest id, node, epoch, k     →  TRangeGrant id, epoch, ranges
+//	TRangeReturn  id, node, epoch, ranges → TRangeGrant id, epoch, ranges
+//	TLinForward   id, wire, k, epoch     →  TRanges id, n, n×(first, stride, count)
+//	any           —                      →  TError  id, code, len, message
 //
 // The mode flag rides on every request frame: SC requests may be coalesced
 // and answered with purely local latency, LIN requests are serialized
 // through the server's linearizing section — the protocol-level form of
 // the paper's sequentially-consistent-versus-linearizable tradeoff.
+// The cluster opcodes (TGossip, TRange*, TLinForward) are spoken between
+// countd nodes on the cluster listener (internal/cluster); they reuse the
+// same framing, pools and CRC discipline as the client-facing protocol.
 //
 // The trace extension (flag bit 1) is backward compatible by
 // construction: a frame with Frame.Trace == 0 encodes to exactly the
 // pre-extension bytes, and a peer that never sets the flag never emits
 // the extra header bytes. A sampled request carries a nonzero trace id;
 // the server echoes it on the response so both sides of the RPC record
-// stage spans under one id (internal/flightrec).
+// stage spans under one id (internal/flightrec). The node-advertisement
+// extension (flag bit 2) works the same way: a THello carrying it asks
+// the server to append node-id, epoch and owned ranges to its TShape
+// reply; old peers never set the flag and see the unchanged layout.
 package wire
 
 import (
@@ -117,12 +127,20 @@ const (
 	THello    Type = 4 // ask for the served network's shape
 	TSnapshot Type = 5 // ask for the server's stats snapshot (JSON)
 
+	// Cluster requests (node-to-node, on the cluster listener).
+	TGossip       Type = 6 // membership exchange: opaque digest (JSON)
+	TRangeRequest Type = 7 // ask the leader for a fresh id block
+	TRangeReturn  Type = 8 // hand unminted remainder back to the leader
+	TLinForward   Type = 9 // forward a LIN mint to the serialization point
+
 	// Responses.
-	TValue  Type = 16 // one value (answers TInc and TRead)
-	TRanges Type = 17 // value ranges (answers TIncBatch)
-	TShape  Type = 18 // network shape (answers THello)
-	TInfo   Type = 19 // opaque bytes (answers TSnapshot)
-	TError  Type = 20 // typed failure for any request
+	TValue      Type = 16 // one value (answers TInc and TRead)
+	TRanges     Type = 17 // value ranges (answers TIncBatch and TLinForward)
+	TShape      Type = 18 // network shape (answers THello)
+	TInfo       Type = 19 // opaque bytes (answers TSnapshot)
+	TError      Type = 20 // typed failure for any request
+	TGossipAck  Type = 21 // responder's merged digest (answers TGossip)
+	TRangeGrant Type = 22 // epoch-fenced id block (answers TRangeRequest/TRangeReturn)
 )
 
 // String implements fmt.Stringer.
@@ -148,17 +166,30 @@ func (t Type) String() string {
 		return "info"
 	case TError:
 		return "error"
+	case TGossip:
+		return "gossip"
+	case TRangeRequest:
+		return "rangereq"
+	case TRangeReturn:
+		return "rangeret"
+	case TLinForward:
+		return "linfwd"
+	case TGossipAck:
+		return "gossipack"
+	case TRangeGrant:
+		return "rangegrant"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
 
 // IsRequest reports whether t is a client-to-server opcode.
-func (t Type) IsRequest() bool { return t >= TInc && t <= TSnapshot }
+func (t Type) IsRequest() bool { return t >= TInc && t <= TLinForward }
 
 // flag bits.
 const (
 	flagLIN    = 0x01 // consistency mode: 0 = SC, 1 = LIN
 	flagTraced = 0x02 // an 8-byte trace id follows the flags byte
+	flagNode   = 0x04 // cluster node-identity extension (THello asks, TShape carries)
 )
 
 // Decode failures: the frame bytes themselves are unusable.
@@ -181,6 +212,13 @@ var (
 	// ErrBackpressure reports a request the server refused because its
 	// request queue was full — retry after backoff.
 	ErrBackpressure = errors.New("wire: server queue full")
+	// ErrNotLeader reports a cluster request that needed the leader's
+	// serialization point but reached a node that is not (or no longer)
+	// the leader — refresh the membership view and retry.
+	ErrNotLeader = errors.New("wire: node is not the cluster leader")
+	// ErrNoRange reports a mint the node had to refuse because it owns no
+	// unminted id range and could not obtain one — retry after backoff.
+	ErrNoRange = errors.New("wire: node owns no unminted id range")
 )
 
 // ErrCode is a service failure's code on the wire.
@@ -192,6 +230,8 @@ const (
 	CodeBackpressure ErrCode = 3
 	CodeTimeout      ErrCode = 4
 	CodeClosed       ErrCode = 5
+	CodeNotLeader    ErrCode = 6
+	CodeNoRange      ErrCode = 7
 )
 
 // Err converts a code back into its sentinel error.
@@ -207,6 +247,10 @@ func (c ErrCode) Err() error {
 		return fault.ErrClosed
 	case CodeBadRequest:
 		return ErrBadFrame
+	case CodeNotLeader:
+		return ErrNotLeader
+	case CodeNoRange:
+		return ErrNoRange
 	}
 	return fmt.Errorf("wire: server error code %d", uint8(c))
 }
@@ -223,6 +267,10 @@ func CodeOf(err error) ErrCode {
 		return CodeTimeout
 	case errors.Is(err, fault.ErrClosed):
 		return CodeClosed
+	case errors.Is(err, ErrNotLeader):
+		return CodeNotLeader
+	case errors.Is(err, ErrNoRange):
+		return CodeNoRange
 	}
 	return CodeBadRequest
 }
@@ -248,14 +296,24 @@ type Frame struct {
 	// echoed by the server on the response.
 	Trace uint64
 
-	Wire  int64         // TInc, TIncBatch
-	K     int64         // TIncBatch
+	Wire  int64         // TInc, TIncBatch, TLinForward
+	K     int64         // TIncBatch, TLinForward
 	Value int64         // TValue
-	Rs    []Range       // TRanges
+	Rs    []Range       // TRanges; TShape/TRangeRequest/TRangeReturn/TRangeGrant owned ranges
 	Shape network.Shape // TShape
 	Code  ErrCode       // TError
 	Msg   string        // TError
-	Data  []byte        // TInfo
+	Data  []byte        // TInfo, TGossip, TGossipAck
+
+	// Cluster node-identity fields. On TGossip/TRange*/TLinForward frames
+	// they are part of the fixed payload. On THello/TShape they are the
+	// flag-gated node-advertisement extension: NodeAd on a THello asks the
+	// server to advertise its cluster identity, NodeAd on the TShape reply
+	// means Node/Epoch/Rs carry it. Old peers never set the flag and so
+	// never see the extra bytes (the pre-extension layout is unchanged).
+	NodeAd bool
+	Node   uint64 // minting node id
+	Epoch  uint64 // epoch fencing the advertised/granted ranges
 }
 
 // uvarintLen is the encoded size of v as a uvarint.
@@ -289,22 +347,62 @@ func payloadSize(f *Frame) (int, error) {
 	case TValue:
 		n += varintLen(f.Value)
 	case TRanges:
-		n += uvarintLen(uint64(len(f.Rs)))
-		for _, r := range f.Rs {
-			if r.Stride < 0 || r.Count < 0 {
-				return 0, fmt.Errorf("%w: negative range stride/count", ErrBadFrame)
-			}
-			n += varintLen(r.First) + uvarintLen(uint64(r.Stride)) + uvarintLen(uint64(r.Count))
+		rn, err := rangesSize(f.Rs)
+		if err != nil {
+			return 0, err
 		}
+		n += rn
 	case TShape:
 		n += uvarintLen(uint64(f.Shape.Width)) + uvarintLen(uint64(f.Shape.Sinks)) +
 			uvarintLen(uint64(f.Shape.Balancers)) + uvarintLen(uint64(f.Shape.Depth))
-	case TInfo:
+		if f.NodeAd {
+			rn, err := rangesSize(f.Rs)
+			if err != nil {
+				return 0, err
+			}
+			n += uvarintLen(f.Node) + uvarintLen(f.Epoch) + rn
+		}
+	case TInfo, TGossip, TGossipAck:
 		n += uvarintLen(uint64(len(f.Data))) + len(f.Data)
 	case TError:
 		n += uvarintLen(uint64(f.Code)) + uvarintLen(uint64(len(f.Msg))) + len(f.Msg)
+	case TRangeRequest:
+		if f.K < 0 {
+			return 0, fmt.Errorf("%w: negative range request %d", ErrBadFrame, f.K)
+		}
+		n += uvarintLen(f.Node) + uvarintLen(f.Epoch) + uvarintLen(uint64(f.K))
+	case TRangeGrant:
+		rn, err := rangesSize(f.Rs)
+		if err != nil {
+			return 0, err
+		}
+		n += uvarintLen(f.Epoch) + rn
+	case TRangeReturn:
+		rn, err := rangesSize(f.Rs)
+		if err != nil {
+			return 0, err
+		}
+		n += uvarintLen(f.Node) + uvarintLen(f.Epoch) + rn
+	case TLinForward:
+		if f.K < 0 {
+			return 0, fmt.Errorf("%w: negative batch size %d", ErrBadFrame, f.K)
+		}
+		n += varintLen(f.Wire) + uvarintLen(uint64(f.K)) + uvarintLen(f.Epoch)
 	default:
 		return 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, f.Type)
+	}
+	return n, nil
+}
+
+// rangesSize is the encoded size of a range vector (count + triples),
+// carrying the encoder-side validation for every range-bearing frame.
+func rangesSize(rs []Range) (int, error) {
+	n := uvarintLen(uint64(len(rs)))
+	for _, r := range rs {
+		if r.Stride < 0 || r.Count < 0 {
+			return 0, fmt.Errorf("%w: negative range stride/count", ErrBadFrame)
+		}
+		n += varintLen(r.First) + uvarintLen(uint64(r.Stride)) + uvarintLen(uint64(r.Count))
 	}
 	return n, nil
 }
@@ -328,6 +426,9 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	}
 	if f.Trace != 0 {
 		flags |= flagTraced
+	}
+	if f.NodeAd {
+		flags |= flagNode
 	}
 	dst = append(dst, magic0, magic1, Version, byte(f.Type), flags)
 	if f.Trace != 0 {
@@ -357,24 +458,51 @@ func appendPayload(p []byte, f *Frame) []byte {
 	case TValue:
 		p = binary.AppendVarint(p, f.Value)
 	case TRanges:
-		p = binary.AppendUvarint(p, uint64(len(f.Rs)))
-		for _, r := range f.Rs {
-			p = binary.AppendVarint(p, r.First)
-			p = binary.AppendUvarint(p, uint64(r.Stride))
-			p = binary.AppendUvarint(p, uint64(r.Count))
-		}
+		p = appendRanges(p, f.Rs)
 	case TShape:
 		p = binary.AppendUvarint(p, uint64(f.Shape.Width))
 		p = binary.AppendUvarint(p, uint64(f.Shape.Sinks))
 		p = binary.AppendUvarint(p, uint64(f.Shape.Balancers))
 		p = binary.AppendUvarint(p, uint64(f.Shape.Depth))
-	case TInfo:
+		if f.NodeAd {
+			p = binary.AppendUvarint(p, f.Node)
+			p = binary.AppendUvarint(p, f.Epoch)
+			p = appendRanges(p, f.Rs)
+		}
+	case TInfo, TGossip, TGossipAck:
 		p = binary.AppendUvarint(p, uint64(len(f.Data)))
 		p = append(p, f.Data...)
+	case TRangeRequest:
+		p = binary.AppendUvarint(p, f.Node)
+		p = binary.AppendUvarint(p, f.Epoch)
+		p = binary.AppendUvarint(p, uint64(f.K))
+	case TRangeGrant:
+		p = binary.AppendUvarint(p, f.Epoch)
+		p = appendRanges(p, f.Rs)
+	case TRangeReturn:
+		p = binary.AppendUvarint(p, f.Node)
+		p = binary.AppendUvarint(p, f.Epoch)
+		p = appendRanges(p, f.Rs)
+	case TLinForward:
+		p = binary.AppendVarint(p, f.Wire)
+		p = binary.AppendUvarint(p, uint64(f.K))
+		p = binary.AppendUvarint(p, f.Epoch)
 	case TError:
 		p = binary.AppendUvarint(p, uint64(f.Code))
 		p = binary.AppendUvarint(p, uint64(len(f.Msg)))
 		p = append(p, f.Msg...)
+	}
+	return p
+}
+
+// appendRanges writes a range vector (count + triples). Validation already
+// happened in rangesSize.
+func appendRanges(p []byte, rs []Range) []byte {
+	p = binary.AppendUvarint(p, uint64(len(rs)))
+	for _, r := range rs {
+		p = binary.AppendVarint(p, r.First)
+		p = binary.AppendUvarint(p, uint64(r.Stride))
+		p = binary.AppendUvarint(p, uint64(r.Count))
 	}
 	return p
 }
@@ -496,6 +624,7 @@ func DecodeInto(f *Frame, b []byte) (int, error) {
 	if b[4]&flagLIN != 0 {
 		f.Mode = ModeLIN
 	}
+	f.NodeAd = b[4]&flagNode != 0
 	hdr := headerSize
 	if b[4]&flagTraced != 0 {
 		if len(b) < headerSize+traceSize {
@@ -550,35 +679,8 @@ func parsePayload(f *Frame, p []byte) error {
 	case TValue:
 		f.Value, p, err = getVarint(p)
 	case TRanges:
-		var n uint64
-		if n, p, err = getUvarint(p); err != nil {
+		if p, err = parseRanges(f, p); err != nil {
 			return err
-		}
-		// Each range is at least 3 payload bytes; reject count claims the
-		// remaining payload cannot possibly hold.
-		if n > uint64(len(p)) {
-			return fmt.Errorf("%w: %d ranges in %d bytes", ErrBadFrame, n, len(p))
-		}
-		if cap(f.Rs) >= int(n) {
-			f.Rs = f.Rs[:n]
-		} else {
-			f.Rs = make([]Range, n)
-		}
-		for i := range f.Rs {
-			var s, c uint64
-			if f.Rs[i].First, p, err = getVarint(p); err != nil {
-				return err
-			}
-			if s, p, err = getUvarint(p); err != nil {
-				return err
-			}
-			if c, p, err = getUvarint(p); err != nil {
-				return err
-			}
-			f.Rs[i].Stride, f.Rs[i].Count = int64(s), int64(c)
-			if f.Rs[i].Stride < 0 || f.Rs[i].Count < 0 {
-				return fmt.Errorf("%w: range overflow", ErrBadFrame)
-			}
 		}
 	case TShape:
 		var w, s, nb, d uint64
@@ -599,7 +701,62 @@ func parsePayload(f *Frame, p []byte) error {
 			return fmt.Errorf("%w: absurd shape", ErrBadFrame)
 		}
 		f.Shape = network.Shape{Width: int(w), Sinks: int(s), Balancers: int(nb), Depth: int(d)}
-	case TInfo:
+		if f.NodeAd {
+			if f.Node, p, err = getUvarint(p); err != nil {
+				return err
+			}
+			if f.Epoch, p, err = getUvarint(p); err != nil {
+				return err
+			}
+			if p, err = parseRanges(f, p); err != nil {
+				return err
+			}
+		}
+	case TRangeRequest:
+		if f.Node, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if f.Epoch, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		var k uint64
+		if k, p, err = getUvarint(p); err == nil {
+			if k > uint64(1)<<32 {
+				return fmt.Errorf("%w: range request %d", ErrBadFrame, k)
+			}
+			f.K = int64(k)
+		}
+	case TRangeGrant:
+		if f.Epoch, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if p, err = parseRanges(f, p); err != nil {
+			return err
+		}
+	case TRangeReturn:
+		if f.Node, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if f.Epoch, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if p, err = parseRanges(f, p); err != nil {
+			return err
+		}
+	case TLinForward:
+		if f.Wire, p, err = getVarint(p); err != nil {
+			return err
+		}
+		var k uint64
+		if k, p, err = getUvarint(p); err != nil {
+			return err
+		}
+		if k > uint64(1)<<32 {
+			return fmt.Errorf("%w: batch size %d", ErrBadFrame, k)
+		}
+		f.K = int64(k)
+		f.Epoch, p, err = getUvarint(p)
+	case TInfo, TGossip, TGossipAck:
 		var n uint64
 		if n, p, err = getUvarint(p); err != nil {
 			return err
@@ -636,6 +793,42 @@ func parsePayload(f *Frame, p []byte) error {
 		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, len(p))
 	}
 	return nil
+}
+
+// parseRanges reads a range vector (count + triples) into f.Rs, reusing
+// its capacity, and returns the remaining payload bytes.
+func parseRanges(f *Frame, p []byte) ([]byte, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return p, err
+	}
+	// Each range is at least 3 payload bytes; reject count claims the
+	// remaining payload cannot possibly hold.
+	if n > uint64(len(p)) {
+		return p, fmt.Errorf("%w: %d ranges in %d bytes", ErrBadFrame, n, len(p))
+	}
+	if cap(f.Rs) >= int(n) {
+		f.Rs = f.Rs[:n]
+	} else {
+		f.Rs = make([]Range, n)
+	}
+	for i := range f.Rs {
+		var s, c uint64
+		if f.Rs[i].First, p, err = getVarint(p); err != nil {
+			return p, err
+		}
+		if s, p, err = getUvarint(p); err != nil {
+			return p, err
+		}
+		if c, p, err = getUvarint(p); err != nil {
+			return p, err
+		}
+		f.Rs[i].Stride, f.Rs[i].Count = int64(s), int64(c)
+		if f.Rs[i].Stride < 0 || f.Rs[i].Count < 0 {
+			return p, fmt.Errorf("%w: range overflow", ErrBadFrame)
+		}
+	}
+	return p, nil
 }
 
 func getUvarint(p []byte) (uint64, []byte, error) {

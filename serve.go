@@ -31,6 +31,9 @@ type (
 	NetworkShape = network.Shape
 	// Server serves a compiled network over TCP/UDP.
 	Server = server.Server
+	// ServerBackend is the counting object a Server serves: a compiled
+	// Network, or a cluster node's block Minter (cmd/countd -cluster-listen).
+	ServerBackend = server.Backend
 	// ServerOptions tunes the server's queues, timeouts and fault seam.
 	ServerOptions = server.Options
 	// ServerFlushPolicy tunes the response writer's adaptive flush batching.
