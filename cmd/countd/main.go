@@ -128,11 +128,15 @@ func main() {
 	flag.StringVar(&o.flOut, "flight-out", "", "write the flight recorder's black box to this file on each anomaly burst and at exit (empty: off)")
 	flag.StringVar(&o.clListen, "cluster-listen", "", "cluster transport address; joins this daemon to a multi-node counting cluster (empty: standalone)")
 	flag.StringVar(&o.join, "join", "", "comma-separated cluster addresses to gossip with (this node's own -cluster-listen may be included)")
-	flag.Uint64Var(&o.nodeID, "node-id", 0, "cluster node id, unique across the cluster")
+	flag.Uint64Var(&o.nodeID, "node-id", 0, "cluster node id, unique across the cluster, >= 1 (required with -cluster-listen)")
 	flag.Parse()
 
 	if o.clListen == "" && (o.join != "" || o.nodeID != 0) {
 		fmt.Fprintln(os.Stderr, "countd: -join/-node-id need -cluster-listen")
+		os.Exit(2)
+	}
+	if o.clListen != "" && o.nodeID == 0 {
+		fmt.Fprintln(os.Stderr, "countd: -cluster-listen needs -node-id >= 1 (id 0 is the wire's no-node sentinel)")
 		os.Exit(2)
 	}
 	if o.clListen != "" && o.sim != 0 {
@@ -306,6 +310,7 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if node != nil {
 		sopt.LINForward = node.ForwardLIN
 		sopt.NodeInfo = node.Advertise
+		sopt.ConnClosed = node.ReleaseConn
 	}
 	srv := countingnet.NewServer(backend, sopt)
 	defer srv.Close()

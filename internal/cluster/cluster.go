@@ -59,8 +59,9 @@ import (
 // different elections or different nodes are distinct integers, and each
 // epoch owns the id stripe [epoch<<StripeShift, (epoch+1)<<StripeShift).
 const (
-	// MaxNodes bounds node ids (0 <= id < MaxNodes) so the epoch encoding
-	// term*MaxNodes+id is injective.
+	// MaxNodes bounds node ids (1 <= id < MaxNodes; 0 is the wire's
+	// no-node sentinel) so the epoch encoding term*MaxNodes+id is
+	// injective.
 	MaxNodes = 1 << 10
 	// StripeShift sizes an epoch's id stripe (2^34 ids ≈ 17 billion mints
 	// per election term per node before a stripe could exhaust).
@@ -96,7 +97,9 @@ type Dialer func(addr string) (net.Conn, error)
 
 // Config assembles a cluster node.
 type Config struct {
-	// NodeID is this node's id, unique in the cluster, < MaxNodes.
+	// NodeID is this node's id, unique in the cluster, in [1, MaxNodes).
+	// Id 0 is reserved: the gossip wire uses it as the no-node sentinel
+	// (a digest's From and a claim's Leader are 0 only when absent).
 	NodeID uint64
 	// Addr is the cluster address this node advertises to its peers.
 	Addr string
@@ -155,8 +158,9 @@ type Config struct {
 
 // withDefaults validates cfg and fills the documented defaults.
 func (cfg Config) withDefaults() (Config, error) {
-	if cfg.NodeID >= MaxNodes {
-		return cfg, fmt.Errorf("cluster: node id %d out of range (max %d)", cfg.NodeID, MaxNodes-1)
+	if cfg.NodeID == 0 || cfg.NodeID >= MaxNodes {
+		return cfg, fmt.Errorf("cluster: node id %d out of range (1..%d; 0 is the wire's no-node sentinel)",
+			cfg.NodeID, MaxNodes-1)
 	}
 	if cfg.Addr == "" {
 		return cfg, fmt.Errorf("cluster: missing advertised cluster address")

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"net"
 	"sort"
 	"testing"
@@ -288,6 +289,105 @@ func TestClusterKillRejoinNoDuplicates(t *testing.T) {
 		mintFrom(nd, 50)
 	}
 	assertUnique(t, ids)
+}
+
+// TestTransportPrunesClosedConns: cluster RPCs are connection-per-call,
+// so every handled conn must leave the node's live set when its peer
+// hangs up — a long-running leader would otherwise retain one dead conn
+// per RPC ever served.
+func TestTransportPrunesClosedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := Start(Config{
+		NodeID: 1,
+		Addr:   ln.Addr().String(),
+		Listen: func(string) (net.Listener, error) { return ln, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nd.Kill() })
+
+	// Several full RPC exchanges, each hanging up afterwards, the way
+	// every gossip/grant/forward caller does.
+	d := digest{From: 2, Members: []Member{{ID: 2, Addr: "peer", Incarnation: 1, Beat: 1}}}
+	for i := 0; i < 8; i++ {
+		c, err := net.Dial("tcp", nd.cfg.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wire.EncodeFrame(&wire.Frame{Type: wire.TGossip, ID: 1, Data: d.encode()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wire.ReadFrame(bufio.NewReader(c)); err != nil {
+			t.Fatalf("gossip ack: %v", err)
+		}
+		_ = c.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nd.mu.Lock()
+		live := len(nd.conns)
+		nd.mu.Unlock()
+		if live == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d transport conns still tracked after every peer hung up", live)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReleaseConnEvictsForwardDialer: forwarding LIN caches one dialer
+// per server connection; the serving layer's ConnClosed hook
+// (ReleaseConn) must evict the entry, or client churn grows the cache
+// without bound.
+func TestReleaseConnEvictsForwardDialer(t *testing.T) {
+	nodes, _ := startCluster(t, 3)
+	var follower *Node
+	for _, nd := range nodes {
+		if !nd.IsLeader() {
+			follower = nd
+			break
+		}
+	}
+	if follower == nil {
+		t.Fatal("no follower")
+	}
+
+	const connID = 42
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if _, err = follower.ForwardLIN(connID, 0, 1); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("forward LIN: %v", err)
+	}
+	follower.mu.Lock()
+	_, cached := follower.fwdDial[connID]
+	follower.mu.Unlock()
+	if !cached {
+		t.Fatalf("forward via conn %d cached no dialer", connID)
+	}
+
+	follower.ReleaseConn(connID)
+	follower.mu.Lock()
+	left := len(follower.fwdDial)
+	follower.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d forward dialers still cached after ReleaseConn", left)
+	}
 }
 
 // TestAdvertise pins the Hello-extension hook's contents.

@@ -47,21 +47,29 @@ func (m Member) newer(o Member) bool {
 }
 
 // claim is a leadership assertion carried on every gossip digest. The
-// highest term wins; a tie goes to the lower node id (both rules are
-// deterministic, so every node converges on the same leader view given
-// the same information).
+// highest term wins; a same-term tie goes to the HIGHER node id. Both
+// rules are deterministic, so every node converges on the same leader
+// view given the same information — but the tie direction is not a free
+// choice: claim order must agree with epoch order (an epoch is
+// term*MaxNodes+id, so a higher term or a same-term-higher-id both mean
+// a strictly higher epoch). Two partitioned nodes can start the same
+// term independently; whichever claim ultimately supersedes must mint
+// LIN from a stripe above anything the other may already have served,
+// or cluster-wide LIN would step backwards. Tying toward the lower id
+// would hand the superseding lease the LOWER stripe — epoch regression.
 type claim struct {
 	Term   uint64 `json:"term"`
 	Leader uint64 `json:"leader"`
 	Addr   string `json:"addr"` // the leader's cluster address
 }
 
-// better reports whether c supersedes o.
+// better reports whether c supersedes o. The order is exactly epoch
+// order on (Term, Leader) — see the type comment for why.
 func (c claim) better(o claim) bool {
 	if c.Term != o.Term {
 		return c.Term > o.Term
 	}
-	return c.Leader < o.Leader
+	return c.Leader > o.Leader
 }
 
 // digest is the JSON body of TGossip and TGossipAck frames: the sender's
@@ -143,7 +151,10 @@ func (ms *membership) merge(d digest, now time.Time) bool {
 	}
 	if d.From != 0 && d.From != ms.self {
 		// The digest is the sender's own statement of its leadership view:
-		// a direct endorsement of d.Claim, restated or begun now.
+		// a direct endorsement of d.Claim, restated or begun now. From 0
+		// never names a real node — id 0 is reserved as the wire's no-node
+		// sentinel (Config rejects it) — so a zero From is a malformed
+		// digest and endorses nothing.
 		if e, ok := ms.endorse[d.From]; ok && e.c == d.Claim {
 			e.last = now
 			ms.endorse[d.From] = e

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClaimOrderAgreesWithEpochOrder pins the property the leadership
+// tie-break exists for: claim.better is exactly epoch order on
+// (Term, Leader). If the two orders ever diverge, a superseding claim
+// could mature a lease over a LOWER stripe than its predecessor minted
+// LIN from, and cluster-wide LIN would step backwards.
+func TestClaimOrderAgreesWithEpochOrder(t *testing.T) {
+	var claims []claim
+	for term := uint64(1); term <= 3; term++ {
+		for id := uint64(1); id <= 3; id++ {
+			claims = append(claims, claim{Term: term, Leader: id})
+		}
+	}
+	for _, a := range claims {
+		for _, b := range claims {
+			want := EpochOf(a.Term, a.Leader) > EpochOf(b.Term, b.Leader)
+			if got := a.better(b); got != want {
+				t.Errorf("claim (t%d,n%d).better(t%d,n%d) = %v, want %v (epochs %d vs %d)",
+					a.Term, a.Leader, b.Term, b.Leader, got, want,
+					EpochOf(a.Term, a.Leader), EpochOf(b.Term, b.Leader))
+			}
+		}
+	}
+}
+
+// TestSameTermRejoinCannotRegressEpoch is the split-brain regression:
+// node 1 elects term 7 but is partitioned before its claim gossips;
+// node 2 independently elects the same term 7, matures, and serves LIN
+// from stripe EpochOf(7,2). When node 1 rejoins, its claim (7,1) must
+// NOT supersede (7,2) — a lease built on it would mint LIN from the
+// lower stripe EpochOf(7,1), below ids already served. The reverse
+// direction (a higher-id same-term claim arriving) must supersede, onto
+// a strictly higher stripe.
+func TestSameTermRejoinCannotRegressEpoch(t *testing.T) {
+	now := time.Unix(0, 0)
+	ms := newMembership(Member{ID: 3, Addr: "c"}, now, time.Second, 3*time.Second)
+	ms.claim = claim{Term: 7, Leader: 2, Addr: "b"}
+
+	ms.merge(digest{
+		From:    1,
+		Members: []Member{{ID: 1, Addr: "a", Incarnation: 1, Beat: 1}},
+		Claim:   claim{Term: 7, Leader: 1, Addr: "a"},
+	}, now)
+	if ms.claim.Leader != 2 || ms.claim.Term != 7 {
+		t.Fatalf("rejoining same-term lower id superseded the serving leader: claim %+v", ms.claim)
+	}
+
+	before := EpochOf(ms.claim.Term, ms.claim.Leader)
+	ms.merge(digest{
+		From:    4,
+		Members: []Member{{ID: 4, Addr: "d", Incarnation: 1, Beat: 1}},
+		Claim:   claim{Term: 7, Leader: 4, Addr: "d"},
+	}, now)
+	if ms.claim.Leader != 4 {
+		t.Fatalf("same-term higher id must supersede: claim %+v", ms.claim)
+	}
+	if after := EpochOf(ms.claim.Term, ms.claim.Leader); after <= before {
+		t.Fatalf("superseding claim regressed the epoch: %d -> %d", before, after)
+	}
+}
+
+// TestConfigRejectsNodeIDZero: id 0 is the gossip wire's no-node
+// sentinel (a digest's From and a claim's Leader are 0 only when
+// absent), so a real node must not carry it — its endorsements would be
+// silently dropped and a leader needing it for quorum would lose the
+// lease despite a live majority.
+func TestConfigRejectsNodeIDZero(t *testing.T) {
+	_, err := Config{NodeID: 0, Addr: "127.0.0.1:0"}.withDefaults()
+	if err == nil {
+		t.Fatal("Config with NodeID 0 accepted; 0 is reserved as the wire's no-node sentinel")
+	}
+}

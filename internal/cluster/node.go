@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,12 +24,18 @@ type Node struct {
 
 	mu        sync.Mutex
 	ms        *membership
-	alloc     *allocator        // non-nil while this node claims leadership
-	electedAt time.Time         // when this node started its current term
-	linBlk    block             // leader-side LIN cursor (fresh-frontier blocks only)
-	seeds     []string          // contact addresses, self excluded
-	conns     []net.Conn        // accepted transport conns, in accept order
-	fwdDial   map[uint64]Dialer // per-server-connection forward dialers
+	alloc     *allocator // non-nil while this node claims leadership
+	electedAt time.Time  // when this node started its current term
+	linBlk    block      // leader-side LIN cursor (fresh-frontier blocks only)
+	seeds     []string   // contact addresses, self excluded
+	// conns tracks the live accepted transport conns, keyed by accept
+	// ordinal; handleConn deletes its entry on exit, so a long-running
+	// node does not retain one dead conn per connection-per-call RPC
+	// ever served. The ordinal keys keep shutdown's close order
+	// deterministic (nothing iterates a map in arbitrary order).
+	conns   map[uint64]net.Conn
+	connSeq uint64
+	fwdDial map[uint64]Dialer // per-server-connection forward dialers
 
 	rangeMu sync.Mutex // serializes grant RPCs (refill + prefetch share one lane)
 
@@ -50,6 +57,7 @@ func Start(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:     cfg,
 		closed:  make(chan struct{}),
+		conns:   make(map[uint64]net.Conn),
 		fwdDial: make(map[uint64]Dialer),
 	}
 	for _, s := range cfg.Seeds {
@@ -406,7 +414,9 @@ func (n *Node) ForwardLIN(connID uint64, wireID int64, k int64) ([]runtime.Range
 // dialer returns the configured dialer for a lane.
 func (n *Node) dialer(lane Lane, key uint64) Dialer { return n.cfg.Dial(lane, key) }
 
-// fwdDialer caches one forward dialer per server connection.
+// fwdDialer caches one forward dialer per server connection. The
+// serving layer releases the entry when the connection closes
+// (ReleaseConn), so the cache is bounded by the live connection count.
 func (n *Node) fwdDialer(connID uint64) Dialer {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -416,6 +426,16 @@ func (n *Node) fwdDialer(connID uint64) Dialer {
 		n.fwdDial[connID] = d
 	}
 	return d
+}
+
+// ReleaseConn drops the forward-dialer cache entry for one server
+// connection. The serving layer calls it as its connection-closed hook
+// (server Options.ConnClosed), so client churn cannot grow the cache
+// without bound.
+func (n *Node) ReleaseConn(connID uint64) {
+	n.mu.Lock()
+	delete(n.fwdDial, connID)
+	n.mu.Unlock()
 }
 
 // Close shuts the node down gracefully: stop gossiping, hand unminted
@@ -469,7 +489,15 @@ func (n *Node) Kill() error {
 func (n *Node) shutdownTransport() error {
 	err := n.ln.Close()
 	n.mu.Lock()
-	conns := append([]net.Conn(nil), n.conns...)
+	ids := make([]uint64, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	conns := make([]net.Conn, len(ids))
+	for i, id := range ids {
+		conns[i] = n.conns[id]
+	}
 	n.mu.Unlock()
 	for _, c := range conns {
 		c.Close()

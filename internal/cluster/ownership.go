@@ -255,19 +255,6 @@ func (m *Minter) maybePrefetchLocked() {
 	}()
 }
 
-// install seeds the minter with a granted block (used at node start so
-// the first mints need no RPC).
-func (m *Minter) install(r wire.Range, epoch uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b := block{next: r.First, end: r.First + r.Count, epoch: epoch}
-	if m.cur.remaining() == 0 {
-		m.cur = b
-	} else {
-		m.nxt = b
-	}
-}
-
 // epochRanges is one grant epoch's unminted remainder.
 type epochRanges struct {
 	epoch uint64

@@ -22,18 +22,28 @@ func (n *Node) acceptLoop() {
 			c.Close()
 			return
 		}
-		n.conns = append(n.conns, c)
+		id := n.connSeq
+		n.connSeq++
+		n.conns[id] = c
 		n.mu.Unlock()
 		n.wg.Add(1)
-		go n.handleConn(c)
+		go n.handleConn(id, c)
 	}
 }
 
 // handleConn answers cluster RPCs on one accepted connection until the
-// peer hangs up. Every exchange is one request frame, one reply frame.
-func (n *Node) handleConn(c net.Conn) {
+// peer hangs up, then drops the conn from the node's live set (cluster
+// RPCs are connection-per-call, so entries that outlive their handler
+// would accumulate one per RPC ever served). Every exchange is one
+// request frame, one reply frame.
+func (n *Node) handleConn(id uint64, c net.Conn) {
 	defer n.wg.Done()
-	defer c.Close()
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.conns, id)
+		n.mu.Unlock()
+	}()
 	br := bufio.NewReader(c)
 	buf := make([]byte, 0, 1024)
 	for {

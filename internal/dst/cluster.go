@@ -282,6 +282,7 @@ func startSimNode(w *World, sc *ClusterScenario, i, gen int, audit *cluster.Audi
 		Clock:      w.Clk,
 		LINForward: nd.ForwardLIN,
 		NodeInfo:   nd.Advertise,
+		ConnClosed: nd.ReleaseConn,
 	})
 	go srv.Serve(w.Listen(clusterSrvAddr(i)))
 	return &simNode{idx: i, gen: gen, nd: nd, srv: srv, stats: stats, alive: true}, nil

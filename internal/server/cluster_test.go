@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -209,6 +210,57 @@ func TestCloseDrainsInFlightLINForward(t *testing.T) {
 		t.Fatalf("completed forward reply: %+v", f1)
 	}
 	assertEOF(t, c1)
+}
+
+// TestConnClosedHookFires pins the cluster release seam: when a client
+// disconnects, the server must notify ConnClosed exactly once with that
+// connection's id — the hook cluster mode uses to drop per-connection
+// forward state (without it the node retains one cache entry per
+// connection ever served).
+func TestConnClosedHookFires(t *testing.T) {
+	m := newMintStub(4)
+	var mu sync.Mutex
+	var released []uint64
+	opt := Options{ConnClosed: func(id uint64) {
+		mu.Lock()
+		released = append(released, id)
+		mu.Unlock()
+	}}
+	s := New(m, opt)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	c := dialT(t, addr.String())
+	c.send(wire.Frame{Type: wire.TInc, ID: 1, Wire: 0})
+	if f := c.recv(); f.Type != wire.TValue {
+		t.Fatalf("inc: %+v", f)
+	}
+	_ = c.nc.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(released)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ConnClosed never fired after the client disconnected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Give a duplicate a moment to surface, then pin exactly-once with
+	// the abandoned connection's id.
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(released) != 1 || released[0] != 0 {
+		t.Fatalf("ConnClosed calls %v, want exactly one for conn 0", released)
+	}
 }
 
 // assertEOF checks the server closed the connection without sending

@@ -170,6 +170,13 @@ type Options struct {
 	// concurrent forwards ride independent upstream streams with stable
 	// identities (the deterministic simulation depends on that).
 	LINForward func(connID uint64, wire int64, k int64) ([]runtime.Range, error)
+	// ConnClosed, when set, is notified once with a connection's id after
+	// that connection is abandoned (client disconnect, protocol violation,
+	// response-queue overflow). Cluster mode uses it to release the
+	// per-connection forward state LINForward accumulated
+	// (cluster.Node.ReleaseConn); without it the node would retain one
+	// cache entry per connection ever served.
+	ConnClosed func(connID uint64)
 	// NodeInfo, when set, is the cluster advertisement hook: a THello
 	// carrying the node flag is answered with the node id, epoch and owned
 	// ranges appended to the TShape reply. Clients that don't set the flag
@@ -537,6 +544,9 @@ func (s *Server) removeConn(c *conn) {
 	if present {
 		if st := s.opt.Stats; st != nil {
 			st.connsActive.Add(-1)
+		}
+		if cc := s.opt.ConnClosed; cc != nil {
+			cc(uint64(c.id))
 		}
 	}
 }
