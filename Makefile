@@ -76,12 +76,14 @@ netsmoke:
 # at sendmmsg batch 1, 16 and 64; throughput rows merge into
 # BENCH_throughput.json under Countload/udp/. Mirrors the CI job.
 udpsmoke:
-	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9711 -udp 127.0.0.1:9712 -duration 12s & \
+	$(GO) run ./cmd/countd -w 8 -listen 127.0.0.1:9711 -udp 127.0.0.1:9712 -duration 14s & \
 	sleep 1 && \
 	for b in 1 16 64; do \
 		$(GO) run ./cmd/countload -addr 127.0.0.1:9711 -udp 127.0.0.1:9712 \
 			-udp-batch $$b -udp-wires 8 -g 2 -duration 2s -json BENCH_throughput.json || exit 1; \
 	done && \
+	$(GO) run ./cmd/countload -addr 127.0.0.1:9711 -udp 127.0.0.1:9712 \
+		-udp-batch 64 -udp-gso 64 -udp-wires 8 -g 2 -duration 2s -json BENCH_throughput.json && \
 	wait
 
 # Three countd nodes as one logical counter on loopback: gossip

@@ -234,3 +234,113 @@ func BenchmarkUDPIngest(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkUDPIngestGSO — phase 2 of the UDP ingest economics: the same
+// drain-and-admit loop as BenchmarkUDPIngest, but the sender packs segs
+// equal-stride frames into one UDP_SEGMENT super-datagram and the
+// receiver reads GRO-coalesced buffers, so the kernel's per-datagram
+// udp_sendmsg/udp_recvmsg work — the floor recvmmsg cannot amortize —
+// is paid once per super instead of once per frame. One benchmark op is
+// one wire frame, so datagrams/s here divides directly against the
+// fast/batch=64 row above: that quotient is the GSO/GRO speedup the
+// DESIGN.md fast-path section records. Skips where the kernel lacks
+// UDP_SEGMENT/UDP_GRO (the fallback path is the plain bench above).
+func BenchmarkUDPIngestGSO(b *testing.B) {
+	if !packetio.Segmentation() {
+		b.Skip("kernel lacks UDP_SEGMENT/UDP_GRO")
+	}
+	for _, segs := range []int{16, 64} {
+		b.Run(fmt.Sprintf("segs=%d", segs), func(b *testing.B) {
+			rt := runtime.MustCompile(construct.MustBitonic(8))
+			st := server.NewStats(0)
+			srv := server.New(rt, server.Options{Stats: st})
+			defer srv.Close()
+			o := packetio.Options{Sockets: 1, GSO: true}
+			conns, err := packetio.Listen("127.0.0.1:0", o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rx := conns[0]
+			defer rx.Close()
+			tx, err := packetio.Dial(rx.LocalAddr().String(), o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tx.Close()
+			if !rx.Segmented() || !tx.Segmented() {
+				b.Skip("segmentation probe passed but socket setup fell back")
+			}
+
+			pi := srv.NewPacketIngest()
+			wb := packetio.NewBatchSized(packetio.MaxBatch, packetio.GROSlotSize)
+			rb := packetio.NewBatchSized(packetio.MaxBatch, packetio.GROSlotSize)
+			var super []byte
+			var stride int
+			pack := func(dst []byte) ([]byte, int) { return append(dst, super...), stride }
+
+			// Worst case the kernel delivers every segment uncoalesced, so
+			// the in-flight burst must fit the receive buffer at
+			// one-skb-per-frame cost: 128 frames stays well inside the
+			// 212992-byte default.
+			const burstFrames = 128
+			b.ReportAllocs()
+			b.ResetTimer()
+			var seq uint64
+			reads := 0
+			for done := 0; done < b.N; {
+				b.StopTimer()
+				wb.Reset()
+				sent := 0
+				for sent < burstFrames && done+sent < b.N {
+					n := segs
+					if left := b.N - done - sent; left < n {
+						n = left // final short super (n==1 degenerates to a plain datagram)
+					}
+					super = super[:0]
+					for i := 0; i < n; i++ {
+						seq++
+						// Ids stay in the three-byte uvarint band so every
+						// frame encodes to the same stride; the 2^20 cycle is
+						// far wider than the replay window.
+						f := wire.Frame{Type: wire.TInc, ID: 1<<20 | (seq & 0xFFFFF), Wire: int64(seq % 8)}
+						super, err = wire.AppendFrame(super, &f)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					stride = len(super) / n
+					if !wb.AppendSegments(pack) {
+						b.Fatal("AppendSegments refused a planned super")
+					}
+					sent += n
+				}
+				if _, err := tx.WriteBatch(wb); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for got := 0; got < sent; {
+					if _, err := rx.ReadBatch(rb); err != nil {
+						b.Fatal(err)
+					}
+					for i := 0; i < rb.Len(); i++ {
+						p := rb.Packet(i)
+						if seg := rb.SegSize(i); seg > 0 {
+							got += (len(p) + seg - 1) / seg
+						} else {
+							got++
+						}
+					}
+					pi.IngestBatch(rb)
+					reads++
+				}
+				done += sent
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "datagrams/s")
+			b.ReportMetric(float64(b.N)/float64(reads), "datagrams/syscall")
+			if snap := st.Snapshot(); snap.UDPDatagrams != uint64(b.N) {
+				b.Fatalf("admitted %d frames, sent %d (rejects %v)", snap.UDPDatagrams, b.N, snap.UDPRejects)
+			}
+		})
+	}
+}

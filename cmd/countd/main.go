@@ -91,6 +91,7 @@ type options struct {
 	udpSocks int           // SO_REUSEPORT socket count for -udp (0: server default)
 	udpBatch int           // datagrams per recvmmsg syscall (0: server default)
 	udpPort  bool          // force the portable single-datagram UDP read loop
+	udpGSO   bool          // UDP GSO/GRO segmentation offload (auto-falls back)
 	duration time.Duration // run length (0: serve until interrupted)
 	cpuprof  string        // write a CPU profile here ("" disables)
 	sim      uint64        // deterministic-simulation seed (0: serve normally)
@@ -112,6 +113,7 @@ func main() {
 	flag.IntVar(&o.udpSocks, "udp-sockets", 0, "UDP sockets sharing the port via SO_REUSEPORT, one batched read loop each (0: default, min(GOMAXPROCS,4) on Linux)")
 	flag.IntVar(&o.udpBatch, "udp-batch", 0, "datagrams read per recvmmsg syscall on the UDP endpoint, up to 64 (0: default)")
 	flag.BoolVar(&o.udpPort, "udp-portable", false, "force the portable single-datagram UDP read loop (benchmarking baseline)")
+	flag.BoolVar(&o.udpGSO, "udp-gso", true, "UDP GSO/GRO segmentation offload on the -udp endpoint; falls back to the plain batched path when the kernel lacks UDP_SEGMENT/UDP_GRO")
 	flag.StringVar(&o.telem, "telemetry", "", "HTTP telemetry address (empty: off)")
 	flag.StringVar(&o.mode, "mode", "sc", "default consistency: sc coalesces, lin serializes every increment")
 	flag.IntVar(&o.mailbox, "mailbox", 0, "SC request mailbox depth (0: default)")
@@ -306,6 +308,7 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		UDPSockets:  o.udpSocks,
 		UDPBatch:    o.udpBatch,
 		UDPPortable: o.udpPort,
+		UDPGSO:      o.udpGSO,
 	}
 	if node != nil {
 		sopt.LINForward = node.ForwardLIN
@@ -354,7 +357,11 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "countd: udp endpoint %s (fire-and-forget SC)\n", ua)
+		gso := "off"
+		if stats.Snapshot().GSOActive != 0 {
+			gso = "on"
+		}
+		fmt.Fprintf(out, "countd: udp endpoint %s (fire-and-forget SC, gso %s)\n", ua, gso)
 	}
 	if o.telem != "" {
 		ln, err := net.Listen("tcp", o.telem)

@@ -73,11 +73,14 @@ type Result struct {
 	Steps      int
 
 	// UDP ingest accounting (udp flavor only), from the server's stats
-	// sink: datagrams admitted, retransmits rejected by the replay
-	// window, and aggregated posts shed at the mailbox (in datagrams).
+	// sink: admission units accepted (datagrams plus super segments),
+	// retransmits rejected by the replay window, aggregated posts shed
+	// at the mailbox (in datagrams), and segments rejected by the strict
+	// segmented framing check (truncated tails, mis-strided carves).
 	UDPAccepted uint64
 	UDPReplays  uint64
 	UDPDropped  uint64
+	UDPBadSegs  uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -149,7 +152,7 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 	// replay-rejected, shed). Non-UDP scenarios keep it nil so their
 	// traces stay byte-identical with earlier builds.
 	var st *server.Stats
-	if len(sc.UDP) > 0 {
+	if sc.UDPActive() {
 		st = server.NewStats(sc.Shards)
 	}
 	srv := server.New(be, server.Options{
@@ -179,7 +182,7 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 	// The UDP injector is one more planned actor: it drives the datagram
 	// plan through the server's real admission path on the simulated
 	// clock and counts toward phase-1 completion like any worker.
-	if len(sc.UDP) > 0 {
+	if sc.UDPActive() {
 		remaining.Add(1)
 		go w.runUDPInjector(&sc, srv, &remaining)
 	}
@@ -242,6 +245,7 @@ func RunScenario(sc Scenario, opts RunOptions) (*Result, error) {
 		res.UDPAccepted = snap.UDPDatagrams
 		res.UDPReplays = snap.UDPRejects["replay"]
 		res.UDPDropped = snap.UDPDropped
+		res.UDPBadSegs = snap.UDPRejects["bad_segment"]
 	}
 	for _, rs := range recs {
 		res.Ops = append(res.Ops, rs...)
@@ -362,29 +366,82 @@ func (w *World) runWorker(wk int, sc *Scenario, out []OpRecord, remaining *atomi
 // window, aggregated post — with no kernel sockets in the way: frames
 // are encoded into a packetio ring slot and handed to the server's
 // PacketIngest exactly as an ingest loop would. One datagram per batch,
-// so each post lands at its planned simulated time.
+// so each post lands at its planned simulated time. Segmented supers
+// take the same door through a GRO-sized slot: the payload is packed
+// back-to-back with its declared stride recorded via AppendSegments,
+// exactly as a coalescing kernel would deliver it — truncated tails
+// and skewed strides included.
 func (w *World) runUDPInjector(sc *Scenario, srv *server.Server, remaining *atomic.Int64) {
 	defer remaining.Add(-1)
 	pi := srv.NewPacketIngest()
 	b := packetio.NewBatch(1)
-	for _, d := range sc.UDP {
-		target := clock.SimEpoch.Add(d.At)
-		if dt := target.Sub(w.Clk.Now()); dt > 0 {
+	gb := packetio.NewBatchSized(1, packetio.GROSlotSize)
+	// One hoisted closure for every super: AppendSegments copies whatever
+	// payload/stride currently hold, so the injector allocates nothing
+	// per datagram.
+	var payload []byte
+	var stride int
+	pack := func(dst []byte) ([]byte, int) { return append(dst, payload...), stride }
+
+	di, si := 0, 0
+	for di < len(sc.UDP) || si < len(sc.UDPSupers) {
+		useSuper := di >= len(sc.UDP) ||
+			(si < len(sc.UDPSupers) && sc.UDPSupers[si].At < sc.UDP[di].At)
+		var at time.Duration
+		if useSuper {
+			at = sc.UDPSupers[si].At
+		} else {
+			at = sc.UDP[di].At
+		}
+		if dt := clock.SimEpoch.Add(at).Sub(w.Clk.Now()); dt > 0 {
 			w.Clk.Sleep(dt)
 		}
-		f := wire.Frame{Type: wire.TInc, ID: d.ID, Wire: int64(d.Wire)}
-		if d.K > 1 {
-			f.Type, f.K = wire.TIncBatch, d.K
-		}
-		b.Reset()
-		b.AppendWith(func(dst []byte) []byte {
-			enc, err := wire.AppendFrame(dst, &f)
-			if err != nil {
-				return dst // plan frames always encode; an empty packet would be rejected downstream
+		if !useSuper {
+			d := sc.UDP[di]
+			di++
+			f := wire.Frame{Type: wire.TInc, ID: d.ID, Wire: int64(d.Wire)}
+			if d.K > 1 {
+				f.Type, f.K = wire.TIncBatch, d.K
 			}
-			return enc
-		})
-		pi.IngestBatch(b)
+			b.Reset()
+			b.AppendWith(func(dst []byte) []byte {
+				enc, err := wire.AppendFrame(dst, &f)
+				if err != nil {
+					return dst // plan frames always encode; an empty packet would be rejected downstream
+				}
+				return enc
+			})
+			pi.IngestBatch(b)
+			continue
+		}
+		u := &sc.UDPSupers[si]
+		si++
+		if len(u.Frames) == 0 {
+			continue
+		}
+		payload, stride = payload[:0], 0
+		for fi := range u.Frames {
+			f := u.Frames[fi].frame()
+			enc, err := wire.AppendFrame(payload, &f)
+			if err != nil {
+				continue // plan frames always encode
+			}
+			if fi == 0 {
+				stride = len(enc)
+			}
+			payload = enc
+		}
+		if u.Trunc > 0 {
+			cut := u.Trunc
+			if cut > stride-1 {
+				cut = stride - 1
+			}
+			payload = payload[:len(payload)-cut]
+		}
+		stride += u.Skew
+		gb.Reset()
+		gb.AppendSegments(pack)
+		pi.IngestBatch(gb)
 	}
 }
 
@@ -428,7 +485,7 @@ func allowedErr(cat string) bool {
 func checkInvariants(res *Result, w *World) {
 	sc := &res.Scenario
 	adversity := !sc.CleanRun()
-	hasUDP := len(sc.UDP) > 0
+	hasUDP := sc.UDPActive()
 
 	// Values delivered to callers by increment ops. Reads are audited
 	// separately.
@@ -527,14 +584,17 @@ func checkInvariants(res *Result, w *World) {
 	// minted).
 	if hasUDP {
 		expected := sc.UDPExpected()
-		uniqDGs := uint64(len(sc.UDP) - sc.UDPReplays())
-		if res.UDPAccepted != uniqDGs {
+		if uniq := sc.UDPAdmitted(); res.UDPAccepted != uniq {
 			res.Violations = append(res.Violations,
-				fmt.Sprintf("udp: %d datagrams admitted, plan has %d unique", res.UDPAccepted, uniqDGs))
+				fmt.Sprintf("udp: %d admission units accepted, plan has %d unique intact", res.UDPAccepted, uniq))
 		}
 		if res.UDPReplays != uint64(sc.UDPReplays()) {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("udp: replay window rejected %d retransmits, plan injected %d", res.UDPReplays, sc.UDPReplays()))
+		}
+		if res.UDPBadSegs != uint64(sc.UDPBadSegs()) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("udp: %d segments rejected as bad_segment, plan damages %d", res.UDPBadSegs, sc.UDPBadSegs()))
 		}
 		switch {
 		case res.UDPDropped == 0 && res.Issued != int64(res.Delivered)+expected:
@@ -639,9 +699,9 @@ func buildTrace(res *Result, w *World) []byte {
 		}
 		b.WriteByte('\n')
 	}
-	if len(res.Scenario.UDP) > 0 {
-		fmt.Fprintf(&b, "# udp accepted=%d replays=%d dropped=%d expected=%d\n",
-			res.UDPAccepted, res.UDPReplays, res.UDPDropped, res.Scenario.UDPExpected())
+	if res.Scenario.UDPActive() {
+		fmt.Fprintf(&b, "# udp accepted=%d replays=%d dropped=%d badsegs=%d expected=%d\n",
+			res.UDPAccepted, res.UDPReplays, res.UDPDropped, res.UDPBadSegs, res.Scenario.UDPExpected())
 	}
 	fmt.Fprintf(&b, "# issued=%d delivered=%d steps=%d violations=%d\n",
 		res.Issued, res.Delivered, res.Steps, len(res.Violations))

@@ -50,6 +50,94 @@ type UDPDatagram struct {
 	Replay bool
 }
 
+// UDPSegment is one planned frame inside a segmented super-datagram:
+// the dedup id and payload it carries, and whether it is a seeded
+// retransmission of an earlier intact segment (same id, wire and k —
+// the replay window must reject it, even when the original rode the
+// same super).
+type UDPSegment struct {
+	ID     uint64
+	Wire   int
+	K      int64
+	Replay bool
+}
+
+// UDPSuper is one planned GSO super-datagram: a stride of equal-size
+// wire frames the kernel would deliver coalesced into one GRO buffer,
+// plus at most one framing fault. The generator keeps every frame in
+// one super the same encoded length (homogeneous frame kind, ids in
+// one uvarint band), because that equality is what the stride carving
+// assumes — and what the faults below deliberately break.
+//
+//   - Trunc > 0 cuts that many bytes off the payload tail (clamped to
+//     stride-1): every segment but the last admits normally, the short
+//     tail must reject as bad_segment.
+//   - Skew != 0 shifts the declared stride off the true frame size:
+//     every carved segment mis-frames, so all ceil(len/stride) of them
+//     must reject as bad_segment and nothing reaches the replay window.
+//
+// Supers need at least two frames — a single-frame payload is
+// indistinguishable from an unsegmented datagram at the carve seam.
+type UDPSuper struct {
+	At     time.Duration // injection time, offset from clock.SimEpoch
+	Trunc  int           // bytes cut from the payload tail (0: intact)
+	Skew   int           // declared-stride offset from the frame size (0: exact)
+	Frames []UDPSegment
+}
+
+// frame materializes one planned segment as its wire frame.
+func (g UDPSegment) frame() wire.Frame {
+	f := wire.Frame{Type: wire.TInc, ID: g.ID, Wire: int64(g.Wire)}
+	if g.K > 1 {
+		f.Type, f.K = wire.TIncBatch, g.K
+	}
+	return f
+}
+
+// encodedSize returns the segment's on-wire size. Within one generated
+// super every segment encodes to the same size by construction.
+func (g UDPSegment) encodedSize() int {
+	f := g.frame()
+	enc, err := wire.AppendFrame(nil, &f)
+	if err != nil {
+		return 0
+	}
+	return len(enc)
+}
+
+// accounting tallies one super against the admission chain: the count
+// its unique intact segments mint, the replay segments the window must
+// reject, and the segments the strict framing check must reject.
+func (u *UDPSuper) accounting() (mint int64, replays, badSegs int) {
+	if len(u.Frames) == 0 {
+		return
+	}
+	fs := u.Frames[0].encodedSize()
+	if u.Skew != 0 {
+		// A mis-strided super rejects wholesale: every carved segment is
+		// either a frame plus leftover bytes or a mid-frame slice.
+		total := fs * len(u.Frames)
+		seg := fs + u.Skew
+		if seg < 1 {
+			seg = 1
+		}
+		return 0, 0, (total + seg - 1) / seg
+	}
+	intact := len(u.Frames)
+	if u.Trunc > 0 {
+		intact--
+		badSegs++
+	}
+	for _, g := range u.Frames[:intact] {
+		if g.Replay {
+			replays++
+		} else {
+			mint += g.K
+		}
+	}
+	return
+}
+
 // Scenario is the full expansion of one seed: topology, workload,
 // tuning and fault schedule. Everything the harness needs to run — and
 // everything the trace header needs to record — lives here, derived
@@ -65,6 +153,12 @@ type Scenario struct {
 	// replays it through the server's real admission path on the
 	// simulated clock, duplicates and all.
 	UDP []UDPDatagram
+
+	// UDPSupers is the segmented-datagram plan (udp flavor, phase 2):
+	// GSO super-datagrams the harness carves through the same admission
+	// path one stride at a time, truncations, mis-strides and in-super
+	// replays included.
+	UDPSupers []UDPSuper
 
 	// Server tuning.
 	Mailbox      int
@@ -99,10 +193,18 @@ func (s *Scenario) CleanRun() bool {
 		len(s.Partitions) == 0 && s.BackendLatMax == 0 && s.SrvOpTimeout == 0
 }
 
-// UDPExpected returns the total count the plan's unique datagrams mint.
-// When nothing is shed, the server's issued counter must exceed the
-// TCP-delivered values by exactly this much — any more and a replay
-// minted, any less and a unique datagram was lost.
+// UDPActive reports whether the scenario carries any datagram plan —
+// plain singles, segmented supers, or both.
+func (s *Scenario) UDPActive() bool {
+	return len(s.UDP) > 0 || len(s.UDPSupers) > 0
+}
+
+// UDPExpected returns the total count the plan's unique datagrams mint,
+// segmented supers included (a truncated tail or a mis-strided super
+// never mints). When nothing is shed, the server's issued counter must
+// exceed the TCP-delivered values by exactly this much — any more and a
+// replay or damaged segment minted, any less and a unique datagram was
+// lost.
 func (s *Scenario) UDPExpected() int64 {
 	var n int64
 	for _, d := range s.UDP {
@@ -110,11 +212,17 @@ func (s *Scenario) UDPExpected() int64 {
 			n += d.K
 		}
 	}
+	for i := range s.UDPSupers {
+		mint, _, _ := s.UDPSupers[i].accounting()
+		n += mint
+	}
 	return n
 }
 
-// UDPReplays returns the number of planned retransmissions; the replay
-// window must reject every one of them.
+// UDPReplays returns the number of planned retransmissions that reach
+// the replay window — singles plus intact super segments. The window
+// must reject every one of them. (A replay slot inside a mis-strided
+// super never gets that far: the framing check rejects it first.)
 func (s *Scenario) UDPReplays() int {
 	n := 0
 	for _, d := range s.UDP {
@@ -122,7 +230,51 @@ func (s *Scenario) UDPReplays() int {
 			n++
 		}
 	}
+	for i := range s.UDPSupers {
+		_, replays, _ := s.UDPSupers[i].accounting()
+		n += replays
+	}
 	return n
+}
+
+// UDPBadSegs returns the number of segments the strict segmented
+// framing check must reject: one per truncated tail, all carved
+// segments of a mis-strided super.
+func (s *Scenario) UDPBadSegs() int {
+	n := 0
+	for i := range s.UDPSupers {
+		_, _, bad := s.UDPSupers[i].accounting()
+		n += bad
+	}
+	return n
+}
+
+// UDPAdmitted returns the number of admission units — plain datagrams
+// plus super segments — the server must accept: everything planned
+// minus replays and damaged segments.
+func (s *Scenario) UDPAdmitted() uint64 {
+	n := 0
+	for _, d := range s.UDP {
+		if !d.Replay {
+			n++
+		}
+	}
+	for i := range s.UDPSupers {
+		u := &s.UDPSupers[i]
+		if u.Skew != 0 {
+			continue
+		}
+		intact := len(u.Frames)
+		if u.Trunc > 0 {
+			intact--
+		}
+		for _, g := range u.Frames[:intact] {
+			if !g.Replay {
+				n++
+			}
+		}
+	}
+	return uint64(n)
 }
 
 // faultsActive reports whether the frame-fault seam is installed.
@@ -318,6 +470,58 @@ func GenScenarioWith(seed uint64, ov Overrides) Scenario {
 			d.At = at - at%grid + udpInjectOffset
 			sc.UDP = append(sc.UDP, d)
 		}
+
+		// Segmented supers ride after the singles. Equal stride demands
+		// equal encoded size, so each super is homogeneous: all TInc, or
+		// all TIncBatch with single-byte k — and ids come from the two-byte
+		// uvarint band (0x100+), disjoint from the singles' one-byte ids.
+		// Replays copy an earlier intact segment of the same kind, possibly
+		// from the same super (the duplicate-inside-one-stride case); a
+		// damaged super contributes no originals, because none of its
+		// segments ever enter the replay window.
+		nsup := int(r(0x38, 0) % 4)
+		supID := uint64(0x100)
+		var origInc, origBatch []UDPSegment
+		for si := 0; si < nsup; si++ {
+			u := uint64(0x100 + si)
+			at += 60*time.Microsecond + time.Duration(r(0x39, u)%700)*time.Microsecond
+			sup := UDPSuper{At: at - at%grid + udpInjectOffset}
+			batch := r(0x3a, u)%2 == 0
+			nf := 2 + int(r(0x3b, u)%15)
+			switch f := r(0x3c, u) % 100; {
+			case f < 15:
+				sup.Trunc = 1 + int(r(0x3d, u)%6) // min frame is 13 bytes, so ≤ stride-1
+			case f < 25:
+				sup.Skew = []int{1, -1}[r(0x3e, u)%2]
+			}
+			orig := &origInc
+			if batch {
+				orig = &origBatch
+			}
+			for fi := 0; fi < nf; fi++ {
+				fu := u<<8 | uint64(fi)
+				// Only segments the admission chain will fully decode can
+				// serve as replays or originals: a mis-strided super never
+				// reaches the window, a truncated tail rejects as bad_segment.
+				intactPos := sup.Skew == 0 && (sup.Trunc == 0 || fi < nf-1)
+				if intactPos && len(*orig) > 0 && r(0x3f, fu)%100 < 20 {
+					g := (*orig)[int(r(0x40, fu)%uint64(len(*orig)))]
+					g.Replay = true
+					sup.Frames = append(sup.Frames, g)
+					continue
+				}
+				g := UDPSegment{ID: supID, Wire: int(r(0x41, fu) % uint64(sc.Width)), K: 1}
+				supID++
+				if batch {
+					g.K = 2 + int64(r(0x42, fu)%4)
+				}
+				sup.Frames = append(sup.Frames, g)
+				if intactPos {
+					*orig = append(*orig, g)
+				}
+			}
+			sc.UDPSupers = append(sc.UDPSupers, sup)
+		}
 	}
 
 	// Pressure scenarios think briefly so requests pile up behind the
@@ -376,6 +580,21 @@ func (s *Scenario) Header() string {
 		for i, d := range s.UDP {
 			fmt.Fprintf(&b, "# udp %d at=%d id=%d wire=%d k=%d replay=%v\n",
 				i, d.At.Nanoseconds(), d.ID, d.Wire, d.K, d.Replay)
+		}
+	}
+	if len(s.UDPSupers) > 0 {
+		fmt.Fprintf(&b, "# udpgso n=%d admitted=%d badsegs=%d\n",
+			len(s.UDPSupers), s.UDPAdmitted(), s.UDPBadSegs())
+		for i := range s.UDPSupers {
+			u := &s.UDPSupers[i]
+			fmt.Fprintf(&b, "# udpgso %d at=%d trunc=%d skew=%d segs=", i, u.At.Nanoseconds(), u.Trunc, u.Skew)
+			for j, g := range u.Frames {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%d/%d/%d/%v", g.ID, g.Wire, g.K, g.Replay)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	for w, plan := range s.Plans {

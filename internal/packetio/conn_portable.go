@@ -17,6 +17,7 @@ func (c *portableConn) ReadBatch(b *Batch) (int, error) {
 		return 0, err
 	}
 	b.lens[0] = n
+	b.segs[0] = 0
 	b.n = 1
 	return 1, nil
 }
@@ -32,6 +33,7 @@ func (c *portableConn) WriteBatch(b *Batch) (int, error) {
 
 func (c *portableConn) Close() error        { return c.uc.Close() }
 func (c *portableConn) LocalAddr() net.Addr { return c.uc.LocalAddr() }
+func (c *portableConn) Segmented() bool     { return false }
 
 func listenPortable(addr string) (Conn, error) {
 	pc, err := net.ListenPacket("udp", addr)

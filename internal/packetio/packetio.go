@@ -37,20 +37,46 @@
 // retransmit arriving after N fresher datagrams can still slip through —
 // that burns a counter value nobody observes, but can never mint the same
 // value for two observers, which is the invariant the chaos drills pin.
+//
+// # Segmentation offload (GSO/GRO)
+//
+// Batching syscall entries amortizes the mode switch but not the kernel's
+// per-message udp_sendmsg/udp_recvmsg work. UDP_SEGMENT (send) hands the
+// kernel one large buffer plus a stride; it splits the buffer into
+// equal-size on-wire datagrams after the expensive per-call work is done
+// once. UDP_GRO (receive) is the mirror: equal-size datagrams from one
+// flow coalesce back into a single buffer whose stride arrives in a
+// control message, so one recvmmsg slot can carry up to 64 wire frames.
+// Options.GSO opts a socket in; a runtime probe (Segmentation) detects
+// kernels without the option and falls back to the plain batched path, so
+// the offload is a pure accelerator, never a compatibility risk.
 package packetio
 
-import "net"
+import (
+	"net"
+	"sync/atomic"
+)
 
 const (
-	// SlotSize is the per-packet buffer size in a Batch. Datagrams longer
-	// than this are truncated on read (and rejected by frame validation);
-	// Append refuses payloads that do not fit.
+	// SlotSize is the default per-packet buffer size in a Batch. Datagrams
+	// longer than this are truncated on read (and rejected by frame
+	// validation); Append refuses payloads that do not fit.
 	SlotSize = 2048
+
+	// GROSlotSize is the per-packet buffer size for sockets with UDP_GRO
+	// enabled: the kernel may coalesce an entire 64 KiB super-datagram
+	// into one slot, so the ring must hold it without truncation.
+	GROSlotSize = 64 << 10
 
 	// MaxBatch caps how many datagrams one ReadBatch/WriteBatch moves per
 	// syscall. 64 matches the kernel's UIO_MAXIOV sweet spot and keeps a
-	// Batch's ring at 128 KiB.
+	// default Batch's ring at 128 KiB.
 	MaxBatch = 64
+
+	// MaxSegments is the kernel's cap on datagrams produced by one
+	// UDP_SEGMENT send (UDP_MAX_SEGMENTS); packing more frames than this
+	// into one slot is rejected on send.
+	MaxSegments = 64
 )
 
 // Options tunes Listen and Dial.
@@ -64,6 +90,13 @@ type Options struct {
 	// even where the batched-syscall fast path exists. The before/after
 	// benchmark rows and the cross-platform tests run through this.
 	Portable bool
+	// GSO requests UDP segmentation offload: Listen enables UDP_GRO so
+	// coalesced super-datagrams arrive with their stride in a control
+	// message, and Dial arms WriteBatch to attach UDP_SEGMENT control
+	// messages for slots packed with AppendSegments. Silently ignored —
+	// full fallback to the unsegmented path — when Segmentation() is
+	// false (non-Linux build, old kernel, or forced off).
+	GSO bool
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +123,30 @@ type Conn interface {
 	Close() error
 	// LocalAddr reports the bound address.
 	LocalAddr() net.Addr
+	// Segmented reports whether this socket has UDP GSO/GRO engaged:
+	// received slots may carry a coalesced stride of frames (SegSize > 0)
+	// and slots packed with AppendSegments are split by the kernel on
+	// send. False on the fallback paths — every slot is one datagram.
+	Segmented() bool
+}
+
+// segDisabled force-disables segmentation offload process-wide; see
+// DisableSegmentation.
+var segDisabled atomic.Bool
+
+// Segmentation reports whether this build and kernel support UDP GSO/GRO
+// (probed once per process by asking a throwaway socket for UDP_SEGMENT
+// and UDP_GRO). When false, Options.GSO is ignored and every Conn runs
+// the unsegmented batched path.
+func Segmentation() bool { return !segDisabled.Load() && segmentationOS() }
+
+// DisableSegmentation force-disables GSO/GRO for the whole process, as if
+// the kernel probe had failed — the lever for exercising the fallback
+// path on a capable kernel (tests, before/after benchmarks). It returns a
+// func restoring the previous behaviour.
+func DisableSegmentation() (restore func()) {
+	segDisabled.Store(true)
+	return func() { segDisabled.Store(false) }
 }
 
 // Listen opens o.Sockets UDP sockets bound to addr and returns one Conn
@@ -105,7 +162,7 @@ func Listen(addr string, o Options) ([]Conn, error) {
 		}
 		return []Conn{c}, nil
 	}
-	return listenOS(addr, o.Sockets)
+	return listenOS(addr, o)
 }
 
 // Dial opens a connected UDP socket to addr — the client side of the
@@ -115,33 +172,50 @@ func Dial(addr string, o Options) (Conn, error) {
 	if o.Portable {
 		return dialPortable(addr)
 	}
-	return dialOS(addr)
+	return dialOS(addr, o)
 }
 
 // Batch is a preallocated ring of packet buffers: the unit one syscall
 // fills (ReadBatch) or drains (WriteBatch). All state is allocated by
 // NewBatch; reusing one Batch per loop keeps the datapath allocation-free.
 type Batch struct {
-	slots int
-	base  []byte
-	lens  []int
-	n     int // packets currently held (write side) or last read count
+	slots    int
+	slotSize int
+	base     []byte
+	lens     []int
+	segs     []int // per-slot GSO/GRO segment stride; 0 = one plain datagram
+	n        int   // packets currently held (write side) or last read count
 
 	sys sysBatch // per-platform syscall scaffolding (empty on portable builds)
 }
 
-// NewBatch allocates a ring of n packet slots (clamped to [1, MaxBatch]).
-func NewBatch(n int) *Batch {
+// NewBatch allocates a ring of n packet slots (clamped to [1, MaxBatch])
+// of the default SlotSize.
+func NewBatch(n int) *Batch { return NewBatchSized(n, SlotSize) }
+
+// NewBatchSized allocates a ring of n packet slots (clamped to
+// [1, MaxBatch]) of slotSize bytes each (clamped to
+// [SlotSize, GROSlotSize]). Rings feeding a GRO-enabled socket need
+// GROSlotSize slots so a fully coalesced super-datagram fits.
+func NewBatchSized(n, slotSize int) *Batch {
 	if n < 1 {
 		n = 1
 	}
 	if n > MaxBatch {
 		n = MaxBatch
 	}
+	if slotSize < SlotSize {
+		slotSize = SlotSize
+	}
+	if slotSize > GROSlotSize {
+		slotSize = GROSlotSize
+	}
 	b := &Batch{
-		slots: n,
-		base:  make([]byte, n*SlotSize),
-		lens:  make([]int, n),
+		slots:    n,
+		slotSize: slotSize,
+		base:     make([]byte, n*slotSize),
+		lens:     make([]int, n),
+		segs:     make([]int, n),
 	}
 	b.sysInit()
 	return b
@@ -149,6 +223,9 @@ func NewBatch(n int) *Batch {
 
 // Cap reports the ring's slot count.
 func (b *Batch) Cap() int { return b.slots }
+
+// SlotCap reports the per-packet buffer size of this ring.
+func (b *Batch) SlotCap() int { return b.slotSize }
 
 // Len reports how many packets the batch currently holds.
 func (b *Batch) Len() int { return b.n }
@@ -159,27 +236,33 @@ func (b *Batch) Reset() { b.n = 0 }
 // Packet views packet i's bytes in place. The view is valid until the
 // slot is reused by the next ReadBatch/Append cycle.
 func (b *Batch) Packet(i int) []byte {
-	return b.base[i*SlotSize : i*SlotSize+b.lens[i]]
+	return b.base[i*b.slotSize : i*b.slotSize+b.lens[i]]
 }
+
+// SegSize reports the segment stride of packet i: s > 0 means Packet(i)
+// is a GRO-coalesced run of s-byte wire datagrams (the last possibly
+// shorter), 0 means one ordinary datagram.
+func (b *Batch) SegSize(i int) int { return b.segs[i] }
 
 // slot returns packet i's full backing slot.
 func (b *Batch) slot(i int) []byte {
-	return b.base[i*SlotSize : (i+1)*SlotSize]
+	return b.base[i*b.slotSize : (i+1)*b.slotSize]
 }
 
 // Append copies p into the next free slot; false means the ring is full
-// or p exceeds SlotSize.
+// or p exceeds the slot size.
 func (b *Batch) Append(p []byte) bool {
-	if b.n == b.slots || len(p) > SlotSize {
+	if b.n == b.slots || len(p) > b.slotSize {
 		return false
 	}
 	copy(b.slot(b.n), p)
 	b.lens[b.n] = len(p)
+	b.segs[b.n] = 0
 	b.n++
 	return true
 }
 
-// AppendWith hands the next free slot (length 0, capacity SlotSize) to
+// AppendWith hands the next free slot (length 0, capacity SlotCap) to
 // fn, which appends one encoded packet into it and returns the result —
 // the zero-copy form of Append for encoders in the AppendFrame style.
 // The packet is dropped (and AppendWith returns false) if fn outgrows
@@ -190,10 +273,42 @@ func (b *Batch) AppendWith(fn func(dst []byte) []byte) bool {
 	}
 	s := b.slot(b.n)
 	p := fn(s[:0])
-	if len(p) > SlotSize || (len(p) > 0 && &p[0] != &s[0]) {
+	if len(p) > b.slotSize || (len(p) > 0 && &p[0] != &s[0]) {
 		return false // fn outgrew the slot and the encoder reallocated
 	}
 	b.lens[b.n] = len(p)
+	b.segs[b.n] = 0
+	b.n++
+	return true
+}
+
+// AppendSegments is AppendWith for a packed run of equal-stride wire
+// frames: fn appends the whole multi-frame payload into the slot and
+// returns it together with the declared per-segment stride in bytes. On
+// a Conn whose Segmented() is true, WriteBatch attaches a UDP_SEGMENT
+// control message so the kernel splits the payload into ceil(len/seg)
+// on-wire datagrams; elsewhere the payload would leave as one oversized
+// datagram, so callers must consult Segmented() (or Segmentation())
+// before packing. A stride ≤ 0 or ≥ the payload length marks the slot as
+// one plain datagram; a payload spanning more than MaxSegments strides
+// exceeds the kernel's UDP_SEGMENT cap and is rejected.
+func (b *Batch) AppendSegments(fn func(dst []byte) (payload []byte, seg int)) bool {
+	if b.n == b.slots {
+		return false
+	}
+	s := b.slot(b.n)
+	p, seg := fn(s[:0])
+	if len(p) > b.slotSize || (len(p) > 0 && &p[0] != &s[0]) {
+		return false // fn outgrew the slot and the encoder reallocated
+	}
+	if seg < 0 || seg >= len(p) {
+		seg = 0
+	}
+	if seg > 0 && (len(p)+seg-1)/seg > MaxSegments {
+		return false // kernel caps one GSO send at MaxSegments datagrams
+	}
+	b.lens[b.n] = len(p)
+	b.segs[b.n] = seg
 	b.n++
 	return true
 }

@@ -193,6 +193,106 @@ func TestNewBatchClamps(t *testing.T) {
 	}
 }
 
+func TestNewBatchSized(t *testing.T) {
+	if got := NewBatch(3).SlotCap(); got != SlotSize {
+		t.Fatalf("NewBatch slot cap = %d, want %d", got, SlotSize)
+	}
+	if got := NewBatchSized(1, 0).SlotCap(); got != SlotSize {
+		t.Fatalf("slot cap 0 clamped to %d, want %d", got, SlotSize)
+	}
+	if got := NewBatchSized(1, 1<<20).SlotCap(); got != GROSlotSize {
+		t.Fatalf("oversized slot cap clamped to %d, want %d", got, GROSlotSize)
+	}
+
+	// GRO-sized slots must not alias: fill every slot to capacity with a
+	// distinct byte and check nothing bled across slot boundaries.
+	b := NewBatchSized(4, GROSlotSize)
+	for s := 0; s < 4; s++ {
+		p := make([]byte, GROSlotSize)
+		for i := range p {
+			p[i] = byte('A' + s)
+		}
+		if !b.Append(p) {
+			t.Fatalf("append of a full %d-byte slot %d failed", GROSlotSize, s)
+		}
+	}
+	for s := 0; s < 4; s++ {
+		p := b.Packet(s)
+		if len(p) != GROSlotSize {
+			t.Fatalf("slot %d holds %d bytes, want %d", s, len(p), GROSlotSize)
+		}
+		for i, c := range p {
+			if c != byte('A'+s) {
+				t.Fatalf("slot %d byte %d = %q: slots alias", s, i, c)
+			}
+		}
+	}
+}
+
+func TestAppendSegments(t *testing.T) {
+	b := NewBatch(2)
+	ok := b.AppendSegments(func(dst []byte) ([]byte, int) {
+		for i := 0; i < 4*32; i++ {
+			dst = append(dst, byte(i))
+		}
+		return dst, 32
+	})
+	if !ok || b.Len() != 1 || b.SegSize(0) != 32 {
+		t.Fatalf("packed slot: ok=%v len=%d seg=%d, want true/1/32", ok, b.Len(), b.SegSize(0))
+	}
+	// A stride covering the whole payload is just one datagram.
+	ok = b.AppendSegments(func(dst []byte) ([]byte, int) {
+		return append(dst, 1, 2, 3), 8
+	})
+	if !ok || b.SegSize(1) != 0 {
+		t.Fatalf("whole-payload stride: ok=%v seg=%d, want true/0", ok, b.SegSize(1))
+	}
+	b.Reset()
+	// More strides than the kernel will segment in one send is a refusal,
+	// not a silent truncation.
+	if b.AppendSegments(func(dst []byte) ([]byte, int) {
+		return append(dst, make([]byte, (MaxSegments+1)*2)...), 2
+	}) {
+		t.Fatalf("AppendSegments accepted > MaxSegments strides")
+	}
+	// A reallocating encoder is rejected like in AppendWith.
+	if b.AppendSegments(func(dst []byte) ([]byte, int) {
+		return make([]byte, 64), 16
+	}) {
+		t.Fatal("AppendSegments kept a payload outside its slot")
+	}
+	if b.Len() != 0 {
+		t.Fatal("rejected AppendSegments advanced the ring")
+	}
+	// Plain appends into a slot that previously held a packed run must
+	// clear the stale stride.
+	if !b.Append([]byte("plain")) || b.SegSize(0) != 0 {
+		t.Fatalf("stale stride survived Append: seg=%d", b.SegSize(0))
+	}
+}
+
+func TestDisableSegmentation(t *testing.T) {
+	restore := DisableSegmentation()
+	defer restore()
+	if Segmentation() {
+		t.Fatal("Segmentation() true while force-disabled")
+	}
+	conns, err := Listen("127.0.0.1:0", Options{GSO: true})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i, c := range conns {
+		if c.Segmented() {
+			t.Fatalf("socket %d segmented while segmentation disabled", i)
+		}
+	}
+}
+
 func TestWindowDedup(t *testing.T) {
 	w := NewWindow(4)
 	for i := uint64(0); i < 4; i++ {
@@ -218,6 +318,133 @@ func TestWindowDedup(t *testing.T) {
 	}
 	if w.Observe(13) {
 		t.Fatal("still-windowed id admitted")
+	}
+}
+
+// windowModel is the reference the property tests check Window against:
+// a FIFO of admitted ids (duplicates do not refresh position) plus the
+// membership set it implies.
+type windowModel struct {
+	capacity int
+	fifo     []uint64
+	in       map[uint64]bool
+}
+
+func newWindowModel(capacity int) *windowModel {
+	return &windowModel{capacity: capacity, in: make(map[uint64]bool)}
+}
+
+func (m *windowModel) observe(id uint64) bool {
+	if m.in[id] {
+		return false
+	}
+	if len(m.fifo) == m.capacity {
+		delete(m.in, m.fifo[0])
+		m.fifo = m.fifo[1:]
+	}
+	m.fifo = append(m.fifo, id)
+	m.in[id] = true
+	return true
+}
+
+// xorshift is the seeded deterministic generator for the property tests.
+func xorshift(s *uint64) uint64 {
+	*s ^= *s << 13
+	*s ^= *s >> 7
+	*s ^= *s << 17
+	return *s
+}
+
+// TestWindowEvictionOrderProperty drives Window with dense random id
+// streams across several capacities and checks every verdict against the
+// FIFO model — in particular that eviction follows admission order and
+// that rejected duplicates do not refresh an id's position.
+func TestWindowEvictionOrderProperty(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 64, 257} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			s := seed*0x9e3779b97f4a7c15 + uint64(capacity)
+			w := NewWindow(capacity)
+			m := newWindowModel(capacity)
+			for op := 0; op < 4000; op++ {
+				// Draw from ~3 windows' worth of ids so duplicates, hits
+				// on evicted ids, and fresh ids all occur routinely.
+				id := xorshift(&s) % uint64(3*capacity+1)
+				want := m.observe(id)
+				if got := w.Observe(id); got != want {
+					t.Fatalf("cap=%d seed=%d op=%d id=%d: Observe=%v, model=%v",
+						capacity, seed, op, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowIDWraparoundAtBoundary pins the window's behaviour for ids
+// straddling the uint64 wraparound exactly as the window fills and
+// starts evicting: numeric order must be irrelevant, only arrival order.
+func TestWindowIDWraparoundAtBoundary(t *testing.T) {
+	const capacity = 4
+	w := NewWindow(capacity)
+	ids := []uint64{^uint64(0) - 1, ^uint64(0), 0, 1}
+	for _, id := range ids {
+		if !w.Observe(id) {
+			t.Fatalf("fresh id %d rejected", id)
+		}
+	}
+	for _, id := range ids {
+		if w.Observe(id) {
+			t.Fatalf("windowed duplicate %d admitted", id)
+		}
+	}
+	// One more fresh id evicts the oldest (2^64-2), wrapping the ring
+	// position; the evicted id reads as fresh again while the rest of the
+	// window still rejects.
+	if !w.Observe(42) {
+		t.Fatal("fresh id 42 rejected at the boundary")
+	}
+	if w.Observe(0) || w.Observe(1) || w.Observe(^uint64(0)) {
+		t.Fatal("still-windowed id admitted after boundary eviction")
+	}
+	if !w.Observe(^uint64(0) - 1) {
+		t.Fatal("evicted id 2^64-2 should read as fresh")
+	}
+	// That readmission in turn evicted 2^64-1 — admission order, not
+	// numeric order.
+	if !w.Observe(^uint64(0)) {
+		t.Fatal("2^64-1 should have been the next eviction")
+	}
+	if w.Observe(42) {
+		t.Fatal("mid-window id evicted out of order")
+	}
+}
+
+// TestWindowDuplicateInsideStrideProperty replays the GSO shape: ids
+// arrive in strides of up to MaxSegments, some duplicated *within* one
+// stride. Every segment's verdict must match the model — a duplicate in
+// the same super-datagram is rejected exactly like a retransmit.
+func TestWindowDuplicateInsideStrideProperty(t *testing.T) {
+	s := uint64(0xdeadbeefcafe)
+	const capacity = 64
+	w := NewWindow(capacity)
+	m := newWindowModel(capacity)
+	for stride := 0; stride < 300; stride++ {
+		n := 1 + int(xorshift(&s)%MaxSegments)
+		ids := make([]uint64, n)
+		for i := range ids {
+			if i > 0 && xorshift(&s)%4 == 0 {
+				// ~25%: duplicate an earlier id from this same stride.
+				ids[i] = ids[int(xorshift(&s)%uint64(i))]
+			} else {
+				ids[i] = xorshift(&s)
+			}
+		}
+		for i, id := range ids {
+			want := m.observe(id)
+			if got := w.Observe(id); got != want {
+				t.Fatalf("stride=%d seg=%d id=%d: Observe=%v, model=%v",
+					stride, i, id, got, want)
+			}
+		}
 	}
 }
 

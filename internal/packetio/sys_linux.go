@@ -28,21 +28,30 @@ type mmsghdr struct {
 }
 
 // sysBatch is the preallocated syscall scaffolding for one Batch: one
-// iovec per slot, one mmsghdr chaining to it. Built once in sysInit —
-// batched reads and writes only patch lengths.
+// iovec per slot, one mmsghdr chaining to it, and a ctrlSlot-byte control
+// region per slot for the GSO/GRO segment-stride cmsgs. Built once in
+// sysInit — batched reads and writes only patch lengths and control
+// pointers.
 type sysBatch struct {
 	iovs []syscall.Iovec
 	hdrs []mmsghdr
+	ctrl []byte
 }
 
 func (b *Batch) sysInit() {
 	b.sys.iovs = make([]syscall.Iovec, b.slots)
 	b.sys.hdrs = make([]mmsghdr, b.slots)
+	b.sys.ctrl = make([]byte, b.slots*ctrlSlot)
 	for i := range b.sys.iovs {
-		b.sys.iovs[i].Base = &b.base[i*SlotSize]
+		b.sys.iovs[i].Base = &b.base[i*b.slotSize]
 		b.sys.hdrs[i].Hdr.Iov = &b.sys.iovs[i]
 		b.sys.hdrs[i].Hdr.Iovlen = 1
 	}
+}
+
+// ctrlOf returns slot i's control region.
+func (b *Batch) ctrlOf(i int) []byte {
+	return b.sys.ctrl[i*ctrlSlot : (i+1)*ctrlSlot]
 }
 
 // FastPath reports whether this build batches syscalls (recvmmsg/sendmmsg).
@@ -54,6 +63,10 @@ func FastPath() bool { return true }
 type mmsgConn struct {
 	uc *net.UDPConn
 	rc syscall.RawConn
+	// gro: UDP_GRO is enabled on the socket, so ReadBatch arms control
+	// buffers and decodes the per-slot segment stride. gso: WriteBatch
+	// attaches UDP_SEGMENT cmsgs for slots packed with AppendSegments.
+	gro, gso bool
 }
 
 func newMmsgConn(uc *net.UDPConn) (*mmsgConn, error) {
@@ -67,7 +80,17 @@ func newMmsgConn(uc *net.UDPConn) (*mmsgConn, error) {
 
 func (c *mmsgConn) ReadBatch(b *Batch) (int, error) {
 	for i := 0; i < b.slots; i++ {
-		b.sys.iovs[i].SetLen(SlotSize)
+		b.sys.iovs[i].SetLen(b.slotSize)
+		h := &b.sys.hdrs[i].Hdr
+		if c.gro {
+			// Controllen is in/out: the kernel shrinks it to the cmsg
+			// bytes actually written, so it must be re-armed every call.
+			h.Control = &b.sys.ctrl[i*ctrlSlot]
+			h.SetControllen(ctrlSlot)
+		} else {
+			h.Control = nil
+			h.Controllen = 0
+		}
 	}
 	var (
 		got  int
@@ -95,6 +118,10 @@ func (c *mmsgConn) ReadBatch(b *Batch) (int, error) {
 	}
 	for i := 0; i < got; i++ {
 		b.lens[i] = int(b.sys.hdrs[i].Len)
+		b.segs[i] = 0
+		if h := &b.sys.hdrs[i].Hdr; c.gro && h.Controllen > 0 {
+			b.segs[i] = groSegSize(b.ctrlOf(i)[:h.Controllen])
+		}
 	}
 	b.n = got
 	return got, nil
@@ -103,6 +130,17 @@ func (c *mmsgConn) ReadBatch(b *Batch) (int, error) {
 func (c *mmsgConn) WriteBatch(b *Batch) (int, error) {
 	for i := 0; i < b.n; i++ {
 		b.sys.iovs[i].SetLen(b.lens[i])
+		h := &b.sys.hdrs[i].Hdr
+		if c.gso && b.segs[i] > 0 {
+			// One UDP_SEGMENT cmsg per packed slot: the kernel splits the
+			// payload into segs[i]-byte on-wire datagrams after doing the
+			// per-sendmsg work once.
+			h.Control = &b.sys.ctrl[i*ctrlSlot]
+			h.SetControllen(putSegmentCmsg(b.ctrlOf(i), b.segs[i]))
+		} else {
+			h.Control = nil
+			h.Controllen = 0
+		}
 	}
 	sent := 0
 	for sent < b.n {
@@ -138,6 +176,23 @@ func (c *mmsgConn) WriteBatch(b *Batch) (int, error) {
 
 func (c *mmsgConn) Close() error        { return c.uc.Close() }
 func (c *mmsgConn) LocalAddr() net.Addr { return c.uc.LocalAddr() }
+func (c *mmsgConn) Segmented() bool     { return c.gro || c.gso }
+
+// enableGRO asks the socket to coalesce equal-size datagrams on receive.
+// A false return leaves the conn on the plain batched path.
+func (c *mmsgConn) enableGRO() bool {
+	var serr error
+	if err := c.rc.Control(func(fd uintptr) {
+		serr = setsockoptInt(int(fd), solUDP, udpGRO, 1)
+	}); err != nil {
+		return false
+	}
+	if serr != nil {
+		return false
+	}
+	c.gro = true
+	return true
+}
 
 // reusePortConfig returns a ListenConfig whose sockets opt into
 // SO_REUSEPORT, so several binds of the same port shard by flow hash.
@@ -153,7 +208,9 @@ func reusePortConfig() net.ListenConfig {
 	}}
 }
 
-func listenOS(addr string, sockets int) ([]Conn, error) {
+func listenOS(addr string, o Options) ([]Conn, error) {
+	sockets := o.Sockets
+	gro := o.GSO && Segmentation()
 	var lc net.ListenConfig
 	if sockets > 1 {
 		lc = reusePortConfig()
@@ -180,18 +237,34 @@ func listenOS(addr string, sockets int) ([]Conn, error) {
 		if err != nil {
 			return fail(err)
 		}
+		if gro && !mc.enableGRO() {
+			gro = false // probe lied or the socket refused
+		}
 		conns = append(conns, mc)
 		// A ":0" request resolves on the first bind; siblings must join
 		// that concrete port or REUSEPORT sharding never engages.
 		bind = mc.LocalAddr().String()
 	}
+	if !gro {
+		// All-or-nothing: if any sibling refused UDP_GRO, no socket runs
+		// segmented — mixed framing across one REUSEPORT group would make
+		// ring sizing and metrics lie.
+		for _, c := range conns {
+			c.(*mmsgConn).gro = false
+		}
+	}
 	return conns, nil
 }
 
-func dialOS(addr string) (Conn, error) {
+func dialOS(addr string, o Options) (Conn, error) {
 	c, err := net.Dial("udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return newMmsgConn(c.(*net.UDPConn))
+	mc, err := newMmsgConn(c.(*net.UDPConn))
+	if err != nil {
+		return nil, err
+	}
+	mc.gso = o.GSO && Segmentation()
+	return mc, nil
 }

@@ -13,7 +13,11 @@ func (b *Batch) sysInit() {}
 // FastPath reports whether this build batches syscalls (recvmmsg/sendmmsg).
 func FastPath() bool { return false }
 
-func listenOS(addr string, sockets int) ([]Conn, error) {
+// segmentationOS: no UDP_SEGMENT/UDP_GRO off Linux — Options.GSO is
+// ignored and every slot is one datagram.
+func segmentationOS() bool { return false }
+
+func listenOS(addr string, o Options) ([]Conn, error) {
 	c, err := listenPortable(addr)
 	if err != nil {
 		return nil, err
@@ -21,4 +25,4 @@ func listenOS(addr string, sockets int) ([]Conn, error) {
 	return []Conn{c}, nil
 }
 
-func dialOS(addr string) (Conn, error) { return dialPortable(addr) }
+func dialOS(addr string, o Options) (Conn, error) { return dialPortable(addr) }

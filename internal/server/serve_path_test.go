@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/packetio"
 	"repro/internal/wire"
 )
 
@@ -65,6 +66,38 @@ func TestUDPBufferReuse(t *testing.T) {
 		t.Fatalf("issued %d > expected %d: corrupted batch sizes", got, want)
 	} else if snap.UDPDropped == 0 && got != want {
 		t.Fatalf("issued %d, want %d (no datagrams were shed)", got, want)
+	}
+
+	// Segmented phase: segments of one GRO super share a single slot as
+	// adjacent subslices, and GRO-sized slots sit side by side in one
+	// ring — both seams must not alias. Distinct K per segment makes any
+	// bleed change the total; the CRC catches any byte-level corruption.
+	base := s.Issued()
+	pi := s.NewPacketIngest()
+	gb := packetio.NewBatchSized(4, packetio.GROSlotSize)
+	var segWant int64
+	for slot := 0; slot < 4; slot++ {
+		frames := make([]*wire.Frame, 16)
+		for i := range frames {
+			k := int64(1 + (slot*16+i)%7)
+			frames[i] = &wire.Frame{
+				Type: wire.TIncBatch,
+				ID:   uint64(0x1000 + slot*16 + i),
+				Wire: int64(i % 4),
+				K:    k,
+			}
+			segWant += k
+		}
+		appendSuper(t, gb, 0, 0, frames...)
+	}
+	pi.IngestBatch(gb)
+	waitIssued(t, s, base+segWant)
+	snap = st.Snapshot()
+	if snap.UDPRejected != 0 {
+		t.Fatalf("udpRejected = %d; segment views corrupted one another (%v)", snap.UDPRejected, snap.UDPRejects)
+	}
+	if got := s.Issued(); got != base+segWant {
+		t.Fatalf("issued %d, want %d: segments aliased across slot or stride boundaries", got, base+segWant)
 	}
 }
 

@@ -211,6 +211,12 @@ type Options struct {
 	// even where the batched fast path exists — the before/after lever for
 	// benchmarking the fast path against its predecessor.
 	UDPPortable bool
+	// UDPGSO opts the UDP endpoint into segmentation offload: UDP_GRO on
+	// the ingest sockets so one read slot carries a stride of coalesced
+	// wire frames from GSO senders. Ignored — full fallback to the plain
+	// batched path, gso_active gauge 0 — when the kernel probe fails or
+	// the build has no fast path.
+	UDPGSO bool
 }
 
 func (o Options) withDefaults() Options {
@@ -430,19 +436,30 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.mu.Lock()
 	s.lns = append(s.lns, ln)
-	s.mu.Unlock()
 	s.readerWg.Add(1)
+	s.mu.Unlock()
 	go s.acceptLoop(ln)
 	return ln.Addr(), nil
 }
 
 // Serve accepts connections from ln until the server closes. Most callers
 // want Listen; Serve exists for custom listeners.
+//
+// The reader-group Add happens under s.mu with a closing check: Close
+// snapshots the listener list under the same mutex before it waits on
+// the group, so a Serve racing a Close either registers before the
+// snapshot (and is closed and waited for) or observes closing and
+// never starts — an unsynchronized Add could otherwise race the Wait.
 func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return
+	}
 	s.lns = append(s.lns, ln)
-	s.mu.Unlock()
 	s.readerWg.Add(1)
+	s.mu.Unlock()
 	s.acceptLoop(ln)
 }
 

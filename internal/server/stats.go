@@ -47,6 +47,19 @@ type Stats struct {
 	// the top buckets, the portable loop never leaves bucket 0.
 	udpBatch [udpBatchBuckets]atomic.Uint64
 
+	// udpSegs is the GRO mirror of udpBatch: a log2 histogram of wire
+	// frames per received super-datagram. An unsegmented datagram lands in
+	// bucket 0; GSO senders at stride 64 fill the top bucket. udpSegsSum
+	// carries the exact segment total so the histogram exports a sum.
+	udpSegs    [udpBatchBuckets]atomic.Uint64
+	udpSegsSum atomic.Uint64
+
+	// gsoActive is 1 while the UDP endpoint has segmentation offload
+	// engaged (probe passed and UDP_GRO took on every socket), 0 on the
+	// fallback path — the first thing to check when the segments
+	// histogram stays in bucket 0.
+	gsoActive atomic.Int64
+
 	faultDropped    atomic.Uint64 // frames dropped by injected faults
 	faultDuplicated atomic.Uint64 // frames duplicated by injected faults
 	faultDelayed    atomic.Uint64 // frames delayed by injected faults
@@ -90,16 +103,21 @@ const (
 // UDP admission-rejection reasons, in check order: a frame whose prefix
 // fails (bad_frame) is never CRC-decoded; one asking for LIN or a
 // non-increment op is bad_mode; a valid increment naming a wire outside
-// the topology is bad_wire; a recently seen dedup id is a replay.
+// the topology is bad_wire; a recently seen dedup id is a replay. A
+// segment inside a GRO super-datagram that is not exactly one valid frame
+// — truncated tail, mis-declared stride, trailing garbage — is
+// bad_segment: framing damage specific to the segmented path, kept apart
+// from bad_frame so a stride bug cannot hide among random UDP noise.
 const (
 	udpRejectBadFrame = iota
 	udpRejectBadMode
 	udpRejectBadWire
 	udpRejectReplay
+	udpRejectBadSegment
 	numUDPRejectReasons
 )
 
-var udpRejectLabels = [numUDPRejectReasons]string{"bad_frame", "bad_mode", "bad_wire", "replay"}
+var udpRejectLabels = [numUDPRejectReasons]string{"bad_frame", "bad_mode", "bad_wire", "replay", "bad_segment"}
 
 // udpBatchBuckets covers batch sizes 1 .. packetio.MaxBatch (64) in log2
 // buckets: 1, 2, 4, 8, 16, 32, 64.
@@ -124,6 +142,29 @@ func (st *Stats) observeUDPBatch(n int) {
 		b++
 	}
 	st.udpBatch[b].Add(1)
+}
+
+// observeUDPSegs records one received datagram carrying n wire-frame
+// segments (1 for a plain, uncoalesced datagram).
+func (st *Stats) observeUDPSegs(n int) {
+	if n <= 0 {
+		return
+	}
+	b := 0
+	for 1<<b < n && b < udpBatchBuckets-1 {
+		b++
+	}
+	st.udpSegs[b].Add(1)
+	st.udpSegsSum.Add(uint64(n))
+}
+
+// setGSOActive flips the gso_active gauge when the UDP endpoint starts.
+func (st *Stats) setGSOActive(on bool) {
+	var v int64
+	if on {
+		v = 1
+	}
+	st.gsoActive.Store(v)
 }
 
 var stageDefs = [numStageHists]struct{ stage, mode string }{
@@ -248,6 +289,14 @@ type Snapshot struct {
 	// UDP endpoint has read traffic.
 	UDPBatchSizes []uint64 `json:"udpBatchSizes,omitempty"`
 
+	// UDPSegments[i] counts received datagrams carrying (2^(i-1), 2^i]
+	// wire-frame segments (index 0 = plain datagrams); omitted until a UDP
+	// endpoint has read traffic. UDPSegmentsSum is the exact segment
+	// total; GSOActive reports whether segmentation offload is engaged.
+	UDPSegments    []uint64 `json:"udpSegments,omitempty"`
+	UDPSegmentsSum uint64   `json:"udpSegmentsSum,omitempty"`
+	GSOActive      int64    `json:"gsoActive"`
+
 	FaultDropped    uint64 `json:"faultDropped"`
 	FaultDuplicated uint64 `json:"faultDuplicated"`
 	FaultDelayed    uint64 `json:"faultDelayed"`
@@ -311,8 +360,11 @@ func (st *Stats) Snapshot() Snapshot {
 		UDPRejected:  st.udpRejected.Load(),
 		UDPDropped:   st.udpDropped.Load(),
 
-		UDPRejects:    st.loadUDPRejects(),
-		UDPBatchSizes: st.loadUDPBatches(),
+		UDPRejects:     st.loadUDPRejects(),
+		UDPBatchSizes:  st.loadUDPBatches(),
+		UDPSegments:    loadBuckets(&st.udpSegs),
+		UDPSegmentsSum: st.udpSegsSum.Load(),
+		GSOActive:      st.gsoActive.Load(),
 
 		FaultDropped:    st.faultDropped.Load(),
 		FaultDuplicated: st.faultDuplicated.Load(),
@@ -349,11 +401,13 @@ func (st *Stats) loadUDPRejects() map[string]uint64 {
 	return out
 }
 
-func (st *Stats) loadUDPBatches() []uint64 {
+func (st *Stats) loadUDPBatches() []uint64 { return loadBuckets(&st.udpBatch) }
+
+func loadBuckets(src *[udpBatchBuckets]atomic.Uint64) []uint64 {
 	any := false
 	out := make([]uint64, udpBatchBuckets)
-	for i := range st.udpBatch {
-		out[i] = st.udpBatch[i].Load()
+	for i := range src {
+		out[i] = src[i].Load()
 		any = any || out[i] > 0
 	}
 	if !any {
@@ -439,6 +493,18 @@ func (st *Stats) AppendMetrics(w io.Writer) {
 		fmt.Fprintf(w, "countd_udp_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
 		fmt.Fprintf(w, "countd_udp_batch_size_sum %d\n", s.UDPDatagrams+s.UDPRejected)
 		fmt.Fprintf(w, "countd_udp_batch_size_count %d\n", cum)
+	}
+	gauge("countd_udp_gso_active", "1 while UDP GSO/GRO segmentation offload is engaged", s.GSOActive)
+	if len(s.UDPSegments) > 0 {
+		fmt.Fprintf(w, "# HELP countd_udp_segments_per_datagram wire frames per received UDP datagram (GRO coalescing)\n# TYPE countd_udp_segments_per_datagram histogram\n")
+		var cum uint64
+		for i, c := range s.UDPSegments {
+			cum += c
+			fmt.Fprintf(w, "countd_udp_segments_per_datagram_bucket{le=\"%d\"} %d\n", 1<<i, cum)
+		}
+		fmt.Fprintf(w, "countd_udp_segments_per_datagram_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "countd_udp_segments_per_datagram_sum %d\n", s.UDPSegmentsSum)
+		fmt.Fprintf(w, "countd_udp_segments_per_datagram_count %d\n", cum)
 	}
 	counter("countd_fault_dropped_total", "frames dropped by fault injection", s.FaultDropped)
 	counter("countd_fault_duplicated_total", "frames duplicated by fault injection", s.FaultDuplicated)

@@ -27,15 +27,21 @@ func (s *Server) ListenPacket(addr string) (net.Addr, error) {
 	conns, err := packetio.Listen(addr, packetio.Options{
 		Sockets:  s.opt.UDPSockets,
 		Portable: s.opt.UDPPortable,
+		GSO:      s.opt.UDPGSO,
 	})
 	if err != nil {
 		return nil, err
 	}
+	if st := s.opt.Stats; st != nil {
+		// Segmented() is all-or-nothing across one listen group, so the
+		// first socket speaks for the endpoint.
+		st.setGSOActive(conns[0].Segmented())
+	}
 	s.mu.Lock()
 	s.udps = append(s.udps, conns...)
+	s.readerWg.Add(len(conns))
 	s.mu.Unlock()
 	for _, c := range conns {
-		s.readerWg.Add(1)
 		go s.ingestLoop(c)
 	}
 	return conns[0].LocalAddr(), nil
@@ -46,11 +52,16 @@ func (s *Server) ListenPacket(addr string) (net.Addr, error) {
 // reused for every batch; that reuse is safe because wire.DecodeInto
 // guarantees the decoded frame never aliases its input (see the wire
 // package's aliasing contract, pinned by TestDecodeDoesNotAliasInput and
-// exercised end-to-end by TestUDPBufferReuse).
+// exercised end-to-end by TestUDPBufferReuse). A GRO socket gets 64 KiB
+// slots so a fully coalesced super-datagram is never truncated.
 func (s *Server) ingestLoop(c packetio.Conn) {
 	defer s.readerWg.Done()
 	pi := s.NewPacketIngest()
-	b := packetio.NewBatch(s.opt.UDPBatch)
+	slot := packetio.SlotSize
+	if c.Segmented() {
+		slot = packetio.GROSlotSize
+	}
+	b := packetio.NewBatchSized(s.opt.UDPBatch, slot)
 	for {
 		if _, err := c.ReadBatch(b); err != nil {
 			return // socket closed
@@ -95,13 +106,12 @@ func (s *Server) NewPacketIngest() *PacketIngest {
 // a whole batch's increments on that wire, so at batch 64 the combiners
 // see 1/64th the channel traffic. Steady state it allocates nothing.
 //
-// Admission order per packet: prefix filter (magic/version/known request
-// opcode — rejects garbage after five bytes), mode gate (UDP serves only
-// SC increments), full CRC decode, topology check, replay window. Every
-// rejection is counted under its reason; replays additionally note a
-// black-box anomaly, because a replayed id means a client retransmitted
-// into the dedup window — expected under loss, but worth a flight-record
-// breadcrumb when it clusters.
+// A slot whose SegSize is set is a GRO super-datagram: a stride of
+// equal-size wire datagrams coalesced by the kernel (the last possibly
+// shorter). Each stride runs the full admission chain independently — a
+// damaged segment burns only itself, never its neighbours. Everything
+// else (SegSize 0) takes the exact pre-GSO path, trailing-byte tolerance
+// included, so the fallback is byte-identical to the unsegmented build.
 func (pi *PacketIngest) IngestBatch(b *packetio.Batch) {
 	s := pi.s
 	st := s.opt.Stats
@@ -112,72 +122,23 @@ func (pi *PacketIngest) IngestBatch(b *packetio.Batch) {
 	pi.agg = pi.agg[:0]
 	for i := 0; i < n; i++ {
 		p := b.Packet(i)
-		typ, mode, perr := wire.PeekHeader(p)
-		if perr != nil {
+		seg := b.SegSize(i)
+		if seg <= 0 || seg >= len(p) {
 			if st != nil {
-				st.udpRejectReason(udpRejectBadFrame)
+				st.observeUDPSegs(1)
 			}
-			continue
-		}
-		if mode != wire.ModeSC || (typ != wire.TInc && typ != wire.TIncBatch) {
-			if st != nil {
-				st.udpRejectReason(udpRejectBadMode)
-			}
-			continue
-		}
-		if _, err := wire.DecodeInto(&pi.f, p); err != nil {
-			if st != nil {
-				st.udpRejectReason(udpRejectBadFrame)
-			}
-			continue
-		}
-		f := &pi.f
-		if !s.shape.Contains(f.Wire) {
-			if st != nil {
-				st.udpRejectReason(udpRejectBadWire)
-				st.badWire.Add(1)
-			}
-			continue
-		}
-		k := int64(1)
-		if f.Type == wire.TIncBatch {
-			k = f.K
-		}
-		if k <= 0 {
-			if st != nil {
-				st.udpRejectReason(udpRejectBadFrame)
-			}
-			continue
-		}
-		if !pi.win.Observe(f.ID) {
-			if st != nil {
-				st.udpRejectReason(udpRejectReplay)
-			}
-			s.anomaly("udp_replay", f.Trace)
+			pi.admit(p, false)
 			continue
 		}
 		if st != nil {
-			st.udpDatagrams.Add(1)
+			st.observeUDPSegs((len(p) + seg - 1) / seg)
 		}
-		trace := f.Trace
-		if trace == 0 {
-			trace = s.sampler.Sample()
-		}
-		w := int(f.Wire)
-		merged := false
-		for j := range pi.agg {
-			if pi.agg[j].wire == w {
-				pi.agg[j].k += k
-				pi.agg[j].datagrams++
-				if pi.agg[j].trace == 0 {
-					pi.agg[j].trace = trace
-				}
-				merged = true
-				break
+		for off := 0; off < len(p); off += seg {
+			end := off + seg
+			if end > len(p) {
+				end = len(p)
 			}
-		}
-		if !merged {
-			pi.agg = append(pi.agg, udpAgg{wire: w, k: k, datagrams: 1, trace: trace})
+			pi.admit(p[off:end], true)
 		}
 	}
 	if len(pi.agg) == 0 {
@@ -193,4 +154,95 @@ func (pi *PacketIngest) IngestBatch(b *packetio.Batch) {
 			s.anomaly("udp_drop", a.trace)
 		}
 	}
+}
+
+// admit runs one wire datagram — a plain packet or one segment of a GRO
+// super-datagram — through the admission chain and folds survivors into
+// the per-wire aggregation scratch.
+//
+// Admission order: prefix filter (magic/version/known request opcode —
+// rejects garbage after five bytes), mode gate (UDP serves only SC
+// increments), full CRC decode, topology check, replay window. Every
+// rejection is counted under its reason; replays additionally note a
+// black-box anomaly, because a replayed id means a client retransmitted
+// into the dedup window — expected under loss, but worth a flight-record
+// breadcrumb when it clusters.
+//
+// segmented tightens the framing contract: a kernel-carved segment must
+// be exactly one valid frame, so prefix/CRC damage, a short truncated
+// tail, or bytes left over after the decode all reject as bad_segment —
+// the mis-strided-super signature. Plain datagrams keep the pre-GSO
+// leniency (trailing bytes ignored) and reject framing damage as
+// bad_frame.
+func (pi *PacketIngest) admit(p []byte, segmented bool) {
+	s := pi.s
+	st := s.opt.Stats
+	badFraming := udpRejectBadFrame
+	if segmented {
+		badFraming = udpRejectBadSegment
+	}
+	typ, mode, perr := wire.PeekHeader(p)
+	if perr != nil {
+		if st != nil {
+			st.udpRejectReason(badFraming)
+		}
+		return
+	}
+	if mode != wire.ModeSC || (typ != wire.TInc && typ != wire.TIncBatch) {
+		if st != nil {
+			st.udpRejectReason(udpRejectBadMode)
+		}
+		return
+	}
+	consumed, err := wire.DecodeInto(&pi.f, p)
+	if err != nil || (segmented && consumed != len(p)) {
+		if st != nil {
+			st.udpRejectReason(badFraming)
+		}
+		return
+	}
+	f := &pi.f
+	if !s.shape.Contains(f.Wire) {
+		if st != nil {
+			st.udpRejectReason(udpRejectBadWire)
+			st.badWire.Add(1)
+		}
+		return
+	}
+	k := int64(1)
+	if f.Type == wire.TIncBatch {
+		k = f.K
+	}
+	if k <= 0 {
+		if st != nil {
+			st.udpRejectReason(badFraming)
+		}
+		return
+	}
+	if !pi.win.Observe(f.ID) {
+		if st != nil {
+			st.udpRejectReason(udpRejectReplay)
+		}
+		s.anomaly("udp_replay", f.Trace)
+		return
+	}
+	if st != nil {
+		st.udpDatagrams.Add(1)
+	}
+	trace := f.Trace
+	if trace == 0 {
+		trace = s.sampler.Sample()
+	}
+	w := int(f.Wire)
+	for j := range pi.agg {
+		if pi.agg[j].wire == w {
+			pi.agg[j].k += k
+			pi.agg[j].datagrams++
+			if pi.agg[j].trace == 0 {
+				pi.agg[j].trace = trace
+			}
+			return
+		}
+	}
+	pi.agg = append(pi.agg, udpAgg{wire: w, k: k, datagrams: 1, trace: trace})
 }

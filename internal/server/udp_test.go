@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"testing"
@@ -36,6 +37,41 @@ func appendFrame(t testing.TB, b *packetio.Batch, f *wire.Frame) {
 	})
 	if !ok {
 		t.Fatal("batch full")
+	}
+}
+
+// appendSuper packs frames into the batch's next slot as one GRO
+// super-datagram: frames encoded back-to-back (they must be equal size),
+// the declared stride recorded on the slot. stride 0 declares the real
+// frame size; trunc cuts that many bytes off the tail, mimicking a
+// short final segment.
+func appendSuper(t testing.TB, b *packetio.Batch, stride, trunc int, frames ...*wire.Frame) {
+	t.Helper()
+	ok := b.AppendSegments(func(dst []byte) ([]byte, int) {
+		frameLen := 0
+		for _, f := range frames {
+			before := len(dst)
+			enc, err := wire.AppendFrame(dst, f)
+			if err != nil {
+				t.Fatalf("append frame: %v", err)
+			}
+			if frameLen == 0 {
+				frameLen = len(enc) - before
+			} else if len(enc)-before != frameLen {
+				t.Fatalf("unequal frame sizes in one super: %d then %d", frameLen, len(enc)-before)
+			}
+			dst = enc
+		}
+		if trunc > 0 {
+			dst = dst[:len(dst)-trunc]
+		}
+		if stride == 0 {
+			stride = frameLen
+		}
+		return dst, stride
+	})
+	if !ok {
+		t.Fatal("AppendSegments failed")
 	}
 }
 
@@ -223,6 +259,184 @@ func TestUDPBatchAggregation(t *testing.T) {
 	}
 }
 
+// TestUDPSegmentedIngest: a GRO super-datagram's segments each run the
+// full admission chain and aggregate per wire exactly like loose
+// datagrams, while the segments-per-datagram histogram separates the
+// coalesced slot from the plain one.
+func TestUDPSegmentedIngest(t *testing.T) {
+	st := NewStats(0)
+	s := newIngestServer(t, 4, Options{Stats: st})
+	pi := s.NewPacketIngest()
+	b := packetio.NewBatchSized(4, packetio.GROSlotSize)
+
+	frames := make([]*wire.Frame, 16)
+	for i := range frames {
+		frames[i] = &wire.Frame{Type: wire.TInc, ID: uint64(0x100 + i), Wire: int64(i % 4)}
+	}
+	appendSuper(t, b, 0, 0, frames...)
+	appendFrame(t, b, &wire.Frame{Type: wire.TInc, ID: 1, Wire: 0})
+	pi.IngestBatch(b)
+
+	waitIssued(t, s, 17)
+	snap := st.Snapshot()
+	if snap.UDPDatagrams != 17 {
+		t.Errorf("UDPDatagrams = %d, want 17 (every segment is one datagram)", snap.UDPDatagrams)
+	}
+	if snap.UDPRejected != 0 {
+		t.Errorf("UDPRejected = %d on a clean super (%v)", snap.UDPRejected, snap.UDPRejects)
+	}
+	if snap.UDPSegmentsSum != 17 {
+		t.Errorf("UDPSegmentsSum = %d, want 17", snap.UDPSegmentsSum)
+	}
+	// 16 segments land in the (8,16] bucket, the plain datagram in bucket 0.
+	if len(snap.UDPSegments) == 0 || snap.UDPSegments[4] != 1 || snap.UDPSegments[0] != 1 {
+		t.Errorf("UDPSegments = %v, want one slot in bucket 4 and one in bucket 0", snap.UDPSegments)
+	}
+	if snap.SweepReqs > 4 {
+		t.Errorf("combiners saw %d posts for 17 datagrams, want ≤4 (one per wire)", snap.SweepReqs)
+	}
+}
+
+// TestUDPSegmentRejectReasons drills the segmented framing failures the
+// DST udp flavor also plans: a truncated tail segment and a mis-declared
+// stride reject as bad_segment (never minting), a replayed id inside an
+// otherwise-fresh super rejects as replay, and a mode violation inside a
+// segment keeps its own reason — each damaged segment burns only itself.
+func TestUDPSegmentRejectReasons(t *testing.T) {
+	st := NewStats(0)
+	s := newIngestServer(t, 4, Options{Stats: st})
+	pi := s.NewPacketIngest()
+	b := packetio.NewBatchSized(8, packetio.GROSlotSize)
+
+	fr := func(id int) *wire.Frame {
+		return &wire.Frame{Type: wire.TInc, ID: uint64(0x200 + id), Wire: 0}
+	}
+	enc, err := wire.EncodeFrame(fr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(enc)
+
+	// Truncated tail: 4 frames, last loses 2 bytes → 3 mint, 1 bad_segment.
+	appendSuper(t, b, 0, 2, fr(0), fr(1), fr(2), fr(3))
+	// Mis-declared stride (+1): every segment is cut mid-frame → 4 bad_segment.
+	appendSuper(t, b, frameLen+1, 0, fr(10), fr(11), fr(12), fr(13))
+	// Replay inside an otherwise-fresh super: 3 mint, 1 replay.
+	appendSuper(t, b, 0, 0, fr(20), fr(21), fr(20), fr(22))
+	// A LIN frame smuggled into a segment: 1 mint, 1 bad_mode.
+	appendSuper(t, b, 0, 0, fr(30), &wire.Frame{Type: wire.TInc, ID: 0x300, Wire: 0, Mode: wire.ModeLIN})
+	pi.IngestBatch(b)
+
+	const minted = 3 + 0 + 3 + 1
+	waitIssued(t, s, minted)
+	snap := st.Snapshot()
+	want := map[string]uint64{"bad_segment": 5, "replay": 1, "bad_mode": 1}
+	for reason, n := range want {
+		if snap.UDPRejects[reason] != n {
+			t.Errorf("UDPRejects[%q] = %d, want %d (full map %v)", reason, snap.UDPRejects[reason], n, snap.UDPRejects)
+		}
+	}
+	if snap.UDPDatagrams != minted {
+		t.Errorf("UDPDatagrams = %d, want %d", snap.UDPDatagrams, minted)
+	}
+	if s.Issued() != minted {
+		t.Errorf("issued %d, want %d (damaged segments must burn, not mint)", s.Issued(), minted)
+	}
+}
+
+// TestUDPGSOFallbackSemantics is the capability-probe drill at the server
+// seam: with segmentation force-disabled, a UDPGSO server must come up on
+// the plain batched path — gso_active 0 — and serve plain datagrams with
+// semantics identical to the pre-GSO build.
+func TestUDPGSOFallbackSemantics(t *testing.T) {
+	restore := packetio.DisableSegmentation()
+	defer restore()
+	st := NewStats(0)
+	s, _, _ := startServer(t, 4, Options{Stats: st, UDPGSO: true})
+	ua, err := s.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot().GSOActive != 0 {
+		t.Fatal("gso_active = 1 with segmentation force-disabled")
+	}
+	pc, err := net.Dial("udp", ua.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	const n = 50
+	for i := 1; i <= n; i++ {
+		f := wire.Frame{Type: wire.TInc, ID: uint64(i), Wire: int64(i % 4)}
+		enc, _ := wire.EncodeFrame(&f)
+		if _, err := pc.Write(enc); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Issued() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	snap := st.Snapshot()
+	if got := s.Issued(); got == 0 || got > n {
+		t.Fatalf("issued %d after %d plain datagrams", got, n)
+	}
+	if snap.UDPRejected != 0 {
+		t.Fatalf("udpRejected = %d on the fallback path (%v)", snap.UDPRejected, snap.UDPRejects)
+	}
+	// Every observation must be a plain one-segment datagram.
+	if snap.UDPSegmentsSum != snap.UDPDatagrams {
+		t.Fatalf("segments sum %d != datagrams %d on the fallback path", snap.UDPSegmentsSum, snap.UDPDatagrams)
+	}
+}
+
+// TestUDPGSOEndpoint runs the offload end to end through real sockets: a
+// GSO sender packs one super-datagram, the GRO endpoint mints every
+// frame exactly once and flips gso_active.
+func TestUDPGSOEndpoint(t *testing.T) {
+	if !packetio.Segmentation() {
+		t.Skip("kernel lacks UDP_SEGMENT/UDP_GRO")
+	}
+	st := NewStats(0)
+	s, _, _ := startServer(t, 4, Options{Stats: st, UDPGSO: true})
+	ua, err := s.ListenPacket("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot().GSOActive != 1 {
+		t.Fatal("gso_active = 0 despite a passing probe")
+	}
+	tx, err := packetio.Dial(ua.String(), packetio.Options{GSO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+
+	const n = 32
+	b := packetio.NewBatch(1)
+	frames := make([]*wire.Frame, n)
+	for i := range frames {
+		frames[i] = &wire.Frame{Type: wire.TInc, ID: uint64(0x400 + i), Wire: int64(i % 4)}
+	}
+	appendSuper(t, b, 0, 0, frames...)
+	if _, err := tx.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+
+	waitIssued(t, s, n)
+	snap := st.Snapshot()
+	if snap.UDPRejected != 0 {
+		t.Fatalf("udpRejected = %d on a clean GSO send (%v)", snap.UDPRejected, snap.UDPRejects)
+	}
+	// Whether or not loopback GRO coalesced, every frame is one segment.
+	if snap.UDPSegmentsSum != n {
+		t.Fatalf("segments sum %d, want %d", snap.UDPSegmentsSum, n)
+	}
+}
+
 // TestUDPEndpointMultiSocket: the real socket path end to end with every
 // fast-path feature on — multiple REUSEPORT sockets, batched reads — and
 // datagrams from many senders all land. (On portable builds this runs the
@@ -307,4 +521,68 @@ func BenchmarkPacketIngest(b *testing.B) {
 	b.StopTimer()
 	ops := float64(time.Second) / float64(b.Elapsed().Nanoseconds()) * float64(b.N)
 	b.ReportMetric(ops, "datagrams/s")
+}
+
+// BenchmarkPacketIngestGSO is BenchmarkPacketIngest over GRO-coalesced
+// slots: every ring slot carries a stride of segs equal-size frames, so
+// one slot admission covers segs datagrams — the admission-side half of
+// the GSO win, isolated from the kernel. One op is one datagram
+// (segment); the 0-allocs gate covers this next to the plain ingest.
+func BenchmarkPacketIngestGSO(b *testing.B) {
+	for _, segs := range []int{16, 64} {
+		b.Run(fmt.Sprintf("segs=%d", segs), func(b *testing.B) {
+			s := newIngestServer(b, 4, Options{Mailbox: 1 << 16})
+			pi := s.NewPacketIngest()
+
+			// Pre-pack super payloads over an id cycle of 1<<16 (≫ the 4096
+			// window). Ids offset by 1<<20 so every uvarint is 3 bytes and
+			// the frames in one super share a stride.
+			const idSpace = 1 << 16
+			stride := 0
+			nsupers := idSpace / segs
+			supers := make([][]byte, nsupers)
+			for si := range supers {
+				var p []byte
+				for j := 0; j < segs; j++ {
+					id := uint64(1<<20 | (si*segs + j))
+					f := wire.Frame{Type: wire.TInc, ID: id, Wire: int64(id % 4)}
+					before := len(p)
+					enc, err := wire.AppendFrame(p, &f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stride == 0 {
+						stride = len(enc) - before
+					} else if len(enc)-before != stride {
+						b.Fatalf("unequal frame size: %d then %d", stride, len(enc)-before)
+					}
+					p = enc
+				}
+				supers[si] = p
+			}
+
+			batch := packetio.NewBatchSized(packetio.MaxBatch, packetio.GROSlotSize)
+			// One closure reused across the run: a per-append closure would
+			// allocate and break the 0-allocs gate.
+			var cur []byte
+			pack := func(dst []byte) ([]byte, int) { return append(dst, cur...), stride }
+			b.ReportAllocs()
+			b.ResetTimer()
+			si := 0
+			for i := 0; i < b.N; i += batch.Cap() * segs {
+				batch.Reset()
+				for batch.Len() < batch.Cap() {
+					cur = supers[si&(nsupers-1)]
+					si++
+					if !batch.AppendSegments(pack) {
+						b.Fatal("AppendSegments failed")
+					}
+				}
+				pi.IngestBatch(batch)
+			}
+			b.StopTimer()
+			ops := float64(time.Second) / float64(b.Elapsed().Nanoseconds()) * float64(b.N)
+			b.ReportMetric(ops, "datagrams/s")
+		})
+	}
 }
